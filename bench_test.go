@@ -1,0 +1,364 @@
+package repro
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/elf32"
+	"repro/internal/iss"
+	"repro/internal/jit"
+	"repro/internal/platform"
+	"repro/internal/rtlsim"
+	"repro/internal/workload"
+)
+
+// The benchmarks regenerate the paper's evaluation: one benchmark family
+// per table and figure, plus the ablations and host-speed baselines.
+// Custom metrics carry the reproduced quantities (MIPS, CPI, deviation),
+// so `go test -bench=.` prints the paper's numbers next to Go's timing.
+
+var (
+	elfCache  = map[string]*elf32.File{}
+	refCache  = map[string]*RefResult{}
+	progCache = map[string]*core.Program{}
+	cacheMu   sync.Mutex
+)
+
+func cachedELF(b *testing.B, name string) *elf32.File {
+	b.Helper()
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	if f, ok := elfCache[name]; ok {
+		return f
+	}
+	w, ok := workload.ByName(name)
+	if !ok {
+		b.Fatalf("no workload %s", name)
+	}
+	f, err := Assemble(w.Source)
+	if err != nil {
+		b.Fatal(err)
+	}
+	elfCache[name] = f
+	return f
+}
+
+func cachedRef(b *testing.B, name string) *RefResult {
+	b.Helper()
+	f := cachedELF(b, name)
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	if r, ok := refCache[name]; ok {
+		return r
+	}
+	r, err := RunReference(f)
+	if err != nil {
+		b.Fatal(err)
+	}
+	refCache[name] = r
+	return r
+}
+
+func cachedProg(b *testing.B, name string, level Level) *core.Program {
+	b.Helper()
+	f := cachedELF(b, name)
+	key := name + "/" + level.String()
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	if p, ok := progCache[key]; ok {
+		return p
+	}
+	p, err := Translate(f, level)
+	if err != nil {
+		b.Fatal(err)
+	}
+	progCache[key] = p
+	return p
+}
+
+// runPlatform executes one translated program run and returns its stats.
+func runPlatform(b *testing.B, prog *core.Program) platform.Stats {
+	b.Helper()
+	sys := platform.New(prog)
+	if err := sys.Run(); err != nil {
+		b.Fatal(err)
+	}
+	return sys.Stats()
+}
+
+// BenchmarkFigure5 regenerates the speed comparison: each sub-benchmark
+// is one (workload, configuration) bar of Figure 5; the emulated-MIPS
+// metric is the bar height.
+func BenchmarkFigure5(b *testing.B) {
+	for _, w := range workload.Six() {
+		ref := cachedRef(b, w.Name)
+		b.Run(w.Name+"/board", func(b *testing.B) {
+			f := cachedELF(b, w.Name)
+			for i := 0; i < b.N; i++ {
+				if _, err := RunReference(f); err != nil {
+					b.Fatal(err)
+				}
+			}
+			mips := float64(ref.Stats.Retired) / (float64(ref.Stats.Cycles) / float64(SourceClockHz)) / 1e6
+			b.ReportMetric(mips, "emulatedMIPS")
+		})
+		for _, level := range AllLevels() {
+			level := level
+			b.Run(w.Name+"/"+level.String(), func(b *testing.B) {
+				prog := cachedProg(b, w.Name, level)
+				var st platform.Stats
+				for i := 0; i < b.N; i++ {
+					st = runPlatform(b, prog)
+				}
+				mips := float64(ref.Stats.Retired) / (float64(st.C6xCycles) / float64(C6xClockHz)) / 1e6
+				b.ReportMetric(mips, "emulatedMIPS")
+			})
+		}
+	}
+}
+
+// BenchmarkTable1 regenerates the cycles-per-instruction table; the CPI
+// metrics are the table rows (paper: board 1.08, then 2.94/4.28/5.87/35.34).
+func BenchmarkTable1(b *testing.B) {
+	rows := []struct {
+		name  string
+		level Level
+	}{
+		{"C6x_without_cycle_information", Level0},
+		{"C6x_with_cycle_information", Level1},
+		{"C6x_branch_prediction", Level2},
+		{"C6x_caches", Level3},
+	}
+	b.Run("TC10GP_board", func(b *testing.B) {
+		var cpi float64
+		for i := 0; i < b.N; i++ {
+			cpi = 0
+			for _, w := range workload.Six() {
+				ref := cachedRef(b, w.Name)
+				cpi += float64(ref.Stats.Cycles) / float64(ref.Stats.Retired)
+			}
+			cpi /= 6
+		}
+		b.ReportMetric(cpi, "CPI")
+	})
+	for _, row := range rows {
+		row := row
+		b.Run(row.name, func(b *testing.B) {
+			var cpi float64
+			for i := 0; i < b.N; i++ {
+				cpi = 0
+				for _, w := range workload.Six() {
+					prog := cachedProg(b, w.Name, row.level)
+					st := runPlatform(b, prog)
+					ref := cachedRef(b, w.Name)
+					cpi += float64(st.C6xCycles) / float64(ref.Stats.Retired)
+				}
+				cpi /= 6
+			}
+			b.ReportMetric(cpi, "CPI")
+		})
+	}
+}
+
+// BenchmarkFigure6 regenerates the cycle-accuracy comparison; the
+// deviation metric (percent vs the board cycle count) is the figure's
+// message: it shrinks as the detail level rises (paper: 3–15% at the
+// branch-prediction level).
+func BenchmarkFigure6(b *testing.B) {
+	for _, w := range workload.Six() {
+		ref := cachedRef(b, w.Name)
+		for _, level := range []Level{Level1, Level2, Level3} {
+			level := level
+			b.Run(w.Name+"/"+level.String(), func(b *testing.B) {
+				prog := cachedProg(b, w.Name, level)
+				var st platform.Stats
+				for i := 0; i < b.N; i++ {
+					st = runPlatform(b, prog)
+				}
+				dev := 100 * float64(st.GeneratedCycles-ref.Stats.Cycles) / float64(ref.Stats.Cycles)
+				b.ReportMetric(dev, "deviation%")
+				b.ReportMetric(float64(st.GeneratedCycles), "genCycles")
+			})
+		}
+	}
+}
+
+// BenchmarkTable2 regenerates the runtime comparison for gcd, fibonacci
+// and sieve: RT-level simulation (measured host time per run), FPGA
+// emulation (modeled at 8 MHz) and translation (modeled at 200 MHz).
+func BenchmarkTable2(b *testing.B) {
+	for _, name := range []string{"gcd", "fibonacci", "sieve"} {
+		name := name
+		b.Run(name+"/RTL_simulation", func(b *testing.B) {
+			f := cachedELF(b, name)
+			for i := 0; i < b.N; i++ {
+				cpu, err := rtlsim.New(f)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := cpu.Run(0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(name+"/FPGA_emulation_modeled", func(b *testing.B) {
+			ref := cachedRef(b, name)
+			var sec float64
+			for i := 0; i < b.N; i++ {
+				sec = float64(ref.Stats.Cycles) / float64(FPGAClockHz)
+			}
+			b.ReportMetric(sec*1e6, "modeled_µs")
+		})
+		for _, level := range []Level{Level1, Level2, Level3} {
+			level := level
+			b.Run(name+"/translation/"+level.String(), func(b *testing.B) {
+				prog := cachedProg(b, name, level)
+				var st platform.Stats
+				for i := 0; i < b.N; i++ {
+					st = runPlatform(b, prog)
+				}
+				b.ReportMetric(1e6*float64(st.C6xCycles)/float64(C6xClockHz), "modeled_µs")
+			})
+		}
+	}
+}
+
+// BenchmarkISSBaselines measures host-side simulation speed of the three
+// ISS implementation styles of the paper's Section 2 (interpretation,
+// dynamic/block compilation) plus the RT-level proxy.
+func BenchmarkISSBaselines(b *testing.B) {
+	name := "sieve"
+	f := cachedELF(b, name)
+	insns := float64(cachedRef(b, name).Stats.Retired)
+	b.Run("interpreted", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s, err := iss.New(f, iss.Config{CycleAccurate: true})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := s.Run(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(insns*float64(b.N)/b.Elapsed().Seconds()/1e6, "hostMIPS")
+	})
+	b.Run("block-compiled", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s, err := jit.New(f, true)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := s.Run(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(insns*float64(b.N)/b.Elapsed().Seconds()/1e6, "hostMIPS")
+	})
+	b.Run("rtl-proxy", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			cpu, err := rtlsim.New(f)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := cpu.Run(0); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(insns*float64(b.N)/b.Elapsed().Seconds()/1e6, "hostMIPS")
+	})
+}
+
+// BenchmarkTranslator measures translation throughput itself (static
+// compilation is an offline step in the paper; this shows its cost).
+func BenchmarkTranslator(b *testing.B) {
+	f := cachedELF(b, "sieve")
+	for _, level := range AllLevels() {
+		level := level
+		b.Run(level.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := Translate(f, level); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationCorrectionFlush compares the paper's two-wait
+// correction block (Figure 3) against this reproduction's single-drain
+// ADD register, in platform cycles.
+func BenchmarkAblationCorrectionFlush(b *testing.B) {
+	f := cachedELF(b, "sieve")
+	for _, single := range []bool{false, true} {
+		single := single
+		name := "two-wait"
+		if single {
+			name = "single-drain"
+		}
+		b.Run(name, func(b *testing.B) {
+			prog, err := TranslateOpts(f, core.Options{Level: Level2, SingleDrainCorrection: single})
+			if err != nil {
+				b.Fatal(err)
+			}
+			var st platform.Stats
+			for i := 0; i < b.N; i++ {
+				st = runPlatform(b, prog)
+			}
+			b.ReportMetric(float64(st.C6xCycles), "c6xCycles")
+		})
+	}
+}
+
+// BenchmarkAblationInlineCacheProbe compares the level-3 cache probe as a
+// subroutine call vs inlined into large basic blocks (Section 3.4.2's
+// "In large basic blocks, this code can be included into the basic
+// block making the subroutine call unnecessary").
+func BenchmarkAblationInlineCacheProbe(b *testing.B) {
+	f := cachedELF(b, "subband")
+	for _, inline := range []bool{false, true} {
+		inline := inline
+		name := "subroutine"
+		if inline {
+			name = "inlined"
+		}
+		b.Run(name, func(b *testing.B) {
+			prog, err := TranslateOpts(f, core.Options{
+				Level:                Level3,
+				InlineCacheProbe:     inline,
+				InlineCacheThreshold: 16,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			var st platform.Stats
+			for i := 0; i < b.N; i++ {
+				st = runPlatform(b, prog)
+			}
+			b.ReportMetric(float64(st.C6xCycles), "c6xCycles")
+		})
+	}
+}
+
+// BenchmarkAblationGenerationRatio sweeps the cycle-generation rate (C6x
+// cycles per generated source cycle): a slower generator turns the sync
+// waits into the bottleneck for well-parallelized blocks.
+func BenchmarkAblationGenerationRatio(b *testing.B) {
+	prog := cachedProg(b, "ellip", Level2)
+	for _, ratio := range []int64{1, 2, 4, 8} {
+		ratio := ratio
+		b.Run(string(rune('0'+ratio)), func(b *testing.B) {
+			var st platform.Stats
+			for i := 0; i < b.N; i++ {
+				sys := platform.New(prog)
+				sys.Sync.Ratio = ratio
+				if err := sys.Run(); err != nil {
+					b.Fatal(err)
+				}
+				st = sys.Stats()
+			}
+			b.ReportMetric(float64(st.C6xCycles), "c6xCycles")
+			b.ReportMetric(float64(st.StallCycles), "stallCycles")
+		})
+	}
+}

@@ -1,0 +1,65 @@
+// Command cabt-gdb serves the GDB Remote Serial Protocol for a translated
+// program, using the paper's dual-translation debug mechanism (Section
+// 3.5): block-oriented code for full-speed continue, instruction-oriented
+// code for single-stepping to mid-block break points.
+//
+// Usage:
+//
+//	cabt-gdb -level 2 -listen :3333 prog.elf
+//	(gdb) target remote :3333
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/elf32"
+	"repro/internal/gdbstub"
+	"repro/internal/iss"
+)
+
+func main() {
+	level := flag.Int("level", 2, "translation detail level 0..3")
+	listen := flag.String("listen", ":3333", "listen address")
+	useISS := flag.Bool("iss", false, "debug on the reference simulator instead of translated code")
+	verbose := flag.Bool("v", false, "log protocol packets")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: cabt-gdb [-level N] [-listen addr] prog.elf")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	f, err := elf32.Parse(data)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var target gdbstub.Target
+	if *useISS {
+		sim, err := iss.New(f, iss.Config{CycleAccurate: true})
+		if err != nil {
+			log.Fatal(err)
+		}
+		target = &gdbstub.ISSTarget{Sim: sim}
+	} else {
+		dual, err := gdbstub.NewDualTarget(f, core.Level(*level))
+		if err != nil {
+			log.Fatal(err)
+		}
+		target = dual
+	}
+	srv := gdbstub.NewServer(target)
+	if *verbose {
+		srv.Log = log.Printf
+	}
+	log.Printf("cabt-gdb: serving %s on %s (level %d); connect with: gdb -ex 'target remote %s'",
+		flag.Arg(0), *listen, *level, *listen)
+	if err := srv.ListenAndServe(*listen); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,68 @@
+// Command tcrun executes a TC32 ELF image on the cycle-accurate reference
+// simulator — the stand-in for the paper's TriCore TC10GP evaluation
+// board. It prints the executed instruction count, the cycle count and
+// the program's debug-port output.
+//
+// Usage:
+//
+//	tcrun [-functional] [-uart] prog.elf
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/elf32"
+	"repro/internal/iss"
+	"repro/internal/socbus"
+)
+
+func main() {
+	functional := flag.Bool("functional", false, "disable the timing model (interpretive ISS baseline)")
+	uart := flag.Bool("uart", false, "attach the SoC-bus UART and timer")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: tcrun [-functional] prog.elf")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	f, err := elf32.Parse(data)
+	if err != nil {
+		fatal(err)
+	}
+	sim, err := iss.New(f, iss.Config{CycleAccurate: !*functional})
+	if err != nil {
+		fatal(err)
+	}
+	var u *socbus.UART
+	if *uart {
+		u = socbus.NewUART(16)
+		sim.AttachBus(socbus.NewBus(u, socbus.NewTimer()))
+	}
+	if err := sim.Run(); err != nil {
+		fatal(err)
+	}
+	st := sim.Stats()
+	fmt.Printf("instructions: %d\n", st.Retired)
+	fmt.Printf("cycles:       %d (%.3f ms at %d MHz)\n",
+		st.Cycles, 1e3*float64(st.Cycles)/float64(sim.Desc().ClockHz), sim.Desc().ClockHz/1_000_000)
+	fmt.Printf("cpi:          %.2f\n", float64(st.Cycles)/float64(st.Retired))
+	fmt.Printf("i-cache:      %d hits, %d misses\n", st.ICacheHits, st.ICacheMisses)
+	fmt.Printf("branches:     %d conditional, %d taken, %d mispredicted\n",
+		st.CondBranches, st.TakenCond, st.Mispredicts)
+	for i, w := range sim.Output() {
+		fmt.Printf("out[%d] = %d (%#x)\n", i, int32(w), w)
+	}
+	if u != nil && len(u.Sent) > 0 {
+		fmt.Printf("uart:         %q (%d overruns)\n", u.Sent, u.Overruns)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tcrun:", err)
+	os.Exit(1)
+}

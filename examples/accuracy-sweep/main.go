@@ -1,0 +1,32 @@
+// Accuracy sweep: the paper's central trade-off, measured over all seven
+// workloads — each detail level buys cycle-count fidelity (Figure 6) and
+// costs execution speed (Figure 5 / Table 1).
+//
+//	go run ./examples/accuracy-sweep
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	fmt.Printf("%-10s %6s | %8s %8s | %9s %9s %9s | %8s %8s %8s\n",
+		"program", "insns", "boardCPI", "L0 CPI", "L1 MIPS", "L2 MIPS", "L3 MIPS",
+		"L1 dev", "L2 dev", "L3 dev")
+	for _, w := range repro.Workloads() {
+		m, err := repro.Measure(w, repro.AllLevels()...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s %6d | %8.2f %8.2f | %9.1f %9.1f %9.1f | %+7.2f%% %+7.2f%% %+7.2f%%\n",
+			m.Name, m.Instructions, m.BoardCPI, m.Levels[repro.Level0].CPI,
+			m.Levels[repro.Level1].MIPS, m.Levels[repro.Level2].MIPS, m.Levels[repro.Level3].MIPS,
+			m.Levels[repro.Level1].DeviationPct, m.Levels[repro.Level2].DeviationPct,
+			m.Levels[repro.Level3].DeviationPct)
+	}
+	fmt.Println("\nCPI = C6x cycles per source instruction; dev = generated vs board cycles.")
+	fmt.Println("Speed falls and accuracy rises with each detail level — the paper's trade-off.")
+}

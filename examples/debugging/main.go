@@ -1,0 +1,71 @@
+// Debugging translated code (Section 3.5 of the paper): the debug image
+// holds two translations — block-oriented (fast) and instruction-oriented
+// (single-steppable). A breakpoint in the middle of a basic block is
+// reached by running block-oriented code to the enclosing block, then
+// stepping the instruction-oriented image. This example drives the debug
+// harness directly; cmd/cabt-gdb exposes the same harness to a real gdb
+// over the remote serial protocol.
+//
+//	go run ./examples/debugging
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/gdbstub"
+)
+
+const program = `
+	.text
+	.global _start
+_start:	movh.a	sp, 0x1010
+	la	a15, 0xF0000F00
+	movi	d0, 0
+	movi	d1, 3
+loop:	addi	d0, d0, 100	; block start
+	addi	d0, d0, 20	; <- we break HERE, mid-block
+	addi	d0, d0, 3
+	addi	d1, d1, -1
+	jnz	d1, loop
+	st.w	d0, 0(a15)
+	halt
+`
+
+func main() {
+	elf, err := repro.Assemble(program)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dual, err := gdbstub.NewDualTarget(elf, repro.Level2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	loop, _ := elf.Symbol("loop")
+	bp := loop.Value + 4 // the second addi: not a block boundary
+	fmt.Printf("breakpoint at %#x (middle of the loop block at %#x)\n\n", bp, loop.Value)
+
+	bps := map[uint32]bool{bp: true}
+	for hit := 1; ; hit++ {
+		running, err := dual.Continue(bps)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !running {
+			break
+		}
+		regs, _ := dual.Regs()
+		fmt.Printf("hit %d: pc=%#x d0=%d d1=%d (emulated cycle %d)\n",
+			hit, dual.PC(), regs[0], regs[1], dual.System().Stats().GeneratedCycles)
+		// Step off the breakpoint: one source instruction via the
+		// instruction-oriented image.
+		if err := dual.Step(); err != nil {
+			log.Fatal(err)
+		}
+		regs, _ = dual.Regs()
+		fmt.Printf("       after single step: pc=%#x d0=%d\n", dual.PC(), regs[0])
+	}
+	fmt.Printf("\nprogram exited; output=%v, %d cycles generated\n",
+		dual.System().Output, dual.System().Stats().GeneratedCycles)
+}

@@ -1,0 +1,84 @@
+// Device-driver validation: the paper's motivating use case. A UART
+// driver's busy-flag handshake is validated with cycle-accurate bus
+// timing: the correct (polling) driver never overruns the device, while a
+// broken driver that skips the poll loses bytes — and the translated
+// program observes exactly the same behaviour as the reference core,
+// because the synchronization device clocks the emulated SoC bus with the
+// source processor's cycles.
+//
+//	go run ./examples/device-driver
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/platform"
+	"repro/internal/socbus"
+)
+
+const goodDriver = `
+	.text
+	.global _start
+_start:	movh.a	sp, 0x1010
+	la	a2, 0xF0002000	; UART: +0 DATA, +4 STATUS (bit0 busy)
+	la	a3, msg
+next:	ld.bu	d0, 0(a3)
+	jz	d0, done
+wait:	ld.w	d1, 4(a2)	; poll busy flag
+	jnz	d1, wait
+	st.w	d0, 0(a2)	; send byte
+	addi.a	a3, a3, 1
+	j	next
+done:	halt
+	.data
+msg:	.asciz	"cycle accurate"
+`
+
+const brokenDriver = `
+	.text
+	.global _start
+_start:	movh.a	sp, 0x1010
+	la	a2, 0xF0002000
+	la	a3, msg
+next:	ld.bu	d0, 0(a3)
+	jz	d0, done
+	st.w	d0, 0(a2)	; send without polling: overruns!
+	addi.a	a3, a3, 1
+	j	next
+done:	halt
+	.data
+msg:	.asciz	"cycle accurate"
+`
+
+func run(name, src string) {
+	elf, err := repro.Assemble(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	prog, err := repro.Translate(elf, repro.Level3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys := platform.New(prog)
+	uart := socbus.NewUART(200) // 200 bus cycles per byte
+	sys.Bus = socbus.NewBus(uart, socbus.NewTimer())
+	if err := sys.Run(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-8s sent %-16q overruns=%d  (%d generated cycles)\n",
+		name+":", string(uart.Sent), uart.Overruns, sys.Stats().GeneratedCycles)
+	if len(uart.SendTimes) >= 2 {
+		fmt.Printf("         first bytes at emulated cycles %d, %d (gap %d >= 200: handshake held)\n",
+			uart.SendTimes[0], uart.SendTimes[1], uart.SendTimes[1]-uart.SendTimes[0])
+	}
+}
+
+func main() {
+	fmt.Println("UART with a 200-cycle busy window per byte, driven by translated code:")
+	run("good", goodDriver)
+	run("broken", brokenDriver)
+	fmt.Println("\nThe broken driver loses every byte after the first — visible only")
+	fmt.Println("because the bus transactions carry cycle-accurate timestamps.")
+}

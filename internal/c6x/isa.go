@@ -1,0 +1,390 @@
+// Package c6x models the target processor of the binary translator: a
+// TMS320C6x-class VLIW DSP. Like the C62xx used on the paper's emulation
+// platform it has eight functional units (.L/.S/.M/.D on each of two
+// sides), two register files, full predication, exposed delay slots
+// (multiply 1, load 4, branch 5), multi-cycle NOPs, and no interlocks —
+// the schedule is the contract, and the simulator can verify it.
+//
+// One deliberate extension over the C6201: 32 registers per file (as on
+// the C64x) instead of 16, because the translator's fixed register binding
+// maps the TC32's 16 data + 16 address registers onto register file
+// A/B directly (see DESIGN.md).
+package c6x
+
+import "fmt"
+
+// NumRegs is the number of registers per file.
+const NumRegs = 32
+
+// Reg identifies a register: 0..31 = A0..A31, 32..63 = B0..B31.
+type Reg uint8
+
+// NoReg marks an unused register field.
+const NoReg Reg = 0xFF
+
+// A and B construct register names.
+func A(n int) Reg { return Reg(n) }
+
+// B returns register Bn.
+func B(n int) Reg { return Reg(NumRegs + n) }
+
+// Side is a datapath side of the VLIW.
+type Side uint8
+
+// The two datapath sides.
+const (
+	SideA Side = iota
+	SideB
+)
+
+// Side returns which register file the register belongs to.
+func (r Reg) Side() Side {
+	if r < NumRegs {
+		return SideA
+	}
+	return SideB
+}
+
+// Index returns the register index within its file.
+func (r Reg) Index() int { return int(r) % NumRegs }
+
+// String returns the assembler name (A0..A31, B0..B31).
+func (r Reg) String() string {
+	if r == NoReg {
+		return "-"
+	}
+	if r.Side() == SideA {
+		return fmt.Sprintf("A%d", r.Index())
+	}
+	return fmt.Sprintf("B%d", r.Index())
+}
+
+// Unit is a functional unit.
+type Unit uint8
+
+// The eight functional units.
+const (
+	UnitNone Unit = iota
+	L1
+	S1
+	M1
+	D1
+	L2
+	S2
+	M2
+	D2
+)
+
+var unitNames = [...]string{"--", ".L1", ".S1", ".M1", ".D1", ".L2", ".S2", ".M2", ".D2"}
+
+// String returns the assembler name of the unit.
+func (u Unit) String() string { return unitNames[u] }
+
+// Side returns the datapath side of the unit.
+func (u Unit) Side() Side {
+	if u >= L2 {
+		return SideB
+	}
+	return SideA
+}
+
+// Kind returns the unit kind letter ('L', 'S', 'M', 'D').
+func (u Unit) Kind() byte {
+	switch u {
+	case L1, L2:
+		return 'L'
+	case S1, S2:
+		return 'S'
+	case M1, M2:
+		return 'M'
+	case D1, D2:
+		return 'D'
+	}
+	return '-'
+}
+
+// UnitFor returns the unit of the given kind on the given side.
+func UnitFor(kind byte, side Side) Unit {
+	var base Unit
+	switch kind {
+	case 'L':
+		base = L1
+	case 'S':
+		base = S1
+	case 'M':
+		base = M1
+	case 'D':
+		base = D1
+	default:
+		return UnitNone
+	}
+	if side == SideB {
+		base += 4
+	}
+	return base
+}
+
+// Op is a C6x operation.
+type Op uint8
+
+// C6x operations (the subset the translator emits).
+const (
+	INVALID Op = iota
+	MV         // dst = src1
+	MVK        // dst = sext16(imm)            (TI MVKL)
+	MVKH       // dst = (dst & 0xFFFF) | imm<<16
+	ADD        // dst = src1 + src2
+	SUB        // dst = src1 - src2
+	MPY        // dst = src1 * src2 (low 32; 1 delay slot)
+	AND
+	OR
+	XOR
+	ANDN   // dst = src1 &^ src2
+	SHL    // dst = src1 << (src2 & 31)
+	SHR    // logical
+	SAR    // arithmetic (TI SHR on signed)
+	NEG    // dst = -src1
+	EXTB   // dst = sext8(src1)  (C64x-style)
+	EXTH   // dst = sext16(src1)
+	CMPEQ  // dst = src1 == src2
+	CMPLT  // signed <
+	CMPLTU // unsigned <
+	CMPGT  // signed >
+	CMPGTU // unsigned >
+	LDW    // dst = mem32[src1 + offset] (4 delay slots)
+	LDH    // signed halfword
+	LDHU
+	LDB // signed byte
+	LDBU
+	STW // mem[src1 + offset] = data
+	STH
+	STB
+	BPKT // branch to packet Target (5 delay slots)
+	BREG // branch to packet index in src1 (5 delay slots)
+	NOP  // idle NopCycles cycles
+	HALT // stop the core
+	NumOps
+)
+
+var opNames = [NumOps]string{
+	INVALID: "<invalid>", MV: "mv", MVK: "mvk", MVKH: "mvkh",
+	ADD: "add", SUB: "sub", MPY: "mpy", AND: "and", OR: "or", XOR: "xor",
+	ANDN: "andn", SHL: "shl", SHR: "shr", SAR: "sar", NEG: "neg",
+	EXTB: "extb", EXTH: "exth",
+	CMPEQ: "cmpeq", CMPLT: "cmplt", CMPLTU: "cmpltu", CMPGT: "cmpgt", CMPGTU: "cmpgtu",
+	LDW: "ldw", LDH: "ldh", LDHU: "ldhu", LDB: "ldb", LDBU: "ldbu",
+	STW: "stw", STH: "sth", STB: "stb",
+	BPKT: "b", BREG: "b", NOP: "nop", HALT: "halt",
+}
+
+// String returns the mnemonic.
+func (op Op) String() string {
+	if op >= NumOps {
+		return "<bad>"
+	}
+	return opNames[op]
+}
+
+// IsLoad reports whether op reads memory.
+func (op Op) IsLoad() bool { return op >= LDW && op <= LDBU }
+
+// IsStore reports whether op writes memory.
+func (op Op) IsStore() bool { return op >= STW && op <= STB }
+
+// IsMem reports whether op accesses memory.
+func (op Op) IsMem() bool { return op.IsLoad() || op.IsStore() }
+
+// IsBranch reports whether op transfers control.
+func (op Op) IsBranch() bool { return op == BPKT || op == BREG }
+
+// MemSize returns the access size in bytes of a memory op.
+func (op Op) MemSize() int {
+	switch op {
+	case LDW, STW:
+		return 4
+	case LDH, LDHU, STH:
+		return 2
+	case LDB, LDBU, STB:
+		return 1
+	}
+	return 0
+}
+
+// Latency returns the result latency in cycles (1 = usable next cycle).
+// Branches have no result; their 5 delay slots are modeled separately.
+func (op Op) Latency() int {
+	switch {
+	case op == MPY:
+		return 2
+	case op.IsLoad():
+		return 5
+	}
+	return 1
+}
+
+// BranchDelay is the number of delay-slot cycles of a branch: the target
+// packet executes BranchDelay+1 cycles after the branch issues.
+const BranchDelay = 5
+
+// UnitKinds returns the unit kinds that can execute op ("LS" = .L or .S).
+func (op Op) UnitKinds() string {
+	switch op {
+	case ADD, SUB, AND, OR, XOR, ANDN, NEG, CMPEQ, CMPLT, CMPLTU, CMPGT, CMPGTU:
+		return "LS"
+	case MV:
+		return "LSD"
+	case MVK, MVKH, SHL, SHR, SAR, EXTB, EXTH:
+		return "S"
+	case MPY:
+		return "M"
+	case LDW, LDH, LDHU, LDB, LDBU, STW, STH, STB:
+		return "D"
+	case BPKT, BREG:
+		return "S"
+	}
+	return ""
+}
+
+// ReadsSrc1 reports whether op reads the Src1 operand.
+func (op Op) ReadsSrc1() bool {
+	switch op {
+	case MVK, MVKH, NOP, HALT, BPKT, INVALID:
+		return false
+	}
+	return true
+}
+
+// ReadsSrc2 reports whether op reads the Src2 operand as a value source
+// (memory offsets are immediates and never use the cross path).
+func (op Op) ReadsSrc2() bool {
+	switch op {
+	case MV, NEG, EXTB, EXTH, MVK, MVKH, NOP, HALT, BPKT, BREG, INVALID:
+		return false
+	}
+	return !op.IsMem()
+}
+
+// Operand is a register or immediate source operand.
+type Operand struct {
+	IsImm bool
+	Reg   Reg
+	Imm   int32
+}
+
+// R and Imm construct operands.
+func R(r Reg) Operand { return Operand{Reg: r} }
+
+// Imm returns an immediate operand.
+func Imm(v int32) Operand { return Operand{IsImm: true, Imm: v} }
+
+// String renders the operand.
+func (o Operand) String() string {
+	if o.IsImm {
+		return fmt.Sprintf("%d", o.Imm)
+	}
+	return o.Reg.String()
+}
+
+// Pred is an optional predicate guard: execute iff (reg != 0) != Neg.
+type Pred struct {
+	Valid bool
+	Neg   bool
+	Reg   Reg
+}
+
+// String renders the predicate prefix ("[A1] " style).
+func (p Pred) String() string {
+	if !p.Valid {
+		return ""
+	}
+	n := ""
+	if p.Neg {
+		n = "!"
+	}
+	return fmt.Sprintf("[%s%s] ", n, p.Reg)
+}
+
+// Inst is one C6x instruction within an execute packet.
+//
+// Field usage: ALU ops use Dst/Src1/Src2. Loads use Dst (data), Src1
+// (base register) and Src2 (immediate byte offset). Stores use Data,
+// Src1 (base) and Src2 (offset). BPKT uses Target (a packet index);
+// BREG uses Src1. NOP uses NopCycles.
+type Inst struct {
+	Op     Op
+	Unit   Unit
+	Pred   Pred
+	Dst    Reg
+	Src1   Operand
+	Src2   Operand
+	Data   Reg // store data register
+	Target int // branch target packet
+	// NopCycles is the idle cycle count of a NOP (1..9 on real hardware;
+	// the scheduler may emit larger values, which the simulator honors).
+	NopCycles int
+	// Volatile marks memory ops that must not be reordered (sync device,
+	// bus interface accesses). Scheduling metadata only.
+	Volatile bool
+	// SymImm marks an MVK whose immediate is a label id to be replaced
+	// by a packet index at link time (call return addresses). BPKT
+	// instructions similarly hold a label id in Target until link time.
+	SymImm bool
+}
+
+// HasDst reports whether the instruction writes Dst.
+func (i Inst) HasDst() bool {
+	switch i.Op {
+	case STW, STH, STB, BPKT, BREG, NOP, HALT, INVALID:
+		return false
+	}
+	return true
+}
+
+// String renders the instruction in a TI-flavoured listing syntax.
+func (i Inst) String() string {
+	p := i.Pred.String()
+	switch {
+	case i.Op == NOP:
+		if i.NopCycles > 1 {
+			return fmt.Sprintf("%snop %d", p, i.NopCycles)
+		}
+		return p + "nop"
+	case i.Op == HALT:
+		return p + "halt"
+	case i.Op == BPKT:
+		return fmt.Sprintf("%sb %s P%d", p, i.Unit, i.Target)
+	case i.Op == BREG:
+		return fmt.Sprintf("%sb %s %s", p, i.Unit, i.Src1)
+	case i.Op.IsLoad():
+		return fmt.Sprintf("%s%s %s *%+d[%s], %s", p, i.Op, i.Unit, i.Src2.Imm, i.Src1.Reg, i.Dst)
+	case i.Op.IsStore():
+		return fmt.Sprintf("%s%s %s %s, *%+d[%s]", p, i.Op, i.Unit, i.Data, i.Src2.Imm, i.Src1.Reg)
+	case i.Op == MVK || i.Op == MVKH:
+		return fmt.Sprintf("%s%s %s %d, %s", p, i.Op, i.Unit, i.Src2.Imm, i.Dst)
+	case i.Op == MV || i.Op == NEG || i.Op == EXTB || i.Op == EXTH:
+		return fmt.Sprintf("%s%s %s %s, %s", p, i.Op, i.Unit, i.Src1, i.Dst)
+	default:
+		return fmt.Sprintf("%s%s %s %s, %s, %s", p, i.Op, i.Unit, i.Src1, i.Src2, i.Dst)
+	}
+}
+
+// Packet is one execute packet: up to eight instructions issued in the
+// same cycle (at most one per functional unit).
+type Packet struct {
+	Insts []Inst
+}
+
+// Cycles returns the cycle cost of the packet (multi-cycle for NOP n).
+func (pk Packet) Cycles() int {
+	if len(pk.Insts) == 1 && pk.Insts[0].Op == NOP && pk.Insts[0].NopCycles > 1 {
+		return pk.Insts[0].NopCycles
+	}
+	return 1
+}
+
+// Program is an executable C6x program: a flat list of execute packets.
+// Branch targets are packet indices.
+type Program struct {
+	Packets []Packet
+	Entry   int
+}

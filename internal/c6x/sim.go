@@ -1,0 +1,469 @@
+package c6x
+
+import (
+	"fmt"
+	"sort"
+)
+
+// MemPort is the memory system seen by the core. Implementations may stall
+// the core by returning contCycle > cycle (e.g. the synchronization
+// device's blocking read, or bus wait states on the SoC bridge).
+type MemPort interface {
+	Load(addr uint32, size int, cycle int64) (val uint32, contCycle int64, err error)
+	Store(addr uint32, val uint32, size int, cycle int64) (contCycle int64, err error)
+}
+
+// SimError is a simulation-time error (machine fault or, in strict mode, a
+// schedule-contract violation, which indicates a translator bug).
+type SimError struct {
+	Packet int
+	Cycle  int64
+	Msg    string
+}
+
+func (e *SimError) Error() string {
+	return fmt.Sprintf("c6x: packet %d cycle %d: %s", e.Packet, e.Cycle, e.Msg)
+}
+
+type writeback struct {
+	reg Reg
+	val uint32
+	// commitAt is the busy-time (stall-free cycle count) at which the
+	// value lands in the register file. Tracking the precise cycle keeps
+	// same-cycle WAW detection exact across multi-cycle NOPs.
+	commitAt int64
+}
+
+// Stats are the C6x-side measurements: the cycle count at 200 MHz is the
+// platform execution time of the translated program.
+type Stats struct {
+	Cycles       int64 // total core cycles including stalls
+	StallCycles  int64 // cycles spent frozen on memory (sync waits etc.)
+	Packets      int64 // execute packets issued
+	Instructions int64 // instructions executed (predicates passed; NOPs excluded)
+	NopCycles    int64 // cycles spent in NOPs (explicit idle)
+}
+
+// Sim is the cycle-exact C6x core simulator.
+type Sim struct {
+	Regs [2 * NumRegs]uint32
+
+	prog *Program
+	mem  MemPort
+	pc   int
+	// Strict enables schedule-contract checking: reads of registers with
+	// in-flight writes, overlapping branches, unit/cross-path conflicts
+	// and writeback collisions become errors instead of silent hardware
+	// behavior. The translator's output must run cleanly in strict mode.
+	Strict bool
+
+	cycle   int64
+	busy    int64 // stall-free cycle count (latency clock)
+	halted  bool
+	pending []writeback
+	brValid bool
+	brTgt   int
+	brCnt   int
+
+	stats Stats
+
+	// MaxCycles aborts runaway programs (default 2e9).
+	MaxCycles int64
+}
+
+// NewSim builds a simulator for prog with the given memory system.
+func NewSim(prog *Program, mem MemPort) *Sim {
+	return &Sim{prog: prog, mem: mem, pc: prog.Entry, Strict: true, MaxCycles: 2_000_000_000}
+}
+
+// Reg returns the value of r.
+func (s *Sim) Reg(r Reg) uint32 { return s.Regs[r] }
+
+// SetReg sets the value of r.
+func (s *Sim) SetReg(r Reg, v uint32) { s.Regs[r] = v }
+
+// Cycle returns the current core cycle.
+func (s *Sim) Cycle() int64 { return s.cycle }
+
+// PC returns the current packet index.
+func (s *Sim) PC() int { return s.pc }
+
+// SetPC redirects execution to a packet (used by the debug harness to
+// switch between translation images at region boundaries). Any pending
+// branch is cancelled; in-flight writebacks are preserved.
+func (s *Sim) SetPC(pc int) {
+	s.pc = pc
+	s.brValid = false
+}
+
+// Halted reports whether the core has executed HALT.
+func (s *Sim) Halted() bool { return s.halted }
+
+// Stats returns the accumulated measurements.
+func (s *Sim) Stats() Stats {
+	st := s.stats
+	st.Cycles = s.cycle
+	return st
+}
+
+func (s *Sim) errf(pkt int, format string, args ...any) error {
+	return &SimError{Packet: pkt, Cycle: s.cycle, Msg: fmt.Sprintf(format, args...)}
+}
+
+// readReg reads a register value, enforcing the no-interlock contract in
+// strict mode: a register with a write still in flight from an earlier
+// cycle must not be read (delay-slot underflow = translator bug).
+func (s *Sim) readReg(pkt int, r Reg, thisPacket []writeback) (uint32, error) {
+	if s.Strict {
+		for i := range s.pending {
+			if s.pending[i].reg == r {
+				return 0, s.errf(pkt, "read of %s with write in flight (%d cycles remaining)", r, s.pending[i].commitAt-s.busy)
+			}
+		}
+		_ = thisPacket // same-packet writes are legal old-value reads
+	}
+	return s.Regs[r], nil
+}
+
+func (s *Sim) operand(pkt int, o Operand, wbs []writeback) (uint32, error) {
+	if o.IsImm {
+		return uint32(o.Imm), nil
+	}
+	return s.readReg(pkt, o.Reg, wbs)
+}
+
+// Step executes one packet (possibly multi-cycle for NOP n) and returns
+// whether the core is still running.
+func (s *Sim) Step() error {
+	if s.halted {
+		return nil
+	}
+	if s.pc < 0 || s.pc >= len(s.prog.Packets) {
+		return s.errf(s.pc, "fell off the program (pc=%d of %d packets)", s.pc, len(s.prog.Packets))
+	}
+	pktIdx := s.pc
+	pk := s.prog.Packets[pktIdx]
+	s.pc++
+	s.stats.Packets++
+
+	if err := s.validatePacket(pktIdx, pk); err != nil {
+		return err
+	}
+
+	var newWbs []writeback
+	var stall int64
+	branchSeen := false
+	for _, in := range pk.Insts {
+		if in.Pred.Valid {
+			pv, err := s.readReg(pktIdx, in.Pred.Reg, newWbs)
+			if err != nil {
+				return err
+			}
+			if (pv != 0) == in.Pred.Neg {
+				continue // predicated off
+			}
+		}
+		if in.Op != NOP {
+			s.stats.Instructions++
+		}
+		switch {
+		case in.Op == NOP:
+			// handled by packet cycle accounting
+		case in.Op == HALT:
+			s.halted = true
+		case in.Op == BPKT, in.Op == BREG:
+			if s.brValid || branchSeen {
+				if s.Strict {
+					return s.errf(pktIdx, "branch issued while another branch is in flight")
+				}
+			}
+			tgt := in.Target
+			if in.Op == BREG {
+				v, err := s.operand(pktIdx, in.Src1, newWbs)
+				if err != nil {
+					return err
+				}
+				tgt = int(int32(v))
+			}
+			s.brValid = true
+			s.brTgt = tgt
+			s.brCnt = BranchDelay + 1
+			branchSeen = true
+		case in.Op.IsLoad():
+			base, err := s.operand(pktIdx, in.Src1, newWbs)
+			if err != nil {
+				return err
+			}
+			addr := base + uint32(in.Src2.Imm)
+			v, cont, err := s.mem.Load(addr, in.Op.MemSize(), s.cycle)
+			if err != nil {
+				return s.errf(pktIdx, "load @%#x: %v", addr, err)
+			}
+			stall += cont - s.cycle
+			switch in.Op {
+			case LDH:
+				v = uint32(int32(int16(v)))
+			case LDB:
+				v = uint32(int32(int8(v)))
+			}
+			newWbs = append(newWbs, writeback{reg: in.Dst, val: v, commitAt: s.busy + int64(in.Op.Latency())})
+		case in.Op.IsStore():
+			base, err := s.operand(pktIdx, in.Src1, newWbs)
+			if err != nil {
+				return err
+			}
+			data, err := s.readReg(pktIdx, in.Data, newWbs)
+			if err != nil {
+				return err
+			}
+			addr := base + uint32(in.Src2.Imm)
+			cont, err := s.mem.Store(addr, data, in.Op.MemSize(), s.cycle)
+			if err != nil {
+				return s.errf(pktIdx, "store @%#x: %v", addr, err)
+			}
+			stall += cont - s.cycle
+		default:
+			v, err := s.alu(pktIdx, in, newWbs)
+			if err != nil {
+				return err
+			}
+			newWbs = append(newWbs, writeback{reg: in.Dst, val: v, commitAt: s.busy + int64(in.Op.Latency())})
+		}
+		if s.halted {
+			break
+		}
+	}
+
+	// Packet cycle accounting: a multi-cycle NOP runs until a pending
+	// branch fires; memory stalls freeze the pipeline (latency counters
+	// do not advance during a stall).
+	busy := int64(pk.Cycles())
+	if pk.Cycles() > 1 {
+		s.stats.NopCycles += int64(pk.Cycles() - 1)
+	}
+	if s.brValid && int64(s.brCnt) < busy {
+		busy = int64(s.brCnt)
+	}
+	s.cycle += busy + stall
+	s.stats.StallCycles += stall
+
+	// Advance the latency clock and commit in-flight writes at their
+	// precise cycles (two writes to one register collide only if they
+	// land in the same cycle, matching the hardware contract).
+	s.busy += busy
+	s.pending = append(s.pending, newWbs...)
+	var due []writeback
+	keep := s.pending[:0]
+	for _, wb := range s.pending {
+		if wb.commitAt <= s.busy {
+			due = append(due, wb)
+		} else {
+			keep = append(keep, wb)
+		}
+	}
+	s.pending = keep
+	sort.SliceStable(due, func(i, j int) bool { return due[i].commitAt < due[j].commitAt })
+	committed := map[Reg]int64{}
+	for _, wb := range due {
+		if prev, ok := committed[wb.reg]; ok && prev == wb.commitAt && s.Strict {
+			return s.errf(pktIdx, "writeback collision on %s", wb.reg)
+		}
+		committed[wb.reg] = wb.commitAt
+		s.Regs[wb.reg] = wb.val
+	}
+
+	if s.brValid {
+		s.brCnt -= int(busy)
+		if s.brCnt <= 0 {
+			s.pc = s.brTgt
+			s.brValid = false
+		}
+	}
+	return nil
+}
+
+func (s *Sim) alu(pkt int, in Inst, wbs []writeback) (uint32, error) {
+	// Read only the operands the op actually uses: the unused operand
+	// field's zero value names A0, and a spurious read would trip the
+	// strict in-flight check.
+	var a, b uint32
+	var err error
+	if in.Op.ReadsSrc1() {
+		a, err = s.operand(pkt, in.Src1, wbs)
+		if err != nil {
+			return 0, err
+		}
+	}
+	if in.Op.ReadsSrc2() {
+		b, err = s.operand(pkt, in.Src2, wbs)
+		if err != nil {
+			return 0, err
+		}
+	}
+	switch in.Op {
+	case MV:
+		return a, nil
+	case MVK:
+		return uint32(int32(int16(in.Src2.Imm))), nil
+	case MVKH:
+		old, err := s.readReg(pkt, in.Dst, wbs)
+		if err != nil {
+			return 0, err
+		}
+		return old&0xFFFF | uint32(in.Src2.Imm)<<16, nil
+	case ADD:
+		return a + b, nil
+	case SUB:
+		return a - b, nil
+	case MPY:
+		return a * b, nil
+	case AND:
+		return a & b, nil
+	case OR:
+		return a | b, nil
+	case XOR:
+		return a ^ b, nil
+	case ANDN:
+		return a &^ b, nil
+	case SHL:
+		return a << (b & 31), nil
+	case SHR:
+		return a >> (b & 31), nil
+	case SAR:
+		return uint32(int32(a) >> (b & 31)), nil
+	case NEG:
+		return -a, nil
+	case EXTB:
+		return uint32(int32(int8(a))), nil
+	case EXTH:
+		return uint32(int32(int16(a))), nil
+	case CMPEQ:
+		return b2u(a == b), nil
+	case CMPLT:
+		return b2u(int32(a) < int32(b)), nil
+	case CMPLTU:
+		return b2u(a < b), nil
+	case CMPGT:
+		return b2u(int32(a) > int32(b)), nil
+	case CMPGTU:
+		return b2u(a > b), nil
+	}
+	return 0, s.errf(pkt, "unimplemented op %v", in.Op)
+}
+
+// validatePacket enforces the VLIW issue rules in strict mode: one
+// instruction per unit, ops on legal unit kinds, one cross-path read per
+// side, distinct data-path (T) sides for paired memory ops, and memory
+// base registers on the unit's side.
+func (s *Sim) validatePacket(pktIdx int, pk Packet) error {
+	if !s.Strict {
+		return nil
+	}
+	if len(pk.Insts) == 0 {
+		return s.errf(pktIdx, "empty packet")
+	}
+	if len(pk.Insts) > 8 {
+		return s.errf(pktIdx, "packet with %d instructions", len(pk.Insts))
+	}
+	var unitUsed [9]bool
+	var crossUsed [2]bool
+	var tUsed [2]bool
+	for _, in := range pk.Insts {
+		if in.Op == NOP || in.Op == HALT {
+			if len(pk.Insts) != 1 {
+				return s.errf(pktIdx, "%v must be alone in its packet", in.Op)
+			}
+			continue
+		}
+		if in.Unit == UnitNone {
+			return s.errf(pktIdx, "%v has no unit", in)
+		}
+		if unitUsed[in.Unit] {
+			return s.errf(pktIdx, "unit %v used twice", in.Unit)
+		}
+		unitUsed[in.Unit] = true
+		kinds := in.Op.UnitKinds()
+		ok := false
+		for i := 0; i < len(kinds); i++ {
+			if kinds[i] == in.Unit.Kind() {
+				ok = true
+			}
+		}
+		if !ok {
+			return s.errf(pktIdx, "%v cannot execute on %v", in.Op, in.Unit)
+		}
+		side := in.Unit.Side()
+		if in.Op.IsMem() {
+			if !in.Src1.IsImm && in.Src1.Reg.Side() != side {
+				return s.errf(pktIdx, "memory base %s not on unit side of %v", in.Src1.Reg, in.Unit)
+			}
+			dataReg := in.Dst
+			if in.Op.IsStore() {
+				dataReg = in.Data
+			}
+			t := dataReg.Side()
+			if tUsed[t] {
+				return s.errf(pktIdx, "two memory ops on data path T%d", t+1)
+			}
+			tUsed[t] = true
+			continue // memory offset/data do not use the cross path
+		}
+		if in.Op == BPKT {
+			continue
+		}
+		// Count cross-path source reads (only operands the op reads).
+		cross := 0
+		if in.Op.ReadsSrc1() && !in.Src1.IsImm && in.Src1.Reg != NoReg && in.Src1.Reg.Side() != side {
+			cross++
+		}
+		if in.Op.ReadsSrc2() && !in.Src2.IsImm && in.Src2.Reg != NoReg && in.Src2.Reg.Side() != side {
+			cross++
+		}
+		if cross > 0 {
+			if cross > 1 {
+				return s.errf(pktIdx, "%v reads two cross-path operands", in)
+			}
+			if crossUsed[side] {
+				return s.errf(pktIdx, "cross path %v used twice", side)
+			}
+			crossUsed[side] = true
+		}
+	}
+	return nil
+}
+
+// Run executes until HALT or error.
+func (s *Sim) Run() error {
+	for !s.halted {
+		if s.cycle > s.MaxCycles {
+			return s.errf(s.pc, "cycle limit exceeded")
+		}
+		if err := s.Step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func b2u(b bool) uint32 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Disassemble renders the whole program as a listing, one packet per
+// group, with ‖ marking parallel instructions.
+func Disassemble(p *Program) string {
+	out := ""
+	for i, pk := range p.Packets {
+		for j, in := range pk.Insts {
+			sep := "  "
+			if j > 0 {
+				sep = "||"
+			}
+			out += fmt.Sprintf("P%-5d %s %s\n", i, sep, in.String())
+		}
+	}
+	return out
+}

@@ -1,0 +1,248 @@
+// Package core implements the paper's primary contribution: the cycle
+// accurate static binary translator. It consumes TC32 object code (ELF32)
+// and produces an annotated C6x VLIW program whose execution on the
+// emulation platform (internal/platform) generates the source processor's
+// clock cycles for the attached hardware, following the pipeline of the
+// paper's Figure 1:
+//
+//	read object file → decode to intermediate code → basic blocks →
+//	find base addresses → static cycle calculation → insert cycle
+//	generation code → insert dynamic correction code (branch prediction,
+//	instruction cache) → parallelize/bind/assign units → emit program
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/c6x"
+	"repro/internal/elf32"
+	"repro/internal/march"
+	"repro/internal/tc32"
+)
+
+// Level is the cycle-accuracy detail level of the generated code
+// (Section 3.2 of the paper).
+type Level int
+
+// Detail levels, in the paper's order.
+const (
+	// Level0 is purely functional translation: no cycle annotation at all
+	// ("C6x w/o cycle inf." in Figure 5).
+	Level0 Level = iota
+	// Level1 annotates each basic block with its statically predicted
+	// cycle count ("C6x with cycle inf.").
+	Level1
+	// Level2 adds dynamic correction of the static branch prediction
+	// ("C6x branch pred.").
+	Level2
+	// Level3 additionally simulates the instruction cache with cache
+	// analysis blocks ("C6x cache").
+	Level3
+)
+
+// String names the level as in the paper's figures.
+func (l Level) String() string {
+	switch l {
+	case Level0:
+		return "C6x w/o cycle info"
+	case Level1:
+		return "C6x with cycle info"
+	case Level2:
+		return "C6x branch prediction"
+	case Level3:
+		return "C6x caches"
+	}
+	return fmt.Sprintf("Level(%d)", int(l))
+}
+
+// Platform memory-map constants of the emulation system.
+const (
+	// SyncBase is the synchronization device in the FPGA fabric.
+	SyncBase = 0x8000_0000
+	// SyncStart: writing n starts generation of n cycles; reading blocks
+	// until the generation has drained (Figure 2).
+	SyncStart = SyncBase + 0
+	// SyncAdd: writing c adds c correction cycles to the running
+	// generation (the correction block of Figure 3).
+	SyncAdd = SyncBase + 4
+	// SyncTotal reads the total number of generated cycles (low word).
+	SyncTotal = SyncBase + 8
+	// CacheTableBase is the reserved memory holding the simulated
+	// instruction cache's tag/valid/LRU words ("space reserved at the end
+	// of the translated program" in Section 3.4.2; we place it in a
+	// dedicated emulation RAM region).
+	CacheTableBase = 0x2000_0000
+)
+
+// Reserved C6x registers. TC32 data registers d0..d15 map to A0..A15 and
+// address registers a0..a15 to B0..B15; everything above is owned by the
+// translator.
+var (
+	regTempA = []c6x.Reg{c6x.A(16), c6x.A(17), c6x.A(18), c6x.A(19), c6x.A(20), c6x.A(21), c6x.A(22), c6x.A(23)}
+	regTempB = []c6x.Reg{c6x.B(16), c6x.B(17), c6x.B(18), c6x.B(19), c6x.B(20), c6x.B(21), c6x.B(22), c6x.B(23)}
+
+	// Routine argument/scratch registers (runtime routines are leaf and
+	// register-only, so no stack is needed).
+	regArg0    = c6x.A(24)
+	regArg1    = c6x.A(25)
+	regScratch = []c6x.Reg{c6x.A(26), c6x.A(27), c6x.A(28), c6x.A(29)}
+	regBScr0   = c6x.B(24)
+	regBScr1   = c6x.B(25)
+
+	regLink      = c6x.B(26) // runtime-routine return packet index
+	regCacheTab  = c6x.B(28) // cache table base (level 3)
+	regSyncBase  = c6x.B(29) // sync device base
+	regCorr      = c6x.B(30) // cycle correction counter
+	regWaitDummy = c6x.A(31) // sync wait load destination (never read)
+)
+
+// Options configure a translation.
+type Options struct {
+	Level Level
+	// Desc is the source-processor description (pipelines, caches,
+	// branch costs); nil selects march.Default(). In the full tool flow
+	// this comes from the XML description (internal/isadesc).
+	Desc *march.Desc
+	// InstructionOriented translates every instruction as its own cycle
+	// region (cycle generation per instruction). This is the second
+	// translation used by the debugger for single-stepping (Section 3.5).
+	InstructionOriented bool
+	// InlineCacheProbe inlines the cache-simulation code into large
+	// basic blocks instead of calling the subroutine (Section 3.4.2,
+	// "In large basic blocks, this code can be included into the basic
+	// block"). Blocks with at least InlineCacheThreshold instructions
+	// use the inline form.
+	InlineCacheProbe     bool
+	InlineCacheThreshold int
+	// SingleDrainCorrection flushes correction cycles through the sync
+	// device's ADD register so one blocking read drains everything. The
+	// default (false) is the paper's Figure 3 shape: wait for the base
+	// generation, start a separate correction generation, wait again —
+	// costlier per block, and part of why the branch-prediction and cache
+	// levels slow down in Table 1. The single-drain form is this
+	// reproduction's improvement, measured by the ablation bench.
+	SingleDrainCorrection bool
+}
+
+// BlockInfo describes one translated cycle region (one source basic block,
+// or one instruction in instruction-oriented mode).
+type BlockInfo struct {
+	SrcStart     uint32 // first source instruction address
+	SrcEnd       uint32 // one past the last source instruction
+	SrcInsts     int    // number of source instructions
+	StaticCycles int64  // statically predicted source cycles (n)
+	PacketStart  int    // first packet of the region
+	CondBranch   bool   // region ends with a conditional branch
+	CABs         int    // cache analysis blocks (level 3)
+}
+
+// Program is a translated program plus its metadata.
+type Program struct {
+	C6x   *c6x.Program
+	Level Level
+	Desc  *march.Desc
+
+	// Blocks in layout order.
+	Blocks []BlockInfo
+	// PacketOfSrc maps a source basic-block start address to its first
+	// packet (used by the debugger and by indirect-jump lookup).
+	PacketOfSrc map[uint32]int
+	// SrcOfPacket is the reverse map for block starts.
+	SrcOfPacket map[int]uint32
+
+	// TextAddr/TextImage is the source code image (mapped read-only on
+	// the platform so constant loads from .text work).
+	TextAddr  uint32
+	TextImage []byte
+	// DataAddr/DataImage is the initialized data image to load.
+	DataAddr  uint32
+	DataImage []byte
+	// BSS extent (zero-initialized).
+	BssAddr uint32
+	BssSize uint32
+
+	// CacheTableWords is the size of the simulated I-cache state in
+	// 32-bit words (level 3).
+	CacheTableWords int
+
+	// TotalSrcInsts is the number of source instructions translated.
+	TotalSrcInsts int
+}
+
+// Translate translates an assembled TC32 ELF image.
+func Translate(f *elf32.File, opts Options) (*Program, error) {
+	if opts.Desc == nil {
+		opts.Desc = march.Default()
+	}
+	if opts.InlineCacheThreshold == 0 {
+		opts.InlineCacheThreshold = 24
+	}
+	if opts.Level < Level0 || opts.Level > Level3 {
+		return nil, fmt.Errorf("core: invalid level %d", int(opts.Level))
+	}
+	t := &translator{opts: opts, desc: opts.Desc}
+	return t.run(f)
+}
+
+// translator carries the per-run state through the pipeline stages.
+type translator struct {
+	opts Options
+	desc *march.Desc
+
+	entry  uint32
+	insts  []tc32.Inst // decoded source instructions
+	index  map[uint32]int
+	blocks []*srcBlock
+	blkAt  map[uint32]int // source addr -> blocks index
+
+	regions *regionAnalysis
+
+	tblocks     []*tblock
+	labelTarget []int // label id -> tblock index (-1 until defined)
+	blockLabel  []int // source block index -> label id
+	routines    map[string]int
+
+	prog *Program
+}
+
+func (t *translator) run(f *elf32.File) (*Program, error) {
+	text := f.Section(".text")
+	if text == nil {
+		return nil, fmt.Errorf("core: no .text section in object file")
+	}
+	t.entry = f.Entry
+	if err := t.decode(text.Data, text.Addr, f.Entry); err != nil {
+		return nil, err
+	}
+	if err := t.buildBlocks(f.Entry); err != nil {
+		return nil, err
+	}
+	t.analyzeRegions()
+	t.splitIOBlocks()
+	t.calcCycles()
+	if err := t.lowerAll(); err != nil {
+		return nil, err
+	}
+	prog, err := t.link()
+	if err != nil {
+		return nil, err
+	}
+	prog.Level = t.opts.Level
+	prog.Desc = t.desc
+	prog.TotalSrcInsts = len(t.insts)
+	prog.TextAddr = text.Addr
+	prog.TextImage = append([]byte(nil), text.Data...)
+	if data := f.Section(".data"); data != nil {
+		prog.DataAddr = data.Addr
+		prog.DataImage = append([]byte(nil), data.Data...)
+	}
+	if bss := f.Section(".bss"); bss != nil {
+		prog.BssAddr = bss.Addr
+		prog.BssSize = bss.Size
+	}
+	if t.opts.Level >= Level3 {
+		g := t.desc.ICache
+		prog.CacheTableWords = g.Sets * (g.Ways + 1)
+	}
+	return prog, nil
+}

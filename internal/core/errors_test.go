@@ -1,0 +1,172 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/c6x"
+	"repro/internal/core"
+	"repro/internal/elf32"
+	"repro/internal/march"
+	"repro/internal/platform"
+)
+
+func TestDynamicIndirectJumpRejected(t *testing.T) {
+	// A ji through a register whose value the analysis cannot resolve
+	// (loaded from memory) must be rejected at translation time.
+	f := assemble(t, `
+	.global _start
+_start:	la	a2, slot
+	ld.a	a3, 0(a2)
+	ji	a3
+	halt
+	.data
+slot:	.word	0
+`)
+	_, err := core.Translate(f, core.Options{Level: core.Level0})
+	if err == nil || !strings.Contains(err.Error(), "indirect jump") {
+		t.Errorf("err = %v, want unresolvable indirect jump", err)
+	}
+}
+
+func TestStaticIndirectJumpAccepted(t *testing.T) {
+	// The same ji with a la-materialized constant target translates.
+	f := assemble(t, `
+	.global _start
+_start:	la	a3, target
+	ji	a3
+	halt
+target:	halt
+`)
+	if _, err := core.Translate(f, core.Options{Level: core.Level2}); err != nil {
+		t.Errorf("static ji should translate: %v", err)
+	}
+}
+
+func TestInvalidLevelRejected(t *testing.T) {
+	f := assemble(t, "_start: halt\n")
+	if _, err := core.Translate(f, core.Options{Level: core.Level(9)}); err == nil {
+		t.Error("invalid level should be rejected")
+	}
+}
+
+func TestMissingTextRejected(t *testing.T) {
+	f := &elf32.File{Sections: []elf32.Section{{Name: ".data", Type: elf32.SHTProgbits}}}
+	if _, err := core.Translate(f, core.Options{}); err == nil {
+		t.Error("missing .text should be rejected")
+	}
+}
+
+func TestBadEntryRejected(t *testing.T) {
+	f := assemble(t, "_start: halt\n")
+	f.Entry = 0x999 // not an instruction boundary
+	if _, err := core.Translate(f, core.Options{}); err == nil {
+		t.Error("bad entry point should be rejected")
+	}
+}
+
+func TestMergeRebasesTargets(t *testing.T) {
+	f := assemble(t, `
+	.global _start
+_start:	movi	d0, 3
+loop:	addi	d0, d0, -1
+	jnz	d0, loop
+	la	a15, 0xF0000F00
+	st.w	d0, 0(a15)
+	halt
+`)
+	a, err := core.Translate(f, core.Options{Level: core.Level1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bLen := 0
+	{
+		b2, err := core.Translate(f, core.Options{Level: core.Level1, InstructionOriented: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bLen = len(b2.C6x.Packets)
+		off := core.Merge(a, b2)
+		if off == 0 {
+			t.Fatal("offset should be nonzero")
+		}
+		// All of image B's branch targets must land inside image B.
+		for pi := off; pi < len(a.C6x.Packets); pi++ {
+			for _, in := range a.C6x.Packets[pi].Insts {
+				if in.Op == c6x.BPKT && (in.Target < off || in.Target >= off+bLen) {
+					t.Errorf("packet %d: rebased target %d outside image [%d,%d)", pi, in.Target, off, off+bLen)
+				}
+			}
+		}
+		// Running the merged program from entry still works (image A).
+		sys := platform.New(a)
+		if err := sys.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if len(sys.Output) != 1 || sys.Output[0] != 0 {
+			t.Errorf("merged program output = %v, want [0]", sys.Output)
+		}
+		// Running the instruction-oriented image directly also works.
+		sys2 := platform.New(a)
+		sys2.CPU.SetPC(off)
+		if err := sys2.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if len(sys2.Output) != 1 || sys2.Output[0] != 0 {
+			t.Errorf("image B output = %v, want [0]", sys2.Output)
+		}
+	}
+}
+
+func TestInstructionOrientedRegionsPerInstruction(t *testing.T) {
+	f := assemble(t, `
+	.global _start
+_start:	movi	d0, 1
+	movi	d1, 2
+	add	d2, d0, d1
+	halt
+`)
+	prog, err := core.Translate(f, core.Options{Level: core.Level1, InstructionOriented: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Blocks) != 4 {
+		t.Errorf("instruction-oriented translation has %d regions, want 4", len(prog.Blocks))
+	}
+	for _, b := range prog.Blocks {
+		if b.SrcInsts != 1 {
+			t.Errorf("region at %#x has %d instructions, want 1", b.SrcStart, b.SrcInsts)
+		}
+	}
+}
+
+func TestTranslateAtAllLevelsWithCustomDesc(t *testing.T) {
+	f := assemble(t, tinyLoop)
+	desc := core.Options{}.Desc
+	_ = desc
+	d := *platformDesc(t)
+	d.ICache.Sets = 8
+	d.ICache.Ways = 1
+	for _, level := range []core.Level{core.Level1, core.Level3} {
+		prog, err := core.Translate(f, core.Options{Level: level, Desc: &d})
+		if err != nil {
+			t.Fatalf("L%d with 1-way cache: %v", int(level), err)
+		}
+		sys := platform.New(prog)
+		if err := sys.Run(); err != nil {
+			t.Fatalf("L%d run: %v", int(level), err)
+		}
+	}
+	// Unsupported associativity for probe generation.
+	d4 := *platformDesc(t)
+	d4.ICache.Ways = 4
+	if _, err := core.Translate(f, core.Options{Level: core.Level3, Desc: &d4}); err == nil {
+		t.Error("4-way probe generation should be rejected")
+	}
+}
+
+// platformDesc returns a fresh default description for mutation in tests.
+func platformDesc(t *testing.T) *march.Desc {
+	t.Helper()
+	return march.Default()
+}

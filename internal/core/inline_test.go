@@ -1,0 +1,82 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/platform"
+	"repro/internal/workload"
+)
+
+// TestInlineCacheProbe verifies Section 3.4.2's optimization: inlining the
+// cache-simulation code into large basic blocks preserves functional
+// results and exact cache-correction cycles while saving the
+// call/return overhead.
+func TestInlineCacheProbe(t *testing.T) {
+	// Only the large-block kernels qualify for inlining (fir's hot tap
+	// loop sits below the threshold and keeps the subroutine call).
+	for _, name := range []string{"ellip", "subband"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			w, _ := workload.ByName(name)
+			f := assemble(t, w.Source)
+
+			run := func(inline bool) (outs []uint32, gen, c6xCycles int64) {
+				prog, err := core.Translate(f, core.Options{
+					Level:                core.Level3,
+					InlineCacheProbe:     inline,
+					InlineCacheThreshold: 16,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				sys := platform.New(prog)
+				if err := sys.Run(); err != nil {
+					t.Fatal(err)
+				}
+				return sys.Output, sys.Stats().GeneratedCycles, sys.Stats().C6xCycles
+			}
+			callOut, callGen, callCyc := run(false)
+			inOut, inGen, inCyc := run(true)
+
+			if len(callOut) != len(inOut) {
+				t.Fatalf("output lengths differ")
+			}
+			for i := range callOut {
+				if callOut[i] != inOut[i] {
+					t.Errorf("out[%d]: call %#x inline %#x", i, callOut[i], inOut[i])
+				}
+			}
+			// The simulated cache behaves identically, so the generated
+			// cycle counts must match exactly.
+			if callGen != inGen {
+				t.Errorf("generated cycles differ: call %d, inline %d", callGen, inGen)
+			}
+			// Inlining must pay off for these large-block kernels.
+			if inCyc >= callCyc {
+				t.Errorf("inline probe not faster: %d vs %d C6x cycles", inCyc, callCyc)
+			}
+			t.Logf("%s: call %d cycles, inline %d cycles (%.1f%% saved)",
+				name, callCyc, inCyc, 100*float64(callCyc-inCyc)/float64(callCyc))
+		})
+	}
+}
+
+// TestInlineThresholdRespected: small blocks keep the subroutine call even
+// with inlining enabled.
+func TestInlineThresholdRespected(t *testing.T) {
+	w, _ := workload.ByName("gcd") // tiny blocks
+	f := assemble(t, w.Source)
+	a, err := core.Translate(f, core.Options{Level: core.Level3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := core.Translate(f, core.Options{Level: core.Level3, InlineCacheProbe: true, InlineCacheThreshold: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.C6x.Packets) != len(b.C6x.Packets) {
+		t.Errorf("high threshold should leave the program unchanged: %d vs %d packets",
+			len(a.C6x.Packets), len(b.C6x.Packets))
+	}
+}

@@ -1,0 +1,406 @@
+// Package elf32 implements a minimal little-endian ELF32 object writer and
+// reader, sufficient for carrying TC32 program images between the
+// assembler (cmd/tcasm), the reference simulator, and the binary
+// translator. The paper's translator reads "the object file, which is
+// usually provided in ELF format"; this package plays that role.
+//
+// The subset implemented: ET_EXEC files with PROGBITS/NOBITS sections,
+// a symbol table, and string tables. Files written by this package are
+// also readable by the standard library's debug/elf (cross-checked in the
+// tests).
+package elf32
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// EMTc32 is the e_machine value used for TC32 images (from the
+// EM_ vendor-reserved space).
+const EMTc32 = 0x7C32
+
+// Section types.
+const (
+	SHTProgbits = 1
+	SHTSymtab   = 2
+	SHTStrtab   = 3
+	SHTNobits   = 8
+)
+
+// Section flags.
+const (
+	SHFWrite     = 0x1
+	SHFAlloc     = 0x2
+	SHFExecinstr = 0x4
+)
+
+// Section is one loadable or bookkeeping section.
+type Section struct {
+	Name  string
+	Type  uint32
+	Flags uint32
+	Addr  uint32
+	Data  []byte // nil for NOBITS; Size then gives the extent
+	Size  uint32 // for NOBITS sections; ignored when Data != nil
+}
+
+// Symbol is a symbol-table entry.
+type Symbol struct {
+	Name    string
+	Value   uint32
+	Size    uint32
+	Section string // name of the defining section ("" = absolute)
+	Global  bool
+}
+
+// File is a TC32 ELF32 image.
+type File struct {
+	Entry    uint32
+	Sections []Section
+	Symbols  []Symbol
+}
+
+// Section returns the named section, or nil.
+func (f *File) Section(name string) *Section {
+	for i := range f.Sections {
+		if f.Sections[i].Name == name {
+			return &f.Sections[i]
+		}
+	}
+	return nil
+}
+
+// Symbol returns the named symbol and whether it exists.
+func (f *File) Symbol(name string) (Symbol, bool) {
+	for _, s := range f.Symbols {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Symbol{}, false
+}
+
+type strtab struct {
+	buf bytes.Buffer
+	off map[string]uint32
+}
+
+func newStrtab() *strtab {
+	t := &strtab{off: map[string]uint32{}}
+	t.buf.WriteByte(0)
+	return t
+}
+
+func (t *strtab) add(s string) uint32 {
+	if s == "" {
+		return 0
+	}
+	if o, ok := t.off[s]; ok {
+		return o
+	}
+	o := uint32(t.buf.Len())
+	t.off[s] = o
+	t.buf.WriteString(s)
+	t.buf.WriteByte(0)
+	return o
+}
+
+const (
+	ehSize = 52
+	shSize = 40
+	stSize = 16
+)
+
+// Marshal serializes the file.
+func (f *File) Marshal() ([]byte, error) {
+	le := binary.LittleEndian
+
+	// Section layout: [0] null, user sections, .symtab, .strtab, .shstrtab.
+	shstr := newStrtab()
+	str := newStrtab()
+
+	type rawSection struct {
+		nameOff uint32
+		typ     uint32
+		flags   uint32
+		addr    uint32
+		off     uint32
+		size    uint32
+		link    uint32
+		info    uint32
+		align   uint32
+		entsize uint32
+		data    []byte
+	}
+	var raws []rawSection
+	raws = append(raws, rawSection{}) // SHN_UNDEF
+
+	secIndex := map[string]uint32{}
+	for _, s := range f.Sections {
+		if _, dup := secIndex[s.Name]; dup {
+			return nil, fmt.Errorf("elf32: duplicate section %q", s.Name)
+		}
+		secIndex[s.Name] = uint32(len(raws))
+		size := uint32(len(s.Data))
+		if s.Type == SHTNobits {
+			size = s.Size
+		}
+		raws = append(raws, rawSection{
+			nameOff: shstr.add(s.Name),
+			typ:     s.Type,
+			flags:   s.Flags,
+			addr:    s.Addr,
+			size:    size,
+			align:   4,
+			data:    s.Data,
+		})
+	}
+
+	// Symbol table: local symbols first (required by ELF), then globals.
+	syms := append([]Symbol(nil), f.Symbols...)
+	sort.SliceStable(syms, func(i, j int) bool {
+		return !syms[i].Global && syms[j].Global
+	})
+	firstGlobal := len(syms)
+	for i, s := range syms {
+		if s.Global {
+			firstGlobal = i
+			break
+		}
+	}
+	var symData bytes.Buffer
+	symData.Write(make([]byte, stSize)) // null symbol
+	for _, s := range syms {
+		var ent [stSize]byte
+		le.PutUint32(ent[0:], str.add(s.Name))
+		le.PutUint32(ent[4:], s.Value)
+		le.PutUint32(ent[8:], s.Size)
+		var bind byte
+		if s.Global {
+			bind = 1 // STB_GLOBAL
+		}
+		ent[12] = bind<<4 | 0   // STT_NOTYPE
+		shndx := uint16(0xFFF1) // SHN_ABS
+		if s.Section != "" {
+			idx, ok := secIndex[s.Section]
+			if !ok {
+				return nil, fmt.Errorf("elf32: symbol %q references unknown section %q", s.Name, s.Section)
+			}
+			shndx = uint16(idx)
+		}
+		le.PutUint16(ent[14:], shndx)
+		symData.Write(ent[:])
+	}
+
+	symtabIdx := uint32(len(raws))
+	raws = append(raws, rawSection{
+		nameOff: shstr.add(".symtab"),
+		typ:     SHTSymtab,
+		size:    uint32(symData.Len()),
+		link:    symtabIdx + 1, // .strtab
+		info:    uint32(firstGlobal) + 1,
+		align:   4,
+		entsize: stSize,
+		data:    symData.Bytes(),
+	})
+	raws = append(raws, rawSection{
+		nameOff: shstr.add(".strtab"),
+		typ:     SHTStrtab,
+		align:   1,
+		data:    str.buf.Bytes(),
+	})
+	shstrIdx := uint32(len(raws))
+	raws = append(raws, rawSection{
+		nameOff: shstr.add(".shstrtab"),
+		typ:     SHTStrtab,
+		align:   1,
+		data:    shstr.buf.Bytes(),
+	})
+	// Late-bound sizes for the string sections.
+	raws[len(raws)-2].size = uint32(len(raws[len(raws)-2].data))
+	raws[len(raws)-1].size = uint32(len(raws[len(raws)-1].data))
+
+	// Assign file offsets.
+	off := uint32(ehSize)
+	for i := range raws {
+		if raws[i].typ == 0 || raws[i].typ == SHTNobits || raws[i].data == nil {
+			raws[i].off = off
+			continue
+		}
+		off = (off + 3) &^ 3
+		raws[i].off = off
+		off += uint32(len(raws[i].data))
+	}
+	shoff := (off + 3) &^ 3
+
+	var out bytes.Buffer
+	// ELF header.
+	hdr := make([]byte, ehSize)
+	copy(hdr, []byte{0x7F, 'E', 'L', 'F', 1 /*ELFCLASS32*/, 1 /*LSB*/, 1 /*EV_CURRENT*/})
+	le.PutUint16(hdr[16:], 2) // ET_EXEC
+	le.PutUint16(hdr[18:], EMTc32)
+	le.PutUint32(hdr[20:], 1) // EV_CURRENT
+	le.PutUint32(hdr[24:], f.Entry)
+	le.PutUint32(hdr[28:], 0) // no program headers
+	le.PutUint32(hdr[32:], shoff)
+	le.PutUint16(hdr[40:], ehSize)
+	le.PutUint16(hdr[46:], shSize)
+	le.PutUint16(hdr[48:], uint16(len(raws)))
+	le.PutUint16(hdr[50:], uint16(shstrIdx))
+	out.Write(hdr)
+
+	// Section contents.
+	for _, r := range raws {
+		if r.typ == 0 || r.typ == SHTNobits || r.data == nil {
+			continue
+		}
+		for uint32(out.Len()) < r.off {
+			out.WriteByte(0)
+		}
+		out.Write(r.data)
+	}
+	for uint32(out.Len()) < shoff {
+		out.WriteByte(0)
+	}
+	// Section header table.
+	for _, r := range raws {
+		var sh [shSize]byte
+		le.PutUint32(sh[0:], r.nameOff)
+		le.PutUint32(sh[4:], r.typ)
+		le.PutUint32(sh[8:], r.flags)
+		le.PutUint32(sh[12:], r.addr)
+		le.PutUint32(sh[16:], r.off)
+		le.PutUint32(sh[20:], r.size)
+		le.PutUint32(sh[24:], r.link)
+		le.PutUint32(sh[28:], r.info)
+		le.PutUint32(sh[32:], r.align)
+		le.PutUint32(sh[36:], r.entsize)
+		out.Write(sh[:])
+	}
+	return out.Bytes(), nil
+}
+
+// Parse reads an ELF32 image produced by Marshal (or any conforming
+// little-endian ELF32 executable with the sections this package supports).
+func Parse(data []byte) (*File, error) {
+	le := binary.LittleEndian
+	if len(data) < ehSize {
+		return nil, fmt.Errorf("elf32: file too short")
+	}
+	if !bytes.Equal(data[:4], []byte{0x7F, 'E', 'L', 'F'}) {
+		return nil, fmt.Errorf("elf32: bad magic")
+	}
+	if data[4] != 1 || data[5] != 1 {
+		return nil, fmt.Errorf("elf32: not a little-endian ELF32 file")
+	}
+	f := &File{Entry: le.Uint32(data[24:])}
+	shoff := le.Uint32(data[32:])
+	shnum := int(le.Uint16(data[48:]))
+	shstrndx := int(le.Uint16(data[50:]))
+	if shoff == 0 || shnum == 0 {
+		return nil, fmt.Errorf("elf32: no section headers")
+	}
+	type rawSH struct {
+		name, typ, flags, addr, off, size, link, info, entsize uint32
+	}
+	readSH := func(i int) (rawSH, error) {
+		base := int(shoff) + i*shSize
+		if base+shSize > len(data) {
+			return rawSH{}, fmt.Errorf("elf32: section header %d out of bounds", i)
+		}
+		b := data[base:]
+		return rawSH{
+			name: le.Uint32(b[0:]), typ: le.Uint32(b[4:]), flags: le.Uint32(b[8:]),
+			addr: le.Uint32(b[12:]), off: le.Uint32(b[16:]), size: le.Uint32(b[20:]),
+			link: le.Uint32(b[24:]), info: le.Uint32(b[28:]), entsize: le.Uint32(b[36:]),
+		}, nil
+	}
+	shs := make([]rawSH, shnum)
+	for i := range shs {
+		sh, err := readSH(i)
+		if err != nil {
+			return nil, err
+		}
+		shs[i] = sh
+	}
+	secData := func(sh rawSH) ([]byte, error) {
+		if sh.typ == SHTNobits {
+			return nil, nil
+		}
+		if int(sh.off)+int(sh.size) > len(data) {
+			return nil, fmt.Errorf("elf32: section data out of bounds")
+		}
+		return data[sh.off : sh.off+sh.size], nil
+	}
+	getStr := func(tab []byte, off uint32) string {
+		if int(off) >= len(tab) {
+			return ""
+		}
+		end := bytes.IndexByte(tab[off:], 0)
+		if end < 0 {
+			return string(tab[off:])
+		}
+		return string(tab[off : int(off)+end])
+	}
+	if shstrndx >= shnum {
+		return nil, fmt.Errorf("elf32: bad shstrndx")
+	}
+	shstr, err := secData(shs[shstrndx])
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, shnum)
+	for i, sh := range shs {
+		names[i] = getStr(shstr, sh.name)
+	}
+	var symtab, symstr []byte
+	for i, sh := range shs {
+		switch sh.typ {
+		case SHTProgbits, SHTNobits:
+			d, err := secData(sh)
+			if err != nil {
+				return nil, err
+			}
+			f.Sections = append(f.Sections, Section{
+				Name:  names[i],
+				Type:  sh.typ,
+				Flags: sh.flags,
+				Addr:  sh.addr,
+				Data:  append([]byte(nil), d...),
+				Size:  sh.size,
+			})
+		case SHTSymtab:
+			d, err := secData(sh)
+			if err != nil {
+				return nil, err
+			}
+			symtab = d
+			if int(sh.link) < shnum {
+				symstr, err = secData(shs[sh.link])
+				if err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	for off := stSize; off+stSize <= len(symtab); off += stSize {
+		b := symtab[off:]
+		nameOff := le.Uint32(b[0:])
+		shndx := le.Uint16(b[14:])
+		sym := Symbol{
+			Name:   getStr(symstr, nameOff),
+			Value:  le.Uint32(b[4:]),
+			Size:   le.Uint32(b[8:]),
+			Global: b[12]>>4 == 1,
+		}
+		if int(shndx) < shnum && shndx != 0 && shndx < 0xFF00 {
+			sym.Section = names[shndx]
+		}
+		if sym.Name != "" {
+			f.Symbols = append(f.Symbols, sym)
+		}
+	}
+	return f, nil
+}

@@ -1,0 +1,156 @@
+package elf32
+
+import (
+	"bytes"
+	"debug/elf"
+	"testing"
+)
+
+func sample() *File {
+	return &File{
+		Entry: 0x0,
+		Sections: []Section{
+			{Name: ".text", Type: SHTProgbits, Flags: SHFAlloc | SHFExecinstr, Addr: 0, Data: []byte{1, 2, 3, 4, 5, 6}},
+			{Name: ".data", Type: SHTProgbits, Flags: SHFAlloc | SHFWrite, Addr: 0x10000000, Data: []byte{9, 8, 7, 6}},
+			{Name: ".bss", Type: SHTNobits, Flags: SHFAlloc | SHFWrite, Addr: 0x10000004, Size: 128},
+		},
+		Symbols: []Symbol{
+			{Name: "_start", Value: 0, Section: ".text", Global: true},
+			{Name: "buf", Value: 0x10000000, Section: ".data", Global: true},
+			{Name: "local", Value: 4, Section: ".text"},
+		},
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	want := sample()
+	data, err := want.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Entry != want.Entry {
+		t.Errorf("entry = %#x, want %#x", got.Entry, want.Entry)
+	}
+	for _, name := range []string{".text", ".data", ".bss"} {
+		ws := want.Section(name)
+		gs := got.Section(name)
+		if gs == nil {
+			t.Fatalf("section %s missing", name)
+		}
+		if gs.Addr != ws.Addr {
+			t.Errorf("%s addr = %#x, want %#x", name, gs.Addr, ws.Addr)
+		}
+		if ws.Type == SHTNobits {
+			if gs.Size != ws.Size {
+				t.Errorf("%s size = %d, want %d", name, gs.Size, ws.Size)
+			}
+		} else if !bytes.Equal(gs.Data, ws.Data) {
+			t.Errorf("%s data mismatch", name)
+		}
+	}
+	if len(got.Symbols) != len(want.Symbols) {
+		t.Fatalf("got %d symbols, want %d", len(got.Symbols), len(want.Symbols))
+	}
+	for _, ws := range want.Symbols {
+		gs, ok := got.Symbol(ws.Name)
+		if !ok {
+			t.Fatalf("symbol %s missing", ws.Name)
+		}
+		if gs.Value != ws.Value || gs.Global != ws.Global || gs.Section != ws.Section {
+			t.Errorf("symbol %s = %+v, want %+v", ws.Name, gs, ws)
+		}
+	}
+}
+
+func TestReadableByDebugELF(t *testing.T) {
+	data, err := sample().Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := elf.NewFile(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("debug/elf rejects our output: %v", err)
+	}
+	defer f.Close()
+	if f.Machine != elf.Machine(EMTc32) {
+		t.Errorf("machine = %v, want %#x", f.Machine, EMTc32)
+	}
+	text := f.Section(".text")
+	if text == nil {
+		t.Fatal("debug/elf cannot find .text")
+	}
+	d, err := text.Data()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(d, []byte{1, 2, 3, 4, 5, 6}) {
+		t.Error(".text contents mismatch via debug/elf")
+	}
+	syms, err := f.Symbols()
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, s := range syms {
+		if s.Name == "_start" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("debug/elf cannot find _start symbol")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	if _, err := Parse(nil); err == nil {
+		t.Error("empty input should fail")
+	}
+	if _, err := Parse(make([]byte, 100)); err == nil {
+		t.Error("zero bytes should fail (bad magic)")
+	}
+	data, err := sample().Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the class byte.
+	bad := append([]byte(nil), data...)
+	bad[4] = 2
+	if _, err := Parse(bad); err == nil {
+		t.Error("ELF64 class should be rejected")
+	}
+	// Truncated section headers.
+	if _, err := Parse(data[:len(data)-10]); err == nil {
+		t.Error("truncated file should fail")
+	}
+}
+
+func TestDuplicateSectionRejected(t *testing.T) {
+	f := &File{Sections: []Section{
+		{Name: ".text", Type: SHTProgbits},
+		{Name: ".text", Type: SHTProgbits},
+	}}
+	if _, err := f.Marshal(); err == nil {
+		t.Error("duplicate sections should be rejected")
+	}
+}
+
+func TestUnknownSymbolSectionRejected(t *testing.T) {
+	f := &File{Symbols: []Symbol{{Name: "x", Section: ".nosuch"}}}
+	if _, err := f.Marshal(); err == nil {
+		t.Error("symbol with unknown section should be rejected")
+	}
+}
+
+func TestSectionLookup(t *testing.T) {
+	f := sample()
+	if f.Section(".nosuch") != nil {
+		t.Error("Section(.nosuch) should be nil")
+	}
+	if _, ok := f.Symbol("nosuch"); ok {
+		t.Error("Symbol(nosuch) should not exist")
+	}
+}

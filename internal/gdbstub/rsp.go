@@ -1,0 +1,279 @@
+package gdbstub
+
+import (
+	"bufio"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"strings"
+)
+
+// Server speaks the GDB Remote Serial Protocol over a stream connection,
+// backed by a Target. It implements the subset a stock gdb needs for the
+// paper's debug flow: register and memory access, breakpoints, continue
+// and single-step.
+type Server struct {
+	target Target
+	bps    map[uint32]bool
+	// Log, if non-nil, receives a line per handled packet.
+	Log func(format string, args ...any)
+}
+
+// NewServer wraps a target.
+func NewServer(t Target) *Server {
+	return &Server{target: t, bps: map[uint32]bool{}}
+}
+
+// Serve handles one debug session on conn (blocking).
+func (s *Server) Serve(conn io.ReadWriter) error {
+	r := bufio.NewReader(conn)
+	for {
+		pkt, err := readPacket(r)
+		if err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			return err
+		}
+		if pkt == "" { // ack or keepalive
+			continue
+		}
+		if _, err := conn.Write([]byte("+")); err != nil {
+			return err
+		}
+		resp, done := s.handle(pkt)
+		if err := writePacket(conn, resp); err != nil {
+			return err
+		}
+		if done {
+			return nil
+		}
+	}
+}
+
+// ListenAndServe accepts one connection at a time on addr.
+func (s *Server) ListenAndServe(addr string) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	defer l.Close()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		err = s.Serve(conn)
+		conn.Close()
+		if err != nil {
+			return err
+		}
+	}
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.Log != nil {
+		s.Log(format, args...)
+	}
+}
+
+// handle processes one RSP packet, returning the reply and whether the
+// session is over.
+func (s *Server) handle(pkt string) (string, bool) {
+	s.logf("gdb <- %s", pkt)
+	switch {
+	case pkt == "?":
+		return "S05", false
+	case strings.HasPrefix(pkt, "qSupported"):
+		return "PacketSize=4000", false
+	case pkt == "qAttached":
+		return "1", false
+	case strings.HasPrefix(pkt, "qC"), strings.HasPrefix(pkt, "H"):
+		return "OK", false
+	case pkt == "g":
+		regs, err := s.target.Regs()
+		if err != nil {
+			return "E01", false
+		}
+		var b strings.Builder
+		for _, v := range regs {
+			fmt.Fprintf(&b, "%02x%02x%02x%02x", byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+		}
+		return b.String(), false
+	case strings.HasPrefix(pkt, "G"):
+		data, err := hex.DecodeString(pkt[1:])
+		if err != nil || len(data) < 4*NumRegs {
+			return "E02", false
+		}
+		for i := 0; i < NumRegs; i++ {
+			v := uint32(data[4*i]) | uint32(data[4*i+1])<<8 | uint32(data[4*i+2])<<16 | uint32(data[4*i+3])<<24
+			if err := s.target.SetReg(i, v); err != nil {
+				return "E02", false
+			}
+		}
+		return "OK", false
+	case strings.HasPrefix(pkt, "p"):
+		n, err := strconv.ParseUint(pkt[1:], 16, 32)
+		if err != nil || n >= NumRegs {
+			return "E03", false
+		}
+		regs, err := s.target.Regs()
+		if err != nil {
+			return "E03", false
+		}
+		v := regs[n]
+		return fmt.Sprintf("%02x%02x%02x%02x", byte(v), byte(v>>8), byte(v>>16), byte(v>>24)), false
+	case strings.HasPrefix(pkt, "P"):
+		parts := strings.SplitN(pkt[1:], "=", 2)
+		if len(parts) != 2 {
+			return "E04", false
+		}
+		n, err := strconv.ParseUint(parts[0], 16, 32)
+		if err != nil || n >= NumRegs {
+			return "E04", false
+		}
+		data, err := hex.DecodeString(parts[1])
+		if err != nil || len(data) != 4 {
+			return "E04", false
+		}
+		v := uint32(data[0]) | uint32(data[1])<<8 | uint32(data[2])<<16 | uint32(data[3])<<24
+		if err := s.target.SetReg(int(n), v); err != nil {
+			return "E04", false
+		}
+		return "OK", false
+	case strings.HasPrefix(pkt, "m"):
+		addr, length, ok := parseAddrLen(pkt[1:])
+		if !ok || length > 0x1000 {
+			return "E05", false
+		}
+		buf := make([]byte, length)
+		if err := s.target.ReadMem(addr, buf); err != nil {
+			return "E05", false
+		}
+		return hex.EncodeToString(buf), false
+	case strings.HasPrefix(pkt, "M"):
+		head, data, ok := strings.Cut(pkt[1:], ":")
+		if !ok {
+			return "E06", false
+		}
+		addr, length, ok := parseAddrLen(head)
+		if !ok {
+			return "E06", false
+		}
+		raw, err := hex.DecodeString(data)
+		if err != nil || uint32(len(raw)) != length {
+			return "E06", false
+		}
+		if err := s.target.WriteMem(addr, raw); err != nil {
+			return "E06", false
+		}
+		return "OK", false
+	case strings.HasPrefix(pkt, "Z0"), strings.HasPrefix(pkt, "z0"):
+		parts := strings.Split(pkt, ",")
+		if len(parts) < 2 {
+			return "E07", false
+		}
+		addr, err := strconv.ParseUint(parts[1], 16, 32)
+		if err != nil {
+			return "E07", false
+		}
+		if pkt[0] == 'Z' {
+			s.bps[uint32(addr)] = true
+			s.logf("breakpoint set at %#x", addr)
+		} else {
+			delete(s.bps, uint32(addr))
+			s.logf("breakpoint cleared at %#x", addr)
+		}
+		return "OK", false
+	case pkt == "s" || strings.HasPrefix(pkt, "s"):
+		if err := s.target.Step(); err != nil {
+			return "E08", false
+		}
+		return "S05", false
+	case pkt == "c" || strings.HasPrefix(pkt, "c"):
+		// Stepping off a breakpoint we are currently stopped on.
+		if s.bps[s.target.PC()] {
+			if err := s.target.Step(); err != nil {
+				return "E09", false
+			}
+		}
+		running, err := s.target.Continue(s.bps)
+		if err != nil {
+			return "E09", false
+		}
+		if !running {
+			return "W00", false
+		}
+		return "S05", false
+	case pkt == "D":
+		return "OK", true
+	case pkt == "k":
+		return "", true
+	}
+	s.logf("unsupported packet %q", pkt)
+	return "", false
+}
+
+func parseAddrLen(s string) (addr, length uint32, ok bool) {
+	a, l, found := strings.Cut(s, ",")
+	if !found {
+		return 0, 0, false
+	}
+	av, err1 := strconv.ParseUint(a, 16, 32)
+	lv, err2 := strconv.ParseUint(l, 16, 32)
+	if err1 != nil || err2 != nil {
+		return 0, 0, false
+	}
+	return uint32(av), uint32(lv), true
+}
+
+// readPacket reads one $...#xx RSP frame, returning its payload.
+func readPacket(r *bufio.Reader) (string, error) {
+	for {
+		c, err := r.ReadByte()
+		if err != nil {
+			return "", err
+		}
+		switch c {
+		case '$':
+			var payload []byte
+			var sum byte
+			for {
+				c, err := r.ReadByte()
+				if err != nil {
+					return "", err
+				}
+				if c == '#' {
+					break
+				}
+				sum += c
+				payload = append(payload, c)
+			}
+			var csum [2]byte
+			if _, err := io.ReadFull(r, csum[:]); err != nil {
+				return "", err
+			}
+			want, err := strconv.ParseUint(string(csum[:]), 16, 8)
+			if err != nil || byte(want) != sum {
+				return "", fmt.Errorf("gdbstub: checksum mismatch")
+			}
+			return string(payload), nil
+		case '+', '-', 3: // acks and interrupt
+			continue
+		default:
+			// skip noise
+		}
+	}
+}
+
+// writePacket frames and sends payload.
+func writePacket(w io.Writer, payload string) error {
+	var sum byte
+	for i := 0; i < len(payload); i++ {
+		sum += payload[i]
+	}
+	_, err := fmt.Fprintf(w, "$%s#%02x", payload, sum)
+	return err
+}

@@ -1,0 +1,214 @@
+// Package isadesc implements the XML processor description of the paper's
+// Section 3: "this processor is usually defined in an XML file ... [which]
+// contains an architecture description and a description of the
+// instruction set". The architecture part (pipelines, caches, branch
+// costs) is parsed into the march.Desc consumed by the translator and the
+// reference simulator; the instruction-set part lists every mnemonic with
+// its encoding format and issue class and is cross-validated against the
+// TC32 tables, which keeps the XML and the implementation in sync.
+package isadesc
+
+import (
+	"encoding/xml"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/march"
+	"repro/internal/tc32"
+)
+
+// XML document structure.
+type xmlProcessor struct {
+	XMLName xml.Name    `xml:"processor"`
+	Name    string      `xml:"name,attr"`
+	ClockHz int64       `xml:"clock-hz,attr"`
+	Pipe    xmlPipeline `xml:"pipeline"`
+	ICache  xmlCache    `xml:"icache"`
+	Bus     xmlBus      `xml:"bus"`
+	Insts   []xmlInst   `xml:"instructions>inst"`
+}
+
+type xmlPipeline struct {
+	DualIssue bool         `xml:"dual-issue,attr"`
+	Load      xmlLatency   `xml:"load"`
+	Mul       xmlLatency   `xml:"mul"`
+	Divider   xmlDivider   `xml:"divider"`
+	Branch    xmlBranch    `xml:"branch"`
+	Predictor xmlPredictor `xml:"predictor"`
+}
+
+type xmlLatency struct {
+	Cycles uint8 `xml:"cycles,attr"`
+}
+
+type xmlDivider struct {
+	BlockCycles uint8 `xml:"block-cycles,attr"`
+}
+
+type xmlBranch struct {
+	NotTaken   uint8 `xml:"not-taken,attr"`
+	Taken      uint8 `xml:"taken,attr"`
+	Mispredict uint8 `xml:"mispredict,attr"`
+	Direct     uint8 `xml:"direct,attr"`
+	Indirect   uint8 `xml:"indirect,attr"`
+}
+
+type xmlPredictor struct {
+	BackwardTaken bool `xml:"backward-taken,attr"`
+}
+
+type xmlCache struct {
+	Sets        int `xml:"sets,attr"`
+	Ways        int `xml:"ways,attr"`
+	LineBytes   int `xml:"line-bytes,attr"`
+	MissPenalty int `xml:"miss-penalty,attr"`
+}
+
+type xmlBus struct {
+	IOWaitCycles uint8 `xml:"io-wait-cycles,attr"`
+}
+
+type xmlInst struct {
+	Name   string `xml:"name,attr"`
+	Format string `xml:"format,attr"`
+	Class  string `xml:"class,attr"`
+}
+
+// Parse reads an XML processor description.
+func Parse(data []byte) (*march.Desc, error) {
+	var p xmlProcessor
+	if err := xml.Unmarshal(data, &p); err != nil {
+		return nil, fmt.Errorf("isadesc: %w", err)
+	}
+	if p.Name == "" {
+		return nil, fmt.Errorf("isadesc: processor has no name")
+	}
+	if !p.Pipe.DualIssue {
+		return nil, fmt.Errorf("isadesc: only the dual-issue pipeline model is implemented")
+	}
+	d := &march.Desc{
+		Name:          p.Name,
+		ClockHz:       p.ClockHz,
+		LoadLat:       p.Pipe.Load.Cycles,
+		MulLat:        p.Pipe.Mul.Cycles,
+		DivBlock:      p.Pipe.Divider.BlockCycles,
+		Branch:        march.BranchCosts{NotTakenOK: p.Pipe.Branch.NotTaken, TakenOK: p.Pipe.Branch.Taken, Mispredict: p.Pipe.Branch.Mispredict, Direct: p.Pipe.Branch.Direct, Indirect: p.Pipe.Branch.Indirect},
+		BackwardTaken: p.Pipe.Predictor.BackwardTaken,
+		ICache:        march.CacheGeom{Sets: p.ICache.Sets, Ways: p.ICache.Ways, LineBytes: p.ICache.LineBytes, MissPenalty: p.ICache.MissPenalty},
+		IOWaitCycles:  p.Bus.IOWaitCycles,
+	}
+	if err := validate(d, p.Insts); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// ParseFile reads a description from disk.
+func ParseFile(path string) (*march.Desc, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Parse(data)
+}
+
+func validate(d *march.Desc, insts []xmlInst) error {
+	if d.ClockHz <= 0 {
+		return fmt.Errorf("isadesc: bad clock rate %d", d.ClockHz)
+	}
+	g := d.ICache
+	if g.Sets <= 0 || g.Sets&(g.Sets-1) != 0 || g.LineBytes <= 0 || g.LineBytes&(g.LineBytes-1) != 0 || g.Ways < 1 {
+		return fmt.Errorf("isadesc: bad cache geometry %+v", g)
+	}
+	if len(insts) == 0 {
+		return fmt.Errorf("isadesc: instruction set description missing")
+	}
+	seen := map[string]bool{}
+	for _, xi := range insts {
+		op := tc32.OpByName(xi.Name)
+		if op == tc32.BAD {
+			return fmt.Errorf("isadesc: unknown instruction %q", xi.Name)
+		}
+		if seen[xi.Name] {
+			return fmt.Errorf("isadesc: duplicate instruction %q", xi.Name)
+		}
+		seen[xi.Name] = true
+		wantClass := "IP"
+		if d.TimingOf(op).Class == march.LS {
+			wantClass = "LS"
+		}
+		if xi.Class != wantClass {
+			return fmt.Errorf("isadesc: %s declared class %s, implementation uses %s", xi.Name, xi.Class, wantClass)
+		}
+		wantFmt := formatName(op.Format())
+		if !strings.EqualFold(xi.Format, wantFmt) {
+			return fmt.Errorf("isadesc: %s declared format %s, implementation uses %s", xi.Name, xi.Format, wantFmt)
+		}
+	}
+	// Completeness: every implemented op must be described.
+	for op := tc32.Op(1); op < tc32.NumOps; op++ {
+		if !seen[op.String()] {
+			return fmt.Errorf("isadesc: instruction %q missing from description", op.String())
+		}
+	}
+	return nil
+}
+
+func formatName(f tc32.Format) string {
+	switch f {
+	case tc32.FmtNone:
+		return "NONE"
+	case tc32.FmtRI:
+		return "RI"
+	case tc32.FmtRR:
+		return "RR"
+	case tc32.FmtLS:
+		return "LS"
+	case tc32.FmtBR:
+		return "BR"
+	case tc32.FmtJ:
+		return "J"
+	case tc32.FmtJR:
+		return "JR"
+	case tc32.FmtSRR:
+		return "SRR"
+	case tc32.FmtSRC:
+		return "SRC"
+	case tc32.FmtSB:
+		return "SB"
+	case tc32.FmtS0:
+		return "S0"
+	}
+	return "?"
+}
+
+// Default renders the canonical TC32 description as XML — the file the
+// repository ships as tc32.xml. It is generated from the implementation
+// tables so the two can never drift.
+func Default() []byte {
+	d := march.Default()
+	var b strings.Builder
+	fmt.Fprintf(&b, "<processor name=%q clock-hz=\"%d\">\n", d.Name, d.ClockHz)
+	fmt.Fprintf(&b, "  <pipeline dual-issue=\"true\">\n")
+	fmt.Fprintf(&b, "    <load cycles=\"%d\"/>\n", d.LoadLat)
+	fmt.Fprintf(&b, "    <mul cycles=\"%d\"/>\n", d.MulLat)
+	fmt.Fprintf(&b, "    <divider block-cycles=\"%d\"/>\n", d.DivBlock)
+	fmt.Fprintf(&b, "    <branch not-taken=\"%d\" taken=\"%d\" mispredict=\"%d\" direct=\"%d\" indirect=\"%d\"/>\n",
+		d.Branch.NotTakenOK, d.Branch.TakenOK, d.Branch.Mispredict, d.Branch.Direct, d.Branch.Indirect)
+	fmt.Fprintf(&b, "    <predictor backward-taken=\"%t\"/>\n", d.BackwardTaken)
+	fmt.Fprintf(&b, "  </pipeline>\n")
+	fmt.Fprintf(&b, "  <icache sets=\"%d\" ways=\"%d\" line-bytes=\"%d\" miss-penalty=\"%d\"/>\n",
+		d.ICache.Sets, d.ICache.Ways, d.ICache.LineBytes, d.ICache.MissPenalty)
+	fmt.Fprintf(&b, "  <bus io-wait-cycles=\"%d\"/>\n", d.IOWaitCycles)
+	fmt.Fprintf(&b, "  <instructions>\n")
+	for op := tc32.Op(1); op < tc32.NumOps; op++ {
+		class := "IP"
+		if d.TimingOf(op).Class == march.LS {
+			class = "LS"
+		}
+		fmt.Fprintf(&b, "    <inst name=%q format=%q class=%q/>\n", op.String(), formatName(op.Format()), class)
+	}
+	fmt.Fprintf(&b, "  </instructions>\n</processor>\n")
+	return []byte(b.String())
+}

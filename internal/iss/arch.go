@@ -1,0 +1,241 @@
+package iss
+
+import (
+	"fmt"
+
+	"repro/internal/tc32"
+)
+
+// Arch is the architectural state of a TC32 core: the two register files,
+// the program counter and the halt flag, plus the attached memory. It is
+// shared by the interpreted simulator, the block-compiled ("JIT")
+// simulator and the debug stub, so that all of them execute exactly the
+// same instruction semantics.
+type Arch struct {
+	D  [16]uint32 // data registers
+	A  [16]uint32 // address registers
+	PC uint32
+
+	Halted  bool
+	Retired int64
+
+	Mem *Memory
+}
+
+// Exec executes one instruction, updating registers, memory and PC, and
+// reports whether a conditional branch was taken. cycle is the current
+// core cycle, passed through to memory-mapped devices.
+func (a *Arch) Exec(i tc32.Inst, cycle int64) (taken bool, err error) {
+	d := &a.D
+	ar := &a.A
+	nextPC := i.Addr + uint32(i.Size)
+	switch i.Op {
+	case tc32.MOVI:
+		d[i.Rd] = uint32(i.Imm)
+	case tc32.MOVHI:
+		d[i.Rd] = uint32(i.Imm) << 16
+	case tc32.ADDI:
+		d[i.Rd] = d[i.Rs1] + uint32(i.Imm)
+	case tc32.RSUBI:
+		d[i.Rd] = uint32(i.Imm) - d[i.Rs1]
+	case tc32.ANDI:
+		d[i.Rd] = d[i.Rs1] & uint32(i.Imm)
+	case tc32.ORI:
+		d[i.Rd] = d[i.Rs1] | uint32(i.Imm)
+	case tc32.XORI:
+		d[i.Rd] = d[i.Rs1] ^ uint32(i.Imm)
+	case tc32.EQI:
+		d[i.Rd] = b2u(d[i.Rs1] == uint32(i.Imm))
+	case tc32.LTI:
+		d[i.Rd] = b2u(int32(d[i.Rs1]) < i.Imm)
+	case tc32.SHLI:
+		d[i.Rd] = d[i.Rs1] << (uint32(i.Imm) & 31)
+	case tc32.SHRI:
+		d[i.Rd] = d[i.Rs1] >> (uint32(i.Imm) & 31)
+	case tc32.SARI:
+		d[i.Rd] = uint32(int32(d[i.Rs1]) >> (uint32(i.Imm) & 31))
+	case tc32.MOV:
+		d[i.Rd] = d[i.Rs1]
+	case tc32.ADD:
+		d[i.Rd] = d[i.Rs1] + d[i.Rs2]
+	case tc32.SUB:
+		d[i.Rd] = d[i.Rs1] - d[i.Rs2]
+	case tc32.MUL:
+		d[i.Rd] = d[i.Rs1] * d[i.Rs2]
+	case tc32.DIV:
+		d[i.Rd] = uint32(tc32.DivQuot(int32(d[i.Rs1]), int32(d[i.Rs2])))
+	case tc32.DIVU:
+		d[i.Rd] = tc32.DivQuotU(d[i.Rs1], d[i.Rs2])
+	case tc32.REM:
+		d[i.Rd] = uint32(tc32.DivRem(int32(d[i.Rs1]), int32(d[i.Rs2])))
+	case tc32.REMU:
+		d[i.Rd] = tc32.DivRemU(d[i.Rs1], d[i.Rs2])
+	case tc32.AND:
+		d[i.Rd] = d[i.Rs1] & d[i.Rs2]
+	case tc32.OR:
+		d[i.Rd] = d[i.Rs1] | d[i.Rs2]
+	case tc32.XOR:
+		d[i.Rd] = d[i.Rs1] ^ d[i.Rs2]
+	case tc32.ANDN:
+		d[i.Rd] = d[i.Rs1] &^ d[i.Rs2]
+	case tc32.SHL:
+		d[i.Rd] = d[i.Rs1] << (d[i.Rs2] & 31)
+	case tc32.SHR:
+		d[i.Rd] = d[i.Rs1] >> (d[i.Rs2] & 31)
+	case tc32.SAR:
+		d[i.Rd] = uint32(int32(d[i.Rs1]) >> (d[i.Rs2] & 31))
+	case tc32.EQ:
+		d[i.Rd] = b2u(d[i.Rs1] == d[i.Rs2])
+	case tc32.NE:
+		d[i.Rd] = b2u(d[i.Rs1] != d[i.Rs2])
+	case tc32.LT:
+		d[i.Rd] = b2u(int32(d[i.Rs1]) < int32(d[i.Rs2]))
+	case tc32.LTU:
+		d[i.Rd] = b2u(d[i.Rs1] < d[i.Rs2])
+	case tc32.GE:
+		d[i.Rd] = b2u(int32(d[i.Rs1]) >= int32(d[i.Rs2]))
+	case tc32.GEU:
+		d[i.Rd] = b2u(d[i.Rs1] >= d[i.Rs2])
+	case tc32.MIN:
+		d[i.Rd] = uint32(min32(int32(d[i.Rs1]), int32(d[i.Rs2])))
+	case tc32.MAX:
+		d[i.Rd] = uint32(max32(int32(d[i.Rs1]), int32(d[i.Rs2])))
+	case tc32.ABS:
+		v := int32(d[i.Rs1])
+		if v < 0 {
+			v = -v
+		}
+		d[i.Rd] = uint32(v)
+	case tc32.SEXTB:
+		d[i.Rd] = uint32(int32(int8(d[i.Rs1])))
+	case tc32.SEXTH:
+		d[i.Rd] = uint32(int32(int16(d[i.Rs1])))
+
+	case tc32.MOVHA:
+		ar[i.Rd] = uint32(i.Imm) << 16
+	case tc32.LEA:
+		ar[i.Rd] = ar[i.Rs1] + uint32(i.Imm)
+	case tc32.MOVD2A:
+		ar[i.Rd] = d[i.Rs1]
+	case tc32.MOVA2D:
+		d[i.Rd] = ar[i.Rs1]
+	case tc32.ADDA:
+		ar[i.Rd] = ar[i.Rs1] + ar[i.Rs2]
+	case tc32.ADDIA:
+		ar[i.Rd] = ar[i.Rs1] + uint32(i.Imm)
+
+	case tc32.LDW, tc32.LDH, tc32.LDHU, tc32.LDB, tc32.LDBU, tc32.LDA:
+		ea := ar[i.Rs1] + uint32(i.Imm)
+		size := 4
+		switch i.Op {
+		case tc32.LDH, tc32.LDHU:
+			size = 2
+		case tc32.LDB, tc32.LDBU:
+			size = 1
+		}
+		v, err := a.Mem.Read(i.Addr, ea, size, cycle)
+		if err != nil {
+			return false, err
+		}
+		switch i.Op {
+		case tc32.LDH:
+			v = uint32(int32(int16(v)))
+		case tc32.LDB:
+			v = uint32(int32(int8(v)))
+		}
+		if i.Op == tc32.LDA {
+			ar[i.Rd] = v
+		} else {
+			d[i.Rd] = v
+		}
+	case tc32.STW, tc32.STH, tc32.STB, tc32.STA:
+		ea := ar[i.Rs1] + uint32(i.Imm)
+		size := 4
+		val := d[i.Rd]
+		switch i.Op {
+		case tc32.STH:
+			size = 2
+		case tc32.STB:
+			size = 1
+		case tc32.STA:
+			val = ar[i.Rd]
+		}
+		if err := a.Mem.Write(i.Addr, ea, val, size, cycle); err != nil {
+			return false, err
+		}
+
+	case tc32.J, tc32.J16:
+		nextPC = i.Target()
+	case tc32.JL:
+		ar[tc32.RA] = i.Addr + 4
+		nextPC = i.Target()
+	case tc32.JI:
+		nextPC = ar[i.Rs1]
+	case tc32.RET, tc32.RET16:
+		nextPC = ar[tc32.RA]
+	case tc32.JEQ:
+		taken = d[i.Rs1] == d[i.Rs2]
+	case tc32.JNE:
+		taken = d[i.Rs1] != d[i.Rs2]
+	case tc32.JLT:
+		taken = int32(d[i.Rs1]) < int32(d[i.Rs2])
+	case tc32.JGE:
+		taken = int32(d[i.Rs1]) >= int32(d[i.Rs2])
+	case tc32.JLTU:
+		taken = d[i.Rs1] < d[i.Rs2]
+	case tc32.JGEU:
+		taken = d[i.Rs1] >= d[i.Rs2]
+	case tc32.JZ:
+		taken = d[i.Rs1] == 0
+	case tc32.JNZ:
+		taken = d[i.Rs1] != 0
+	case tc32.JZ16:
+		taken = d[tc32.ImplicitCond] == 0
+	case tc32.JNZ16:
+		taken = d[tc32.ImplicitCond] != 0
+
+	case tc32.MOV16:
+		d[i.Rd] = d[i.Rs1]
+	case tc32.ADD16:
+		d[i.Rd] += d[i.Rs1]
+	case tc32.SUB16:
+		d[i.Rd] -= d[i.Rs1]
+	case tc32.MOVI16:
+		d[i.Rd] = uint32(i.Imm)
+	case tc32.ADDI16:
+		d[i.Rd] += uint32(i.Imm)
+
+	case tc32.NOP, tc32.NOP16:
+	case tc32.HALT:
+		a.Halted = true
+	default:
+		return false, fmt.Errorf("iss: unimplemented op %v at %#x", i.Op, i.Addr)
+	}
+	if taken {
+		nextPC = i.Target()
+	}
+	a.PC = nextPC
+	a.Retired++
+	return taken, nil
+}
+
+func b2u(b bool) uint32 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func min32(a, b int32) int32 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max32(a, b int32) int32 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,168 @@
+// Package iss implements the cycle-accurate interpreted instruction-set
+// simulator of the TC32 source processor. It plays the role of the TriCore
+// TC10GP evaluation board in the paper's evaluation: its cycle counts are
+// the ground truth that the translated programs' generated cycle streams
+// are compared against (Figure 6), and its instruction counts are the
+// basis of the MIPS numbers (Figure 5) and the cycles-per-instruction
+// table (Table 1).
+package iss
+
+import (
+	"fmt"
+)
+
+// Memory map constants of the TC32 source system.
+const (
+	// IOBase..IOBase+IOSize is the memory-mapped I/O window. Accesses in
+	// this window reach the Bus device and incur bus wait states.
+	IOBase = 0xF000_0000
+	IOSize = 0x0100_0000
+
+	// DebugPortAddr is a word-write port collecting program results; it
+	// is timing-insensitive so that functional results can be compared
+	// across all simulators and translation levels.
+	DebugPortAddr = IOBase + 0xF00
+
+	// RAMSize is the size of the data RAM region. The stack grows down
+	// from the end of this region.
+	RAMSize = 1 << 20
+)
+
+// Bus is the interface to memory-mapped I/O devices. The cycle argument is
+// the current core cycle at the time of the access (the source-processor
+// cycle domain; on the emulation platform the generated cycle count plays
+// the same role).
+type Bus interface {
+	BusRead32(addr uint32, cycle int64) uint32
+	BusWrite32(addr uint32, val uint32, cycle int64)
+}
+
+// Fault is a memory access fault.
+type Fault struct {
+	PC    uint32
+	Addr  uint32
+	Write bool
+}
+
+func (f *Fault) Error() string {
+	kind := "read"
+	if f.Write {
+		kind = "write"
+	}
+	return fmt.Sprintf("iss: memory fault: %s at %#x (pc %#x)", kind, f.Addr, f.PC)
+}
+
+type region struct {
+	base     uint32
+	data     []byte
+	writable bool
+}
+
+// Memory is the physical memory of the simulated source system: a code
+// region, a RAM region, and the I/O window.
+type Memory struct {
+	regions []region
+	bus     Bus
+
+	// Output collects words written to the debug port.
+	Output []uint32
+}
+
+// NewMemory builds a memory with a read-only code region at codeBase and a
+// writable RAM region at ramBase.
+func NewMemory(codeBase uint32, code []byte, ramBase uint32, ramSize int) *Memory {
+	return &Memory{
+		regions: []region{
+			{base: codeBase, data: append([]byte(nil), code...), writable: false},
+			{base: ramBase, data: make([]byte, ramSize), writable: true},
+		},
+	}
+}
+
+// AttachBus connects the memory-mapped I/O window to a device.
+func (m *Memory) AttachBus(b Bus) { m.bus = b }
+
+// LoadImage copies data into memory at addr (used for .data/.bss setup).
+func (m *Memory) LoadImage(addr uint32, data []byte) error {
+	r := m.find(addr, true)
+	if r == nil {
+		return fmt.Errorf("iss: cannot load image at %#x", addr)
+	}
+	off := addr - r.base
+	if int(off)+len(data) > len(r.data) {
+		return fmt.Errorf("iss: image at %#x overflows region", addr)
+	}
+	copy(r.data[off:], data)
+	return nil
+}
+
+func (m *Memory) find(addr uint32, write bool) *region {
+	for i := range m.regions {
+		r := &m.regions[i]
+		if addr >= r.base && addr-r.base < uint32(len(r.data)) {
+			if write && !r.writable {
+				return nil
+			}
+			return r
+		}
+	}
+	return nil
+}
+
+// IsIO reports whether addr lies in the memory-mapped I/O window.
+func IsIO(addr uint32) bool { return addr >= IOBase && addr-IOBase < IOSize }
+
+// Read reads size bytes (1, 2 or 4) at addr, little-endian.
+func (m *Memory) Read(pc, addr uint32, size int, cycle int64) (uint32, error) {
+	if IsIO(addr) {
+		if addr == DebugPortAddr || addr == DebugPortAddr+4 {
+			return uint32(len(m.Output)), nil
+		}
+		if m.bus != nil {
+			return m.bus.BusRead32(addr, cycle), nil
+		}
+		return 0, nil
+	}
+	r := m.find(addr, false)
+	if r == nil || addr-r.base+uint32(size) > uint32(len(r.data)) {
+		return 0, &Fault{PC: pc, Addr: addr}
+	}
+	off := addr - r.base
+	var v uint32
+	for i := 0; i < size; i++ {
+		v |= uint32(r.data[off+uint32(i)]) << (8 * i)
+	}
+	return v, nil
+}
+
+// Write writes size bytes (1, 2 or 4) at addr, little-endian.
+func (m *Memory) Write(pc, addr uint32, val uint32, size int, cycle int64) error {
+	if IsIO(addr) {
+		if addr == DebugPortAddr {
+			m.Output = append(m.Output, val)
+			return nil
+		}
+		if m.bus != nil {
+			m.bus.BusWrite32(addr, val, cycle)
+		}
+		return nil
+	}
+	r := m.find(addr, true)
+	if r == nil || addr-r.base+uint32(size) > uint32(len(r.data)) {
+		return &Fault{PC: pc, Addr: addr, Write: true}
+	}
+	off := addr - r.base
+	for i := 0; i < size; i++ {
+		r.data[off+uint32(i)] = byte(val >> (8 * i))
+	}
+	return nil
+}
+
+// ReadWord is a convenience wrapper for inspection in tests and debuggers.
+func (m *Memory) ReadWord(addr uint32) uint32 {
+	v, err := m.Read(0, addr, 4, 0)
+	if err != nil {
+		return 0
+	}
+	return v
+}

@@ -1,0 +1,200 @@
+package iss
+
+import (
+	"fmt"
+
+	"repro/internal/elf32"
+	"repro/internal/march"
+	"repro/internal/tc32"
+)
+
+// Config configures the reference simulator.
+type Config struct {
+	// Desc is the microarchitecture description; nil selects march.Default.
+	Desc *march.Desc
+	// CycleAccurate enables the pipeline and I-cache timing model. When
+	// false the simulator is purely functional (and counts one cycle per
+	// instruction), which is the "interpretative simulation" baseline of
+	// the paper's Section 2.
+	CycleAccurate bool
+	// MaxInstructions aborts runaway programs; 0 means a generous default.
+	MaxInstructions int64
+}
+
+// Stats are the measurement outputs of a simulation run.
+type Stats struct {
+	Retired      int64 // executed source instructions
+	Cycles       int64 // source-processor cycles (ground truth)
+	ICacheHits   int64
+	ICacheMisses int64
+	Mispredicts  int64
+	TakenCond    int64
+	CondBranches int64
+}
+
+// Sim is the interpreted cycle-accurate TC32 simulator.
+type Sim struct {
+	Arch Arch
+
+	desc   *march.Desc
+	pipe   *march.Pipe
+	icache *march.Cache
+	cfg    Config
+
+	// program decode cache: instruction at (addr-codeBase)/2
+	code     []tc32.Inst
+	codeBase uint32
+	stats    Stats
+
+	// Trace, if non-nil, is called after every executed instruction.
+	Trace func(i tc32.Inst, cycle int64)
+}
+
+// New builds a simulator from an assembled ELF image.
+func New(f *elf32.File, cfg Config) (*Sim, error) {
+	if cfg.Desc == nil {
+		cfg.Desc = march.Default()
+	}
+	if cfg.MaxInstructions == 0 {
+		cfg.MaxInstructions = 500_000_000
+	}
+	text := f.Section(".text")
+	if text == nil {
+		return nil, fmt.Errorf("iss: no .text section")
+	}
+	data := f.Section(".data")
+	ramBase := uint32(0x1000_0000)
+	if data != nil {
+		ramBase = data.Addr
+	}
+	mem := NewMemory(text.Addr, text.Data, ramBase, RAMSize)
+	if data != nil {
+		if err := mem.LoadImage(data.Addr, data.Data); err != nil {
+			return nil, err
+		}
+	}
+	s := &Sim{
+		desc:     cfg.Desc,
+		pipe:     march.NewPipe(cfg.Desc),
+		icache:   march.NewCache(cfg.Desc.ICache),
+		cfg:      cfg,
+		codeBase: text.Addr,
+	}
+	s.Arch.Mem = mem
+	s.Arch.PC = f.Entry
+	// Pre-decode the text section. Half-word slots that are the middle of
+	// a 32-bit instruction keep a BAD marker.
+	s.code = make([]tc32.Inst, (len(text.Data)+1)/2)
+	off := 0
+	for off < len(text.Data) {
+		inst, err := tc32.Decode(text.Data[off:], text.Addr+uint32(off))
+		if err != nil {
+			// Data embedded in .text (e.g. alignment padding) is
+			// tolerated until executed.
+			off += 2
+			continue
+		}
+		s.code[off/2] = inst
+		off += int(inst.Size)
+	}
+	return s, nil
+}
+
+// AttachBus connects a memory-mapped I/O device.
+func (s *Sim) AttachBus(b Bus) { s.Arch.Mem.AttachBus(b) }
+
+// fetch returns the decoded instruction at pc.
+func (s *Sim) fetch(pc uint32) (tc32.Inst, error) {
+	idx := (pc - s.codeBase) / 2
+	if pc < s.codeBase || int(idx) >= len(s.code) {
+		return tc32.Inst{}, fmt.Errorf("iss: pc %#x outside code", pc)
+	}
+	inst := s.code[idx]
+	if inst.Op == tc32.BAD || inst.Addr != pc {
+		return tc32.Inst{}, fmt.Errorf("iss: pc %#x is not an instruction boundary", pc)
+	}
+	return inst, nil
+}
+
+// Step executes a single instruction with full timing accounting.
+func (s *Sim) Step() error {
+	inst, err := s.fetch(s.Arch.PC)
+	if err != nil {
+		return err
+	}
+	if s.cfg.CycleAccurate {
+		if !s.icache.Access(inst.Addr) {
+			s.pipe.Stall(int64(s.desc.ICache.MissPenalty))
+		}
+	}
+	issue := s.pipe.Issue(inst)
+	// Operand-dependent multiplier timing (Booth model, optional).
+	if s.cfg.CycleAccurate && s.desc.BoothMul && inst.Op == tc32.MUL {
+		s.pipe.Extend(inst, march.BoothExtra(s.Arch.D[inst.Rs2]))
+	}
+	// I/O accesses incur bus wait states on the source bus.
+	if s.cfg.CycleAccurate && inst.Op.IsMem() {
+		ea := s.Arch.A[inst.Rs1] + uint32(inst.Imm)
+		if IsIO(ea) {
+			s.pipe.Stall(int64(s.desc.IOWaitCycles))
+		}
+	}
+	taken, err := s.Arch.Exec(inst, issue)
+	if err != nil {
+		return err
+	}
+	switch {
+	case inst.Op.IsCondBranch():
+		s.stats.CondBranches++
+		if taken {
+			s.stats.TakenCond++
+		}
+		pred := s.desc.PredictTaken(inst)
+		if pred != taken {
+			s.stats.Mispredicts++
+		}
+		s.pipe.Control(issue, s.desc.CondBranchCost(pred, taken))
+	case inst.Op == tc32.J, inst.Op == tc32.JL, inst.Op == tc32.J16:
+		s.pipe.Control(issue, s.desc.Branch.Direct)
+	case inst.Op.IsIndirect():
+		s.pipe.Control(issue, s.desc.Branch.Indirect)
+	case inst.Op == tc32.HALT:
+		s.pipe.Control(issue, 1)
+	}
+	if s.Trace != nil {
+		s.Trace(inst, s.pipe.Cycles())
+	}
+	return nil
+}
+
+// Run executes until HALT (or an error / the instruction limit).
+func (s *Sim) Run() error {
+	for !s.Arch.Halted {
+		if s.Arch.Retired >= s.cfg.MaxInstructions {
+			return fmt.Errorf("iss: instruction limit (%d) exceeded", s.cfg.MaxInstructions)
+		}
+		if err := s.Step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Stats returns the measurement outputs accumulated so far.
+func (s *Sim) Stats() Stats {
+	st := s.stats
+	st.Retired = s.Arch.Retired
+	st.Cycles = s.pipe.Cycles()
+	if !s.cfg.CycleAccurate {
+		st.Cycles = s.Arch.Retired
+	}
+	st.ICacheHits = s.icache.Hits
+	st.ICacheMisses = s.icache.Misses
+	return st
+}
+
+// Output returns the words the program wrote to the debug port.
+func (s *Sim) Output() []uint32 { return s.Arch.Mem.Output }
+
+// Desc returns the microarchitecture description in use.
+func (s *Sim) Desc() *march.Desc { return s.desc }

@@ -1,0 +1,169 @@
+package jit
+
+import (
+	"fmt"
+
+	"repro/internal/tc32"
+)
+
+// compileInst specializes one instruction into a closure. The hot cases
+// (ALU, loads/stores, branches) are hand-specialized; rare ops fall back
+// to the shared interpreter semantics, which keeps the two simulators
+// behaviorally identical by construction.
+func compileInst(in tc32.Inst) step {
+	next := in.Addr + uint32(in.Size)
+	rd, rs1, rs2 := in.Rd, in.Rs1, in.Rs2
+	imm := uint32(in.Imm)
+	target := next
+	if in.Op.IsBranch() && !in.Op.IsIndirect() && in.Op != tc32.HALT {
+		target = in.Target()
+	}
+	switch in.Op {
+	case tc32.MOVI, tc32.MOVI16:
+		return func(s *Sim) (uint32, bool, error) { s.Arch.D[rd] = imm; return next, false, nil }
+	case tc32.MOVHI:
+		v := imm << 16
+		return func(s *Sim) (uint32, bool, error) { s.Arch.D[rd] = v; return next, false, nil }
+	case tc32.ADDI:
+		return func(s *Sim) (uint32, bool, error) { s.Arch.D[rd] = s.Arch.D[rs1] + imm; return next, false, nil }
+	case tc32.ADDI16:
+		return func(s *Sim) (uint32, bool, error) { s.Arch.D[rd] += imm; return next, false, nil }
+	case tc32.MOV, tc32.MOV16:
+		return func(s *Sim) (uint32, bool, error) { s.Arch.D[rd] = s.Arch.D[rs1]; return next, false, nil }
+	case tc32.ADD:
+		return func(s *Sim) (uint32, bool, error) {
+			s.Arch.D[rd] = s.Arch.D[rs1] + s.Arch.D[rs2]
+			return next, false, nil
+		}
+	case tc32.ADD16:
+		return func(s *Sim) (uint32, bool, error) { s.Arch.D[rd] += s.Arch.D[rs1]; return next, false, nil }
+	case tc32.SUB:
+		return func(s *Sim) (uint32, bool, error) {
+			s.Arch.D[rd] = s.Arch.D[rs1] - s.Arch.D[rs2]
+			return next, false, nil
+		}
+	case tc32.SUB16:
+		return func(s *Sim) (uint32, bool, error) { s.Arch.D[rd] -= s.Arch.D[rs1]; return next, false, nil }
+	case tc32.MUL:
+		return func(s *Sim) (uint32, bool, error) {
+			s.Arch.D[rd] = s.Arch.D[rs1] * s.Arch.D[rs2]
+			return next, false, nil
+		}
+	case tc32.SHLI:
+		sh := imm & 31
+		return func(s *Sim) (uint32, bool, error) { s.Arch.D[rd] = s.Arch.D[rs1] << sh; return next, false, nil }
+	case tc32.SHRI:
+		sh := imm & 31
+		return func(s *Sim) (uint32, bool, error) { s.Arch.D[rd] = s.Arch.D[rs1] >> sh; return next, false, nil }
+	case tc32.SARI:
+		sh := imm & 31
+		return func(s *Sim) (uint32, bool, error) {
+			s.Arch.D[rd] = uint32(int32(s.Arch.D[rs1]) >> sh)
+			return next, false, nil
+		}
+	case tc32.ANDI:
+		return func(s *Sim) (uint32, bool, error) { s.Arch.D[rd] = s.Arch.D[rs1] & imm; return next, false, nil }
+	case tc32.MOVHA:
+		v := imm << 16
+		return func(s *Sim) (uint32, bool, error) { s.Arch.A[rd] = v; return next, false, nil }
+	case tc32.LEA, tc32.ADDIA:
+		return func(s *Sim) (uint32, bool, error) { s.Arch.A[rd] = s.Arch.A[rs1] + imm; return next, false, nil }
+	case tc32.MOVD2A:
+		return func(s *Sim) (uint32, bool, error) { s.Arch.A[rd] = s.Arch.D[rs1]; return next, false, nil }
+	case tc32.MOVA2D:
+		return func(s *Sim) (uint32, bool, error) { s.Arch.D[rd] = s.Arch.A[rs1]; return next, false, nil }
+	case tc32.ADDA:
+		return func(s *Sim) (uint32, bool, error) {
+			s.Arch.A[rd] = s.Arch.A[rs1] + s.Arch.A[rs2]
+			return next, false, nil
+		}
+	case tc32.LDW:
+		pc := in.Addr
+		return func(s *Sim) (uint32, bool, error) {
+			v, err := s.Arch.Mem.Read(pc, s.Arch.A[rs1]+imm, 4, s.pipe.Cycles())
+			if err != nil {
+				return 0, false, err
+			}
+			s.Arch.D[rd] = v
+			return next, false, nil
+		}
+	case tc32.STW:
+		pc := in.Addr
+		return func(s *Sim) (uint32, bool, error) {
+			err := s.Arch.Mem.Write(pc, s.Arch.A[rs1]+imm, s.Arch.D[rd], 4, s.pipe.Cycles())
+			return next, false, err
+		}
+	case tc32.LDBU:
+		pc := in.Addr
+		return func(s *Sim) (uint32, bool, error) {
+			v, err := s.Arch.Mem.Read(pc, s.Arch.A[rs1]+imm, 1, s.pipe.Cycles())
+			if err != nil {
+				return 0, false, err
+			}
+			s.Arch.D[rd] = v
+			return next, false, nil
+		}
+	case tc32.STB:
+		pc := in.Addr
+		return func(s *Sim) (uint32, bool, error) {
+			err := s.Arch.Mem.Write(pc, s.Arch.A[rs1]+imm, s.Arch.D[rd], 1, s.pipe.Cycles())
+			return next, false, err
+		}
+	case tc32.J, tc32.J16:
+		return func(s *Sim) (uint32, bool, error) { return target, false, nil }
+	case tc32.JL:
+		ra := next
+		return func(s *Sim) (uint32, bool, error) { s.Arch.A[tc32.RA] = ra; return target, false, nil }
+	case tc32.JI:
+		return func(s *Sim) (uint32, bool, error) { return s.Arch.A[rs1], false, nil }
+	case tc32.RET, tc32.RET16:
+		return func(s *Sim) (uint32, bool, error) { return s.Arch.A[tc32.RA], false, nil }
+	case tc32.JEQ:
+		return condStep(next, target, func(s *Sim) bool { return s.Arch.D[rs1] == s.Arch.D[rs2] })
+	case tc32.JNE:
+		return condStep(next, target, func(s *Sim) bool { return s.Arch.D[rs1] != s.Arch.D[rs2] })
+	case tc32.JLT:
+		return condStep(next, target, func(s *Sim) bool { return int32(s.Arch.D[rs1]) < int32(s.Arch.D[rs2]) })
+	case tc32.JGE:
+		return condStep(next, target, func(s *Sim) bool { return int32(s.Arch.D[rs1]) >= int32(s.Arch.D[rs2]) })
+	case tc32.JLTU:
+		return condStep(next, target, func(s *Sim) bool { return s.Arch.D[rs1] < s.Arch.D[rs2] })
+	case tc32.JGEU:
+		return condStep(next, target, func(s *Sim) bool { return s.Arch.D[rs1] >= s.Arch.D[rs2] })
+	case tc32.JZ:
+		return condStep(next, target, func(s *Sim) bool { return s.Arch.D[rs1] == 0 })
+	case tc32.JNZ:
+		return condStep(next, target, func(s *Sim) bool { return s.Arch.D[rs1] != 0 })
+	case tc32.JZ16:
+		return condStep(next, target, func(s *Sim) bool { return s.Arch.D[tc32.ImplicitCond] == 0 })
+	case tc32.JNZ16:
+		return condStep(next, target, func(s *Sim) bool { return s.Arch.D[tc32.ImplicitCond] != 0 })
+	case tc32.NOP, tc32.NOP16:
+		return func(s *Sim) (uint32, bool, error) { return next, false, nil }
+	case tc32.HALT:
+		return func(s *Sim) (uint32, bool, error) { s.Arch.Halted = true; return next, false, nil }
+	}
+	// Fallback: shared interpreter semantics (keeps rare ops identical to
+	// the reference by construction). The closure adjusts bookkeeping the
+	// outer loop also performs.
+	inst := in
+	return func(s *Sim) (uint32, bool, error) {
+		taken, err := s.Arch.Exec(inst, s.pipe.Cycles())
+		if err != nil {
+			return 0, false, err
+		}
+		s.Arch.Retired-- // outer loop will re-count
+		return s.Arch.PC, taken, nil
+	}
+}
+
+func condStep(next, target uint32, cond func(*Sim) bool) step {
+	return func(s *Sim) (uint32, bool, error) {
+		if cond(s) {
+			return target, true, nil
+		}
+		return next, false, nil
+	}
+}
+
+var _ = fmt.Sprintf // keep fmt for error paths in future specializations

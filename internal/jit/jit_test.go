@@ -1,0 +1,129 @@
+package jit
+
+import (
+	"testing"
+
+	"repro/internal/iss"
+	"repro/internal/tc32asm"
+	"repro/internal/workload"
+)
+
+func TestEquivalenceWithInterpreter(t *testing.T) {
+	for _, w := range workload.All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			f, err := tc32asm.Assemble(w.Source)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref, err := iss.New(f, iss.Config{CycleAccurate: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := ref.Run(); err != nil {
+				t.Fatal(err)
+			}
+			j, err := New(f, true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := j.Run(); err != nil {
+				t.Fatal(err)
+			}
+			rs, js := ref.Stats(), j.Stats()
+			if js.Retired != rs.Retired {
+				t.Errorf("retired %d, want %d", js.Retired, rs.Retired)
+			}
+			// Block-compiled timing must be cycle-identical to the
+			// interpreter: both replay the same pipeline model.
+			if js.Cycles != rs.Cycles {
+				t.Errorf("cycles %d, want %d", js.Cycles, rs.Cycles)
+			}
+			if js.ICacheMisses != rs.ICacheMisses {
+				t.Errorf("icache misses %d, want %d", js.ICacheMisses, rs.ICacheMisses)
+			}
+			got, want := j.Output(), ref.Output()
+			if len(got) != len(want) {
+				t.Fatalf("output %v, want %v", got, want)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Errorf("out[%d] = %#x, want %#x", i, got[i], want[i])
+				}
+			}
+		})
+	}
+}
+
+func TestBlockCacheReused(t *testing.T) {
+	w, _ := workload.ByName("sieve")
+	f, err := tc32asm.Assemble(w.Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := New(f, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Far fewer compilations than executed blocks: the cache works.
+	if j.Compiled > 64 {
+		t.Errorf("compiled %d blocks for sieve; cache not effective", j.Compiled)
+	}
+	if j.Arch.Retired < 10000 {
+		t.Errorf("retired only %d", j.Arch.Retired)
+	}
+}
+
+func TestFallbackOps(t *testing.T) {
+	// Ops without hand specializations go through the shared interpreter
+	// semantics; results must match.
+	src := `
+	.global _start
+_start:	movh.a	sp, 0x1010
+	la	a15, 0xF0000F00
+	movi	d0, -37
+	movi	d1, 5
+	div	d2, d0, d1
+	rem	d3, d0, d1
+	abs	d4, d0
+	min	d5, d0, d1
+	max	d6, d0, d1
+	sext.b	d7, d0
+	andn	d8, d1, d0
+	st.w	d2, 0(a15)
+	st.w	d3, 0(a15)
+	st.w	d4, 0(a15)
+	st.w	d5, 0(a15)
+	st.w	d6, 0(a15)
+	st.w	d7, 0(a15)
+	st.w	d8, 0(a15)
+	halt
+`
+	f, err := tc32asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, _ := iss.New(f, iss.Config{})
+	if err := ref.Run(); err != nil {
+		t.Fatal(err)
+	}
+	j, _ := New(f, false)
+	if err := j.Run(); err != nil {
+		t.Fatal(err)
+	}
+	got, want := j.Output(), ref.Output()
+	if len(got) != len(want) {
+		t.Fatalf("output %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("out[%d] = %#x, want %#x", i, got[i], want[i])
+		}
+	}
+	if j.Arch.Retired != ref.Arch.Retired {
+		t.Errorf("retired %d, want %d", j.Arch.Retired, ref.Arch.Retired)
+	}
+}

@@ -1,0 +1,148 @@
+package march
+
+import "math/bits"
+
+// Cache is a set-associative cache with true-LRU replacement, used as the
+// instruction-cache model of the TC32 reference simulator. The translated
+// program's generated cache-simulation subroutine (Section 3.4.2 of the
+// paper) implements exactly this policy over tag/valid/LRU words in
+// reserved memory, and the two are differentially tested against each
+// other.
+type Cache struct {
+	geom      CacheGeom
+	indexBits uint
+	lineBits  uint
+	valid     []bool   // [set*ways + way]
+	tags      []uint32 // [set*ways + way]
+	age       []uint8  // [set*ways + way]; 0 = most recently used
+
+	Hits   int64
+	Misses int64
+}
+
+// NewCache builds a cache with the given geometry. Sets and LineBytes must
+// be powers of two and Ways must be at least 1.
+func NewCache(g CacheGeom) *Cache {
+	if g.Sets <= 0 || g.Sets&(g.Sets-1) != 0 {
+		panic("march: cache sets must be a power of two")
+	}
+	if g.LineBytes <= 0 || g.LineBytes&(g.LineBytes-1) != 0 {
+		panic("march: cache line size must be a power of two")
+	}
+	if g.Ways < 1 {
+		panic("march: cache must have at least one way")
+	}
+	n := g.Sets * g.Ways
+	c := &Cache{
+		geom:      g,
+		indexBits: uint(bits.TrailingZeros(uint(g.Sets))),
+		lineBits:  uint(bits.TrailingZeros(uint(g.LineBytes))),
+		valid:     make([]bool, n),
+		tags:      make([]uint32, n),
+		age:       make([]uint8, n),
+	}
+	c.Reset()
+	return c
+}
+
+// Reset invalidates the whole cache and clears the statistics.
+func (c *Cache) Reset() {
+	for i := range c.valid {
+		c.valid[i] = false
+		c.tags[i] = 0
+		c.age[i] = uint8(i % c.geom.Ways)
+	}
+	c.Hits = 0
+	c.Misses = 0
+}
+
+// Geometry returns the cache geometry.
+func (c *Cache) Geometry() CacheGeom { return c.geom }
+
+// Set returns the set index of addr.
+func (c *Cache) Set(addr uint32) uint32 {
+	return (addr >> c.lineBits) & uint32(c.geom.Sets-1)
+}
+
+// Tag returns the tag of addr.
+func (c *Cache) Tag(addr uint32) uint32 {
+	return addr >> (c.lineBits + c.indexBits)
+}
+
+// LineAddr returns the address of the cache line containing addr.
+func (c *Cache) LineAddr(addr uint32) uint32 {
+	return addr &^ uint32(c.geom.LineBytes-1)
+}
+
+// Access looks up addr, updates LRU state, fills on miss, and reports
+// whether the access hit.
+func (c *Cache) Access(addr uint32) bool {
+	set := int(c.Set(addr))
+	tag := c.Tag(addr)
+	base := set * c.geom.Ways
+	hitWay := -1
+	for w := 0; w < c.geom.Ways; w++ {
+		if c.valid[base+w] && c.tags[base+w] == tag {
+			hitWay = w
+			break
+		}
+	}
+	if hitWay >= 0 {
+		c.Hits++
+		c.touch(base, hitWay)
+		return true
+	}
+	c.Misses++
+	// Evict the least recently used way (largest age; invalid ways are
+	// preferred by treating them as oldest).
+	victim := 0
+	victimAge := -1
+	for w := 0; w < c.geom.Ways; w++ {
+		a := int(c.age[base+w])
+		if !c.valid[base+w] {
+			a = c.geom.Ways // older than any valid way
+		}
+		if a > victimAge {
+			victimAge = a
+			victim = w
+		}
+	}
+	c.valid[base+victim] = true
+	c.tags[base+victim] = tag
+	c.touch(base, victim)
+	return false
+}
+
+// Probe reports whether addr would hit, without changing any state.
+func (c *Cache) Probe(addr uint32) bool {
+	set := int(c.Set(addr))
+	tag := c.Tag(addr)
+	base := set * c.geom.Ways
+	for w := 0; w < c.geom.Ways; w++ {
+		if c.valid[base+w] && c.tags[base+w] == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// touch makes way the most recently used entry of the set.
+func (c *Cache) touch(base, way int) {
+	old := c.age[base+way]
+	for w := 0; w < c.geom.Ways; w++ {
+		if c.age[base+w] < old {
+			c.age[base+w]++
+		}
+	}
+	c.age[base+way] = 0
+}
+
+// Snapshot returns the (set, way) → (valid, tag, age) state, for
+// differential testing against the software cache model generated into
+// translated programs.
+func (c *Cache) Snapshot() (valid []bool, tags []uint32, age []uint8) {
+	valid = append([]bool(nil), c.valid...)
+	tags = append([]uint32(nil), c.tags...)
+	age = append([]uint8(nil), c.age...)
+	return valid, tags, age
+}

@@ -1,0 +1,186 @@
+// Package march models the microarchitecture of the TC32 source processor:
+// its dual-issue pipeline timing, its static branch predictor, and its
+// instruction cache.
+//
+// The same model is used in two places, which is the central consistency
+// argument of the reproduction:
+//
+//   - the reference instruction-set simulator (internal/iss) replays it
+//     with actual branch outcomes and a live I-cache, producing the
+//     ground-truth cycle counts (the "TC10GP evaluation board" role), and
+//   - the binary translator (internal/core) replays it per basic block
+//     with a clean entry state and predicted branch outcomes, producing
+//     the static cycle prediction n annotated into each translated block.
+//
+// Any divergence between prediction and ground truth therefore comes only
+// from the effects the paper identifies: branch mispredictions, I-cache
+// misses, and pipeline state crossing basic-block boundaries.
+package march
+
+import (
+	"math/bits"
+
+	"repro/internal/tc32"
+)
+
+// Class is the issue pipeline an instruction belongs to. TC32 is dual
+// issue: an IP (integer pipeline) instruction can issue in the same cycle
+// as an immediately following LS (load/store pipeline) instruction,
+// mirroring TriCore's integer/load-store pairing.
+type Class uint8
+
+// Pipeline classes.
+const (
+	IP Class = iota // integer pipeline: data ALU and branches
+	LS              // load/store pipeline: memory and address-register ops
+)
+
+// Timing describes the issue timing of one operation.
+type Timing struct {
+	Class Class
+	// Lat is the number of cycles after issue until the result may be
+	// consumed (1 = available next cycle).
+	Lat uint8
+	// Block is the number of extra cycles the instruction occupies the
+	// issue stage (used by the iterative divider, which is not pipelined).
+	Block uint8
+}
+
+// BranchCosts holds the cycle costs of control transfers.
+type BranchCosts struct {
+	NotTakenOK uint8 // conditional, predicted correctly, not taken
+	TakenOK    uint8 // conditional, predicted correctly, taken
+	Mispredict uint8 // conditional, predicted incorrectly (either way)
+	Direct     uint8 // unconditional j/jl
+	Indirect   uint8 // ji/ret
+}
+
+// CacheGeom describes a set-associative cache.
+type CacheGeom struct {
+	Sets        int // number of sets (power of two)
+	Ways        int // associativity
+	LineBytes   int // line size in bytes (power of two)
+	MissPenalty int // stall cycles per miss
+}
+
+// Size returns the total cache capacity in bytes.
+func (g CacheGeom) Size() int { return g.Sets * g.Ways * g.LineBytes }
+
+// Desc is the complete timing description of the source processor. It is
+// the Go form of the XML architecture description (internal/isadesc).
+type Desc struct {
+	Name string
+	// ClockHz is the source-core clock (the TC10GP board ran at 48 MHz).
+	ClockHz int64
+
+	LoadLat  uint8 // load-to-use latency (2 = one bubble)
+	MulLat   uint8 // multiply result latency
+	DivBlock uint8 // extra issue-block cycles of div/rem (iterative divider)
+
+	Branch BranchCosts
+
+	// BackwardTaken selects the static branch predictor: backward
+	// conditional branches predicted taken, forward predicted not taken.
+	BackwardTaken bool
+
+	ICache CacheGeom
+
+	// IOWaitCycles is the number of bus wait-state cycles added to every
+	// access in the I/O region (beyond normal load/store pipeline cost).
+	IOWaitCycles uint8
+
+	// BoothMul enables the operand-dependent multiplier timing named in
+	// the paper's outlook ("on a processor that uses a Booth multiplier
+	// the delay of this multiplier depends on operand value"). The
+	// dynamic simulators model it exactly; the translator's static
+	// prediction cannot, so enabling it re-opens a deviation even at the
+	// cache detail level — which is precisely why the paper lists
+	// data-dependent instruction timing as future work.
+	BoothMul bool
+}
+
+// BoothExtra returns the extra multiplier cycles for the given multiplier
+// operand under the radix-4 Booth model with early termination: one
+// additional cycle per significant 4-bit digit of the magnitude beyond
+// the first.
+func BoothExtra(v uint32) int64 {
+	// Magnitude of the operand (two's complement symmetric).
+	if int32(v) < 0 {
+		v = ^v
+	}
+	sig := 32 - bits.LeadingZeros32(v|1)
+	return int64((sig+3)/4 - 1)
+}
+
+// Default returns the TC32 description used throughout the reproduction.
+// The numbers are TriCore-class: dual issue, load-to-use 2, mul 2,
+// iterative divide, static backward-taken prediction, 512 B 2-way I-cache.
+func Default() *Desc {
+	return &Desc{
+		Name:          "tc32",
+		ClockHz:       48_000_000,
+		LoadLat:       2,
+		MulLat:        2,
+		DivBlock:      17, // divider busy 18 cycles total
+		Branch:        BranchCosts{NotTakenOK: 1, TakenOK: 2, Mispredict: 3, Direct: 2, Indirect: 3},
+		BackwardTaken: true,
+		ICache:        CacheGeom{Sets: 32, Ways: 2, LineBytes: 8, MissPenalty: 8},
+		IOWaitCycles:  2,
+	}
+}
+
+// TimingOf returns the issue timing of op under this description.
+func (d *Desc) TimingOf(op tc32.Op) Timing {
+	switch {
+	case op.IsMem():
+		if op.IsLoad() {
+			return Timing{Class: LS, Lat: d.LoadLat}
+		}
+		return Timing{Class: LS, Lat: 1}
+	case op == tc32.MUL:
+		return Timing{Class: IP, Lat: d.MulLat}
+	case op == tc32.DIV, op == tc32.DIVU, op == tc32.REM, op == tc32.REMU:
+		return Timing{Class: IP, Lat: 1, Block: d.DivBlock}
+	}
+	switch op {
+	case tc32.MOVHA, tc32.LEA, tc32.MOVD2A, tc32.MOVA2D, tc32.ADDA, tc32.ADDIA:
+		return Timing{Class: LS, Lat: 1}
+	}
+	// Everything else (ALU, branches, nop) issues on the integer pipeline.
+	return Timing{Class: IP, Lat: 1}
+}
+
+// PredictTaken returns the static prediction for a conditional branch at
+// inst (backward taken / forward not taken under the default predictor).
+func (d *Desc) PredictTaken(inst tc32.Inst) bool {
+	if !d.BackwardTaken {
+		return false
+	}
+	return inst.Backward()
+}
+
+// CondBranchBaseCost returns the minimum (and statically charged) cost of
+// a conditional branch: the cost when the static prediction is correct.
+// This is the "minimum number of cycles in all cases" of Section 3.4.1.
+func (d *Desc) CondBranchBaseCost(predictedTaken bool) uint8 {
+	if predictedTaken {
+		return d.Branch.TakenOK
+	}
+	return d.Branch.NotTakenOK
+}
+
+// CondBranchCost returns the actual cost of a conditional branch given the
+// static prediction and the actual outcome.
+func (d *Desc) CondBranchCost(predictedTaken, taken bool) uint8 {
+	if predictedTaken == taken {
+		return d.CondBranchBaseCost(predictedTaken)
+	}
+	return d.Branch.Mispredict
+}
+
+// CondBranchCorrection returns the correction cycles the dynamic
+// branch-prediction code must add for a conditional branch: actual cost
+// minus the statically charged base cost.
+func (d *Desc) CondBranchCorrection(predictedTaken, taken bool) uint8 {
+	return d.CondBranchCost(predictedTaken, taken) - d.CondBranchBaseCost(predictedTaken)
+}

@@ -1,0 +1,205 @@
+package march
+
+import "repro/internal/tc32"
+
+// RegID identifies a register in the unified timing namespace: 0..15 are
+// data registers, 16..31 address registers.
+type RegID uint8
+
+// DataReg and AddrReg build RegIDs for the two files.
+func DataReg(n uint8) RegID { return RegID(n) }
+
+// AddrReg returns the RegID of address register n.
+func AddrReg(n uint8) RegID { return RegID(16 + n) }
+
+// InstRegs returns the source registers (up to two), their count, and the
+// destination register (if any) of a TC32 instruction, in the unified
+// timing namespace. Memory addresses are not registers; the base register
+// of a load/store is a source.
+func InstRegs(i tc32.Inst) (srcs [2]RegID, ns int, dst RegID, hasDst bool) {
+	add := func(r RegID) {
+		srcs[ns] = r
+		ns++
+	}
+	switch i.Op {
+	case tc32.MOVI, tc32.MOVHI:
+		return srcs, 0, DataReg(i.Rd), true
+	case tc32.ADDI, tc32.RSUBI, tc32.ANDI, tc32.ORI, tc32.XORI,
+		tc32.EQI, tc32.LTI, tc32.SHLI, tc32.SHRI, tc32.SARI,
+		tc32.MOV, tc32.ABS, tc32.SEXTB, tc32.SEXTH:
+		add(DataReg(i.Rs1))
+		return srcs, ns, DataReg(i.Rd), true
+	case tc32.ADD, tc32.SUB, tc32.MUL, tc32.DIV, tc32.DIVU, tc32.REM,
+		tc32.REMU, tc32.AND, tc32.OR, tc32.XOR, tc32.ANDN, tc32.SHL,
+		tc32.SHR, tc32.SAR, tc32.EQ, tc32.NE, tc32.LT, tc32.LTU,
+		tc32.GE, tc32.GEU, tc32.MIN, tc32.MAX:
+		add(DataReg(i.Rs1))
+		add(DataReg(i.Rs2))
+		return srcs, ns, DataReg(i.Rd), true
+	case tc32.MOVHA:
+		return srcs, 0, AddrReg(i.Rd), true
+	case tc32.LEA, tc32.ADDIA:
+		add(AddrReg(i.Rs1))
+		return srcs, ns, AddrReg(i.Rd), true
+	case tc32.MOVD2A:
+		add(DataReg(i.Rs1))
+		return srcs, ns, AddrReg(i.Rd), true
+	case tc32.MOVA2D:
+		add(AddrReg(i.Rs1))
+		return srcs, ns, DataReg(i.Rd), true
+	case tc32.ADDA:
+		add(AddrReg(i.Rs1))
+		add(AddrReg(i.Rs2))
+		return srcs, ns, AddrReg(i.Rd), true
+	case tc32.LDW, tc32.LDH, tc32.LDHU, tc32.LDB, tc32.LDBU:
+		add(AddrReg(i.Rs1))
+		return srcs, ns, DataReg(i.Rd), true
+	case tc32.LDA:
+		add(AddrReg(i.Rs1))
+		return srcs, ns, AddrReg(i.Rd), true
+	case tc32.STW, tc32.STH, tc32.STB:
+		add(AddrReg(i.Rs1))
+		add(DataReg(i.Rd))
+		return srcs, ns, 0, false
+	case tc32.STA:
+		add(AddrReg(i.Rs1))
+		add(AddrReg(i.Rd))
+		return srcs, ns, 0, false
+	case tc32.JL:
+		return srcs, 0, AddrReg(tc32.RA), true
+	case tc32.JI:
+		add(AddrReg(i.Rs1))
+		return srcs, ns, 0, false
+	case tc32.RET, tc32.RET16:
+		add(AddrReg(tc32.RA))
+		return srcs, ns, 0, false
+	case tc32.JEQ, tc32.JNE, tc32.JLT, tc32.JGE, tc32.JLTU, tc32.JGEU:
+		add(DataReg(i.Rs1))
+		add(DataReg(i.Rs2))
+		return srcs, ns, 0, false
+	case tc32.JZ, tc32.JNZ:
+		add(DataReg(i.Rs1))
+		return srcs, ns, 0, false
+	case tc32.MOV16:
+		add(DataReg(i.Rs1))
+		return srcs, ns, DataReg(i.Rd), true
+	case tc32.ADD16, tc32.SUB16:
+		add(DataReg(i.Rd))
+		add(DataReg(i.Rs1))
+		return srcs, ns, DataReg(i.Rd), true
+	case tc32.MOVI16:
+		return srcs, 0, DataReg(i.Rd), true
+	case tc32.ADDI16:
+		add(DataReg(i.Rd))
+		return srcs, ns, DataReg(i.Rd), true
+	case tc32.JZ16, tc32.JNZ16:
+		add(DataReg(tc32.ImplicitCond))
+		return srcs, ns, 0, false
+	}
+	// J, J16, NOP, NOP16, HALT: no registers.
+	return srcs, 0, 0, false
+}
+
+// Pipe replays the TC32 dual-issue in-order pipeline timing over an
+// instruction stream. It tracks register availability and IP/LS pairing;
+// control-flow bubbles and fetch stalls are injected by the caller, which
+// is what lets the same model serve both the reference simulator (actual
+// outcomes, live I-cache) and the translator's static prediction (clean
+// entry state, predicted outcomes, no I-cache).
+type Pipe struct {
+	desc    *Desc
+	next    int64 // earliest issue cycle of the next instruction
+	readyAt [32]int64
+	// Pairing state: an IP instruction that issued at pairCycle and has
+	// not yet been paired with an LS instruction.
+	pairOpen  bool
+	pairCycle int64
+}
+
+// NewPipe returns a pipeline model in the reset state.
+func NewPipe(desc *Desc) *Pipe {
+	p := &Pipe{desc: desc}
+	p.Reset()
+	return p
+}
+
+// Reset restores the clean-entry state (all registers ready at cycle 0).
+func (p *Pipe) Reset() {
+	p.next = 0
+	p.pairOpen = false
+	p.pairCycle = 0
+	for i := range p.readyAt {
+		p.readyAt[i] = 0
+	}
+}
+
+// Cycles returns the total number of cycles consumed so far: the earliest
+// cycle at which a further instruction could issue. Write-back drain of
+// in-flight results is deliberately not counted; the reference simulator
+// and the static predictor agree on this convention.
+func (p *Pipe) Cycles() int64 { return p.next }
+
+// Issue issues one instruction and returns its issue cycle. Branch ops
+// must be followed by a Control call to account for their bubbles.
+func (p *Pipe) Issue(i tc32.Inst) int64 {
+	t := p.desc.TimingOf(i.Op)
+	srcs, ns, dst, hasDst := InstRegs(i)
+	opReady := int64(0)
+	for k := 0; k < ns; k++ {
+		if r := p.readyAt[srcs[k]]; r > opReady {
+			opReady = r
+		}
+	}
+	var issue int64
+	if p.pairOpen && t.Class == LS && !i.Op.IsBranch() && opReady <= p.pairCycle {
+		// Dual issue: this LS instruction shares the cycle of the
+		// preceding IP instruction.
+		issue = p.pairCycle
+		p.pairOpen = false
+	} else {
+		issue = p.next
+		if opReady > issue {
+			issue = opReady
+		}
+		p.next = issue + 1 + int64(t.Block)
+		p.pairOpen = t.Class == IP && !i.Op.IsBranch() && t.Block == 0
+		p.pairCycle = issue
+	}
+	if hasDst {
+		p.readyAt[dst] = issue + int64(t.Lat)
+	}
+	return issue
+}
+
+// Control accounts for a control transfer that issued at cycle issue with
+// the given total cost in cycles (the next instruction can issue no
+// earlier than issue+cost). It also closes any open pairing slot.
+func (p *Pipe) Control(issue int64, cost uint8) {
+	if n := issue + int64(cost); n > p.next {
+		p.next = n
+	}
+	p.pairOpen = false
+}
+
+// Stall inserts n stall cycles before the next issue (fetch stalls such as
+// I-cache miss penalties, or bus wait states). Pairing cannot span a stall.
+func (p *Pipe) Stall(n int64) {
+	if n <= 0 {
+		return
+	}
+	p.next += n
+	p.pairOpen = false
+}
+
+// Extend delays the result of the just-issued instruction by extra cycles
+// (data-dependent execution units such as a Booth multiplier): consumers
+// of the destination stall accordingly, while independent work still
+// overlaps.
+func (p *Pipe) Extend(i tc32.Inst, extra int64) {
+	if extra <= 0 {
+		return
+	}
+	if _, _, dst, has := InstRegs(i); has {
+		p.readyAt[dst] += extra
+	}
+}

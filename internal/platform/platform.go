@@ -1,0 +1,262 @@
+// Package platform simulates the rapid-prototyping emulation system the
+// translated programs run on: the C6x VLIW core next to the FPGA fabric
+// holding the synchronization device (cycle generation hardware) and the
+// bus interface to the emulated SoC bus (internal/socbus).
+//
+// The co-simulation contract mirrors the hardware: a write of n to the
+// synchronization device starts generation of n source-processor cycles
+// at a fixed rate (Ratio C6x cycles per generated cycle) while the C6x
+// keeps executing; a read from the device stalls the C6x until the
+// generation has drained; I/O accesses stall until the emulated clock has
+// caught up, time-stamp the bus transaction with the generated cycle
+// count, and generate the bus wait states.
+package platform
+
+import (
+	"fmt"
+
+	"repro/internal/c6x"
+	"repro/internal/core"
+	"repro/internal/iss"
+)
+
+// DefaultRatio is the number of C6x clock cycles per generated source
+// cycle: the C6x runs at 200 MHz and the cycle generation hardware at
+// 100 MHz.
+const DefaultRatio = 2
+
+// Clock rates of the platform (from the paper).
+const (
+	C6xClockHz = 200_000_000
+	// FPGAEmulationHz is the clock of the full-core FPGA emulation that
+	// Table 2 compares against.
+	FPGAEmulationHz = 8_000_000
+)
+
+// SyncDev is the synchronization device: the cycle-generation hardware in
+// the FPGA (Section 3.1).
+type SyncDev struct {
+	Ratio int64
+	// Total is the number of source cycles generated (committed count;
+	// the drain time is DoneAt).
+	Total int64
+	// DoneAt is the C6x cycle at which the running generation finishes.
+	DoneAt int64
+	// Starts counts generation starts (one per executed region).
+	Starts int64
+}
+
+// Start begins generating n cycles at C6x cycle t.
+func (s *SyncDev) Start(n uint32, t int64) {
+	if t > s.DoneAt {
+		s.DoneAt = t
+	}
+	s.DoneAt += s.Ratio * int64(n)
+	s.Total += int64(n)
+	s.Starts++
+}
+
+// Add joins c correction cycles to the running generation (the ADD
+// register used by the correction block).
+func (s *SyncDev) Add(c uint32, t int64) {
+	if t > s.DoneAt {
+		s.DoneAt = t
+	}
+	s.DoneAt += s.Ratio * int64(c)
+	s.Total += int64(c)
+}
+
+// Drain returns the C6x cycle at which the generation is finished.
+func (s *SyncDev) Drain(t int64) int64 {
+	if s.DoneAt > t {
+		return s.DoneAt
+	}
+	return t
+}
+
+// System is the assembled platform: core, sync device, memories and bus.
+type System struct {
+	Prog *core.Program
+	CPU  *c6x.Sim
+	Sync *SyncDev
+
+	// Bus is the emulated SoC bus (nil = only the debug port).
+	Bus iss.Bus
+
+	// Output collects debug-port writes, exactly like the reference
+	// simulator, for functional differential testing.
+	Output []uint32
+
+	text  []byte // source code image (read-only data in .text)
+	tBase uint32
+	ram   []byte
+	rBase uint32
+	ctab  []byte // cache-table RAM in the emulation fabric
+	cBase uint32
+}
+
+// New builds a platform around a translated program.
+func New(prog *core.Program) *System {
+	sys := &System{
+		Prog:  prog,
+		Sync:  &SyncDev{Ratio: DefaultRatio},
+		rBase: 0x1000_0000,
+		ram:   make([]byte, iss.RAMSize),
+		cBase: core.CacheTableBase,
+	}
+	if prog.DataAddr != 0 {
+		sys.rBase = prog.DataAddr
+	}
+	if len(prog.DataImage) > 0 {
+		copy(sys.ram[prog.DataAddr-sys.rBase:], prog.DataImage)
+	}
+	if prog.CacheTableWords > 0 {
+		sys.ctab = make([]byte, prog.CacheTableWords*4)
+	}
+	if len(prog.TextImage) > 0 {
+		sys.SetText(prog.TextAddr, prog.TextImage)
+	}
+	sys.CPU = c6x.NewSim(prog.C6x, sys)
+	return sys
+}
+
+// SetText maps the source program's code image (for constant loads).
+func (sys *System) SetText(base uint32, data []byte) {
+	sys.tBase = base
+	sys.text = append([]byte(nil), data...)
+}
+
+func rd(b []byte, off uint32, size int) uint32 {
+	var v uint32
+	for i := 0; i < size; i++ {
+		v |= uint32(b[off+uint32(i)]) << (8 * i)
+	}
+	return v
+}
+
+func wr(b []byte, off uint32, val uint32, size int) {
+	for i := 0; i < size; i++ {
+		b[off+uint32(i)] = byte(val >> (8 * i))
+	}
+}
+
+// emulatedNow returns the bus time stamp for an I/O transaction.
+func (sys *System) emulatedNow(cycle int64) int64 {
+	if sys.Prog.Level == core.Level0 {
+		// No cycle generation at level 0: approximate with scaled C6x
+		// time (functional-only mode).
+		return cycle / sys.Sync.Ratio
+	}
+	return sys.Sync.Total
+}
+
+// Load implements c6x.MemPort.
+func (sys *System) Load(addr uint32, size int, cycle int64) (uint32, int64, error) {
+	switch {
+	case addr >= sys.rBase && addr-sys.rBase+uint32(size) <= uint32(len(sys.ram)):
+		return rd(sys.ram, addr-sys.rBase, size), cycle, nil
+	case sys.ctab != nil && addr >= sys.cBase && addr-sys.cBase+uint32(size) <= uint32(len(sys.ctab)):
+		return rd(sys.ctab, addr-sys.cBase, size), cycle, nil
+	case addr == core.SyncStart:
+		// Blocking read: wait for end of cycle generation (Figure 2).
+		return 0, sys.Sync.Drain(cycle), nil
+	case addr == core.SyncTotal:
+		return uint32(sys.Sync.Total), cycle, nil
+	case addr == core.SyncTotal+4:
+		return uint32(sys.Sync.Total >> 32), cycle, nil
+	case iss.IsIO(addr):
+		// Bus interface: wait for the emulated clock, perform the
+		// transaction, generate the wait states.
+		t := sys.Sync.Drain(cycle)
+		now := sys.emulatedNow(cycle)
+		var v uint32
+		if addr == iss.DebugPortAddr || addr == iss.DebugPortAddr+4 {
+			v = uint32(len(sys.Output))
+		} else if sys.Bus != nil {
+			v = sys.Bus.BusRead32(addr, now)
+		}
+		t = sys.ioWait(t)
+		return v, t, nil
+	case addr >= sys.tBase && addr-sys.tBase+uint32(size) <= uint32(len(sys.text)):
+		return rd(sys.text, addr-sys.tBase, size), cycle, nil
+	}
+	return 0, cycle, fmt.Errorf("platform: unmapped load @%#x", addr)
+}
+
+// Store implements c6x.MemPort.
+func (sys *System) Store(addr uint32, val uint32, size int, cycle int64) (int64, error) {
+	switch {
+	case addr >= sys.rBase && addr-sys.rBase+uint32(size) <= uint32(len(sys.ram)):
+		wr(sys.ram, addr-sys.rBase, val, size)
+		return cycle, nil
+	case sys.ctab != nil && addr >= sys.cBase && addr-sys.cBase+uint32(size) <= uint32(len(sys.ctab)):
+		wr(sys.ctab, addr-sys.cBase, val, size)
+		return cycle, nil
+	case addr == core.SyncStart:
+		sys.Sync.Start(val, cycle)
+		return cycle, nil
+	case addr == core.SyncAdd:
+		sys.Sync.Add(val, cycle)
+		return cycle, nil
+	case iss.IsIO(addr):
+		t := sys.Sync.Drain(cycle)
+		now := sys.emulatedNow(cycle)
+		if addr == iss.DebugPortAddr {
+			sys.Output = append(sys.Output, val)
+		} else if sys.Bus != nil {
+			sys.Bus.BusWrite32(addr, val, now)
+		}
+		t = sys.ioWait(t)
+		return t, nil
+	}
+	return cycle, fmt.Errorf("platform: unmapped store @%#x", addr)
+}
+
+// ioWait generates the bus wait-state cycles of an I/O access and returns
+// the C6x cycle at which the CPU may continue.
+func (sys *System) ioWait(t int64) int64 {
+	wait := int64(sys.Prog.Desc.IOWaitCycles)
+	if sys.Prog.Level == core.Level0 {
+		return t // untimed mode
+	}
+	sys.Sync.Total += wait
+	sys.Sync.DoneAt = t + sys.Sync.Ratio*wait
+	return sys.Sync.DoneAt
+}
+
+// Run executes the translated program to completion.
+func (sys *System) Run() error {
+	return sys.CPU.Run()
+}
+
+// Stats summarizes a platform run.
+type Stats struct {
+	C6xCycles       int64 // C6x core cycles (at 200 MHz)
+	GeneratedCycles int64 // emulated source cycles produced
+	Regions         int64 // cycle regions executed
+	StallCycles     int64
+	Packets         int64
+	Instructions    int64
+}
+
+// Stats returns the platform measurements.
+func (sys *System) Stats() Stats {
+	cs := sys.CPU.Stats()
+	return Stats{
+		C6xCycles:       cs.Cycles,
+		GeneratedCycles: sys.Sync.Total,
+		Regions:         sys.Sync.Starts,
+		StallCycles:     cs.StallCycles,
+		Packets:         cs.Packets,
+		Instructions:    cs.Instructions,
+	}
+}
+
+// ReadWord inspects platform RAM (tests and debugger).
+func (sys *System) ReadWord(addr uint32) uint32 {
+	v, _, err := sys.Load(addr, 4, sys.CPU.Cycle())
+	if err != nil {
+		return 0
+	}
+	return v
+}

@@ -1,0 +1,445 @@
+// Package rtlsim is a register-transfer-level proxy of the TC32 core: a
+// multicycle datapath with explicit latches (instruction register, operand
+// latches, ALU output, memory data register) evaluated one clock at a
+// time, the way an HDL simulation of the core would execute.
+//
+// Its role is Table 2's "Simulation (Workstation)" row: the paper compares
+// the translated programs against an RT-level simulation of the TriCore
+// core on a workstation, which is orders of magnitude slower than both
+// the FPGA emulation and the translation. This package provides that cost
+// point: it is deliberately structural (per-cycle phase evaluation, 16-bit
+// fetch path, no pre-decoded program cache) and is differentially tested
+// for functional equivalence against the reference ISS.
+package rtlsim
+
+import (
+	"fmt"
+
+	"repro/internal/elf32"
+	"repro/internal/iss"
+	"repro/internal/tc32"
+)
+
+// phase is the multicycle control state.
+type phase uint8
+
+const (
+	phFetch1 phase = iota
+	phFetch2
+	phDecode
+	phExecute
+	phMemory
+	phWriteback
+)
+
+// CPU is the multicycle RT-level core.
+type CPU struct {
+	// Architectural state.
+	D  [16]uint32
+	A  [16]uint32
+	PC uint32
+
+	// Datapath latches.
+	ph     phase
+	fetch  [4]byte
+	ir     tc32.Inst
+	opA    uint32 // first operand latch
+	opB    uint32 // second operand latch
+	aluOut uint32
+	mdr    uint32
+	ea     uint32
+	exLeft int // remaining execute cycles (multiplier/divider busy)
+
+	nextPC uint32
+	wbReg  uint8
+	wbFile byte // 'd', 'a', 0
+	memOp  bool
+	doHalt bool
+
+	// comb holds the combinational network's outputs. As in an HDL
+	// simulation, the whole datapath (instruction decoder, register-file
+	// read ports, ALU, address generator, branch unit) is evaluated on
+	// every clock; the multicycle control only decides which results are
+	// latched. This per-cycle evaluation is what makes RT-level
+	// simulation so much slower than an ISS (Table 2's point).
+	comb struct {
+		alu    uint32
+		ea     uint32
+		nextPC uint32
+		taken  bool
+		inst   tc32.Inst
+		rfA    uint32
+		rfB    uint32
+	}
+
+	Mem     *iss.Memory
+	Cycle   int64
+	Retired int64
+	Halted  bool
+}
+
+// New builds the RT-level core from an assembled image.
+func New(f *elf32.File) (*CPU, error) {
+	text := f.Section(".text")
+	if text == nil {
+		return nil, fmt.Errorf("rtlsim: no .text")
+	}
+	ramBase := uint32(0x1000_0000)
+	if d := f.Section(".data"); d != nil {
+		ramBase = d.Addr
+	}
+	mem := iss.NewMemory(text.Addr, text.Data, ramBase, iss.RAMSize)
+	if d := f.Section(".data"); d != nil {
+		if err := mem.LoadImage(d.Addr, d.Data); err != nil {
+			return nil, err
+		}
+	}
+	return &CPU{Mem: mem, PC: f.Entry}, nil
+}
+
+// evalCombinational evaluates the full combinational network from the
+// current latch values, every cycle, exactly as event/cycle-driven HDL
+// simulation evaluates every process: the decoder re-decodes the fetch
+// buffer, both register-file read ports are driven, and the ALU, address
+// generator and branch unit compute from the operand latches. Only the
+// control FSM decides what gets latched.
+func (c *CPU) evalCombinational() {
+	// Instruction decoder (combinational on the fetch buffer).
+	if inst, err := tc32.Decode(c.fetch[:], c.PC); err == nil {
+		c.comb.inst = inst
+	}
+	// Register-file read ports (addressed by the current IR fields).
+	c.comb.rfA = c.D[c.ir.Rs1&15]
+	c.comb.rfB = c.D[c.ir.Rs2&15]
+	// Execution units.
+	c.execute()
+}
+
+// Clock advances the datapath by one cycle.
+func (c *CPU) Clock() error {
+	c.Cycle++
+	c.evalCombinational()
+	switch c.ph {
+	case phFetch1:
+		// 16-bit fetch path: first halfword.
+		v, err := c.Mem.Read(c.PC, c.PC, 2, c.Cycle)
+		if err != nil {
+			return err
+		}
+		c.fetch[0] = byte(v)
+		c.fetch[1] = byte(v >> 8)
+		if c.fetch[0]&1 == 1 {
+			// 16-bit instruction: decode immediately next cycle.
+			ir, err := tc32.Decode(c.fetch[:2], c.PC)
+			if err != nil {
+				return fmt.Errorf("rtlsim: %v at pc %#x", err, c.PC)
+			}
+			c.ir = ir
+			c.ph = phDecode
+		} else {
+			c.ph = phFetch2
+		}
+	case phFetch2:
+		v, err := c.Mem.Read(c.PC, c.PC+2, 2, c.Cycle)
+		if err != nil {
+			return err
+		}
+		c.fetch[2] = byte(v)
+		c.fetch[3] = byte(v >> 8)
+		ir, err := tc32.Decode(c.fetch[:4], c.PC)
+		if err != nil {
+			return fmt.Errorf("rtlsim: %v at pc %#x", err, c.PC)
+		}
+		c.ir = ir
+		c.ph = phDecode
+	case phDecode:
+		c.decode()
+		c.ph = phExecute
+	case phExecute:
+		if c.exLeft > 1 {
+			c.exLeft-- // multiplier/divider busy
+			return nil
+		}
+		// Latch the combinational results.
+		c.aluOut = c.comb.alu
+		c.ea = c.comb.ea
+		c.nextPC = c.comb.nextPC
+		if c.memOp {
+			c.ph = phMemory
+		} else {
+			c.ph = phWriteback
+		}
+	case phMemory:
+		in := c.ir
+		size := 4
+		switch in.Op {
+		case tc32.LDH, tc32.LDHU, tc32.STH:
+			size = 2
+		case tc32.LDB, tc32.LDBU, tc32.STB:
+			size = 1
+		}
+		if in.Op.IsStore() {
+			val := c.opB
+			if err := c.Mem.Write(in.Addr, c.ea, val, size, c.Cycle); err != nil {
+				return err
+			}
+		} else {
+			v, err := c.Mem.Read(in.Addr, c.ea, size, c.Cycle)
+			if err != nil {
+				return err
+			}
+			switch in.Op {
+			case tc32.LDH:
+				v = uint32(int32(int16(v)))
+			case tc32.LDB:
+				v = uint32(int32(int8(v)))
+			}
+			c.mdr = v
+		}
+		c.ph = phWriteback
+	case phWriteback:
+		if c.wbFile == 'd' {
+			v := c.aluOut
+			if c.ir.Op.IsLoad() {
+				v = c.mdr
+			}
+			c.D[c.wbReg] = v
+		} else if c.wbFile == 'a' {
+			v := c.aluOut
+			if c.ir.Op.IsLoad() {
+				v = c.mdr
+			}
+			c.A[c.wbReg] = v
+		}
+		c.PC = c.nextPC
+		c.Retired++
+		if c.doHalt {
+			c.Halted = true
+		}
+		c.ph = phFetch1
+	}
+	return nil
+}
+
+// decode latches operands and the writeback plan.
+func (c *CPU) decode() {
+	in := c.ir
+	c.memOp = in.Op.IsMem()
+	c.doHalt = in.Op == tc32.HALT
+	c.wbFile = 0
+	c.exLeft = 1
+	switch in.Op {
+	case tc32.MUL:
+		c.exLeft = 2
+	case tc32.DIV, tc32.DIVU, tc32.REM, tc32.REMU:
+		c.exLeft = 18
+	}
+	// Operand latches.
+	switch in.Op.Format() {
+	case tc32.FmtRI:
+		c.opA = c.D[in.Rs1]
+		if in.Op == tc32.MOVHA || in.Op == tc32.ADDIA {
+			c.opA = c.A[in.Rs1]
+		}
+		c.opB = uint32(in.Imm)
+	case tc32.FmtRR:
+		switch in.Op {
+		case tc32.MOVA2D, tc32.ADDA:
+			c.opA = c.A[in.Rs1]
+			c.opB = c.A[in.Rs2]
+		default:
+			c.opA = c.D[in.Rs1]
+			c.opB = c.D[in.Rs2]
+		}
+	case tc32.FmtLS:
+		c.opA = c.A[in.Rs1]
+		switch in.Op {
+		case tc32.LEA:
+			c.opB = uint32(in.Imm)
+		case tc32.STA:
+			c.opB = c.A[in.Rd] // store data
+		default:
+			c.opB = c.D[in.Rd] // store data (loads ignore)
+		}
+	case tc32.FmtBR:
+		c.opA = c.D[in.Rs1]
+		c.opB = c.D[in.Rs2]
+	case tc32.FmtJR:
+		c.opA = c.A[in.Rs1]
+	case tc32.FmtSRR:
+		c.opA = c.D[in.Rd]
+		c.opB = c.D[in.Rs1]
+	case tc32.FmtSRC:
+		c.opA = c.D[in.Rd]
+		c.opB = uint32(in.Imm)
+	case tc32.FmtSB:
+		c.opA = c.D[tc32.ImplicitCond]
+	}
+	// Writeback plan.
+	switch {
+	case in.Op.IsLoad():
+		c.wbReg = in.Rd
+		c.wbFile = 'd'
+		if in.Op == tc32.LDA {
+			c.wbFile = 'a'
+		}
+	case in.Op == tc32.MOVHA, in.Op == tc32.LEA, in.Op == tc32.MOVD2A,
+		in.Op == tc32.ADDA, in.Op == tc32.ADDIA:
+		c.wbReg = in.Rd
+		c.wbFile = 'a'
+	case in.Op == tc32.JL:
+		c.wbReg = tc32.RA
+		c.wbFile = 'a'
+	case in.Op.IsStore(), in.Op.IsBranch(), in.Op == tc32.NOP, in.Op == tc32.NOP16:
+	default:
+		c.wbReg = in.Rd
+		c.wbFile = 'd'
+	}
+}
+
+// execute drives the ALU, address-generator and branch-unit outputs of
+// the combinational network from the operand latches.
+func (c *CPU) execute() {
+	in := c.ir
+	a, b := c.opA, c.opB
+	c.comb.nextPC = in.Addr + uint32(in.Size)
+	taken := false
+	switch in.Op {
+	case tc32.MOVI, tc32.MOVI16:
+		c.comb.alu = b
+	case tc32.MOVHI, tc32.MOVHA:
+		c.comb.alu = b << 16
+	case tc32.ADDI, tc32.ADDIA, tc32.LEA:
+		c.comb.alu = a + b
+	case tc32.ADDI16:
+		c.comb.alu = a + b
+	case tc32.RSUBI:
+		c.comb.alu = b - a
+	case tc32.ANDI, tc32.AND:
+		c.comb.alu = a & b
+	case tc32.ORI, tc32.OR:
+		c.comb.alu = a | b
+	case tc32.XORI, tc32.XOR:
+		c.comb.alu = a ^ b
+	case tc32.EQI, tc32.EQ:
+		c.comb.alu = b2u(a == b)
+	case tc32.LTI, tc32.LT:
+		c.comb.alu = b2u(int32(a) < int32(b))
+	case tc32.SHLI, tc32.SHL:
+		c.comb.alu = a << (b & 31)
+	case tc32.SHRI, tc32.SHR:
+		c.comb.alu = a >> (b & 31)
+	case tc32.SARI, tc32.SAR:
+		c.comb.alu = uint32(int32(a) >> (b & 31))
+	case tc32.MOV, tc32.MOVD2A, tc32.MOVA2D:
+		c.comb.alu = a
+	case tc32.MOV16:
+		c.comb.alu = b // SRR format: rs1 is latched into opB
+	case tc32.ADD, tc32.ADDA, tc32.ADD16:
+		c.comb.alu = a + b
+	case tc32.SUB, tc32.SUB16:
+		c.comb.alu = a - b
+	case tc32.MUL:
+		c.comb.alu = a * b
+	case tc32.DIV:
+		c.comb.alu = uint32(tc32.DivQuot(int32(a), int32(b)))
+	case tc32.DIVU:
+		c.comb.alu = tc32.DivQuotU(a, b)
+	case tc32.REM:
+		c.comb.alu = uint32(tc32.DivRem(int32(a), int32(b)))
+	case tc32.REMU:
+		c.comb.alu = tc32.DivRemU(a, b)
+	case tc32.ANDN:
+		c.comb.alu = a &^ b
+	case tc32.NE:
+		c.comb.alu = b2u(a != b)
+	case tc32.LTU:
+		c.comb.alu = b2u(a < b)
+	case tc32.GE:
+		c.comb.alu = b2u(int32(a) >= int32(b))
+	case tc32.GEU:
+		c.comb.alu = b2u(a >= b)
+	case tc32.MIN:
+		if int32(a) < int32(b) {
+			c.comb.alu = a
+		} else {
+			c.comb.alu = b
+		}
+	case tc32.MAX:
+		if int32(a) > int32(b) {
+			c.comb.alu = a
+		} else {
+			c.comb.alu = b
+		}
+	case tc32.ABS:
+		if int32(a) < 0 {
+			c.comb.alu = -a
+		} else {
+			c.comb.alu = a
+		}
+	case tc32.SEXTB:
+		c.comb.alu = uint32(int32(int8(a)))
+	case tc32.SEXTH:
+		c.comb.alu = uint32(int32(int16(a)))
+
+	case tc32.LDW, tc32.LDH, tc32.LDHU, tc32.LDB, tc32.LDBU, tc32.LDA,
+		tc32.STW, tc32.STH, tc32.STB, tc32.STA:
+		c.comb.ea = a + uint32(in.Imm)
+
+	case tc32.J, tc32.J16:
+		c.comb.nextPC = in.Target()
+	case tc32.JL:
+		c.comb.alu = in.Addr + 4
+		c.comb.nextPC = in.Target()
+	case tc32.JI:
+		c.comb.nextPC = a
+	case tc32.RET, tc32.RET16:
+		c.comb.nextPC = c.A[tc32.RA]
+	case tc32.JEQ:
+		taken = a == b
+	case tc32.JNE:
+		taken = a != b
+	case tc32.JLT:
+		taken = int32(a) < int32(b)
+	case tc32.JGE:
+		taken = int32(a) >= int32(b)
+	case tc32.JLTU:
+		taken = a < b
+	case tc32.JGEU:
+		taken = a >= b
+	case tc32.JZ, tc32.JZ16:
+		taken = a == 0
+	case tc32.JNZ, tc32.JNZ16:
+		taken = a != 0
+	}
+	c.comb.taken = taken
+	if taken {
+		c.comb.nextPC = in.Target()
+	}
+}
+
+// Run clocks the core until HALT.
+func (c *CPU) Run(maxCycles int64) error {
+	if maxCycles == 0 {
+		maxCycles = 2_000_000_000
+	}
+	for !c.Halted {
+		if c.Cycle > maxCycles {
+			return fmt.Errorf("rtlsim: cycle limit exceeded")
+		}
+		if err := c.Clock(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Output returns the debug-port writes.
+func (c *CPU) Output() []uint32 { return c.Mem.Output }
+
+func b2u(b bool) uint32 {
+	if b {
+		return 1
+	}
+	return 0
+}

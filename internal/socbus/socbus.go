@@ -1,0 +1,187 @@
+// Package socbus models the SoC bus of the emulated system and the
+// hardware attached to it. On the paper's platform this hardware lives in
+// the FPGAs behind a bus interface that adapts the C6x bus to the SoC bus
+// of the emulated processor core; the cycle stream produced by the
+// synchronization device clocks it.
+//
+// Peripherals are lazily-advancing state machines keyed on absolute cycle
+// timestamps, so exactly the same devices serve both the reference
+// simulator (timestamps = source-core cycles) and the emulation platform
+// (timestamps = generated cycles). Cycle-accurate handshakes — the
+// paper's motivating use case for device-driver validation — fall out of
+// the timestamps: a driver that polls the UART busy flag too early sees
+// it still busy.
+package socbus
+
+import "sort"
+
+// Device is one peripheral on the SoC bus.
+type Device interface {
+	// Range returns the device's address window.
+	Range() (base, size uint32)
+	// Read returns the register at byte offset off at the given cycle.
+	Read(off uint32, cycle int64) uint32
+	// Write stores to the register at byte offset off at the given cycle.
+	Write(off uint32, val uint32, cycle int64)
+}
+
+// Transaction is one logged bus access.
+type Transaction struct {
+	Addr  uint32
+	Val   uint32
+	Write bool
+	Cycle int64
+}
+
+// Bus routes accesses to devices and logs every transaction. It
+// implements the reference simulator's Bus interface and is driven by the
+// platform's bus interface on the translated side.
+type Bus struct {
+	devs []Device
+	// Log holds every transaction in order (useful for handshake
+	// validation in tests and examples).
+	Log []Transaction
+	// Unmapped counts accesses that hit no device.
+	Unmapped int
+}
+
+// NewBus builds a bus with the given devices.
+func NewBus(devs ...Device) *Bus {
+	b := &Bus{devs: devs}
+	sort.Slice(b.devs, func(i, j int) bool {
+		bi, _ := b.devs[i].Range()
+		bj, _ := b.devs[j].Range()
+		return bi < bj
+	})
+	return b
+}
+
+// Attach adds a device.
+func (b *Bus) Attach(d Device) { b.devs = append(b.devs, d) }
+
+func (b *Bus) find(addr uint32) (Device, uint32) {
+	for _, d := range b.devs {
+		base, size := d.Range()
+		if addr >= base && addr-base < size {
+			return d, addr - base
+		}
+	}
+	return nil, 0
+}
+
+// BusRead32 reads a device register (iss.Bus interface).
+func (b *Bus) BusRead32(addr uint32, cycle int64) uint32 {
+	d, off := b.find(addr)
+	var v uint32
+	if d != nil {
+		v = d.Read(off, cycle)
+	} else {
+		b.Unmapped++
+	}
+	b.Log = append(b.Log, Transaction{Addr: addr, Val: v, Cycle: cycle})
+	return v
+}
+
+// BusWrite32 writes a device register (iss.Bus interface).
+func (b *Bus) BusWrite32(addr uint32, val uint32, cycle int64) {
+	d, off := b.find(addr)
+	if d != nil {
+		d.Write(off, val, cycle)
+	} else {
+		b.Unmapped++
+	}
+	b.Log = append(b.Log, Transaction{Addr: addr, Val: val, Write: true, Cycle: cycle})
+}
+
+// Timer is a free-running cycle counter with a resettable base — the
+// simplest cycle-accurate peripheral: reading COUNT at different emulated
+// times gives different values, so it directly exposes timing fidelity.
+//
+// Registers: +0 COUNT (R), +4 CTRL (W: any value resets the counter).
+type Timer struct {
+	Base    uint32
+	resetAt int64
+}
+
+// TimerBase is the default timer address.
+const TimerBase = 0xF000_1000
+
+// NewTimer returns a timer at the default address.
+func NewTimer() *Timer { return &Timer{Base: TimerBase} }
+
+// Range implements Device.
+func (t *Timer) Range() (uint32, uint32) { return t.Base, 0x100 }
+
+// Read implements Device.
+func (t *Timer) Read(off uint32, cycle int64) uint32 {
+	if off == 0 {
+		return uint32(cycle - t.resetAt)
+	}
+	return 0
+}
+
+// Write implements Device.
+func (t *Timer) Write(off uint32, val uint32, cycle int64) {
+	if off == 4 {
+		t.resetAt = cycle
+	}
+}
+
+// UART is a byte-wide output port with a busy handshake: after accepting
+// a byte it is busy for CyclesPerByte cycles, and a write while busy is an
+// overrun (the byte is lost). A correct driver polls STATUS until idle —
+// exactly the handshake the paper's cycle-accurate bus interface exists to
+// validate.
+//
+// Registers: +0 DATA (W: send byte; R: last byte), +4 STATUS (R: bit0 =
+// busy).
+type UART struct {
+	Base          uint32
+	CyclesPerByte int64
+
+	Sent      []byte
+	SendTimes []int64
+	Overruns  int
+	busyUntil int64
+	last      uint32
+}
+
+// UARTBase is the default UART address.
+const UARTBase = 0xF000_2000
+
+// NewUART returns a UART at the default address.
+func NewUART(cyclesPerByte int64) *UART {
+	return &UART{Base: UARTBase, CyclesPerByte: cyclesPerByte}
+}
+
+// Range implements Device.
+func (u *UART) Range() (uint32, uint32) { return u.Base, 0x100 }
+
+// Read implements Device.
+func (u *UART) Read(off uint32, cycle int64) uint32 {
+	switch off {
+	case 0:
+		return u.last
+	case 4:
+		if cycle < u.busyUntil {
+			return 1
+		}
+		return 0
+	}
+	return 0
+}
+
+// Write implements Device.
+func (u *UART) Write(off uint32, val uint32, cycle int64) {
+	if off != 0 {
+		return
+	}
+	if cycle < u.busyUntil {
+		u.Overruns++
+		return
+	}
+	u.last = val & 0xFF
+	u.Sent = append(u.Sent, byte(val))
+	u.SendTimes = append(u.SendTimes, cycle)
+	u.busyUntil = cycle + u.CyclesPerByte
+}

@@ -1,0 +1,363 @@
+// Package tc32 defines the TC32 instruction-set architecture: a
+// TriCore-class 32-bit embedded processor used as the source processor of
+// the cycle-accurate binary translator.
+//
+// Like Infineon's TriCore, TC32 has a split register file (16 data
+// registers d0..d15 and 16 address registers a0..a15, with a10 as stack
+// pointer and a11 as return address), little-endian memory, and mixed
+// 16-bit/32-bit instruction encodings.  The mixed encoding is what makes
+// instruction-cache analysis blocks non-trivial, exactly as in the paper.
+package tc32
+
+// Register file indices.
+const (
+	// SP is the stack pointer (address register a10).
+	SP = 10
+	// RA is the return-address register (address register a11).
+	RA = 11
+	// ImplicitCond is the data register tested by the 16-bit jz16/jnz16
+	// forms (d15, as in TriCore's SB format).
+	ImplicitCond = 15
+)
+
+// Op identifies a TC32 operation (mnemonic level, not encoding level).
+type Op uint8
+
+// TC32 operations. Ops with a "16" suffix use the 16-bit encoding.
+const (
+	BAD Op = iota // illegal/unknown encoding
+
+	// Data-register ALU, immediate forms.
+	MOVI  // d[rd] = sext16(imm)
+	MOVHI // d[rd] = imm << 16
+	ADDI  // d[rd] = d[rs1] + sext16(imm)
+	RSUBI // d[rd] = sext16(imm) - d[rs1]
+	ANDI  // d[rd] = d[rs1] & zext16(imm)
+	ORI   // d[rd] = d[rs1] | zext16(imm)
+	XORI  // d[rd] = d[rs1] ^ zext16(imm)
+	EQI   // d[rd] = d[rs1] == sext16(imm) ? 1 : 0
+	LTI   // d[rd] = d[rs1] < sext16(imm) ? 1 : 0 (signed)
+	SHLI  // d[rd] = d[rs1] << (imm & 31)
+	SHRI  // d[rd] = d[rs1] >> (imm & 31) (logical)
+	SARI  // d[rd] = d[rs1] >> (imm & 31) (arithmetic)
+
+	// Data-register ALU, register forms.
+	MOV   // d[rd] = d[rs1]
+	ADD   // d[rd] = d[rs1] + d[rs2]
+	SUB   // d[rd] = d[rs1] - d[rs2]
+	MUL   // d[rd] = d[rs1] * d[rs2] (low 32 bits)
+	DIV   // d[rd] = d[rs1] / d[rs2] (signed; see DivQuot)
+	DIVU  // d[rd] = d[rs1] / d[rs2] (unsigned)
+	REM   // d[rd] = d[rs1] % d[rs2] (signed)
+	REMU  // d[rd] = d[rs1] % d[rs2] (unsigned)
+	AND   // d[rd] = d[rs1] & d[rs2]
+	OR    // d[rd] = d[rs1] | d[rs2]
+	XOR   // d[rd] = d[rs1] ^ d[rs2]
+	ANDN  // d[rd] = d[rs1] &^ d[rs2]
+	SHL   // d[rd] = d[rs1] << (d[rs2] & 31)
+	SHR   // d[rd] = d[rs1] >> (d[rs2] & 31) (logical)
+	SAR   // d[rd] = d[rs1] >> (d[rs2] & 31) (arithmetic)
+	EQ    // d[rd] = d[rs1] == d[rs2] ? 1 : 0
+	NE    // d[rd] = d[rs1] != d[rs2] ? 1 : 0
+	LT    // signed <
+	LTU   // unsigned <
+	GE    // signed >=
+	GEU   // unsigned >=
+	MIN   // signed minimum
+	MAX   // signed maximum
+	ABS   // d[rd] = |d[rs1]| (signed)
+	SEXTB // d[rd] = sign-extend low byte of d[rs1]
+	SEXTH // d[rd] = sign-extend low half of d[rs1]
+
+	// Address-register operations.
+	MOVHA  // a[rd] = imm << 16
+	LEA    // a[rd] = a[rs1] + sext16(imm)
+	MOVD2A // a[rd] = d[rs1]
+	MOVA2D // d[rd] = a[rs1]
+	ADDA   // a[rd] = a[rs1] + a[rs2]
+	ADDIA  // a[rd] = a[rs1] + sext16(imm)
+
+	// Loads and stores: effective address a[rs1] + sext16(imm).
+	LDW  // d[rd] = mem32[ea]
+	LDH  // d[rd] = sext(mem16[ea])
+	LDHU // d[rd] = zext(mem16[ea])
+	LDB  // d[rd] = sext(mem8[ea])
+	LDBU // d[rd] = zext(mem8[ea])
+	STW  // mem32[ea] = d[rd]
+	STH  // mem16[ea] = d[rd]
+	STB  // mem8[ea] = d[rd]
+	LDA  // a[rd] = mem32[ea]
+	STA  // mem32[ea] = a[rd]
+
+	// Control flow. Branch displacements are byte offsets relative to the
+	// address of the branch instruction itself (always even).
+	J    // pc = pc + imm
+	JL   // a11 = pc + 4; pc = pc + imm
+	JI   // pc = a[rs1]
+	RET  // pc = a11
+	JEQ  // if d[rs1] == d[rs2]: pc += imm
+	JNE  // if d[rs1] != d[rs2]: pc += imm
+	JLT  // if d[rs1] <  d[rs2] (signed): pc += imm
+	JGE  // if d[rs1] >= d[rs2] (signed): pc += imm
+	JLTU // unsigned <
+	JGEU // unsigned >=
+	JZ   // if d[rs1] == 0: pc += imm
+	JNZ  // if d[rs1] != 0: pc += imm
+
+	NOP  // no operation (32-bit)
+	HALT // stop the processor (simulation exit)
+
+	// 16-bit encodings.
+	MOV16  // d[rd] = d[rs1]
+	ADD16  // d[rd] += d[rs1]
+	SUB16  // d[rd] -= d[rs1]
+	MOVI16 // d[rd] = sext4(imm)
+	ADDI16 // d[rd] += sext4(imm)
+	J16    // pc += imm
+	JZ16   // if d15 == 0: pc += imm
+	JNZ16  // if d15 != 0: pc += imm
+	RET16  // pc = a11
+	NOP16  // no operation (16-bit)
+
+	NumOps // number of operations (not an op)
+)
+
+// Format describes the encoding format of an operation.
+type Format uint8
+
+// Encoding formats. 32-bit formats first, then 16-bit.
+const (
+	FmtNone Format = iota // op only (nop, halt, ret)
+	FmtRI                 // op, rd, rs1, imm16
+	FmtRR                 // op, rd, rs1, rs2
+	FmtLS                 // op, rd, rs1(base), off16
+	FmtBR                 // op, rs1, rs2, disp16 (halfwords)
+	FmtJ                  // op, disp24 (halfwords)
+	FmtJR                 // op, rs1 (address register)
+	FmtSRR                // 16-bit: op, rd, rs1
+	FmtSRC                // 16-bit: op, rd, const4
+	FmtSB                 // 16-bit: op, disp8 (halfwords)
+	FmtS0                 // 16-bit: op only
+)
+
+// Info describes static properties of an operation.
+type Info struct {
+	Name   string
+	Format Format
+	Enc    uint8 // primary opcode byte (bit 0 set for 16-bit encodings)
+}
+
+var opInfo = [NumOps]Info{
+	BAD:    {"<bad>", FmtNone, 0x00},
+	MOVI:   {"movi", FmtRI, 0x02},
+	MOVHI:  {"movhi", FmtRI, 0x04},
+	ADDI:   {"addi", FmtRI, 0x06},
+	RSUBI:  {"rsubi", FmtRI, 0x08},
+	ANDI:   {"andi", FmtRI, 0x0A},
+	ORI:    {"ori", FmtRI, 0x0C},
+	XORI:   {"xori", FmtRI, 0x0E},
+	EQI:    {"eqi", FmtRI, 0x10},
+	LTI:    {"lti", FmtRI, 0x12},
+	SHLI:   {"shli", FmtRI, 0x14},
+	SHRI:   {"shri", FmtRI, 0x16},
+	SARI:   {"sari", FmtRI, 0x18},
+	MOV:    {"mov", FmtRR, 0x1A},
+	ADD:    {"add", FmtRR, 0x1C},
+	SUB:    {"sub", FmtRR, 0x1E},
+	MUL:    {"mul", FmtRR, 0x20},
+	DIV:    {"div", FmtRR, 0x22},
+	DIVU:   {"divu", FmtRR, 0x24},
+	REM:    {"rem", FmtRR, 0x26},
+	REMU:   {"remu", FmtRR, 0x28},
+	AND:    {"and", FmtRR, 0x2A},
+	OR:     {"or", FmtRR, 0x2C},
+	XOR:    {"xor", FmtRR, 0x2E},
+	ANDN:   {"andn", FmtRR, 0x30},
+	SHL:    {"shl", FmtRR, 0x32},
+	SHR:    {"shr", FmtRR, 0x34},
+	SAR:    {"sar", FmtRR, 0x36},
+	EQ:     {"eq", FmtRR, 0x38},
+	NE:     {"ne", FmtRR, 0x3A},
+	LT:     {"lt", FmtRR, 0x3C},
+	LTU:    {"ltu", FmtRR, 0x3E},
+	GE:     {"ge", FmtRR, 0x40},
+	GEU:    {"geu", FmtRR, 0x42},
+	MIN:    {"min", FmtRR, 0x44},
+	MAX:    {"max", FmtRR, 0x46},
+	ABS:    {"abs", FmtRR, 0x48},
+	SEXTB:  {"sext.b", FmtRR, 0x4A},
+	SEXTH:  {"sext.h", FmtRR, 0x4C},
+	MOVHA:  {"movh.a", FmtRI, 0x50},
+	LEA:    {"lea", FmtLS, 0x52},
+	MOVD2A: {"mov.a", FmtRR, 0x54},
+	MOVA2D: {"mov.d", FmtRR, 0x56},
+	ADDA:   {"add.a", FmtRR, 0x58},
+	ADDIA:  {"addi.a", FmtRI, 0x5A},
+	LDW:    {"ld.w", FmtLS, 0x60},
+	LDH:    {"ld.h", FmtLS, 0x62},
+	LDHU:   {"ld.hu", FmtLS, 0x64},
+	LDB:    {"ld.b", FmtLS, 0x66},
+	LDBU:   {"ld.bu", FmtLS, 0x68},
+	STW:    {"st.w", FmtLS, 0x6A},
+	STH:    {"st.h", FmtLS, 0x6C},
+	STB:    {"st.b", FmtLS, 0x6E},
+	LDA:    {"ld.a", FmtLS, 0x70},
+	STA:    {"st.a", FmtLS, 0x72},
+	J:      {"j", FmtJ, 0x80},
+	JL:     {"jl", FmtJ, 0x82},
+	JI:     {"ji", FmtJR, 0x84},
+	RET:    {"ret", FmtNone, 0x86},
+	JEQ:    {"jeq", FmtBR, 0x88},
+	JNE:    {"jne", FmtBR, 0x8A},
+	JLT:    {"jlt", FmtBR, 0x8C},
+	JGE:    {"jge", FmtBR, 0x8E},
+	JLTU:   {"jltu", FmtBR, 0x90},
+	JGEU:   {"jgeu", FmtBR, 0x92},
+	JZ:     {"jz", FmtBR, 0x94},
+	JNZ:    {"jnz", FmtBR, 0x96},
+	NOP:    {"nop", FmtNone, 0x98},
+	HALT:   {"halt", FmtNone, 0x9A},
+	MOV16:  {"mov16", FmtSRR, 0x03},
+	ADD16:  {"add16", FmtSRR, 0x05},
+	SUB16:  {"sub16", FmtSRR, 0x07},
+	MOVI16: {"movi16", FmtSRC, 0x09},
+	ADDI16: {"addi16", FmtSRC, 0x0B},
+	J16:    {"j16", FmtSB, 0x0D},
+	JZ16:   {"jz16", FmtSB, 0x0F},
+	JNZ16:  {"jnz16", FmtSB, 0x11},
+	RET16:  {"ret16", FmtS0, 0x13},
+	NOP16:  {"nop16", FmtS0, 0x15},
+}
+
+// encToOp maps primary opcode bytes back to operations.
+var encToOp [256]Op
+
+func init() {
+	for op := Op(1); op < NumOps; op++ {
+		info := opInfo[op]
+		if encToOp[info.Enc] != BAD {
+			panic("tc32: duplicate encoding " + info.Name)
+		}
+		wide := info.Format < FmtSRR
+		if wide == (info.Enc&1 == 1) {
+			panic("tc32: encoding width bit mismatch for " + info.Name)
+		}
+		encToOp[info.Enc] = op
+	}
+}
+
+// String returns the mnemonic of the operation.
+func (op Op) String() string {
+	if op >= NumOps {
+		return "<invalid>"
+	}
+	return opInfo[op].Name
+}
+
+// Format returns the encoding format of op.
+func (op Op) Format() Format {
+	if op >= NumOps {
+		return FmtNone
+	}
+	return opInfo[op].Format
+}
+
+// Is16Bit reports whether op uses the 16-bit encoding.
+func (op Op) Is16Bit() bool { return op.Format() >= FmtSRR }
+
+// OpByName looks up an operation by its mnemonic. It returns BAD if the
+// mnemonic is unknown.
+func OpByName(name string) Op {
+	for op := Op(1); op < NumOps; op++ {
+		if opInfo[op].Name == name {
+			return op
+		}
+	}
+	return BAD
+}
+
+// IsCondBranch reports whether op is a conditional branch.
+func (op Op) IsCondBranch() bool {
+	switch op {
+	case JEQ, JNE, JLT, JGE, JLTU, JGEU, JZ, JNZ, JZ16, JNZ16:
+		return true
+	}
+	return false
+}
+
+// IsBranch reports whether op alters control flow (including halt).
+func (op Op) IsBranch() bool {
+	switch op {
+	case J, JL, JI, RET, J16, RET16, HALT:
+		return true
+	}
+	return op.IsCondBranch()
+}
+
+// IsCall reports whether op is a call (saves a return address).
+func (op Op) IsCall() bool { return op == JL }
+
+// IsIndirect reports whether the branch target is not statically known.
+func (op Op) IsIndirect() bool { return op == JI || op == RET || op == RET16 }
+
+// IsLoad reports whether op reads data memory.
+func (op Op) IsLoad() bool {
+	switch op {
+	case LDW, LDH, LDHU, LDB, LDBU, LDA:
+		return true
+	}
+	return false
+}
+
+// IsStore reports whether op writes data memory.
+func (op Op) IsStore() bool {
+	switch op {
+	case STW, STH, STB, STA:
+		return true
+	}
+	return false
+}
+
+// IsMem reports whether op accesses data memory.
+func (op Op) IsMem() bool { return op.IsLoad() || op.IsStore() }
+
+// DivQuot returns the TC32 quotient of a signed division, defining the
+// edge cases the hardware guarantees: division by zero yields quotient 0,
+// and MinInt32 / -1 yields MinInt32 (no trap).
+func DivQuot(a, b int32) int32 {
+	switch {
+	case b == 0:
+		return 0
+	case a == -1<<31 && b == -1:
+		return a
+	}
+	return a / b
+}
+
+// DivRem returns the TC32 remainder of a signed division (dividend when
+// dividing by zero, 0 for MinInt32 % -1).
+func DivRem(a, b int32) int32 {
+	switch {
+	case b == 0:
+		return a
+	case a == -1<<31 && b == -1:
+		return 0
+	}
+	return a % b
+}
+
+// DivQuotU and DivRemU are the unsigned counterparts.
+func DivQuotU(a, b uint32) uint32 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+// DivRemU returns the unsigned remainder (dividend when dividing by zero).
+func DivRemU(a, b uint32) uint32 {
+	if b == 0 {
+		return a
+	}
+	return a % b
+}

@@ -1,0 +1,407 @@
+package tc32asm
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/tc32"
+)
+
+func mustAssemble(t *testing.T, src string) []tc32.Inst {
+	t.Helper()
+	f, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := f.Section(".text")
+	insts, err := tc32.DecodeAll(text.Data, text.Addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return insts
+}
+
+func TestBasicProgram(t *testing.T) {
+	insts := mustAssemble(t, `
+		.text
+		.global _start
+_start:		movi	d0, 42
+		movi	d1, -1
+		add	d2, d0, d1
+		halt
+	`)
+	if len(insts) != 4 {
+		t.Fatalf("got %d insts, want 4", len(insts))
+	}
+	if insts[0].Op != tc32.MOVI || insts[0].Rd != 0 || insts[0].Imm != 42 {
+		t.Errorf("inst 0 = %v", insts[0])
+	}
+	if insts[1].Imm != -1 {
+		t.Errorf("inst 1 imm = %d", insts[1].Imm)
+	}
+	if insts[2].Op != tc32.ADD || insts[2].Rd != 2 || insts[2].Rs1 != 0 || insts[2].Rs2 != 1 {
+		t.Errorf("inst 2 = %v", insts[2])
+	}
+	if insts[3].Op != tc32.HALT {
+		t.Errorf("inst 3 = %v", insts[3])
+	}
+}
+
+func TestBranchResolution(t *testing.T) {
+	insts := mustAssemble(t, `
+		.text
+_start:		movi	d0, 10
+loop:		addi	d0, d0, -1
+		jnz	d0, loop
+		halt
+	`)
+	br := insts[2]
+	if br.Op != tc32.JNZ {
+		t.Fatalf("inst 2 = %v", br)
+	}
+	if br.Target() != insts[1].Addr {
+		t.Errorf("branch target %#x, want %#x", br.Target(), insts[1].Addr)
+	}
+	if !br.Backward() {
+		t.Error("loop branch should be backward")
+	}
+}
+
+func TestForwardBranch(t *testing.T) {
+	insts := mustAssemble(t, `
+_start:		jz	d0, done
+		movi	d1, 1
+done:		halt
+	`)
+	if insts[0].Target() != insts[2].Addr {
+		t.Errorf("forward target %#x, want %#x", insts[0].Target(), insts[2].Addr)
+	}
+}
+
+func TestMemoryOperands(t *testing.T) {
+	insts := mustAssemble(t, `
+		ld.w	d1, 8(a2)
+		st.w	d1, -4(sp)
+		lea	a3, 16(a2)
+		ld.a	a4, 0(a3)
+	`)
+	if insts[0].Op != tc32.LDW || insts[0].Rd != 1 || insts[0].Rs1 != 2 || insts[0].Imm != 8 {
+		t.Errorf("ld.w = %+v", insts[0])
+	}
+	if insts[1].Rs1 != tc32.SP || insts[1].Imm != -4 {
+		t.Errorf("st.w = %+v", insts[1])
+	}
+	if insts[2].Op != tc32.LEA || insts[2].Imm != 16 {
+		t.Errorf("lea = %+v", insts[2])
+	}
+	if insts[3].Op != tc32.LDA || insts[3].Rd != 4 {
+		t.Errorf("ld.a = %+v", insts[3])
+	}
+}
+
+func TestLaPseudo(t *testing.T) {
+	f, err := Assemble(`
+		.text
+_start:		la	a2, buf
+		halt
+		.data
+		.space	12
+buf:		.word	7
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := f.Section(".text")
+	insts, err := tc32.DecodeAll(text.Data, text.Addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if insts[0].Op != tc32.MOVHA || insts[1].Op != tc32.LEA {
+		t.Fatalf("la expansion = %v %v", insts[0].Op, insts[1].Op)
+	}
+	sym, ok := f.Symbol("buf")
+	if !ok {
+		t.Fatal("buf symbol missing")
+	}
+	want := sym.Value
+	got := uint32(insts[0].Imm)<<16 + uint32(insts[1].Imm)
+	if got != want {
+		t.Errorf("la materializes %#x, want %#x", got, want)
+	}
+	if sym.Value != 0x1000000C {
+		t.Errorf("buf at %#x, want 0x1000000C", sym.Value)
+	}
+}
+
+func TestLiPseudo(t *testing.T) {
+	insts := mustAssemble(t, `
+		li	d0, 100
+		li	d1, 0x12345678
+		li	d2, 0x10000
+		li	d3, -5
+	`)
+	// li d0, 100 -> movi
+	if insts[0].Op != tc32.MOVI || insts[0].Imm != 100 {
+		t.Errorf("li small = %+v", insts[0])
+	}
+	// li d1, 0x12345678 -> movhi 0x1234; ori 0x5678
+	if insts[1].Op != tc32.MOVHI || insts[1].Imm != 0x1234 {
+		t.Errorf("li big hi = %+v", insts[1])
+	}
+	if insts[2].Op != tc32.ORI || insts[2].Imm != 0x5678 {
+		t.Errorf("li big lo = %+v", insts[2])
+	}
+	// li d2, 0x10000 -> movhi only
+	if insts[3].Op != tc32.MOVHI || insts[3].Imm != 1 {
+		t.Errorf("li 0x10000 = %+v", insts[3])
+	}
+	if insts[4].Op != tc32.MOVI || insts[4].Imm != -5 {
+		t.Errorf("li -5 = %+v", insts[4])
+	}
+}
+
+func TestShortInstructions(t *testing.T) {
+	insts := mustAssemble(t, `
+_start:		movi16	d1, 3
+		add16	d1, d1
+		mov16	d2, d1
+		sub16	d2, d1
+		nop16
+loop:		addi16	d15, -1
+		jnz16	loop
+		ret16
+	`)
+	wantOps := []tc32.Op{tc32.MOVI16, tc32.ADD16, tc32.MOV16, tc32.SUB16, tc32.NOP16, tc32.ADDI16, tc32.JNZ16, tc32.RET16}
+	if len(insts) != len(wantOps) {
+		t.Fatalf("got %d insts, want %d", len(insts), len(wantOps))
+	}
+	for i, op := range wantOps {
+		if insts[i].Op != op {
+			t.Errorf("inst %d = %v, want %v", i, insts[i].Op, op)
+		}
+		if insts[i].Size != 2 {
+			t.Errorf("inst %d size = %d, want 2", i, insts[i].Size)
+		}
+	}
+	if insts[6].Target() != insts[5].Addr {
+		t.Errorf("jnz16 target %#x, want %#x", insts[6].Target(), insts[5].Addr)
+	}
+}
+
+func TestMixedWidthAddresses(t *testing.T) {
+	insts := mustAssemble(t, `
+		movi16	d1, 1
+		movi	d2, 1000
+		nop16
+		halt
+	`)
+	wantAddrs := []uint32{0, 2, 6, 8}
+	for i, w := range wantAddrs {
+		if insts[i].Addr != w {
+			t.Errorf("inst %d addr = %#x, want %#x", i, insts[i].Addr, w)
+		}
+	}
+}
+
+func TestDataDirectives(t *testing.T) {
+	f, err := Assemble(`
+		.data
+vals:		.word	1, 2, 0x30
+half:		.half	-2
+bytes:		.byte	1, 255
+str:		.asciz	"ab"
+		.align	4
+end:		.word	end
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := f.Section(".data").Data
+	if len(d) != 12+2+2+3+1+4 {
+		t.Fatalf("data len = %d", len(d))
+	}
+	if d[0] != 1 || d[4] != 2 || d[8] != 0x30 {
+		t.Error("words wrong")
+	}
+	if d[12] != 0xFE || d[13] != 0xFF {
+		t.Error("half -2 wrong")
+	}
+	if d[14] != 1 || d[15] != 255 {
+		t.Error("bytes wrong")
+	}
+	if d[16] != 'a' || d[17] != 'b' || d[18] != 0 {
+		t.Error("asciz wrong")
+	}
+	sym, _ := f.Symbol("end")
+	if sym.Value != 0x10000000+20 {
+		t.Errorf("end at %#x", sym.Value)
+	}
+	le := uint32(d[20]) | uint32(d[21])<<8 | uint32(d[22])<<16 | uint32(d[23])<<24
+	if le != sym.Value {
+		t.Errorf(".word end = %#x, want %#x", le, sym.Value)
+	}
+}
+
+func TestBssLayout(t *testing.T) {
+	f, err := Assemble(`
+		.data
+		.byte	1, 2, 3
+		.bss
+flags:		.space	100
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bss := f.Section(".bss")
+	if bss == nil {
+		t.Fatal("no .bss section")
+	}
+	// .data has 3 bytes, .bss starts at data base + 4 (aligned).
+	if bss.Addr != 0x10000004 {
+		t.Errorf(".bss at %#x, want 0x10000004", bss.Addr)
+	}
+	if bss.Size != 100 {
+		t.Errorf(".bss size = %d, want 100", bss.Size)
+	}
+	sym, _ := f.Symbol("flags")
+	if sym.Value != bss.Addr {
+		t.Errorf("flags at %#x, want %#x", sym.Value, bss.Addr)
+	}
+}
+
+func TestEntryPoint(t *testing.T) {
+	f, err := Assemble(`
+		nop
+		.global _start
+_start:		halt
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Entry != 4 {
+		t.Errorf("entry = %#x, want 4", f.Entry)
+	}
+	sym, _ := f.Symbol("_start")
+	if !sym.Global {
+		t.Error("_start should be global")
+	}
+}
+
+func TestCharLiteral(t *testing.T) {
+	insts := mustAssemble(t, `
+		movi	d0, 'A'
+		movi	d1, 'A'+1
+	`)
+	if insts[0].Imm != 65 {
+		t.Errorf("'A' = %d", insts[0].Imm)
+	}
+	if insts[1].Imm != 66 {
+		t.Errorf("'A'+1 = %d", insts[1].Imm)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := []struct {
+		src, want string
+	}{
+		{"bogus d0, d1", "unknown instruction"},
+		{"movi x0, 1", "bad register"},
+		{"movi d0", "needs 2 operand"},
+		{"add d0, d1", "needs 3 operand"},
+		{"j nowhere", "undefined symbol"},
+		{"ld.w d0, 4(d1)", "expected a-register"},
+		{"movi d0, 0x99999", "out of range"},
+		{".word 1", ".word"}, // .word in .text is fine actually? default section is .text -> allowed
+		{"l: nop\nl: nop", "duplicate label"},
+		{".align 3", "power-of-two"},
+		{".global", "bad symbol"},
+		{"movi16 d0, 100", "out of range"},
+		{".byte 900", "out of range"},
+	}
+	for _, c := range cases {
+		_, err := Assemble(c.src)
+		if c.want == ".word" {
+			if err != nil {
+				t.Errorf("%q: unexpected error %v", c.src, err)
+			}
+			continue
+		}
+		if err == nil {
+			t.Errorf("%q: expected error containing %q, got nil", c.src, c.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%q: error %q does not contain %q", c.src, err, c.want)
+		}
+	}
+}
+
+func TestErrorHasLineNumber(t *testing.T) {
+	_, err := Assemble("nop\nnop\nbogus\n")
+	if err == nil || !strings.Contains(err.Error(), "line 3") {
+		t.Errorf("error = %v, want line 3", err)
+	}
+}
+
+func TestUndefinedGlobalRejected(t *testing.T) {
+	_, err := Assemble(".global missing\nnop")
+	if err == nil {
+		t.Error("undefined .global should be rejected")
+	}
+}
+
+func TestCommentStyles(t *testing.T) {
+	insts := mustAssemble(t, `
+		nop	; semicolon
+		nop	# hash
+		nop	// slashes
+	`)
+	if len(insts) != 3 {
+		t.Errorf("got %d insts, want 3", len(insts))
+	}
+}
+
+func TestLabelOnSameLine(t *testing.T) {
+	insts := mustAssemble(t, "start: nop\n j start\n")
+	if insts[1].Target() != 0 {
+		t.Errorf("target = %#x, want 0", insts[1].Target())
+	}
+}
+
+func TestCallPseudo(t *testing.T) {
+	insts := mustAssemble(t, `
+_start:		call	fn
+		halt
+fn:		ret
+	`)
+	if insts[0].Op != tc32.JL {
+		t.Errorf("call = %v, want jl", insts[0].Op)
+	}
+	if insts[0].Target() != insts[2].Addr {
+		t.Errorf("call target %#x, want %#x", insts[0].Target(), insts[2].Addr)
+	}
+}
+
+func TestHiLoRoundTrip(t *testing.T) {
+	// The hi/lo split must reconstruct addresses even when the low half
+	// is >= 0x8000 (sign-extension compensation).
+	f, err := Assemble(`
+		.text
+_start:		la	a2, obj
+		halt
+		.data
+		.space	0x9000
+obj:		.word	1
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := f.Section(".text")
+	insts, _ := tc32.DecodeAll(text.Data, text.Addr)
+	sym, _ := f.Symbol("obj")
+	// movh.a loads imm<<16; lea adds sign-extended low part.
+	got := uint32(insts[0].Imm)<<16 + uint32(insts[1].Imm)
+	if got != sym.Value {
+		t.Errorf("hi/lo reconstructs %#x, want %#x", got, sym.Value)
+	}
+}

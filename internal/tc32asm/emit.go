@@ -1,0 +1,139 @@
+package tc32asm
+
+import (
+	"fmt"
+
+	"repro/internal/elf32"
+	"repro/internal/tc32"
+)
+
+// sectionBase returns the load address of each section after pass 1:
+// .text and .data at their configured bases, .bss directly after .data.
+func (a *assembler) sectionBase(s section) uint32 {
+	switch s {
+	case secText:
+		return a.opts.TextBase
+	case secData:
+		return a.opts.DataBase
+	default:
+		return a.opts.DataBase + (a.loc[secData]+3)&^3
+	}
+}
+
+// resolve evaluates an expression to its final value.
+func (a *assembler) resolve(e expr, line int) (int64, error) {
+	var v int64
+	for _, t := range e.terms {
+		tv := t.val
+		if t.sym != "" {
+			def, ok := a.symbols[t.sym]
+			if !ok {
+				return 0, &Error{Line: line, Msg: fmt.Sprintf("undefined symbol %q", t.sym)}
+			}
+			tv = int64(a.sectionBase(def.section)) + int64(def.offset)
+		}
+		if t.neg {
+			v -= tv
+		} else {
+			v += tv
+		}
+	}
+	return applyMod(e.mod, v), nil
+}
+
+func (a *assembler) pass2() (*elf32.File, error) {
+	text := make([]byte, a.loc[secText])
+	data := make([]byte, a.loc[secData])
+	bufs := [numSections][]byte{text, data, nil}
+
+	for _, ent := range a.entries {
+		addr := a.sectionBase(ent.section) + ent.offset
+		if ent.inst != nil {
+			inst := *ent.inst
+			inst.Addr = addr
+			if ent.imm != nil {
+				v, err := a.resolve(*ent.imm, ent.line)
+				if err != nil {
+					return nil, err
+				}
+				if ent.branch {
+					v -= int64(addr) // absolute target -> displacement
+				}
+				if v < -1<<31 || v > 1<<32-1 {
+					return nil, &Error{Line: ent.line, Msg: fmt.Sprintf("value %d out of 32-bit range", v)}
+				}
+				inst.Imm = int32(v)
+			}
+			var b [4]byte
+			n, err := tc32.Encode(inst, b[:])
+			if err != nil {
+				return nil, &Error{Line: ent.line, Msg: err.Error()}
+			}
+			copy(bufs[ent.section][ent.offset:], b[:n])
+			continue
+		}
+		// Data entry.
+		off := ent.offset
+		for _, item := range ent.data {
+			if item.raw != nil {
+				if ent.section != secBss {
+					copy(bufs[ent.section][off:], item.raw)
+				}
+				off += uint32(len(item.raw))
+				continue
+			}
+			v, err := a.resolve(item.e, ent.line)
+			if err != nil {
+				return nil, err
+			}
+			u := uint64(v) & (1<<(8*item.width) - 1)
+			sv := v
+			switch item.width {
+			case 1:
+				if sv < -128 || sv > 255 {
+					return nil, &Error{Line: ent.line, Msg: fmt.Sprintf("byte value %d out of range", sv)}
+				}
+			case 2:
+				if sv < -1<<15 || sv > 1<<16-1 {
+					return nil, &Error{Line: ent.line, Msg: fmt.Sprintf("half value %d out of range", sv)}
+				}
+			}
+			for k := 0; k < item.width; k++ {
+				bufs[ent.section][off] = byte(u >> (8 * k))
+				off++
+			}
+		}
+	}
+
+	file := &elf32.File{
+		Sections: []elf32.Section{
+			{Name: ".text", Type: elf32.SHTProgbits, Flags: elf32.SHFAlloc | elf32.SHFExecinstr, Addr: a.sectionBase(secText), Data: text},
+			{Name: ".data", Type: elf32.SHTProgbits, Flags: elf32.SHFAlloc | elf32.SHFWrite, Addr: a.sectionBase(secData), Data: data},
+		},
+	}
+	if a.loc[secBss] > 0 {
+		file.Sections = append(file.Sections, elf32.Section{
+			Name: ".bss", Type: elf32.SHTNobits, Flags: elf32.SHFAlloc | elf32.SHFWrite,
+			Addr: a.sectionBase(secBss), Size: a.loc[secBss],
+		})
+	}
+	for name, def := range a.symbols {
+		file.Symbols = append(file.Symbols, elf32.Symbol{
+			Name:    name,
+			Value:   a.sectionBase(def.section) + def.offset,
+			Section: sectionNames[def.section],
+			Global:  a.globals[name],
+		})
+	}
+	if start, ok := a.symbols["_start"]; ok {
+		file.Entry = a.sectionBase(start.section) + start.offset
+	} else {
+		file.Entry = a.opts.TextBase
+	}
+	for g := range a.globals {
+		if _, ok := a.symbols[g]; !ok {
+			return nil, fmt.Errorf("tc32asm: .global %s never defined", g)
+		}
+	}
+	return file, nil
+}

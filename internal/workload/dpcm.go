@@ -1,0 +1,72 @@
+package workload
+
+import "fmt"
+
+const dpcmSamples = 128
+
+// DPCM builds a differential PCM encoder: per-sample predict, quantize
+// with clamping (data-dependent branches), dequantize and update — one of
+// the paper's two "part of audio decoding routines" kernels, with a mix of
+// arithmetic and short conditional blocks. The sample loop uses the 16-bit
+// counter instructions, so the text section has mixed 16/32-bit encodings.
+func DPCM() Workload {
+	rng := lcg(0xD9C3)
+	input := make([]int32, dpcmSamples)
+	for i := range input {
+		input[i] = rng.sample(2048)
+	}
+
+	src := prologue
+	src += fmt.Sprintf(`	la	a2, input
+	movi	d8, 0		; checksum
+	movi	d1, 0		; predictor
+	movi	d9, -8		; clamp low
+	movi	d10, 7		; clamp high
+	movi	d15, %d		; sample count (16-bit loop counter)
+	lea	a4, 0(a2)
+loop:	ld.w	d0, 0(a4)
+	addi.a	a4, a4, 4
+	sub	d2, d0, d1	; diff
+	sari	d3, d2, 3	; quantize
+	jge	d3, d9, qlo_ok
+	mov	d3, d9
+qlo_ok:	jge	d10, d3, qhi_ok
+	mov	d3, d10
+qhi_ok:	shli	d4, d3, 3	; dequantize
+	add	d1, d1, d4	; predictor update
+	andi	d5, d3, 15	; 4-bit code
+	add	d8, d8, d5
+	shli	d8, d8, 1	; fold codes into checksum
+	addi16	d15, -1
+	jnz16	loop
+`, dpcmSamples)
+	src += emit(8)
+	src += emit(1) // final predictor value
+	src += "\thalt\n\t.data\n"
+	src += wordTable("input", input)
+
+	sum, pred := dpcmRef(input)
+	return Workload{
+		Name:        "dpcm",
+		Description: "DPCM encoder with quantizer clamping (audio coding kernel)",
+		Source:      src,
+		Expected:    []uint32{uint32(sum), uint32(pred)},
+	}
+}
+
+func dpcmRef(input []int32) (checksum, pred int32) {
+	for _, x := range input {
+		diff := x - pred
+		q := diff >> 3
+		if q < -8 {
+			q = -8
+		}
+		if q > 7 {
+			q = 7
+		}
+		pred += q << 3
+		checksum += q & 15
+		checksum <<= 1
+	}
+	return checksum, pred
+}

@@ -1,0 +1,109 @@
+package workload
+
+import "fmt"
+
+const ellipSamples = 64
+
+// ellipC13 and ellipC2 are the adaptor coefficients of the three filter
+// sections (sections 1 and 3 share a coefficient register because the TC32
+// register file is fully occupied by filter state).
+const (
+	ellipC13 = 53
+	ellipC2  = 91
+)
+
+// Ellip builds an elliptic-filter-style cascade of three wave-digital
+// adaptor sections. Each sample is processed by one large straight-line
+// basic block (~32 instructions), which is why the paper reports
+// especially good translated speed for ellip: few cycle-generation
+// instructions and good VLIW parallelization.
+func Ellip() Workload {
+	rng := lcg(0xBEEF)
+	input := make([]int32, ellipSamples)
+	for i := range input {
+		input[i] = rng.sample(1024)
+	}
+
+	src := prologue
+	src += fmt.Sprintf(`	la	a2, input
+	movi	d11, %d		; coeff sections 1 and 3
+	movi	d12, %d		; coeff section 2
+	movi	d13, 0		; checksum
+	movi	d14, 0		; sample index
+	movi	d15, %d		; sample count
+	movi	d1, 0
+	movi	d2, 0
+	movi	d3, 0
+	movi	d4, 0
+	movi	d5, 0
+	movi	d6, 0
+loop:	shli	d7, d14, 2
+	mov.a	a4, d7
+	add.a	a4, a2, a4
+	ld.w	d0, 0(a4)	; x
+	; section 1 (state d1,d2)
+	add	d7, d0, d1
+	sub	d8, d7, d2
+	mul	d9, d8, d11
+	sari	d9, d9, 7
+	add	d10, d9, d2
+	sub	d2, d7, d9
+	mov	d1, d10
+	add	d0, d10, d9
+	; section 2 (state d3,d4)
+	add	d7, d0, d3
+	sub	d8, d7, d4
+	mul	d9, d8, d12
+	sari	d9, d9, 7
+	add	d10, d9, d4
+	sub	d4, d7, d9
+	mov	d3, d10
+	add	d0, d10, d9
+	; section 3 (state d5,d6)
+	add	d7, d0, d5
+	sub	d8, d7, d6
+	mul	d9, d8, d11
+	sari	d9, d9, 7
+	add	d10, d9, d6
+	sub	d6, d7, d9
+	mov	d5, d10
+	add	d0, d10, d9
+	sari	d0, d0, 2
+	add	d13, d13, d0
+	addi	d14, d14, 1
+	jlt	d14, d15, loop
+`, ellipC13, ellipC2, ellipSamples)
+	src += emit(13)
+	src += "\thalt\n\t.data\n"
+	src += wordTable("input", input)
+
+	return Workload{
+		Name:        "ellip",
+		Description: "elliptic-style wave digital filter cascade (large basic blocks)",
+		Source:      src,
+		Expected:    []uint32{uint32(ellipRef(input))},
+		LargeBlocks: true,
+	}
+}
+
+func ellipRef(input []int32) int32 {
+	var s1, s2, s3, s4, s5, s6, sum int32
+	section := func(x, sA, sB, c int32) (y, sAn, sBn int32) {
+		t0 := x + sA
+		t1 := t0 - sB
+		p := mul32(t1, c) >> 7
+		u := p + sB
+		sBn = t0 - p
+		sAn = u
+		y = u + p
+		return
+	}
+	for _, x := range input {
+		var y int32
+		y, s1, s2 = section(x, s1, s2, ellipC13)
+		y, s3, s4 = section(y, s3, s4, ellipC2)
+		y, s5, s6 = section(y, s5, s6, ellipC13)
+		sum += y >> 2
+	}
+	return sum
+}

@@ -1,0 +1,59 @@
+package workload
+
+import "fmt"
+
+// fibN is tuned so the executed instruction count lands near the paper's
+// Table 2 value for fibonacci (41419 instructions).
+const fibN = 16
+
+// Fibonacci builds the naively recursive Fibonacci benchmark used in the
+// paper's Table 2 runtime comparison: call/return dominated with very
+// short basic blocks.
+func Fibonacci() Workload {
+	src := prologue
+	src += fmt.Sprintf(`	movi	d0, %d
+	call	fib
+`, fibN)
+	src += emit(0)
+	src += `	halt
+
+; fib: d0 = fib(d0), naive recursion in unoptimized-compiler style:
+; every activation builds a frame and reloads n from the stack.
+fib:	addi.a	sp, sp, -12
+	st.a	ra, 8(sp)
+	st.w	d0, 0(sp)	; spill n
+	movi	d1, 2
+	jge	d0, d1, fib_rec
+	ld.w	d0, 0(sp)	; base case: return n
+	ld.a	ra, 8(sp)
+	addi.a	sp, sp, 12
+	ret
+fib_rec:
+	ld.w	d0, 0(sp)
+	addi	d0, d0, -1
+	call	fib
+	st.w	d0, 4(sp)	; spill fib(n-1)
+	ld.w	d0, 0(sp)
+	addi	d0, d0, -2
+	call	fib
+	ld.w	d1, 4(sp)
+	add	d0, d0, d1
+	ld.a	ra, 8(sp)
+	addi.a	sp, sp, 12
+	ret
+`
+	return Workload{
+		Name:              "fibonacci",
+		Description:       "naive recursive Fibonacci (call/return dominated)",
+		Source:            src,
+		Expected:          []uint32{uint32(fibRef(fibN))},
+		PaperInstructions: 41419,
+	}
+}
+
+func fibRef(n int32) int32 {
+	if n < 2 {
+		return n
+	}
+	return fibRef(n-1) + fibRef(n-2)
+}

@@ -1,0 +1,83 @@
+package workload
+
+import "fmt"
+
+// gcdPairs are chosen so the executed instruction count lands near the
+// paper's Table 2 value for gcd (1484 instructions).
+var gcdPairs = [][2]int32{
+	{1071, 462}, // classic Euclid example, gcd 21
+	{840, 11},   // long subtractive chain
+	{612, 5},    // long subtractive chain
+	{144, 89},   // adjacent Fibonacci numbers, slowest Euclid case
+	{500, 3},    // long subtractive chain
+}
+
+// GCD builds the subtractive greatest-common-divisor benchmark: a
+// control-flow dominated program with small basic blocks, as in the paper.
+func GCD() Workload {
+	src := prologue
+	src += fmt.Sprintf(`	la	a2, pairs
+	movi	d8, 0		; checksum
+	movi	d9, %d		; number of pairs
+pair_loop:
+	ld.w	d0, 0(a2)
+	ld.w	d1, 4(a2)
+	call	gcd
+`, len(gcdPairs))
+	src += emit(0)
+	src += `	add	d8, d8, d0
+	addi.a	a2, a2, 8
+	addi	d9, d9, -1
+	jnz	d9, pair_loop
+`
+	src += emit(8)
+	src += `	halt
+
+; gcd: d0 = gcd(d0, d1) by repeated subtraction
+gcd:
+gcd_loop:
+	jeq	d0, d1, gcd_done
+	jlt	d0, d1, gcd_b
+	sub	d0, d0, d1
+	j	gcd_loop
+gcd_b:	sub	d1, d1, d0
+	j	gcd_loop
+gcd_done:
+	ret
+
+	.data
+`
+	var flat []int32
+	for _, p := range gcdPairs {
+		flat = append(flat, p[0], p[1])
+	}
+	src += wordTable("pairs", flat)
+
+	var expected []uint32
+	var sum uint32
+	for _, p := range gcdPairs {
+		g := gcdRef(p[0], p[1])
+		expected = append(expected, uint32(g))
+		sum += uint32(g)
+	}
+	expected = append(expected, sum)
+
+	return Workload{
+		Name:              "gcd",
+		Description:       "subtractive GCD over a pair table (control-flow dominated)",
+		Source:            src,
+		Expected:          expected,
+		PaperInstructions: 1484,
+	}
+}
+
+func gcdRef(a, b int32) int32 {
+	for a != b {
+		if a > b {
+			a -= b
+		} else {
+			b -= a
+		}
+	}
+	return a
+}

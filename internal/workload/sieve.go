@@ -1,0 +1,70 @@
+package workload
+
+import "fmt"
+
+// sieveN is tuned so the executed instruction count lands near the paper's
+// Table 2 value for sieve (20779 instructions).
+const sieveN = 1180
+
+// Sieve builds the sieve of Eratosthenes benchmark. It consists of many
+// small basic blocks, which is exactly why the paper's Figure 5 shows the
+// largest cycle-annotation overhead for it.
+func Sieve() Workload {
+	src := prologue
+	src += fmt.Sprintf(`	la	a2, flags
+	li	d1, %d		; N
+	; clear the flag array
+	movi	d0, 0
+	mov	d2, d1
+	lea	a3, 0(a2)
+clear:	st.b	d0, 0(a3)
+	addi.a	a3, a3, 1
+	addi	d2, d2, -1
+	jnz	d2, clear
+	; sieve
+	movi	d3, 2		; i
+	movi	d7, 0		; prime count
+outer:	mov.a	a4, d3
+	add.a	a4, a2, a4
+	ld.bu	d5, 0(a4)
+	jnz	d5, next	; composite
+	addi	d7, d7, 1	; count++
+	mul	d4, d3, d3	; j = i*i
+	jge	d4, d1, next
+	movi	d6, 1
+inner:	mov.a	a5, d4
+	add.a	a5, a2, a5
+	st.b	d6, 0(a5)
+	add	d4, d4, d3
+	jlt	d4, d1, inner
+next:	addi	d3, d3, 1
+	jlt	d3, d1, outer
+`, sieveN)
+	src += emit(7)
+	src += `	halt
+	.bss
+flags:	.space	` + fmt.Sprint(sieveN) + "\n"
+
+	return Workload{
+		Name:              "sieve",
+		Description:       "sieve of Eratosthenes (many small basic blocks)",
+		Source:            src,
+		Expected:          []uint32{uint32(sieveRef(sieveN))},
+		PaperInstructions: 20779,
+	}
+}
+
+func sieveRef(n int) int {
+	flags := make([]bool, n)
+	count := 0
+	for i := 2; i < n; i++ {
+		if flags[i] {
+			continue
+		}
+		count++
+		for j := i * i; j < n; j += i {
+			flags[j] = true
+		}
+	}
+	return count
+}

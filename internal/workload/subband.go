@@ -1,0 +1,85 @@
+package workload
+
+import "fmt"
+
+const (
+	sbTaps  = 8
+	sbPairs = 32 // number of output sample pairs
+)
+
+// Subband builds a two-band QMF analysis filterbank: per output pair one
+// fully unrolled 8-tap low-band/high-band computation — the paper's second
+// audio kernel, with very large basic blocks (the whole pair body is one
+// straight-line block of ~50 instructions).
+func Subband() Workload {
+	rng := lcg(0x5BB5)
+	input := make([]int32, 2*sbPairs+sbTaps)
+	for i := range input {
+		input[i] = rng.sample(1024)
+	}
+	coeff := make([]int32, sbTaps)
+	for i := range coeff {
+		coeff[i] = rng.sample(256)
+	}
+
+	src := prologue
+	src += fmt.Sprintf(`	la	a2, input
+	la	a3, coeff
+	movi	d5, 0		; checksum
+	movi	d6, 0		; pair index k
+	movi	d7, %d		; pair count
+pair:	shli	d8, d6, 3	; byte offset of x[2k]
+	mov.a	a4, d8
+	add.a	a4, a2, a4	; &x[2k]
+	movi	d0, 0		; low accumulator
+	movi	d1, 0		; high accumulator
+`, sbPairs)
+	for i := 0; i < sbTaps; i++ {
+		src += fmt.Sprintf("\tld.w\td2, %d(a4)\n", 4*i)
+		src += fmt.Sprintf("\tld.w\td3, %d(a3)\n", 4*i)
+		src += "\tmul\td4, d2, d3\n"
+		src += "\tadd\td0, d0, d4\n"
+		if i%2 == 0 {
+			src += "\tadd\td1, d1, d4\n"
+		} else {
+			src += "\tsub\td1, d1, d4\n"
+		}
+	}
+	src += `	sari	d0, d0, 4
+	sari	d1, d1, 4
+	add	d5, d5, d0
+	add	d5, d5, d1
+	addi	d6, d6, 1
+	jlt	d6, d7, pair
+`
+	src += emit(5)
+	src += "\thalt\n\t.data\n"
+	src += wordTable("input", input)
+	src += wordTable("coeff", coeff)
+
+	return Workload{
+		Name:        "subband",
+		Description: "two-band QMF analysis filterbank, unrolled taps (very large basic blocks)",
+		Source:      src,
+		Expected:    []uint32{uint32(subbandRef(input, coeff))},
+		LargeBlocks: true,
+	}
+}
+
+func subbandRef(input, coeff []int32) int32 {
+	var sum int32
+	for k := 0; k < sbPairs; k++ {
+		var low, high int32
+		for i := 0; i < sbTaps; i++ {
+			p := mul32(input[2*k+i], coeff[i])
+			low += p
+			if i%2 == 0 {
+				high += p
+			} else {
+				high -= p
+			}
+		}
+		sum += low>>4 + high>>4
+	}
+	return sum
+}

@@ -1,0 +1,193 @@
+package repro
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func TestMeasureAllWorkloads(t *testing.T) {
+	for _, w := range Workloads() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			m, err := Measure(w, AllLevels()...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if m.Instructions == 0 || m.BoardCycles == 0 {
+				t.Fatal("empty measurement")
+			}
+			if m.BoardCPI < 1.0 || m.BoardCPI > 3.0 {
+				t.Errorf("board CPI %.2f implausible", m.BoardCPI)
+			}
+			// Speed ordering: each added detail level costs cycles.
+			c0 := m.Levels[Level0].C6xCycles
+			c1 := m.Levels[Level1].C6xCycles
+			c3 := m.Levels[Level3].C6xCycles
+			if !(c0 < c1 && c1 < c3) {
+				t.Errorf("cycle ordering violated: %d, %d, %d", c0, c1, c3)
+			}
+			// Accuracy ordering: deviation magnitude shrinks from level 1
+			// to level 3 (the paper's central claim).
+			d1 := math.Abs(m.Levels[Level1].DeviationPct)
+			d3 := math.Abs(m.Levels[Level3].DeviationPct)
+			if d3 > d1+0.1 {
+				t.Errorf("accuracy did not improve: L1 %.2f%% -> L3 %.2f%%", d1, d3)
+			}
+			if d3 > 5 {
+				t.Errorf("level 3 deviation %.2f%% exceeds 5%%", d3)
+			}
+		})
+	}
+}
+
+func TestTable1Shape(t *testing.T) {
+	tab, err := MeasureTable1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's ordering: board < plain < cycle info < branch pred << caches.
+	if !(tab.BoardCPI < tab.CPI[Level0]) {
+		t.Errorf("board CPI %.2f not below translation CPI %.2f", tab.BoardCPI, tab.CPI[Level0])
+	}
+	if !(tab.CPI[Level0] < tab.CPI[Level1] && tab.CPI[Level1] < tab.CPI[Level2] && tab.CPI[Level2] < tab.CPI[Level3]) {
+		t.Errorf("CPI ordering violated: %+v", tab.CPI)
+	}
+	// "about six times more cycles" for the cache level vs branch pred;
+	// accept a 2.5x–8x band for the shape.
+	ratio := tab.CPI[Level3] / tab.CPI[Level2]
+	if ratio < 2.5 || ratio > 8 {
+		t.Errorf("cache/branch CPI ratio %.1f outside the paper's shape", ratio)
+	}
+}
+
+func TestFigure5Shape(t *testing.T) {
+	rows, err := Figure5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]Figure5Row{}
+	for _, r := range rows {
+		byName[r.Name] = r
+	}
+	// The paper: large-block programs (ellip, subband) translate fast —
+	// plain translation beats the board clock-for-clock; small-block
+	// programs (gcd, sieve) suffer from cycle-generation overhead.
+	for _, name := range []string{"ellip", "subband"} {
+		r := byName[name]
+		if r.MIPS[Level0] < 2*r.BoardMIPS {
+			t.Errorf("%s: plain translation %.1f MIPS not clearly above board %.1f", name, r.MIPS[Level0], r.BoardMIPS)
+		}
+	}
+	// sieve with cycle info is slower than without (the paper calls this
+	// out explicitly: many small blocks, each with its own generation code).
+	s := byName["sieve"]
+	if s.MIPS[Level1] >= s.MIPS[Level0] {
+		t.Errorf("sieve: cycle info should cost speed (%.1f vs %.1f)", s.MIPS[Level1], s.MIPS[Level0])
+	}
+	// The cache level is the slowest configuration everywhere.
+	for _, r := range rows {
+		if r.MIPS[Level3] >= r.MIPS[Level2] {
+			t.Errorf("%s: cache level not slowest", r.Name)
+		}
+	}
+}
+
+func TestFigure6Shape(t *testing.T) {
+	rows, err := Figure6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		d2 := math.Abs(r.Deviation[Level2])
+		d3 := math.Abs(r.Deviation[Level3])
+		if d2 > 20 {
+			t.Errorf("%s: level-2 deviation %.1f%% above 20%%", r.Name, d2)
+		}
+		if d3 > 5 {
+			t.Errorf("%s: level-3 deviation %.1f%% above 5%%", r.Name, d3)
+		}
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	rows, err := MeasureTable2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		// Translation at levels 1–2 beats the 8 MHz FPGA emulation.
+		if r.TranslationSeconds[Level1] >= r.EmulationSeconds {
+			t.Errorf("%s: translation (%.1fµs) not faster than FPGA emulation (%.1fµs)",
+				r.Name, 1e6*r.TranslationSeconds[Level1], 1e6*r.EmulationSeconds)
+		}
+		// The cache level lands in the same range as the FPGA emulation
+		// (paper: "about in the same range").
+		ratio := r.TranslationSeconds[Level3] / r.EmulationSeconds
+		if ratio > 3 || ratio < 0.05 {
+			t.Errorf("%s: cache-level/emulation ratio %.2f outside same-range band", r.Name, ratio)
+		}
+		if r.RTLSimCycles == 0 || r.RTLSimSeconds <= 0 {
+			t.Errorf("%s: RTL measurement missing", r.Name)
+		}
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	w, _ := WorkloadByName("gcd")
+	m, err := Measure(w, Level1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Levels[Level1].MIPS <= 0 {
+		t.Error("MIPS not computed")
+	}
+	rows := []Figure5Row{{Name: "x", BoardMIPS: 1, MIPS: map[Level]float64{Level0: 2}}}
+	if FormatFigure5(rows) == "" {
+		t.Error("empty figure 5")
+	}
+	t1 := &Table1{BoardCPI: 1, CPI: map[Level]float64{Level0: 2}, Paper: Table1Paper}
+	if FormatTable1(t1) == "" {
+		t.Error("empty table 1")
+	}
+	f6 := []Figure6Row{{Name: "x", BoardCycles: 10, Cycles: map[Level]int64{Level1: 9}, Deviation: map[Level]float64{Level1: -10}}}
+	if FormatFigure6(f6) == "" {
+		t.Error("empty figure 6")
+	}
+	t2 := []Table2Row{{Name: "x", TranslationSeconds: map[Level]float64{Level1: 1e-4}}}
+	if FormatTable2(t2) == "" {
+		t.Error("empty table 2")
+	}
+}
+
+func TestMeasureCatchesWrongOutput(t *testing.T) {
+	w, _ := WorkloadByName("gcd")
+	w.Expected = []uint32{0xBAD}
+	if _, err := Measure(w, Level0); err == nil {
+		t.Error("Measure must fail on functional mismatch")
+	}
+}
+
+func TestWorkloadAccessors(t *testing.T) {
+	if len(Workloads()) != 7 || len(SixWorkloads()) != 6 {
+		t.Error("workload sets wrong")
+	}
+	if _, ok := WorkloadByName("gcd"); !ok {
+		t.Error("gcd missing")
+	}
+	if DefaultDesc().ICache.Ways != 2 {
+		t.Error("default desc wrong")
+	}
+	var names []string
+	for _, w := range SixWorkloads() {
+		names = append(names, w.Name)
+	}
+	want := []string{"gcd", "dpcm", "fir", "ellip", "sieve", "subband"}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Errorf("workload order: got %v, want paper order %v", names, want)
+		}
+	}
+	_ = workload.Names()
+}
