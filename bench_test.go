@@ -1,7 +1,7 @@
 package repro
 
 import (
-	"sync"
+	"fmt"
 	"testing"
 
 	"repro/internal/core"
@@ -10,6 +10,7 @@ import (
 	"repro/internal/jit"
 	"repro/internal/platform"
 	"repro/internal/rtlsim"
+	"repro/internal/simfarm"
 	"repro/internal/workload"
 )
 
@@ -17,63 +18,48 @@ import (
 // per table and figure, plus the ablations and host-speed baselines.
 // Custom metrics carry the reproduced quantities (MIPS, CPI, deviation),
 // so `go test -bench=.` prints the paper's numbers next to Go's timing.
+//
+// Assembly, reference runs and translation are memoized through a
+// benchmark-local simulation farm — the same machinery that serves batch
+// sweeps (internal/simfarm) — so the harness exercises the production
+// caching path instead of ad-hoc maps.
 
-var (
-	elfCache  = map[string]*elf32.File{}
-	refCache  = map[string]*RefResult{}
-	progCache = map[string]*core.Program{}
-	cacheMu   sync.Mutex
-)
+var benchFarm = simfarm.New(simfarm.Config{})
 
-func cachedELF(b *testing.B, name string) *elf32.File {
+func benchWorkload(b *testing.B, name string) workload.Workload {
 	b.Helper()
-	cacheMu.Lock()
-	defer cacheMu.Unlock()
-	if f, ok := elfCache[name]; ok {
-		return f
-	}
 	w, ok := workload.ByName(name)
 	if !ok {
 		b.Fatalf("no workload %s", name)
 	}
-	f, err := Assemble(w.Source)
+	return w
+}
+
+func cachedELF(b *testing.B, name string) *elf32.File {
+	b.Helper()
+	f, err := benchFarm.ELF(benchWorkload(b, name))
 	if err != nil {
 		b.Fatal(err)
 	}
-	elfCache[name] = f
 	return f
 }
 
 func cachedRef(b *testing.B, name string) *RefResult {
 	b.Helper()
-	f := cachedELF(b, name)
-	cacheMu.Lock()
-	defer cacheMu.Unlock()
-	if r, ok := refCache[name]; ok {
-		return r
-	}
-	r, err := RunReference(f)
+	stats, output, err := benchFarm.Reference(benchWorkload(b, name), nil)
 	if err != nil {
 		b.Fatal(err)
 	}
-	refCache[name] = r
-	return r
+	return &RefResult{Stats: stats, Output: output}
 }
 
 func cachedProg(b *testing.B, name string, level Level) *core.Program {
 	b.Helper()
 	f := cachedELF(b, name)
-	key := name + "/" + level.String()
-	cacheMu.Lock()
-	defer cacheMu.Unlock()
-	if p, ok := progCache[key]; ok {
-		return p
-	}
-	p, err := Translate(f, level)
+	p, _, err := benchFarm.Cache().Translate(f, core.Options{Level: level})
 	if err != nil {
 		b.Fatal(err)
 	}
-	progCache[key] = p
 	return p
 }
 
@@ -131,11 +117,15 @@ func BenchmarkTable1(b *testing.B) {
 		{"C6x_caches", Level3},
 	}
 	b.Run("TC10GP_board", func(b *testing.B) {
+		refs := make([]*RefResult, 0, 6)
+		for _, w := range workload.Six() {
+			refs = append(refs, cachedRef(b, w.Name))
+		}
+		b.ResetTimer()
 		var cpi float64
 		for i := 0; i < b.N; i++ {
 			cpi = 0
-			for _, w := range workload.Six() {
-				ref := cachedRef(b, w.Name)
+			for _, ref := range refs {
 				cpi += float64(ref.Stats.Cycles) / float64(ref.Stats.Retired)
 			}
 			cpi /= 6
@@ -145,14 +135,22 @@ func BenchmarkTable1(b *testing.B) {
 	for _, row := range rows {
 		row := row
 		b.Run(row.name, func(b *testing.B) {
+			// Resolve programs and references outside the timed loop so
+			// the measurement is the platform simulation, not the
+			// (content-hashed) cache lookups.
+			progs := make([]*core.Program, 0, 6)
+			refs := make([]*RefResult, 0, 6)
+			for _, w := range workload.Six() {
+				progs = append(progs, cachedProg(b, w.Name, row.level))
+				refs = append(refs, cachedRef(b, w.Name))
+			}
+			b.ResetTimer()
 			var cpi float64
 			for i := 0; i < b.N; i++ {
 				cpi = 0
-				for _, w := range workload.Six() {
-					prog := cachedProg(b, w.Name, row.level)
+				for j, prog := range progs {
 					st := runPlatform(b, prog)
-					ref := cachedRef(b, w.Name)
-					cpi += float64(st.C6xCycles) / float64(ref.Stats.Retired)
+					cpi += float64(st.C6xCycles) / float64(refs[j].Stats.Retired)
 				}
 				cpi /= 6
 			}
@@ -281,6 +279,64 @@ func BenchmarkTranslator(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
+		})
+	}
+}
+
+// BenchmarkFarmTranslationCache measures translation throughput with and
+// without the content-addressed cache: "uncached" pays a full
+// core.Translate per request, "cached" pays the content hash plus a map
+// lookup. The gap is what every repeated job in a farm batch saves.
+func BenchmarkFarmTranslationCache(b *testing.B) {
+	f := cachedELF(b, "sieve")
+	opts := core.Options{Level: Level3}
+	b.Run("uncached", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			c := simfarm.NewTranslationCache()
+			if _, _, err := c.Translate(f, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "translations/s")
+	})
+	b.Run("cached", func(b *testing.B) {
+		c := simfarm.NewTranslationCache()
+		if _, _, err := c.Translate(f, opts); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_, hit, err := c.Translate(f, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !hit {
+				b.Fatal("warm cache missed")
+			}
+		}
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "translations/s")
+	})
+}
+
+// BenchmarkFarmSweep measures end-to-end batch throughput of the farm on
+// the full Table-1 job matrix across pool sizes (warm translation cache,
+// so it isolates the parallel platform-simulation stage).
+func BenchmarkFarmSweep(b *testing.B) {
+	jobs := simfarm.SweepJobs(workload.Six(), AllLevels(), simfarm.DefaultMarchConfigs())
+	for _, workers := range []int{1, 4, 8} {
+		workers := workers
+		b.Run(fmt.Sprintf("workers_%d", workers), func(b *testing.B) {
+			farm := simfarm.New(simfarm.Config{Workers: workers})
+			if _, bs := farm.Run(jobs); bs.Failed > 0 {
+				b.Fatalf("%d jobs failed", bs.Failed)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, bs := farm.Run(jobs); bs.Failed > 0 {
+					b.Fatalf("%d jobs failed", bs.Failed)
+				}
+			}
+			b.ReportMetric(float64(len(jobs))*float64(b.N)/b.Elapsed().Seconds(), "jobs/s")
 		})
 	}
 }

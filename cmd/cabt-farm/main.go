@@ -1,0 +1,188 @@
+// Command cabt-farm runs batch simulation sweeps on the simulation
+// farm: every workload × translation detail level × microarchitecture
+// configuration, on a bounded worker pool, with translation memoized in
+// a content-addressed cache. It emits a per-job summary table, the
+// batch statistics (including the translation-cache hit rate), and
+// optionally the full JSON report.
+//
+// Usage:
+//
+//	cabt-farm                     # full sweep, summary table
+//	cabt-farm -workers 8 -json -  # full sweep, JSON report on stdout
+//	cabt-farm -levels 1,3 -workloads gcd,sieve -json report.json
+//	cabt-farm -table1 -table2     # the paper's tables, via the farm
+//	cabt-farm -progress           # stream per-job lines as they finish
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro"
+	"repro/internal/core"
+	"repro/internal/simfarm"
+	"repro/internal/workload"
+)
+
+func main() {
+	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	levelsFlag := flag.String("levels", "0,1,2,3", "comma-separated detail levels to sweep")
+	workloadsFlag := flag.String("workloads", "all", "comma-separated workload names, or 'all'")
+	jsonOut := flag.String("json", "", "write the JSON report to this file ('-' = stdout)")
+	progress := flag.Bool("progress", false, "stream one line per job as results complete")
+	table1 := flag.Bool("table1", false, "also print the paper's Table 1 (produced through the farm)")
+	table2 := flag.Bool("table2", false, "also print the paper's Table 2 (produced through the farm)")
+	flag.Parse()
+
+	levels, err := parseLevels(*levelsFlag)
+	check(err)
+	ws, err := parseWorkloads(*workloadsFlag)
+	check(err)
+	configs := simfarm.DefaultMarchConfigs()
+
+	// Share the process-wide farm's translation cache so -table1/-table2
+	// (which run on repro's shared farm) reuse the sweep's translations
+	// and vice versa.
+	farm := simfarm.New(simfarm.Config{Workers: *workers, Cache: repro.Farm().Cache()})
+	jobs := simfarm.SweepJobs(ws, levels, configs)
+	fmt.Fprintf(os.Stderr, "cabt-farm: %d jobs (%d workloads × %d levels × %d configs) on %d workers\n",
+		len(jobs), len(ws), len(levels), len(configs), farm.Workers())
+
+	results, stats := run(farm, jobs, *progress)
+
+	printSummary(os.Stdout, results, stats)
+
+	if *jsonOut != "" {
+		report := simfarm.Report{Workers: farm.Workers(), Results: results, Stats: stats}
+		data, err := json.MarshalIndent(report, "", "  ")
+		check(err)
+		data = append(data, '\n')
+		if *jsonOut == "-" {
+			_, err = os.Stdout.Write(data)
+		} else {
+			err = os.WriteFile(*jsonOut, data, 0o644)
+		}
+		check(err)
+	}
+
+	if *table1 {
+		t, err := repro.MeasureTable1()
+		check(err)
+		fmt.Println(repro.FormatTable1(t))
+	}
+	if *table2 {
+		rows, err := repro.MeasureTable2()
+		check(err)
+		fmt.Println(repro.FormatTable2(rows))
+	}
+
+	if stats.Failed > 0 {
+		os.Exit(1)
+	}
+}
+
+// run executes the batch; with progress enabled it consumes the
+// streaming channel and echoes jobs as they complete, then reorders —
+// otherwise it uses the blocking Run.
+func run(farm *simfarm.Farm, jobs []simfarm.Job, progress bool) ([]simfarm.Result, simfarm.BatchStats) {
+	if !progress {
+		return farm.Run(jobs)
+	}
+	// Stream for the live progress lines, then reorder by index (Submit
+	// sets Result.Index) and let the farm summarize the batch.
+	start := time.Now()
+	results := make([]simfarm.Result, len(jobs))
+	done := 0
+	for r := range farm.Submit(jobs) {
+		done++
+		status := "ok"
+		if r.Err != nil {
+			status = "FAIL: " + r.Error
+		} else if r.CacheHit {
+			status = "ok (cache hit)"
+		}
+		fmt.Fprintf(os.Stderr, "[%3d/%3d] %-10s %-18s L%d  %s\n",
+			done, len(jobs), r.Name, r.Config, int(r.Level), status)
+		results[r.Index] = r
+	}
+	return results, farm.Summarize(results, time.Since(start))
+}
+
+func printSummary(w *os.File, results []simfarm.Result, stats simfarm.BatchStats) {
+	fmt.Fprintf(w, "%-10s %-18s %-22s %10s %12s %12s %8s %9s %5s\n",
+		"program", "config", "level", "insts", "c6x cycles", "gen cycles", "CPI", "dev%", "cache")
+	for _, r := range results {
+		if r.Err != nil {
+			fmt.Fprintf(w, "%-10s %-18s %-22s FAILED: %s\n", r.Name, r.Config, r.Level, r.Error)
+			continue
+		}
+		cache := "miss"
+		if r.CacheHit {
+			cache = "hit"
+		}
+		dev := "-"
+		if r.Level >= core.Level1 {
+			dev = fmt.Sprintf("%+.2f", r.DeviationPct)
+		}
+		fmt.Fprintf(w, "%-10s %-18s %-22s %10d %12d %12d %8.2f %9s %5s\n",
+			r.Name, r.Config, r.Level, r.Instructions, r.C6xCycles, r.GeneratedCycles, r.CPI, dev, cache)
+	}
+	fmt.Fprintf(w, "\njobs %d (failed %d) · translation cache %d hits / %d misses (%.0f%% hit rate) · %.2fs wall · %.1f Mcycles/s simulated\n",
+		stats.Jobs, stats.Failed, stats.CacheHits, stats.CacheMisses, 100*stats.CacheHitRate,
+		stats.WallSeconds, stats.C6xCyclesPerSecond/1e6)
+}
+
+func parseLevels(s string) ([]core.Level, error) {
+	var levels []core.Level
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n < 0 || n > 3 {
+			return nil, fmt.Errorf("bad level %q (want 0..3)", part)
+		}
+		levels = append(levels, core.Level(n))
+	}
+	if len(levels) == 0 {
+		return nil, fmt.Errorf("no levels selected")
+	}
+	return levels, nil
+}
+
+func parseWorkloads(s string) ([]workload.Workload, error) {
+	if s == "all" {
+		return workload.All(), nil
+	}
+	var ws []workload.Workload
+	for _, name := range strings.Split(s, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		w, ok := workload.ByName(name)
+		if !ok {
+			return nil, fmt.Errorf("unknown workload %q (have %s)", name, strings.Join(workload.Names(), ", "))
+		}
+		ws = append(ws, w)
+	}
+	if len(ws) == 0 {
+		return nil, fmt.Errorf("no workloads selected")
+	}
+	sort.Slice(ws, func(i, j int) bool { return ws[i].Name < ws[j].Name })
+	return ws, nil
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cabt-farm:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,210 @@
+package simfarm
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"hash"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/elf32"
+	"repro/internal/march"
+)
+
+// ELFHash is the SHA-256 of a marshalled ELF image: the content address
+// of a program's object code.
+type ELFHash [sha256.Size]byte
+
+// HashELF content-addresses an assembled ELF image.
+func HashELF(f *elf32.File) (ELFHash, error) {
+	data, err := f.Marshal()
+	if err != nil {
+		return ELFHash{}, fmt.Errorf("simfarm: hash elf: %w", err)
+	}
+	return sha256.Sum256(data), nil
+}
+
+// Key is the content address of a translated program: ELF contents plus
+// a canonical fingerprint of the translation-relevant options.
+type Key [sha256.Size]byte
+
+// String renders the key in short hex form for logs.
+func (k Key) String() string { return fmt.Sprintf("%x", k[:8]) }
+
+// ProgramKey derives the translation-cache key for translating the
+// program addressed by h under opts.
+//
+// The options fingerprint is canonical: defaults are applied exactly as
+// core.Translate applies them (nil Desc → march.Default, zero
+// InlineCacheThreshold → 24), and fields that cannot influence the
+// translated program at the requested level are omitted. In particular
+// the I-cache geometry only enters the key at Level3, the cache-probe
+// inlining switches only at Level3, and the correction-drain shape only
+// at Level2 and above — so sweeps over those dimensions at lower levels
+// hit the cache. Desc.IOWaitCycles is always keyed even though the
+// translator ignores it: the platform reads it from the cached program's
+// Desc at run time, so two jobs differing in it must not share a
+// Program. Desc.ClockHz, Desc.Name and Desc.BoothMul affect only the
+// dynamic reference simulators and reporting, never the translated
+// program or its platform run, and are excluded.
+func ProgramKey(h ELFHash, opts core.Options) Key {
+	d := opts.Desc
+	if d == nil {
+		d = march.Default()
+	}
+	hs := sha256.New()
+	hs.Write(h[:])
+	put := func(vs ...uint64) {
+		var b [8]byte
+		for _, v := range vs {
+			binary.LittleEndian.PutUint64(b[:], v)
+			hs.Write(b[:])
+		}
+	}
+	putBool := func(vs ...bool) {
+		for _, v := range vs {
+			if v {
+				put(1)
+			} else {
+				put(0)
+			}
+		}
+	}
+	put(uint64(opts.Level))
+	putBool(opts.InstructionOriented)
+	// Static cycle calculation reads the pipeline timings and branch
+	// costs at every level except Level0 — but Level0 still schedules
+	// through the same binder, so key them unconditionally; they are
+	// cheap and never vary spuriously in a sweep.
+	put(uint64(d.LoadLat), uint64(d.MulLat), uint64(d.DivBlock))
+	put(uint64(d.Branch.NotTakenOK), uint64(d.Branch.TakenOK),
+		uint64(d.Branch.Mispredict), uint64(d.Branch.Direct), uint64(d.Branch.Indirect))
+	putBool(d.BackwardTaken)
+	put(uint64(d.IOWaitCycles))
+	if opts.Level >= core.Level2 {
+		putBool(opts.SingleDrainCorrection)
+	}
+	if opts.Level >= core.Level3 {
+		put(uint64(d.ICache.Sets), uint64(d.ICache.Ways),
+			uint64(d.ICache.LineBytes), uint64(d.ICache.MissPenalty))
+		putBool(opts.InlineCacheProbe)
+		threshold := opts.InlineCacheThreshold
+		if threshold == 0 {
+			threshold = 24 // core.Translate's default
+		}
+		put(uint64(threshold))
+	}
+	var k Key
+	hs.Sum(k[:0])
+	return k
+}
+
+// descFingerprint hashes every Desc field the dynamic reference
+// simulator observes (the full description: the live I-cache and the
+// Booth multiplier are visible to it at any level).
+func descFingerprint(hs hash.Hash, d *march.Desc) {
+	put := func(vs ...uint64) {
+		var b [8]byte
+		for _, v := range vs {
+			binary.LittleEndian.PutUint64(b[:], v)
+			hs.Write(b[:])
+		}
+	}
+	put(uint64(d.LoadLat), uint64(d.MulLat), uint64(d.DivBlock))
+	put(uint64(d.Branch.NotTakenOK), uint64(d.Branch.TakenOK),
+		uint64(d.Branch.Mispredict), uint64(d.Branch.Direct), uint64(d.Branch.Indirect))
+	var flags uint64
+	if d.BackwardTaken {
+		flags |= 1
+	}
+	if d.BoothMul {
+		flags |= 2
+	}
+	put(flags, uint64(d.IOWaitCycles))
+	put(uint64(d.ICache.Sets), uint64(d.ICache.Ways),
+		uint64(d.ICache.LineBytes), uint64(d.ICache.MissPenalty))
+}
+
+// referenceKey addresses a reference-simulator run: ELF contents × full
+// microarchitecture description.
+func referenceKey(h ELFHash, d *march.Desc) Key {
+	hs := sha256.New()
+	hs.Write(h[:])
+	descFingerprint(hs, d)
+	var k Key
+	hs.Sum(k[:0])
+	return k
+}
+
+// TranslationCache memoizes core.Translate results under content
+// addresses. It is safe for concurrent use; concurrent requests for the
+// same key run the translation exactly once (the winner is accounted as
+// the miss, every waiter as a hit).
+type TranslationCache struct {
+	mu      sync.Mutex
+	entries map[Key]*cacheEntry
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+type cacheEntry struct {
+	once sync.Once
+	prog *core.Program
+	err  error
+}
+
+// NewTranslationCache returns an empty cache.
+func NewTranslationCache() *TranslationCache {
+	return &TranslationCache{entries: map[Key]*cacheEntry{}}
+}
+
+// Translate returns the translation of f under opts, running
+// core.Translate only on a cache miss. The second result reports whether
+// the program came from the cache.
+func (c *TranslationCache) Translate(f *elf32.File, opts core.Options) (*core.Program, bool, error) {
+	h, err := HashELF(f)
+	if err != nil {
+		return nil, false, err
+	}
+	return c.TranslateHashed(h, f, opts)
+}
+
+// TranslateHashed is Translate for callers that already hold the ELF
+// content hash (the farm memoizes it per assembled workload).
+func (c *TranslationCache) TranslateHashed(h ELFHash, f *elf32.File, opts core.Options) (*core.Program, bool, error) {
+	key := ProgramKey(h, opts)
+	c.mu.Lock()
+	e, ok := c.entries[key]
+	if !ok {
+		e = &cacheEntry{}
+		c.entries[key] = e
+	}
+	c.mu.Unlock()
+	hit := true
+	e.once.Do(func() {
+		hit = false
+		e.prog, e.err = core.Translate(f, opts)
+	})
+	if hit {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	return e.prog, hit, e.err
+}
+
+// Hits returns the number of cache hits served so far.
+func (c *TranslationCache) Hits() int64 { return c.hits.Load() }
+
+// Misses returns the number of cache misses (actual translations) so far.
+func (c *TranslationCache) Misses() int64 { return c.misses.Load() }
+
+// Len returns the number of distinct programs cached.
+func (c *TranslationCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

@@ -1,0 +1,179 @@
+package simfarm
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/march"
+	"repro/internal/tc32asm"
+	"repro/internal/workload"
+)
+
+func TestCacheHitMissAccounting(t *testing.T) {
+	w, _ := workload.ByName("gcd")
+	f, err := tc32asm.Assemble(w.Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewTranslationCache()
+
+	// First request: miss.
+	p1, hit, err := c.Translate(f, core.Options{Level: core.Level1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Error("first translation reported as cache hit")
+	}
+	// Second identical request: hit, same program pointer.
+	p2, hit, err := c.Translate(f, core.Options{Level: core.Level1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit {
+		t.Error("repeat translation missed the cache")
+	}
+	if p1 != p2 {
+		t.Error("cache hit returned a different program")
+	}
+	// Different level: miss.
+	if _, hit, err = c.Translate(f, core.Options{Level: core.Level2}); err != nil {
+		t.Fatal(err)
+	} else if hit {
+		t.Error("different level reported as cache hit")
+	}
+	if got, want := c.Hits(), int64(1); got != want {
+		t.Errorf("Hits() = %d, want %d", got, want)
+	}
+	if got, want := c.Misses(), int64(2); got != want {
+		t.Errorf("Misses() = %d, want %d", got, want)
+	}
+	if got, want := c.Len(), 2; got != want {
+		t.Errorf("Len() = %d, want %d", got, want)
+	}
+}
+
+func TestProgramKeyLevelSensitivity(t *testing.T) {
+	var h ELFHash
+	for i := range h {
+		h[i] = byte(i)
+	}
+	base := ProgramKey(h, core.Options{Level: core.Level1})
+	if ProgramKey(h, core.Options{Level: core.Level2}) == base {
+		t.Error("key ignores the detail level")
+	}
+	var h2 ELFHash
+	h2[0] = 0xFF
+	if ProgramKey(h2, core.Options{Level: core.Level1}) == base {
+		t.Error("key ignores the ELF contents")
+	}
+}
+
+func TestProgramKeyICacheOnlyAtLevel3(t *testing.T) {
+	var h ELFHash
+	big := march.Default()
+	big.ICache = march.CacheGeom{Sets: 128, Ways: 4, LineBytes: 8, MissPenalty: 8}
+
+	// Below Level3 the translator cannot observe the I-cache geometry, so
+	// a cache-config sweep must share one translated program.
+	for _, l := range []core.Level{core.Level0, core.Level1, core.Level2} {
+		def := ProgramKey(h, core.Options{Level: l})
+		alt := ProgramKey(h, core.Options{Level: l, Desc: big})
+		if def != alt {
+			t.Errorf("L%d: I-cache geometry leaked into the key", int(l))
+		}
+	}
+	// At Level3 it is baked into the generated cache-analysis code.
+	def := ProgramKey(h, core.Options{Level: core.Level3})
+	alt := ProgramKey(h, core.Options{Level: core.Level3, Desc: big})
+	if def == alt {
+		t.Error("L3: I-cache geometry missing from the key")
+	}
+}
+
+func TestProgramKeyRuntimeRelevantDescFields(t *testing.T) {
+	var h ELFHash
+	// IOWaitCycles is read from the cached program's Desc by the platform
+	// at run time, so it must always split the key.
+	d := march.Default()
+	d.IOWaitCycles = 7
+	if ProgramKey(h, core.Options{Level: core.Level1, Desc: d}) ==
+		ProgramKey(h, core.Options{Level: core.Level1}) {
+		t.Error("IOWaitCycles missing from the key")
+	}
+	// BoothMul only affects the dynamic simulators; sweeping it must hit.
+	b := march.Default()
+	b.BoothMul = true
+	if ProgramKey(h, core.Options{Level: core.Level3, Desc: b}) !=
+		ProgramKey(h, core.Options{Level: core.Level3}) {
+		t.Error("BoothMul spuriously split the key")
+	}
+	// Branch costs feed the static cycle calculation at every level.
+	br := march.Default()
+	br.Branch.Mispredict = 9
+	if ProgramKey(h, core.Options{Level: core.Level1, Desc: br}) ==
+		ProgramKey(h, core.Options{Level: core.Level1}) {
+		t.Error("branch costs missing from the key")
+	}
+}
+
+func TestProgramKeyCanonicalDefaults(t *testing.T) {
+	var h ELFHash
+	// nil Desc and an explicit march.Default() are the same translation.
+	if ProgramKey(h, core.Options{Level: core.Level2}) !=
+		ProgramKey(h, core.Options{Level: core.Level2, Desc: march.Default()}) {
+		t.Error("nil Desc and march.Default() key differently")
+	}
+	// Zero InlineCacheThreshold means 24 inside core.Translate.
+	a := ProgramKey(h, core.Options{Level: core.Level3, InlineCacheProbe: true})
+	b := ProgramKey(h, core.Options{Level: core.Level3, InlineCacheProbe: true, InlineCacheThreshold: 24})
+	if a != b {
+		t.Error("default InlineCacheThreshold keys differently from explicit 24")
+	}
+	// Ablation switches below the level they act at must not split keys.
+	if ProgramKey(h, core.Options{Level: core.Level1, SingleDrainCorrection: true}) !=
+		ProgramKey(h, core.Options{Level: core.Level1}) {
+		t.Error("SingleDrainCorrection split a Level1 key")
+	}
+	if ProgramKey(h, core.Options{Level: core.Level2, SingleDrainCorrection: true}) ==
+		ProgramKey(h, core.Options{Level: core.Level2}) {
+		t.Error("SingleDrainCorrection missing from a Level2 key")
+	}
+}
+
+func TestCacheConcurrentSingleTranslation(t *testing.T) {
+	w, _ := workload.ByName("sieve")
+	f, err := tc32asm.Assemble(w.Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewTranslationCache()
+	const n = 16
+	progs := make([]*core.Program, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			p, _, err := c.Translate(f, core.Options{Level: core.Level3})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			progs[i] = p
+		}(i)
+	}
+	wg.Wait()
+	if got := c.Misses(); got != 1 {
+		t.Errorf("concurrent identical requests ran %d translations, want 1", got)
+	}
+	if got := c.Hits(); got != n-1 {
+		t.Errorf("Hits() = %d, want %d", got, n-1)
+	}
+	for i := 1; i < n; i++ {
+		if progs[i] != progs[0] {
+			t.Fatalf("request %d got a different program", i)
+		}
+	}
+}

@@ -1,0 +1,126 @@
+// The equivalence test lives in an external test package so it can
+// import the top-level repro package (which itself imports simfarm for
+// the table helpers) without an import cycle: repro.Measure is the
+// direct, farm-free measurement path and serves as the oracle the farm
+// must match bit-for-bit.
+package simfarm_test
+
+import (
+	"math"
+	"testing"
+
+	"repro"
+	"repro/internal/core"
+	"repro/internal/simfarm"
+)
+
+// TestFarmMatchesDirectMeasure runs every workload at every level both
+// through the farm and through repro.Measure and requires identical
+// cycle counts and derived metrics for the same job.
+func TestFarmMatchesDirectMeasure(t *testing.T) {
+	levels := repro.AllLevels()
+	jobs := simfarm.SweepJobs(repro.Workloads(), levels, nil)
+	farm := simfarm.New(simfarm.Config{Workers: 8})
+	results, bs := farm.Run(jobs)
+	if bs.Failed != 0 {
+		for _, r := range results {
+			if r.Err != nil {
+				t.Fatalf("farm: %s L%d: %v", r.Name, int(r.Level), r.Err)
+			}
+		}
+	}
+	byJob := map[string]simfarm.Result{}
+	for _, r := range results {
+		byJob[r.Name+"/"+r.Level.String()] = r
+	}
+
+	for _, w := range repro.Workloads() {
+		m, err := repro.Measure(w, levels...)
+		if err != nil {
+			t.Fatalf("direct: %s: %v", w.Name, err)
+		}
+		for _, l := range levels {
+			r, ok := byJob[w.Name+"/"+l.String()]
+			if !ok {
+				t.Fatalf("farm produced no result for %s L%d", w.Name, int(l))
+			}
+			lr := m.Levels[l]
+			if r.Instructions != m.Instructions {
+				t.Errorf("%s L%d: Instructions = %d, direct %d", w.Name, int(l), r.Instructions, m.Instructions)
+			}
+			if r.BoardCycles != m.BoardCycles {
+				t.Errorf("%s L%d: BoardCycles = %d, direct %d", w.Name, int(l), r.BoardCycles, m.BoardCycles)
+			}
+			if r.C6xCycles != lr.C6xCycles {
+				t.Errorf("%s L%d: C6xCycles = %d, direct %d", w.Name, int(l), r.C6xCycles, lr.C6xCycles)
+			}
+			if r.GeneratedCycles != lr.GeneratedCycles {
+				t.Errorf("%s L%d: GeneratedCycles = %d, direct %d", w.Name, int(l), r.GeneratedCycles, lr.GeneratedCycles)
+			}
+			for _, q := range []struct {
+				name      string
+				got, want float64
+			}{
+				{"BoardCPI", r.BoardCPI, m.BoardCPI},
+				{"BoardMIPS", r.BoardMIPS, m.BoardMIPS},
+				{"BoardSeconds", r.BoardSeconds, m.BoardSeconds},
+				{"CPI", r.CPI, lr.CPI},
+				{"MIPS", r.MIPS, lr.MIPS},
+				{"Seconds", r.Seconds, lr.Seconds},
+				{"DeviationPct", r.DeviationPct, lr.DeviationPct},
+			} {
+				if q.got != q.want && !(math.IsNaN(q.got) && math.IsNaN(q.want)) {
+					t.Errorf("%s L%d: %s = %v, direct %v", w.Name, int(l), q.name, q.got, q.want)
+				}
+			}
+		}
+	}
+}
+
+// TestTablesRunThroughFarm checks that the repro table helpers, now
+// rewired through the shared farm, keep producing measurements and
+// populate the farm's translation cache.
+func TestTablesRunThroughFarm(t *testing.T) {
+	t1, err := repro.MeasureTable1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t1.BoardCPI <= 0 {
+		t.Errorf("Table1 board CPI = %v", t1.BoardCPI)
+	}
+	for _, l := range repro.AllLevels() {
+		if t1.CPI[l] <= 0 {
+			t.Errorf("Table1 CPI[L%d] = %v", int(l), t1.CPI[l])
+		}
+	}
+	// Calling it again must be served from the shared farm's cache.
+	before := repro.Farm().Stats()
+	if _, err := repro.MeasureTable1(); err != nil {
+		t.Fatal(err)
+	}
+	after := repro.Farm().Stats()
+	if after.CacheMisses != before.CacheMisses {
+		t.Errorf("repeat MeasureTable1 re-translated: misses %d -> %d", before.CacheMisses, after.CacheMisses)
+	}
+	if after.CacheHits <= before.CacheHits {
+		t.Errorf("repeat MeasureTable1 did not hit the cache")
+	}
+
+	rows, err := repro.MeasureTable2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("Table2 rows = %d, want 3", len(rows))
+	}
+	for _, r := range rows {
+		if r.Instructions <= 0 || r.RTLSimCycles <= 0 {
+			t.Errorf("Table2 %s: empty row %+v", r.Name, r)
+		}
+		for _, l := range []core.Level{core.Level1, core.Level2, core.Level3} {
+			if r.TranslationSeconds[l] <= 0 {
+				t.Errorf("Table2 %s: no translation time at L%d", r.Name, int(l))
+			}
+		}
+	}
+}

@@ -1,0 +1,319 @@
+package simfarm
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/elf32"
+	"repro/internal/iss"
+	"repro/internal/march"
+	"repro/internal/platform"
+	"repro/internal/tc32asm"
+	"repro/internal/workload"
+)
+
+// Config configures a Farm.
+type Config struct {
+	// Workers bounds the worker pool; 0 selects GOMAXPROCS.
+	Workers int
+	// Cache is the translation cache to use; nil allocates a private
+	// one. Passing a shared cache lets several farms (or a farm and a
+	// benchmark harness) pool translated programs.
+	Cache *TranslationCache
+}
+
+// Farm runs simulation jobs on a bounded worker pool, memoizing
+// assembly, reference runs and translation across jobs and batches.
+type Farm struct {
+	workers int
+	cache   *TranslationCache
+
+	mu   sync.Mutex
+	elfs map[ELFHash]*elfEntry // keyed on source-text hash (see elf)
+	refs map[Key]*refEntry
+
+	jobsRun atomic.Int64
+	failed  atomic.Int64
+	refRuns atomic.Int64
+}
+
+type elfEntry struct {
+	once sync.Once
+	f    *elf32.File
+	hash ELFHash
+	err  error
+}
+
+type refEntry struct {
+	once   sync.Once
+	stats  iss.Stats
+	output []uint32
+	wall   time.Duration
+	err    error
+}
+
+// New builds a farm.
+func New(cfg Config) *Farm {
+	w := cfg.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	c := cfg.Cache
+	if c == nil {
+		c = NewTranslationCache()
+	}
+	return &Farm{
+		workers: w,
+		cache:   c,
+		elfs:    map[ELFHash]*elfEntry{},
+		refs:    map[Key]*refEntry{},
+	}
+}
+
+// Workers returns the configured pool size.
+func (f *Farm) Workers() int { return f.workers }
+
+// Cache returns the farm's translation cache.
+func (f *Farm) Cache() *TranslationCache { return f.cache }
+
+// Stats returns the farm's cumulative counters across all batches.
+func (f *Farm) Stats() FarmStats {
+	return FarmStats{
+		JobsRun:        f.jobsRun.Load(),
+		Failed:         f.failed.Load(),
+		CacheHits:      f.cache.Hits(),
+		CacheMisses:    f.cache.Misses(),
+		CachedPrograms: f.cache.Len(),
+		ReferenceRuns:  f.refRuns.Load(),
+	}
+}
+
+// Submit runs the batch on the worker pool and streams each Result on
+// the returned channel as it completes (completion order, Index set).
+// The channel is buffered for the whole batch and closed when the batch
+// is done, so consumers may read lazily without stalling workers.
+func (f *Farm) Submit(jobs []Job) <-chan Result {
+	out := make(chan Result, len(jobs))
+	idx := make(chan int)
+	n := f.workers
+	if n > len(jobs) {
+		n = len(jobs)
+	}
+	if n < 1 {
+		n = 1
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < n; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				out <- f.runJob(i, jobs[i])
+			}
+		}()
+	}
+	go func() {
+		for i := range jobs {
+			idx <- i
+		}
+		close(idx)
+	}()
+	go func() {
+		wg.Wait()
+		close(out)
+	}()
+	return out
+}
+
+// Run executes the batch and returns the results in job order (result i
+// belongs to jobs[i], regardless of completion order) together with the
+// batch summary. Job failures are reported per Result, never as a batch
+// failure.
+func (f *Farm) Run(jobs []Job) ([]Result, BatchStats) {
+	start := time.Now()
+	results := make([]Result, len(jobs))
+	for r := range f.Submit(jobs) {
+		results[r.Index] = r
+	}
+	return results, f.Summarize(results, time.Since(start))
+}
+
+// Summarize computes the batch statistics for a set of results a caller
+// collected from Submit itself, with wall the batch's elapsed time.
+func (f *Farm) Summarize(results []Result, wall time.Duration) BatchStats {
+	bs := BatchStats{Jobs: len(results), Workers: f.workers, WallSeconds: wall.Seconds()}
+	for i := range results {
+		r := &results[i]
+		if r.Err != nil {
+			bs.Failed++
+		}
+		switch r.cacheState {
+		case 1:
+			bs.CacheHits++
+		case 2:
+			bs.CacheMisses++
+		}
+		bs.TotalC6xCycles += r.C6xCycles
+		bs.TotalGeneratedCycles += r.GeneratedCycles
+	}
+	if t := bs.CacheHits + bs.CacheMisses; t > 0 {
+		bs.CacheHitRate = float64(bs.CacheHits) / float64(t)
+	}
+	if bs.WallSeconds > 0 {
+		bs.C6xCyclesPerSecond = float64(bs.TotalC6xCycles) / bs.WallSeconds
+	}
+	return bs
+}
+
+// elf assembles a workload, memoized on the hash of its source text.
+func (f *Farm) elf(w workload.Workload) *elfEntry {
+	key := ELFHash(sha256.Sum256([]byte(w.Source)))
+	f.mu.Lock()
+	e, ok := f.elfs[key]
+	if !ok {
+		e = &elfEntry{}
+		f.elfs[key] = e
+	}
+	f.mu.Unlock()
+	e.once.Do(func() {
+		file, err := tc32asm.Assemble(w.Source)
+		if err != nil {
+			e.err = fmt.Errorf("%s: %w", w.Name, err)
+			return
+		}
+		e.f = file
+		e.hash, e.err = HashELF(file)
+	})
+	return e
+}
+
+// reference runs the cycle-accurate reference simulator, memoized on
+// (ELF contents, full microarchitecture description). The wall-time of
+// the first (actual) run is recorded and repeated for memoized hits, so
+// every job reports a meaningful ISS-speed baseline.
+func (f *Farm) reference(h ELFHash, file *elf32.File, d *march.Desc) *refEntry {
+	key := referenceKey(h, d)
+	f.mu.Lock()
+	e, ok := f.refs[key]
+	if !ok {
+		e = &refEntry{}
+		f.refs[key] = e
+	}
+	f.mu.Unlock()
+	e.once.Do(func() {
+		f.refRuns.Add(1)
+		start := time.Now()
+		s, err := iss.New(file, iss.Config{Desc: d, CycleAccurate: true})
+		if err != nil {
+			e.err = err
+			return
+		}
+		if err := s.Run(); err != nil {
+			e.err = err
+			return
+		}
+		e.wall = time.Since(start)
+		e.stats = s.Stats()
+		e.output = s.Output()
+	})
+	return e
+}
+
+// ELF returns the memoized assembled image of a workload (shared with
+// job execution; used by benchmark harnesses).
+func (f *Farm) ELF(w workload.Workload) (*elf32.File, error) {
+	e := f.elf(w)
+	return e.f, e.err
+}
+
+// Reference returns the memoized reference-simulator statistics and
+// debug output of a workload under desc (nil = march.Default).
+func (f *Farm) Reference(w workload.Workload, desc *march.Desc) (iss.Stats, []uint32, error) {
+	if desc == nil {
+		desc = march.Default()
+	}
+	e := f.elf(w)
+	if e.err != nil {
+		return iss.Stats{}, nil, e.err
+	}
+	r := f.reference(e.hash, e.f, desc)
+	return r.stats, r.output, r.err
+}
+
+// runJob executes one job: assemble (memoized), reference-run
+// (memoized), translate (content-addressed cache), platform-run, verify
+// and measure.
+func (f *Farm) runJob(idx int, job Job) Result {
+	f.jobsRun.Add(1)
+	r := Result{Index: idx, Name: job.Workload.Name, Level: job.Options.Level, Config: job.Config}
+	fail := func(err error) Result {
+		f.failed.Add(1)
+		r.Err = err
+		r.Error = err.Error()
+		return r
+	}
+
+	e := f.elf(job.Workload)
+	if e.err != nil {
+		return fail(e.err)
+	}
+	desc := job.Options.Desc
+	if desc == nil {
+		desc = march.Default()
+	}
+
+	ref := f.reference(e.hash, e.f, desc)
+	if ref.err != nil {
+		return fail(fmt.Errorf("%s: reference: %w", job.Workload.Name, ref.err))
+	}
+	if err := workload.SameOutput(ref.output, job.Workload.Expected); err != nil {
+		return fail(fmt.Errorf("%s: reference %w", job.Workload.Name, err))
+	}
+	r.Instructions = ref.stats.Retired
+	r.BoardCycles = ref.stats.Cycles
+	r.BoardCPI = float64(r.BoardCycles) / float64(r.Instructions)
+	r.BoardSeconds = float64(r.BoardCycles) / float64(desc.ClockHz)
+	r.BoardMIPS = float64(r.Instructions) / r.BoardSeconds / 1e6
+	r.RefWallSeconds = ref.wall.Seconds()
+
+	tStart := time.Now()
+	prog, hit, err := f.cache.TranslateHashed(e.hash, e.f, job.Options)
+	if err != nil {
+		return fail(fmt.Errorf("%s L%d: %w", job.Workload.Name, int(job.Options.Level), err))
+	}
+	r.TranslateWallSeconds = time.Since(tStart).Seconds()
+	r.CacheHit = hit
+	if hit {
+		r.cacheState = 1
+	} else {
+		r.cacheState = 2
+	}
+
+	runStart := time.Now()
+	sys := platform.New(prog)
+	if err := sys.Run(); err != nil {
+		return fail(fmt.Errorf("%s L%d: %w", job.Workload.Name, int(job.Options.Level), err))
+	}
+	r.RunWallSeconds = time.Since(runStart).Seconds()
+	if err := workload.SameOutput(sys.Output, job.Workload.Expected); err != nil {
+		return fail(fmt.Errorf("%s L%d: %w", job.Workload.Name, int(job.Options.Level), err))
+	}
+
+	st := sys.Stats()
+	r.C6xCycles = st.C6xCycles
+	r.GeneratedCycles = st.GeneratedCycles
+	r.CPI = float64(r.C6xCycles) / float64(r.Instructions)
+	r.Seconds = float64(r.C6xCycles) / platform.C6xClockHz
+	r.MIPS = float64(r.Instructions) / r.Seconds / 1e6
+	if job.Options.Level >= 1 {
+		r.DeviationPct = 100 * float64(r.GeneratedCycles-r.BoardCycles) / float64(r.BoardCycles)
+	}
+	if r.RunWallSeconds > 0 {
+		r.SpeedupVsISS = r.RefWallSeconds / r.RunWallSeconds
+	}
+	return r
+}

@@ -1,0 +1,61 @@
+package simfarm
+
+import (
+	"repro/internal/core"
+	"repro/internal/march"
+	"repro/internal/workload"
+)
+
+// MarchConfig is one named microarchitecture configuration of a sweep.
+type MarchConfig struct {
+	Name string
+	Desc *march.Desc
+}
+
+// DefaultMarchConfigs returns the standard sweep configurations: the
+// paper's TC32 description plus two I-cache variants. Because the
+// translation-cache key omits I-cache geometry below Level3, a sweep
+// over these configs re-translates each (workload, level) pair only for
+// Level3 — levels 0–2 share one translated program across all three.
+func DefaultMarchConfigs() []MarchConfig {
+	base := march.Default()
+
+	// The translator's cache-probe generator supports 1- and 2-way
+	// geometries, so the large variant scales sets, not associativity.
+	big := march.Default()
+	big.Name = "tc32-icache4k"
+	big.ICache = march.CacheGeom{Sets: 256, Ways: 2, LineBytes: 8, MissPenalty: 8}
+
+	tiny := march.Default()
+	tiny.Name = "tc32-icache64b"
+	tiny.ICache = march.CacheGeom{Sets: 8, Ways: 1, LineBytes: 8, MissPenalty: 8}
+
+	return []MarchConfig{
+		{Name: "base", Desc: base},
+		{Name: "icache-4k", Desc: big},
+		{Name: "icache-64b-direct", Desc: tiny},
+	}
+}
+
+// SweepJobs builds the batch for a full sweep: every workload at every
+// level under every configuration, in deterministic
+// (config, workload, level) order. A nil or empty configs slice means
+// one unlabeled default configuration.
+func SweepJobs(workloads []workload.Workload, levels []core.Level, configs []MarchConfig) []Job {
+	if len(configs) == 0 {
+		configs = []MarchConfig{{}}
+	}
+	jobs := make([]Job, 0, len(configs)*len(workloads)*len(levels))
+	for _, c := range configs {
+		for _, w := range workloads {
+			for _, l := range levels {
+				jobs = append(jobs, Job{
+					Workload: w,
+					Config:   c.Name,
+					Options:  core.Options{Level: l, Desc: c.Desc},
+				})
+			}
+		}
+	}
+	return jobs
+}

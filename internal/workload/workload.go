@@ -114,6 +114,22 @@ func ByName(name string) (Workload, bool) {
 	return Workload{}, false
 }
 
+// SameOutput checks a simulator's debug-port output against the
+// expected vector. It is the single functional-equivalence check shared
+// by the direct measurement path (repro.Measure) and the simulation
+// farm, so the two paths can never diverge on what counts as a match.
+func SameOutput(got, want []uint32) error {
+	if len(got) != len(want) {
+		return fmt.Errorf("output mismatch: got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			return fmt.Errorf("output[%d] = %#x, want %#x", i, got[i], want[i])
+		}
+	}
+	return nil
+}
+
 // Names returns all workload names, sorted.
 func Names() []string {
 	var names []string

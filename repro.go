@@ -12,6 +12,15 @@
 // Measure and the Figure*/Table* helpers regenerate every figure and
 // table of the paper's evaluation; see EXPERIMENTS.md for the recorded
 // results.
+//
+// Batch traffic runs on the simulation farm (internal/simfarm): a
+// bounded worker pool with a content-addressed translation cache keyed
+// on (ELF contents, translation options). MeasureTable1 and
+// MeasureTable2 execute through the shared farm returned by Farm, so
+// the paper's tables are produced by the same code path that serves
+// sweeps; cmd/cabt-farm runs full workload × level × cache-config
+// sweeps and emits JSON reports. Measure remains a direct, farm-free
+// path and is the equivalence oracle the farm is tested against.
 package repro
 
 import (
@@ -22,9 +31,22 @@ import (
 	"repro/internal/iss"
 	"repro/internal/march"
 	"repro/internal/platform"
+	"repro/internal/simfarm"
 	"repro/internal/tc32asm"
 	"repro/internal/workload"
 )
+
+// sharedFarm serves the table helpers (MeasureTable1/MeasureTable2) and
+// any other batch consumer in the process: repeated table regeneration
+// reuses its content-addressed translation cache. Measure stays a
+// direct, farm-free path and doubles as the equivalence oracle for the
+// farm (see internal/simfarm's equivalence test).
+var sharedFarm = simfarm.New(simfarm.Config{})
+
+// Farm returns the process-wide simulation farm used by the table
+// helpers. Callers running their own sweeps through it share its
+// translation cache and memoized reference runs.
+func Farm() *simfarm.Farm { return sharedFarm }
 
 // Level re-exports the translator's cycle-accuracy detail level.
 type Level = core.Level
@@ -166,17 +188,7 @@ func Measure(w workload.Workload, levels ...Level) (*Measurement, error) {
 	return m, nil
 }
 
-func sameOutput(got, want []uint32) error {
-	if len(got) != len(want) {
-		return fmt.Errorf("output mismatch: got %v, want %v", got, want)
-	}
-	for i := range want {
-		if got[i] != want[i] {
-			return fmt.Errorf("output[%d] = %#x, want %#x", i, got[i], want[i])
-		}
-	}
-	return nil
-}
+func sameOutput(got, want []uint32) error { return workload.SameOutput(got, want) }
 
 // AllLevels lists the detail levels in the paper's presentation order.
 func AllLevels() []Level { return []Level{Level0, Level1, Level2, Level3} }

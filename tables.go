@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/rtlsim"
+	"repro/internal/simfarm"
 	"repro/internal/workload"
 )
 
@@ -53,20 +54,25 @@ var Table1Paper = map[string]float64{
 }
 
 // MeasureTable1 regenerates Table 1 (mean over the six benchmarks, as in
-// the paper: "the average value of all examples").
+// the paper: "the average value of all examples"). The measurements run
+// as a batch on the shared simulation farm — the same code path that
+// serves sweep traffic — so repeated regeneration reuses the
+// content-addressed translation cache.
 func MeasureTable1() (*Table1, error) {
 	t := &Table1{CPI: map[Level]float64{}, Paper: Table1Paper}
-	var n float64
-	for _, w := range SixWorkloads() {
-		m, err := Measure(w, AllLevels()...)
-		if err != nil {
-			return nil, err
+	jobs := simfarm.SweepJobs(SixWorkloads(), AllLevels(), nil)
+	results, _ := sharedFarm.Run(jobs)
+	boardCPI := map[string]float64{}
+	for _, r := range results {
+		if r.Err != nil {
+			return nil, r.Err
 		}
-		t.BoardCPI += m.BoardCPI
-		for l, lr := range m.Levels {
-			t.CPI[l] += lr.CPI
-		}
-		n++
+		boardCPI[r.Name] = r.BoardCPI
+		t.CPI[r.Level] += r.CPI
+	}
+	n := float64(len(boardCPI))
+	for _, cpi := range boardCPI {
+		t.BoardCPI += cpi
 	}
 	t.BoardCPI /= n
 	for l := range t.CPI {
@@ -129,30 +135,45 @@ type Table2Row struct {
 	TranslationSeconds map[Level]float64
 }
 
-// MeasureTable2 regenerates Table 2 for gcd, fibonacci and sieve.
+// MeasureTable2 regenerates Table 2 for gcd, fibonacci and sieve. Like
+// MeasureTable1 it executes the translated runs as one batch on the
+// shared simulation farm; only the RT-level proxy timing stays a direct
+// host measurement.
 func MeasureTable2() ([]Table2Row, error) {
-	var rows []Table2Row
-	for _, name := range []string{"gcd", "fibonacci", "sieve"} {
+	names := []string{"gcd", "fibonacci", "sieve"}
+	ws := make([]workload.Workload, len(names))
+	for i, name := range names {
 		w, ok := workload.ByName(name)
 		if !ok {
 			return nil, fmt.Errorf("workload %s missing", name)
 		}
-		m, err := Measure(w, Level1, Level2, Level3)
-		if err != nil {
-			return nil, err
-		}
-		row := Table2Row{
-			Name:               name,
-			Instructions:       m.Instructions,
+		ws[i] = w
+	}
+	jobs := simfarm.SweepJobs(ws, []Level{Level1, Level2, Level3}, nil)
+	results, _ := sharedFarm.Run(jobs)
+	rowOf := map[string]*Table2Row{}
+	rows := make([]Table2Row, len(names))
+	for i, w := range ws {
+		rows[i] = Table2Row{
+			Name:               w.Name,
 			PaperInstructions:  w.PaperInstructions,
-			EmulationSeconds:   float64(m.BoardCycles) / FPGAClockHz,
 			TranslationSeconds: map[Level]float64{},
 		}
-		for l, lr := range m.Levels {
-			row.TranslationSeconds[l] = lr.Seconds
+		rowOf[w.Name] = &rows[i]
+	}
+	for _, r := range results {
+		if r.Err != nil {
+			return nil, r.Err
 		}
-		// Measured host runtime of the RT-level proxy.
-		f, err := Assemble(w.Source)
+		row := rowOf[r.Name]
+		row.Instructions = r.Instructions
+		row.EmulationSeconds = float64(r.BoardCycles) / FPGAClockHz
+		row.TranslationSeconds[r.Level] = r.Seconds
+	}
+	// Measured host runtime of the RT-level proxy (reusing the farm's
+	// memoized assembly).
+	for i, w := range ws {
+		f, err := sharedFarm.ELF(w)
 		if err != nil {
 			return nil, err
 		}
@@ -164,9 +185,8 @@ func MeasureTable2() ([]Table2Row, error) {
 		if err := cpu.Run(0); err != nil {
 			return nil, err
 		}
-		row.RTLSimSeconds = time.Since(start).Seconds()
-		row.RTLSimCycles = cpu.Cycle
-		rows = append(rows, row)
+		rows[i].RTLSimSeconds = time.Since(start).Seconds()
+		rows[i].RTLSimCycles = cpu.Cycle
 	}
 	return rows, nil
 }
