@@ -1,7 +1,9 @@
 package repro
 
 import (
+	"flag"
 	"fmt"
+	"sync"
 	"testing"
 
 	"repro/internal/core"
@@ -11,6 +13,7 @@ import (
 	"repro/internal/platform"
 	"repro/internal/rtlsim"
 	"repro/internal/simfarm"
+	"repro/internal/simfarm/store"
 	"repro/internal/workload"
 )
 
@@ -22,9 +25,28 @@ import (
 // Assembly, reference runs and translation are memoized through a
 // benchmark-local simulation farm — the same machinery that serves batch
 // sweeps (internal/simfarm) — so the harness exercises the production
-// caching path instead of ad-hoc maps.
+// caching path instead of ad-hoc maps. With -cache-dir the farm's
+// translation cache additionally writes through to the persistent
+// content-addressed store, so repeated bench invocations (and cabt-farm
+// or cabt-serve runs against the same directory) skip translation:
+//
+//	go test -bench=. -cache-dir=$HOME/.cache/cabt
+var benchCacheDir = flag.String("cache-dir", "", "persistent translation-cache store directory for the bench farm")
 
-var benchFarm = simfarm.New(simfarm.Config{})
+// benchFarm returns the harness's shared farm, built on first use so the
+// -cache-dir flag (parsed by the testing package before any benchmark
+// runs) can select a persistent cache.
+var benchFarm = sync.OnceValue(func() *simfarm.Farm {
+	var cache *simfarm.TranslationCache
+	if *benchCacheDir != "" {
+		st, err := store.Open(*benchCacheDir, store.Options{})
+		if err != nil {
+			panic(err)
+		}
+		cache = simfarm.NewPersistentTranslationCache(st)
+	}
+	return simfarm.New(simfarm.Config{Cache: cache})
+})
 
 func benchWorkload(b *testing.B, name string) workload.Workload {
 	b.Helper()
@@ -37,7 +59,7 @@ func benchWorkload(b *testing.B, name string) workload.Workload {
 
 func cachedELF(b *testing.B, name string) *elf32.File {
 	b.Helper()
-	f, err := benchFarm.ELF(benchWorkload(b, name))
+	f, err := benchFarm().ELF(benchWorkload(b, name))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -46,7 +68,7 @@ func cachedELF(b *testing.B, name string) *elf32.File {
 
 func cachedRef(b *testing.B, name string) *RefResult {
 	b.Helper()
-	stats, output, err := benchFarm.Reference(benchWorkload(b, name), nil)
+	stats, output, err := benchFarm().Reference(benchWorkload(b, name), nil)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -56,7 +78,7 @@ func cachedRef(b *testing.B, name string) *RefResult {
 func cachedProg(b *testing.B, name string, level Level) *core.Program {
 	b.Helper()
 	f := cachedELF(b, name)
-	p, _, err := benchFarm.Cache().Translate(f, core.Options{Level: level})
+	p, _, err := benchFarm().Cache().Translate(f, core.Options{Level: level})
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -5,11 +5,17 @@
 // batch statistics (including the translation-cache hit rate), and
 // optionally the full JSON report.
 //
+// With -cache-dir, the translation cache writes through to a persistent
+// content-addressed store, so repeated sweeps (and concurrent cabt-serve
+// instances pointed at the same directory) skip translation entirely on
+// warm keys.
+//
 // Usage:
 //
 //	cabt-farm                     # full sweep, summary table
 //	cabt-farm -workers 8 -json -  # full sweep, JSON report on stdout
 //	cabt-farm -levels 1,3 -workloads gcd,sieve -json report.json
+//	cabt-farm -cache-dir ~/.cache/cabt   # persistent translation cache
 //	cabt-farm -table1 -table2     # the paper's tables, via the farm
 //	cabt-farm -progress           # stream per-job lines as they finish
 package main
@@ -27,6 +33,7 @@ import (
 	"repro"
 	"repro/internal/core"
 	"repro/internal/simfarm"
+	"repro/internal/simfarm/store"
 	"repro/internal/workload"
 )
 
@@ -38,6 +45,8 @@ func main() {
 	progress := flag.Bool("progress", false, "stream one line per job as results complete")
 	table1 := flag.Bool("table1", false, "also print the paper's Table 1 (produced through the farm)")
 	table2 := flag.Bool("table2", false, "also print the paper's Table 2 (produced through the farm)")
+	cacheDir := flag.String("cache-dir", "", "persistent translation-cache store directory (empty = in-memory only)")
+	cacheBudget := flag.Int64("cache-budget", 0, "store size budget in bytes, LRU-evicted (0 = unbounded)")
 	flag.Parse()
 
 	levels, err := parseLevels(*levelsFlag)
@@ -46,10 +55,18 @@ func main() {
 	check(err)
 	configs := simfarm.DefaultMarchConfigs()
 
-	// Share the process-wide farm's translation cache so -table1/-table2
-	// (which run on repro's shared farm) reuse the sweep's translations
-	// and vice versa.
-	farm := simfarm.New(simfarm.Config{Workers: *workers, Cache: repro.Farm().Cache()})
+	// Without -cache-dir, share the process-wide farm's translation cache
+	// so -table1/-table2 (which run on repro's shared farm) reuse the
+	// sweep's translations and vice versa. With it, back the sweep by the
+	// persistent store so translations survive the process.
+	cache := repro.Farm().Cache()
+	if *cacheDir != "" {
+		st, err := store.Open(*cacheDir, store.Options{MaxBytes: *cacheBudget})
+		check(err)
+		defer st.Close()
+		cache = simfarm.NewPersistentTranslationCache(st)
+	}
+	farm := simfarm.New(simfarm.Config{Workers: *workers, Cache: cache})
 	jobs := simfarm.SweepJobs(ws, levels, configs)
 	fmt.Fprintf(os.Stderr, "cabt-farm: %d jobs (%d workloads × %d levels × %d configs) on %d workers\n",
 		len(jobs), len(ws), len(levels), len(configs), farm.Workers())
@@ -57,6 +74,10 @@ func main() {
 	results, stats := run(farm, jobs, *progress)
 
 	printSummary(os.Stdout, results, stats)
+	if cache.Persistent() {
+		fmt.Fprintf(os.Stdout, "persistent store: %d of %d hits served from disk (%s)\n",
+			cache.DiskHits(), stats.CacheHits, *cacheDir)
+	}
 
 	if *jsonOut != "" {
 		report := simfarm.Report{Workers: farm.Workers(), Results: results, Stats: stats}

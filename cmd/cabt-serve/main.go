@@ -1,0 +1,73 @@
+// Command cabt-serve runs the simulation farm as an HTTP batch service:
+// clients submit (workload × level × config) batches over the JSON API of
+// internal/simfarm/server and poll for results. With -cache-dir the
+// translation cache writes through to a persistent content-addressed
+// store, so restarts and concurrent cabt-farm runs share translations;
+// tenants (X-Cabt-Tenant header) get isolated cache namespaces within it.
+//
+// Usage:
+//
+//	cabt-serve -addr :8080 -cache-dir /var/cache/cabt
+//	curl -s -X POST localhost:8080/v1/jobs \
+//	     -d '{"workloads":["gcd","sieve"],"levels":[1,3]}'
+//	curl -s 'localhost:8080/v1/jobs/job-1?wait=1'
+//	curl -s localhost:8080/v1/stats
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/simfarm/server"
+	"repro/internal/simfarm/store"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	cacheDir := flag.String("cache-dir", "", "persistent translation-cache store directory (empty = in-memory only)")
+	cacheBudget := flag.Int64("cache-budget", 0, "store size budget in bytes, LRU-evicted (0 = unbounded)")
+	workers := flag.Int("workers", 0, "per-tenant worker pool size (0 = GOMAXPROCS)")
+	flag.Parse()
+
+	cfg := server.Config{Workers: *workers}
+	if *cacheDir != "" {
+		st, err := store.Open(*cacheDir, store.Options{MaxBytes: *cacheBudget})
+		if err != nil {
+			fail(err)
+		}
+		defer st.Close()
+		cfg.Store = st
+		fmt.Fprintf(os.Stderr, "cabt-serve: translation store %s (%d objects)\n", st.Dir(), st.Stats().Objects)
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: server.New(cfg)}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "cabt-serve: listening on %s\n", *addr)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		fail(err)
+	case s := <-sig:
+		fmt.Fprintf(os.Stderr, "cabt-serve: %v, shutting down\n", s)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+			fail(err)
+		}
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "cabt-serve:", err)
+	os.Exit(1)
+}

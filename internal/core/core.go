@@ -1,14 +1,3 @@
-// Package core implements the paper's primary contribution: the cycle
-// accurate static binary translator. It consumes TC32 object code (ELF32)
-// and produces an annotated C6x VLIW program whose execution on the
-// emulation platform (internal/platform) generates the source processor's
-// clock cycles for the attached hardware, following the pipeline of the
-// paper's Figure 1:
-//
-//	read object file → decode to intermediate code → basic blocks →
-//	find base addresses → static cycle calculation → insert cycle
-//	generation code → insert dynamic correction code (branch prediction,
-//	instruction cache) → parallelize/bind/assign units → emit program
 package core
 
 import (

@@ -1,0 +1,39 @@
+// Package core implements the paper's primary contribution: the cycle
+// accurate static binary translator. It consumes TC32 object code (ELF32)
+// and produces an annotated C6x VLIW program whose execution on the
+// emulation platform (internal/platform) generates the source processor's
+// clock cycles for the attached hardware, following the pipeline of the
+// paper's Figure 1:
+//
+//	read object file → decode to intermediate code → basic blocks →
+//	find base addresses → static cycle calculation → insert cycle
+//	generation code → insert dynamic correction code (branch prediction,
+//	instruction cache) → parallelize/bind/assign units → emit program
+//
+// # Entry point
+//
+// [Translate] runs the whole pipeline under [Options]: the detail
+// [Level], the source-processor description (march.Desc, nil selects the
+// default TC32), and the ablation switches. The result is a [Program] —
+// C6x execute packets plus the block table, source↔packet maps and
+// memory images the platform simulation and the debugger consume.
+//
+// # Detail levels
+//
+// The four [Level] values nest (Section 3.2 of the paper): Level0 is
+// purely functional, Level1 annotates each basic block with its
+// statically predicted cycle count, Level2 adds dynamic correction of
+// the static branch prediction, Level3 adds instruction-cache simulation
+// via cache analysis blocks. The static prediction replays the same
+// march timing model the reference ISS uses, which is why deviation
+// shrinks to the dynamic effects as the level rises.
+//
+// # Determinism and caching
+//
+// Translation is deterministic: equal ELF images under equal options
+// produce identical Programs. The simulation farm exploits this by
+// content-addressing translations (simfarm.ProgramKey) in a two-level
+// cache; a Program is plain exported data and gob-serializable, which is
+// what cmd/cabt writes to disk and what the persistent store
+// (internal/simfarm/store) persists across processes.
+package core

@@ -1,10 +1,3 @@
-// Package iss implements the cycle-accurate interpreted instruction-set
-// simulator of the TC32 source processor. It plays the role of the TriCore
-// TC10GP evaluation board in the paper's evaluation: its cycle counts are
-// the ground truth that the translated programs' generated cycle streams
-// are compared against (Figure 6), and its instruction counts are the
-// basis of the MIPS numbers (Figure 5) and the cycles-per-instruction
-// table (Table 1).
 package iss
 
 import (

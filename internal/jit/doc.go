@@ -1,0 +1,27 @@
+// Package jit implements the just-in-time compiled instruction-set
+// simulator of the paper's Section 2 taxonomy ("dynamic compilation",
+// Nohl et al.): basic blocks are translated on first execution into
+// closure chains that are cached and re-executed without decode overhead.
+// It is the middle point between the interpreted ISS (internal/iss) and
+// the static binary translation (internal/core), and the host-speed
+// ablation bench compares all three.
+//
+// Go cannot generate machine code at runtime with the standard library,
+// so the compiled form is threaded code: one specialized closure per
+// instruction, the accepted Go equivalent (see DESIGN.md).
+//
+// # Shape
+//
+// [New] (and [NewWithDesc] for a non-default march description) builds a
+// [Sim] from an ELF32 image. Execution walks basic blocks: on first
+// entry a block is compiled instruction-by-instruction into a chain of
+// step closures and memoized by source address; on re-entry the chain
+// runs directly. Self-modifying code is out of scope, exactly as in the
+// static translator. With cycleAccurate set the compiled code threads
+// the same march timing model the ISS replays (pipeline, live I-cache,
+// Booth multiplier, I/O wait states), so the JIT reproduces the ISS's
+// cycle counts at compiled-code speed; without it, it is the functional
+// host-speed baseline. Statistics and the debug-port output mirror the
+// ISS's so the three simulators are directly comparable in the ablation
+// benchmarks.
+package jit

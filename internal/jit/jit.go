@@ -1,14 +1,3 @@
-// Package jit implements the just-in-time compiled instruction-set
-// simulator of the paper's Section 2 taxonomy ("dynamic compilation",
-// Nohl et al.): basic blocks are translated on first execution into
-// closure chains that are cached and re-executed without decode overhead.
-// It is the middle point between the interpreted ISS (internal/iss) and
-// the static binary translation (internal/core), and the host-speed
-// ablation bench compares all three.
-//
-// Go cannot generate machine code at runtime with the standard library,
-// so the compiled form is threaded code: one specialized closure per
-// instruction, the accepted Go equivalent (see DESIGN.md).
 package jit
 
 import (

@@ -1,20 +1,3 @@
-// Package march models the microarchitecture of the TC32 source processor:
-// its dual-issue pipeline timing, its static branch predictor, and its
-// instruction cache.
-//
-// The same model is used in two places, which is the central consistency
-// argument of the reproduction:
-//
-//   - the reference instruction-set simulator (internal/iss) replays it
-//     with actual branch outcomes and a live I-cache, producing the
-//     ground-truth cycle counts (the "TC10GP evaluation board" role), and
-//   - the binary translator (internal/core) replays it per basic block
-//     with a clean entry state and predicted branch outcomes, producing
-//     the static cycle prediction n annotated into each translated block.
-//
-// Any divergence between prediction and ground truth therefore comes only
-// from the effects the paper identifies: branch mispredictions, I-cache
-// misses, and pipeline state crossing basic-block boundaries.
 package march
 
 import (

@@ -1,0 +1,38 @@
+// Package march models the microarchitecture of the TC32 source processor:
+// its dual-issue pipeline timing, its static branch predictor, and its
+// instruction cache.
+//
+// The same model is used in two places, which is the central consistency
+// argument of the reproduction:
+//
+//   - the reference instruction-set simulator (internal/iss) replays it
+//     with actual branch outcomes and a live I-cache, producing the
+//     ground-truth cycle counts (the "TC10GP evaluation board" role), and
+//   - the binary translator (internal/core) replays it per basic block
+//     with a clean entry state and predicted branch outcomes, producing
+//     the static cycle prediction n annotated into each translated block.
+//
+// Any divergence between prediction and ground truth therefore comes only
+// from the effects the paper identifies: branch mispredictions, I-cache
+// misses, and pipeline state crossing basic-block boundaries.
+//
+// # Pieces
+//
+// [Desc] is the complete description — the Go form of the XML
+// architecture description (internal/isadesc): per-class issue timings
+// ([Desc.TimingOf]), branch costs ([BranchCosts]), the static predictor
+// direction, the I-cache geometry ([CacheGeom]), I/O wait states, and
+// the optional operand-dependent Booth multiplier ([BoothExtra]).
+// [Default] is the TriCore-class TC32 used throughout the paper's
+// evaluation. [Pipe] replays issue timing cycle by cycle for the dynamic
+// simulators; [Cache] is the live set-associative I-cache they probe.
+//
+// # Caching note
+//
+// The simulation farm fingerprints Desc fields into translation-cache
+// keys selectively: only fields the translator can observe at a given
+// detail level are keyed (e.g. ICache geometry only at Level3), while
+// the reference-run memo keys the full description — see
+// simfarm.ProgramKey for the exact rules. Adding a field to Desc means
+// deciding where it enters those keys.
+package march

@@ -138,27 +138,54 @@ func referenceKey(h ELFHash, d *march.Desc) Key {
 	return k
 }
 
+// ProgramStore is the persistent second level of a TranslationCache —
+// implemented by store.Store. Load returns (nil, false, nil) for a plain
+// miss; Store persists a freshly translated program. Both must be safe
+// for concurrent use.
+type ProgramStore interface {
+	Load(key [sha256.Size]byte) (*core.Program, bool, error)
+	Store(key [sha256.Size]byte, prog *core.Program) error
+}
+
 // TranslationCache memoizes core.Translate results under content
 // addresses. It is safe for concurrent use; concurrent requests for the
 // same key run the translation exactly once (the winner is accounted as
 // the miss, every waiter as a hit).
+//
+// An optional write-through disk level (see NewPersistentTranslationCache)
+// makes the cache survive the process: a key absent from memory is looked
+// up on disk before translating, and every actual translation is written
+// back. A disk-served program counts as a hit (plus DiskHits), since the
+// translation work was saved — only a real core.Translate run is a miss.
 type TranslationCache struct {
 	mu      sync.Mutex
 	entries map[Key]*cacheEntry
+	disk    ProgramStore // nil = memory only
 
-	hits   atomic.Int64
-	misses atomic.Int64
+	hits     atomic.Int64
+	misses   atomic.Int64
+	diskHits atomic.Int64
 }
 
 type cacheEntry struct {
-	once sync.Once
-	prog *core.Program
-	err  error
+	once     sync.Once
+	prog     *core.Program
+	err      error
+	fromDisk bool
 }
 
-// NewTranslationCache returns an empty cache.
+// NewTranslationCache returns an empty, memory-only cache.
 func NewTranslationCache() *TranslationCache {
 	return &TranslationCache{entries: map[Key]*cacheEntry{}}
+}
+
+// NewPersistentTranslationCache returns a cache backed by the given
+// persistent store as a write-through second level. Store errors are
+// deliberately non-fatal: a failed write-back or read leaves the cache
+// behaving as memory-only for that key (translation correctness never
+// depends on the disk).
+func NewPersistentTranslationCache(disk ProgramStore) *TranslationCache {
+	return &TranslationCache{entries: map[Key]*cacheEntry{}, disk: disk}
 }
 
 // Translate returns the translation of f under opts, running
@@ -183,24 +210,44 @@ func (c *TranslationCache) TranslateHashed(h ELFHash, f *elf32.File, opts core.O
 		c.entries[key] = e
 	}
 	c.mu.Unlock()
-	hit := true
+	first := false
 	e.once.Do(func() {
-		hit = false
+		first = true
+		if c.disk != nil {
+			if prog, ok, err := c.disk.Load([sha256.Size]byte(key)); err == nil && ok {
+				e.prog, e.fromDisk = prog, true
+				return
+			}
+		}
 		e.prog, e.err = core.Translate(f, opts)
+		if c.disk != nil && e.err == nil {
+			c.disk.Store([sha256.Size]byte(key), e.prog) // best effort; see NewPersistentTranslationCache
+		}
 	})
+	hit := !first || e.fromDisk
 	if hit {
 		c.hits.Add(1)
+		if first {
+			c.diskHits.Add(1)
+		}
 	} else {
 		c.misses.Add(1)
 	}
 	return e.prog, hit, e.err
 }
 
-// Hits returns the number of cache hits served so far.
+// Hits returns the number of cache hits served so far (memory and disk).
 func (c *TranslationCache) Hits() int64 { return c.hits.Load() }
 
 // Misses returns the number of cache misses (actual translations) so far.
 func (c *TranslationCache) Misses() int64 { return c.misses.Load() }
+
+// DiskHits returns the number of hits served from the persistent store
+// rather than process memory.
+func (c *TranslationCache) DiskHits() int64 { return c.diskHits.Load() }
+
+// Persistent reports whether the cache has a disk level.
+func (c *TranslationCache) Persistent() bool { return c.disk != nil }
 
 // Len returns the number of distinct programs cached.
 func (c *TranslationCache) Len() int {

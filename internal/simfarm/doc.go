@@ -41,6 +41,22 @@
 // full microarchitecture description, since the live reference I-cache
 // observes every Desc field).
 //
+// The cache is optionally two-level: [NewPersistentTranslationCache]
+// backs the in-memory map with a write-through on-disk store
+// (internal/simfarm/store), so translations survive the process and are
+// shared across concurrent processes pointed at the same directory —
+// content addresses make that safe by construction. A disk-served
+// program counts as a hit (tracked separately as [TranslationCache.DiskHits]);
+// only an actual core.Translate run is a miss, and store failures
+// degrade to memory-only behaviour rather than failing jobs.
+//
+// # Serving batches over HTTP
+//
+// internal/simfarm/server exposes Farm.Run as a multi-tenant HTTP job
+// API (cmd/cabt-serve): per-tenant farms share server capacity while
+// their caches write through to per-tenant namespaces of one shared
+// store. See docs/architecture.md for the endpoints and formats.
+//
 // # Reproducing the paper through the farm
 //
 // The top-level repro package routes MeasureTable1 and MeasureTable2

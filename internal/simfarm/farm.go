@@ -89,6 +89,7 @@ func (f *Farm) Stats() FarmStats {
 		CacheMisses:    f.cache.Misses(),
 		CachedPrograms: f.cache.Len(),
 		ReferenceRuns:  f.refRuns.Load(),
+		DiskCacheHits:  f.cache.DiskHits(),
 	}
 }
 

@@ -99,6 +99,11 @@ type FarmStats struct {
 	CacheMisses    int64 `json:"translation_cache_misses"`
 	CachedPrograms int   `json:"cached_programs"`
 	ReferenceRuns  int64 `json:"reference_runs"`
+
+	// DiskCacheHits counts the cache hits served from the persistent
+	// translation-cache store (a subset of CacheHits; 0 when the farm's
+	// cache is memory-only).
+	DiskCacheHits int64 `json:"disk_cache_hits"`
 }
 
 // Report is the JSON document cmd/cabt-farm emits for a sweep.

@@ -1,0 +1,34 @@
+// Package server is the HTTP front-end of the simulation farm: it turns
+// the in-process batch API (simfarm.Farm.Run) into the multi-tenant
+// batch-simulation service the ROADMAP's north star describes, served by
+// cmd/cabt-serve.
+//
+// # API
+//
+//	POST /v1/jobs        submit a batch; returns 202 and a job id
+//	GET  /v1/jobs/{id}   status; results + batch stats once done
+//	                     (?wait=1 blocks until the batch finishes)
+//	GET  /v1/stats       uptime, job counts, the caller's own farm
+//	                     stats, persistent-store stats
+//
+// Requests and responses are JSON; the wire types (SubmitRequest,
+// JobResponse, StatsResponse, …) are the authoritative schema and are
+// shared with the cabt-smoke client. A submission either lists explicit
+// JobSpec entries (workload × level × named config) or uses the
+// workloads × levels sweep shorthand. Everything is by name — clients
+// never ship code — so a job's results are exactly what the in-process
+// farm, and transitively repro.Measure, would produce for the same
+// (workload, options) pair.
+//
+// # Tenancy
+//
+// The X-Cabt-Tenant header scopes a request. Each tenant gets its own
+// Farm (memoized assemblies, reference runs, in-memory translation
+// cache), and, when the server has a persistent store, the tenant's
+// cache writes through to the tenant's namespace of that store
+// (store.Store.Namespace): capacity is shared, cache entries are not.
+// The empty tenant is the store's root namespace — shared with local
+// cabt-farm -cache-dir runs against the same directory. Job records and
+// stats are scoped the same way: another tenant's job id answers 404,
+// and /v1/stats reports only the caller's own farm counters.
+package server

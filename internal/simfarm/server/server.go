@@ -1,0 +1,325 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"regexp"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/simfarm"
+	"repro/internal/simfarm/store"
+	"repro/internal/workload"
+)
+
+// Config configures a Server.
+type Config struct {
+	// Workers is the per-tenant farm worker-pool size (0 = GOMAXPROCS).
+	Workers int
+	// Store is the shared persistent translation-cache store; nil runs
+	// every tenant on a private in-memory cache.
+	Store *store.Store
+}
+
+// Server is the HTTP front-end of the simulation farm. Each tenant
+// (X-Cabt-Tenant header) gets its own Farm whose translation cache is
+// backed by the tenant's namespace of the shared store, so tenants share
+// server capacity but never cache entries.
+type Server struct {
+	cfg   Config
+	mux   *http.ServeMux
+	start time.Time
+
+	mu      sync.Mutex
+	tenants map[string]*simfarm.Farm
+	jobs    map[string]*jobRecord
+	nextID  int
+}
+
+// jobRecord tracks one submitted batch. done is closed when results and
+// stats are populated; both are written exactly once, before the close.
+type jobRecord struct {
+	id      string
+	tenant  string
+	created time.Time
+	specs   []JobSpec
+
+	done    chan struct{}
+	results []simfarm.Result
+	stats   simfarm.BatchStats
+}
+
+// New builds a server.
+func New(cfg Config) *Server {
+	s := &Server{
+		cfg:     cfg,
+		mux:     http.NewServeMux(),
+		start:   time.Now(),
+		tenants: map[string]*simfarm.Farm{},
+		jobs:    map[string]*jobRecord{},
+	}
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// TenantHeader names the tenant selector. An absent or empty header is
+// the shared root tenant, whose cache namespace is the store's root — the
+// same namespace the cabt-farm CLI uses, so CLI sweeps and anonymous HTTP
+// traffic pool their translations.
+const TenantHeader = "X-Cabt-Tenant"
+
+var tenantRE = regexp.MustCompile(`^[A-Za-z0-9._-]{0,64}$`)
+
+// farm returns (creating on first use) the tenant's farm.
+func (s *Server) farm(tenant string) *simfarm.Farm {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if f, ok := s.tenants[tenant]; ok {
+		return f
+	}
+	var cache *simfarm.TranslationCache
+	if s.cfg.Store != nil {
+		cache = simfarm.NewPersistentTranslationCache(s.cfg.Store.Namespace(tenant))
+	}
+	f := simfarm.New(simfarm.Config{Workers: s.cfg.Workers, Cache: cache})
+	s.tenants[tenant] = f
+	return f
+}
+
+// --- wire types ---
+
+// JobSpec is one job of a submission, by name: the workload and march
+// config resolve against the server's registries (workload.ByName and
+// simfarm.DefaultMarchConfigs), so clients never ship code or raw
+// descriptions.
+type JobSpec struct {
+	// Workload names a built-in benchmark program.
+	Workload string `json:"workload"`
+	// Level is the translation detail level, 0..3.
+	Level int `json:"level"`
+	// Config optionally names a sweep configuration ("base",
+	// "icache-4k", "icache-64b-direct"); "" is the default march.
+	Config string `json:"config,omitempty"`
+}
+
+// SubmitRequest is the POST /v1/jobs body. Either Jobs is given
+// explicitly, or the Workloads × Levels sweep shorthand (with the
+// default configuration) — not both.
+type SubmitRequest struct {
+	Jobs []JobSpec `json:"jobs,omitempty"`
+
+	Workloads []string `json:"workloads,omitempty"`
+	Levels    []int    `json:"levels,omitempty"`
+}
+
+// SubmitResponse acknowledges a submission.
+type SubmitResponse struct {
+	ID     string `json:"id"`
+	Status string `json:"status"`
+	Jobs   int    `json:"jobs"`
+	URL    string `json:"url"`
+}
+
+// JobResponse is the GET /v1/jobs/{id} body. Results and Stats are
+// present once Status is "done".
+type JobResponse struct {
+	ID      string              `json:"id"`
+	Tenant  string              `json:"tenant,omitempty"`
+	Status  string              `json:"status"`
+	Created time.Time           `json:"created"`
+	Jobs    int                 `json:"jobs"`
+	Results []simfarm.Result    `json:"results,omitempty"`
+	Stats   *simfarm.BatchStats `json:"stats,omitempty"`
+}
+
+// TenantStats is one tenant's cumulative farm view.
+type TenantStats struct {
+	Tenant string            `json:"tenant"`
+	Farm   simfarm.FarmStats `json:"farm"`
+}
+
+// StatsResponse is the GET /v1/stats body. Tenants carries at most the
+// requesting tenant's own farm stats; TenantCount is the only
+// cross-tenant figure disclosed.
+type StatsResponse struct {
+	UptimeSeconds float64       `json:"uptime_seconds"`
+	JobsSubmitted int           `json:"jobs_submitted"`
+	JobsRunning   int           `json:"jobs_running"`
+	TenantCount   int           `json:"tenant_count"`
+	Store         *store.Stats  `json:"store,omitempty"`
+	Tenants       []TenantStats `json:"tenants"`
+}
+
+// ErrorResponse is the body of every non-2xx response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// --- handlers ---
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	tenant := r.Header.Get(TenantHeader)
+	if !tenantRE.MatchString(tenant) {
+		httpError(w, http.StatusBadRequest, "bad tenant %q: want [A-Za-z0-9._-]{0,64}", tenant)
+		return
+	}
+	var req SubmitRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	specs, jobs, err := resolve(req)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	rec := &jobRecord{tenant: tenant, created: time.Now(), specs: specs, done: make(chan struct{})}
+	s.mu.Lock()
+	s.nextID++
+	rec.id = fmt.Sprintf("job-%d", s.nextID)
+	s.jobs[rec.id] = rec
+	s.mu.Unlock()
+
+	farm := s.farm(tenant)
+	go func() {
+		results, stats := farm.Run(jobs)
+		rec.results, rec.stats = results, stats
+		close(rec.done)
+	}()
+
+	writeJSON(w, http.StatusAccepted, SubmitResponse{ID: rec.id, Status: "running", Jobs: len(jobs), URL: "/v1/jobs/" + rec.id})
+}
+
+// resolve turns a submission into farm jobs, validating every name.
+func resolve(req SubmitRequest) ([]JobSpec, []simfarm.Job, error) {
+	specs := req.Jobs
+	if len(specs) > 0 && (len(req.Workloads) > 0 || len(req.Levels) > 0) {
+		return nil, nil, fmt.Errorf("give either jobs or workloads×levels, not both")
+	}
+	if len(specs) == 0 {
+		for _, wl := range req.Workloads {
+			for _, l := range req.Levels {
+				specs = append(specs, JobSpec{Workload: wl, Level: l})
+			}
+		}
+	}
+	if len(specs) == 0 {
+		return nil, nil, fmt.Errorf("empty batch")
+	}
+	configs := map[string]simfarm.MarchConfig{"": {}}
+	for _, c := range simfarm.DefaultMarchConfigs() {
+		configs[c.Name] = c
+	}
+	jobs := make([]simfarm.Job, 0, len(specs))
+	for _, sp := range specs {
+		wl, ok := workload.ByName(sp.Workload)
+		if !ok {
+			return nil, nil, fmt.Errorf("unknown workload %q", sp.Workload)
+		}
+		if sp.Level < int(core.Level0) || sp.Level > int(core.Level3) {
+			return nil, nil, fmt.Errorf("bad level %d: want 0..3", sp.Level)
+		}
+		cfg, ok := configs[sp.Config]
+		if !ok {
+			return nil, nil, fmt.Errorf("unknown config %q", sp.Config)
+		}
+		jobs = append(jobs, simfarm.Job{
+			Workload: wl,
+			Config:   cfg.Name,
+			Options:  core.Options{Level: core.Level(sp.Level), Desc: cfg.Desc},
+		})
+	}
+	return specs, jobs, nil
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	tenant := r.Header.Get(TenantHeader)
+	if !tenantRE.MatchString(tenant) {
+		httpError(w, http.StatusBadRequest, "bad tenant %q: want [A-Za-z0-9._-]{0,64}", tenant)
+		return
+	}
+	s.mu.Lock()
+	rec, ok := s.jobs[r.PathValue("id")]
+	s.mu.Unlock()
+	// A job is only visible to the tenant that submitted it; a foreign
+	// tenant gets the same 404 as a nonexistent id, revealing nothing.
+	if !ok || rec.tenant != tenant {
+		httpError(w, http.StatusNotFound, "no job %q", r.PathValue("id"))
+		return
+	}
+	if r.URL.Query().Get("wait") != "" {
+		select {
+		case <-rec.done:
+		case <-r.Context().Done():
+			return
+		case <-time.After(5 * time.Minute):
+		}
+	}
+	resp := JobResponse{ID: rec.id, Tenant: rec.tenant, Status: "running", Created: rec.created, Jobs: len(rec.specs)}
+	select {
+	case <-rec.done:
+		resp.Status = "done"
+		resp.Results = rec.results
+		stats := rec.stats
+		resp.Stats = &stats
+	default:
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleStats reports service-wide aggregates (uptime, job and store
+// counters) plus the requesting tenant's own farm view only — tenant
+// names and per-tenant traffic are never disclosed across tenants.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	tenant := r.Header.Get(TenantHeader)
+	if !tenantRE.MatchString(tenant) {
+		httpError(w, http.StatusBadRequest, "bad tenant %q: want [A-Za-z0-9._-]{0,64}", tenant)
+		return
+	}
+	s.mu.Lock()
+	resp := StatsResponse{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		JobsSubmitted: len(s.jobs),
+		TenantCount:   len(s.tenants),
+		Tenants:       []TenantStats{},
+	}
+	for _, rec := range s.jobs {
+		select {
+		case <-rec.done:
+		default:
+			resp.JobsRunning++
+		}
+	}
+	farm := s.tenants[tenant]
+	s.mu.Unlock()
+	if farm != nil {
+		resp.Tenants = append(resp.Tenants, TenantStats{Tenant: tenant, Farm: farm.Stats()})
+	}
+	if s.cfg.Store != nil {
+		st := s.cfg.Store.Stats()
+		resp.Store = &st
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(ErrorResponse{Error: fmt.Sprintf(format, args...)})
+}

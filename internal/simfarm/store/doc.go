@@ -1,0 +1,40 @@
+// Package store persists translated programs on disk under their content
+// addresses, so farm runs share translation work across processes: the
+// in-memory simfarm.TranslationCache uses a Store as its write-through
+// second level, and any process pointed at the same directory (a second
+// cabt-farm sweep, the cabt-serve HTTP service, the benchmark harness)
+// reuses every program translated before it.
+//
+// # Layout
+//
+//	<dir>/index.json            versioned index (sizes, LRU timestamps)
+//	<dir>/objects/<aa>/<key>    one object per 64-hex-digit content address,
+//	                            sharded by the first byte
+//
+// Each object file is a fixed header — magic, format version, the
+// object's own key, payload length, payload SHA-256 — followed by a
+// gob-encoded core.Program. Writes go to a temp file in the destination
+// directory, are synced, then renamed into place, so a final-name object
+// is always complete. Content addressing makes concurrent writers
+// harmless: the same key always carries the same payload.
+//
+// # Failure model
+//
+// Every load re-verifies the header, the embedded key, and the payload
+// checksum, and decodes defensively; a file that fails any check is
+// deleted and reported as an ordinary miss, so corruption (truncation,
+// bit rot, a foreign or renamed file, an old format version) costs one
+// re-translation, never a crash. The index is an optimization, not a
+// source of truth — when it is missing, unreadable, or the wrong
+// version, Open rebuilds it by scanning the objects directory with file
+// mtimes as the LRU order.
+//
+// # Eviction and namespaces
+//
+// A byte budget (Options.MaxBytes) bounds the store: writes that push it
+// past the budget evict least-recently-used objects. Store.Namespace
+// derives per-tenant views by folding the tenant name into the content
+// address, so tenants sharing one directory can never observe each
+// other's objects — the isolation the cabt-serve multi-tenant API
+// builds on.
+package store

@@ -1,0 +1,506 @@
+package store
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/gob"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+)
+
+// FormatVersion is the on-disk object format version. Objects written
+// with a different version are treated as misses and rebuilt, never
+// parsed: the payload is a gob stream of core.Program, whose layout the
+// repository does not promise across versions.
+const FormatVersion = 1
+
+// indexVersion versions index.json independently of the object format;
+// an unreadable or wrong-version index is rebuilt by scanning objects/.
+const indexVersion = 1
+
+// magic opens every object file. Eight bytes, never versioned: version
+// negotiation happens in the explicit version field that follows it.
+var magic = [8]byte{'C', 'A', 'B', 'T', 'O', 'B', 'J', '\n'}
+
+// headerSize is the fixed object header: magic, format version (u32 LE),
+// key (32), payload length (u64 LE), payload SHA-256 (32).
+const headerSize = 8 + 4 + sha256.Size + 8 + sha256.Size
+
+// Options configure Open.
+type Options struct {
+	// MaxBytes is the garbage-collection budget for object payload+header
+	// bytes; when a write pushes the store past it, least-recently-used
+	// objects are evicted until it fits. 0 means no budget (never GC).
+	MaxBytes int64
+}
+
+// Store is a content-addressed, on-disk cache of translated programs.
+// Object files live under dir/objects/<aa>/<64-hex-key>, written with a
+// temp-file+rename so a crash can never leave a half-written object under
+// its final name; every read verifies the header and a payload checksum,
+// and anything that fails verification is deleted and reported as a miss,
+// so the worst corruption costs one re-translation.
+//
+// A Store is safe for concurrent use within a process. Across processes,
+// content addressing makes sharing safe by construction: two writers of
+// the same key write identical payloads, and rename is atomic, so readers
+// see either a complete old object or a complete new one.
+type Store struct {
+	ns string
+	st *state
+}
+
+// state is shared between a Store and its Namespace views.
+type state struct {
+	dir      string
+	maxBytes int64
+
+	mu    sync.Mutex
+	index map[[sha256.Size]byte]*entry
+	bytes int64
+
+	loads     atomic.Int64
+	hits      atomic.Int64
+	puts      atomic.Int64
+	evictions atomic.Int64
+	corrupt   atomic.Int64
+}
+
+// entry is one object's index record.
+type entry struct {
+	Size     int64 // file size in bytes (header + payload)
+	LastUsed int64 // unix nanoseconds of the last load or store
+}
+
+// Stats is a point-in-time snapshot of a store's contents and traffic.
+type Stats struct {
+	Dir       string `json:"dir"`
+	Namespace string `json:"namespace,omitempty"`
+	Objects   int    `json:"objects"`
+	Bytes     int64  `json:"bytes"`
+	Loads     int64  `json:"loads"`
+	Hits      int64  `json:"hits"`
+	Puts      int64  `json:"puts"`
+	Evictions int64  `json:"evictions"`
+	Corrupt   int64  `json:"corrupt"`
+}
+
+// Open opens (creating if needed) the store rooted at dir. The index is
+// loaded from dir/index.json when present and valid; a missing, corrupt
+// or wrong-version index is rebuilt by scanning dir/objects, using file
+// modification times as the LRU order, so no index failure mode is fatal.
+func Open(dir string, opts Options) (*Store, error) {
+	if dir == "" {
+		return nil, errors.New("store: empty directory")
+	}
+	if err := os.MkdirAll(filepath.Join(dir, "objects"), 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	st := &state{dir: dir, maxBytes: opts.MaxBytes}
+	if !st.loadIndex() {
+		if err := st.rescan(); err != nil {
+			return nil, err
+		}
+	}
+	return &Store{st: st}, nil
+}
+
+// Namespace returns a view of the same store whose keys are scoped to ns.
+// The view shares the index, budget and counters with its parent; only
+// the key derivation differs, so distinct namespaces can never observe
+// each other's objects even for identical logical keys. ns "" returns the
+// root view.
+func (s *Store) Namespace(ns string) *Store { return &Store{ns: ns, st: s.st} }
+
+// derive maps a logical key into the namespace-scoped on-disk key.
+func (s *Store) derive(key [sha256.Size]byte) [sha256.Size]byte {
+	if s.ns == "" {
+		return key
+	}
+	h := sha256.New()
+	io.WriteString(h, "cabt-store-namespace\x00")
+	io.WriteString(h, s.ns)
+	h.Write([]byte{0})
+	h.Write(key[:])
+	var d [sha256.Size]byte
+	h.Sum(d[:0])
+	return d
+}
+
+// objectPath returns the sharded path of an on-disk key.
+func (st *state) objectPath(key [sha256.Size]byte) string {
+	hx := hex.EncodeToString(key[:])
+	return filepath.Join(st.dir, "objects", hx[:2], hx)
+}
+
+// Load reads the program stored under key. A missing object is (nil,
+// false, nil); an object that fails verification (truncated, wrong magic
+// or version, checksum or key mismatch, undecodable payload) is deleted,
+// counted as corrupt, and also reported as a plain miss — the caller
+// re-translates and the next Store repairs the file.
+func (s *Store) Load(key [sha256.Size]byte) (*core.Program, bool, error) {
+	st := s.st
+	st.loads.Add(1)
+	dk := s.derive(key)
+	path := st.objectPath(dk)
+	data, err := os.ReadFile(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		// Heal any stale index entry (the object may have been evicted
+		// or removed out from under a rebuilt index).
+		st.mu.Lock()
+		if e, ok := st.index[dk]; ok {
+			st.bytes -= e.Size
+			delete(st.index, dk)
+		}
+		st.mu.Unlock()
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, fmt.Errorf("store: load %x: %w", dk[:8], err)
+	}
+	prog, err := decodeObject(dk, data)
+	if err != nil {
+		st.quarantine(dk, path, err)
+		return nil, false, nil
+	}
+	st.hits.Add(1)
+	st.refresh(dk, path, int64(len(data)))
+	now := time.Now()
+	os.Chtimes(path, now, now) // keep mtime usable as LRU if the index is lost
+	return prog, true, nil
+}
+
+// Store writes prog under key. The object is first written completely
+// (and synced) to a temporary file in the same directory, then renamed
+// into place, so concurrent readers and crashes only ever see complete
+// objects. Storing an already-present key rewrites it idempotently.
+func (s *Store) Store(key [sha256.Size]byte, prog *core.Program) error {
+	st := s.st
+	dk := s.derive(key)
+	data, err := encodeObject(dk, prog)
+	if err != nil {
+		return err
+	}
+	path := st.objectPath(dk)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	_, werr := tmp.Write(data)
+	if werr == nil {
+		werr = tmp.Sync()
+	}
+	if cerr := tmp.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr == nil {
+		werr = os.Rename(tmp.Name(), path)
+	}
+	if werr != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: store %x: %w", dk[:8], werr)
+	}
+	st.puts.Add(1)
+	st.touch(dk, int64(len(data)))
+	st.enforceBudget(dk)
+	st.writeIndex()
+	return nil
+}
+
+// touch records (or refreshes) an index entry.
+func (st *state) touch(dk [sha256.Size]byte, size int64) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	e, ok := st.index[dk]
+	if !ok {
+		e = &entry{}
+		st.index[dk] = e
+	}
+	st.bytes += size - e.Size
+	e.Size = size
+	e.LastUsed = time.Now().UnixNano()
+}
+
+// refresh is touch for the Load path: a load that raced an eviction must
+// not resurrect the victim's index entry, so an absent entry is only
+// re-added if the object file still exists (eviction removes the file
+// under the same lock that removes the entry, so the stat under the lock
+// observes a consistent pair).
+func (st *state) refresh(dk [sha256.Size]byte, path string, size int64) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	e, ok := st.index[dk]
+	if !ok {
+		if _, err := os.Stat(path); err != nil {
+			return
+		}
+		e = &entry{}
+		st.index[dk] = e
+	}
+	st.bytes += size - e.Size
+	e.Size = size
+	e.LastUsed = time.Now().UnixNano()
+}
+
+// quarantine removes an object that failed verification.
+func (st *state) quarantine(dk [sha256.Size]byte, path string, cause error) {
+	st.corrupt.Add(1)
+	os.Remove(path)
+	st.mu.Lock()
+	if e, ok := st.index[dk]; ok {
+		st.bytes -= e.Size
+		delete(st.index, dk)
+	}
+	st.mu.Unlock()
+	_ = cause // surfaced via Stats.Corrupt; the caller rebuilds the object
+}
+
+// enforceBudget evicts least-recently-used objects until the store fits
+// its byte budget. The just-written key is never evicted, so a store
+// smaller than one object still serves the write-through read. Index
+// entry and object file are removed under one lock hold, so a concurrent
+// Load can never observe the entry gone but the file present (or
+// re-index a file that is about to disappear — see refresh).
+func (st *state) enforceBudget(keep [sha256.Size]byte) {
+	if st.maxBytes <= 0 {
+		return
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	type victim struct {
+		key [sha256.Size]byte
+		e   *entry
+	}
+	var vs []victim
+	for k, e := range st.index {
+		if k != keep {
+			vs = append(vs, victim{k, e})
+		}
+	}
+	sort.Slice(vs, func(i, j int) bool { return vs[i].e.LastUsed < vs[j].e.LastUsed })
+	for _, v := range vs {
+		if st.bytes <= st.maxBytes {
+			break
+		}
+		st.bytes -= v.e.Size
+		delete(st.index, v.key)
+		os.Remove(st.objectPath(v.key))
+		st.evictions.Add(1)
+	}
+}
+
+// Stats snapshots the store.
+func (s *Store) Stats() Stats {
+	st := s.st
+	st.mu.Lock()
+	objects, bytes := len(st.index), st.bytes
+	st.mu.Unlock()
+	return Stats{
+		Dir:       st.dir,
+		Namespace: s.ns,
+		Objects:   objects,
+		Bytes:     bytes,
+		Loads:     st.loads.Load(),
+		Hits:      st.hits.Load(),
+		Puts:      st.puts.Load(),
+		Evictions: st.evictions.Load(),
+		Corrupt:   st.corrupt.Load(),
+	}
+}
+
+// Close flushes the index. The store remains usable (Close is a flush
+// point, not a teardown): object files are always complete on disk, and
+// the index is reconstructible, so Close losing a race only costs a
+// rescan on the next Open.
+func (s *Store) Close() error { return s.st.writeIndex() }
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.st.dir }
+
+// --- object encoding ---
+
+// encodeObject frames a gob-encoded program: header (magic, version, key,
+// payload length, payload SHA-256) then payload. The key is part of the
+// header so a file renamed to the wrong address fails verification.
+func encodeObject(dk [sha256.Size]byte, prog *core.Program) ([]byte, error) {
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(prog); err != nil {
+		return nil, fmt.Errorf("store: encode program: %w", err)
+	}
+	sum := sha256.Sum256(payload.Bytes())
+	buf := make([]byte, 0, headerSize+payload.Len())
+	buf = append(buf, magic[:]...)
+	buf = binary.LittleEndian.AppendUint32(buf, FormatVersion)
+	buf = append(buf, dk[:]...)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(payload.Len()))
+	buf = append(buf, sum[:]...)
+	buf = append(buf, payload.Bytes()...)
+	return buf, nil
+}
+
+// decodeObject verifies an object file end to end and decodes its
+// program. Every return path that is not a fully verified program is an
+// error; callers treat any error as corruption.
+func decodeObject(dk [sha256.Size]byte, data []byte) (*core.Program, error) {
+	if len(data) < headerSize {
+		return nil, fmt.Errorf("truncated header: %d bytes", len(data))
+	}
+	if !bytes.Equal(data[:8], magic[:]) {
+		return nil, errors.New("bad magic")
+	}
+	if v := binary.LittleEndian.Uint32(data[8:12]); v != FormatVersion {
+		return nil, fmt.Errorf("format version %d, want %d", v, FormatVersion)
+	}
+	if !bytes.Equal(data[12:44], dk[:]) {
+		return nil, errors.New("key mismatch")
+	}
+	plen := binary.LittleEndian.Uint64(data[44:52])
+	payload := data[headerSize:]
+	if uint64(len(payload)) != plen {
+		return nil, fmt.Errorf("truncated payload: %d bytes, want %d", len(payload), plen)
+	}
+	sum := sha256.Sum256(payload)
+	if !bytes.Equal(data[52:84], sum[:]) {
+		return nil, errors.New("payload checksum mismatch")
+	}
+	prog := new(core.Program)
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(prog); err != nil {
+		return nil, fmt.Errorf("decode program: %w", err)
+	}
+	return prog, nil
+}
+
+// --- index ---
+
+// indexFile is the JSON document at dir/index.json.
+type indexFile struct {
+	Version int          `json:"version"`
+	Entries []indexEntry `json:"entries"`
+}
+
+type indexEntry struct {
+	Key      string `json:"key"`
+	Size     int64  `json:"size"`
+	LastUsed int64  `json:"last_used"`
+}
+
+func (st *state) indexPath() string { return filepath.Join(st.dir, "index.json") }
+
+// loadIndex reads index.json; false means the caller must rescan.
+func (st *state) loadIndex() bool {
+	data, err := os.ReadFile(st.indexPath())
+	if err != nil {
+		return false
+	}
+	var f indexFile
+	if json.Unmarshal(data, &f) != nil || f.Version != indexVersion {
+		return false
+	}
+	index := make(map[[sha256.Size]byte]*entry, len(f.Entries))
+	var total int64
+	for _, ie := range f.Entries {
+		raw, err := hex.DecodeString(ie.Key)
+		if err != nil || len(raw) != sha256.Size || ie.Size < 0 {
+			return false
+		}
+		var k [sha256.Size]byte
+		copy(k[:], raw)
+		index[k] = &entry{Size: ie.Size, LastUsed: ie.LastUsed}
+		total += ie.Size
+	}
+	st.mu.Lock()
+	st.index, st.bytes = index, total
+	st.mu.Unlock()
+	return true
+}
+
+// writeIndex atomically persists the index.
+func (st *state) writeIndex() error {
+	st.mu.Lock()
+	f := indexFile{Version: indexVersion, Entries: make([]indexEntry, 0, len(st.index))}
+	for k, e := range st.index {
+		f.Entries = append(f.Entries, indexEntry{Key: hex.EncodeToString(k[:]), Size: e.Size, LastUsed: e.LastUsed})
+	}
+	st.mu.Unlock()
+	sort.Slice(f.Entries, func(i, j int) bool { return f.Entries[i].Key < f.Entries[j].Key })
+	data, err := json.MarshalIndent(f, "", " ")
+	if err != nil {
+		return fmt.Errorf("store: index: %w", err)
+	}
+	tmp, err := os.CreateTemp(st.dir, ".tmp-index-*")
+	if err != nil {
+		return fmt.Errorf("store: index: %w", err)
+	}
+	_, werr := tmp.Write(append(data, '\n'))
+	if werr == nil {
+		werr = tmp.Sync()
+	}
+	if cerr := tmp.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr == nil {
+		werr = os.Rename(tmp.Name(), st.indexPath())
+	}
+	if werr != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: index: %w", werr)
+	}
+	return nil
+}
+
+// rescan rebuilds the index from the objects directory: every well-named
+// object file becomes an entry (content verification stays lazy, in
+// Load), stray temp files from interrupted writes are removed, and file
+// mtimes stand in for the lost LRU order.
+func (st *state) rescan() error {
+	index := map[[sha256.Size]byte]*entry{}
+	var total int64
+	root := filepath.Join(st.dir, "objects")
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return err
+		}
+		name := d.Name()
+		if strings.HasPrefix(name, ".tmp-") {
+			os.Remove(path)
+			return nil
+		}
+		raw, err := hex.DecodeString(name)
+		if err != nil || len(raw) != sha256.Size {
+			return nil // not an object; leave foreign files alone
+		}
+		info, err := d.Info()
+		if err != nil {
+			return nil
+		}
+		var k [sha256.Size]byte
+		copy(k[:], raw)
+		index[k] = &entry{Size: info.Size(), LastUsed: info.ModTime().UnixNano()}
+		total += info.Size()
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("store: rescan: %w", err)
+	}
+	st.mu.Lock()
+	st.index, st.bytes = index, total
+	st.mu.Unlock()
+	return nil
+}

@@ -1,0 +1,373 @@
+package store_test
+
+import (
+	"crypto/sha256"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/platform"
+	"repro/internal/simfarm/store"
+	"repro/internal/tc32asm"
+	"repro/internal/workload"
+)
+
+// testProgram translates one workload once per test binary.
+var testProgram = sync.OnceValues(func() (*core.Program, error) {
+	w, ok := workload.ByName("gcd")
+	if !ok {
+		panic("no gcd workload")
+	}
+	f, err := tc32asm.Assemble(w.Source)
+	if err != nil {
+		return nil, err
+	}
+	return core.Translate(f, core.Options{Level: core.Level1})
+})
+
+func prog(t *testing.T) *core.Program {
+	t.Helper()
+	p, err := testProgram()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func key(s string) [sha256.Size]byte { return sha256.Sum256([]byte(s)) }
+
+// cycles runs a program on the platform; equal cycle counts are the
+// round-trip equivalence criterion that matters to the farm.
+func cycles(t *testing.T, p *core.Program) (int64, int64) {
+	t.Helper()
+	sys := platform.New(p)
+	if err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	st := sys.Stats()
+	return st.C6xCycles, st.GeneratedCycles
+}
+
+func open(t *testing.T, dir string, opts store.Options) *store.Store {
+	t.Helper()
+	s, err := store.Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func mustStore(t *testing.T, s *store.Store, k [sha256.Size]byte, p *core.Program) {
+	t.Helper()
+	if err := s.Store(k, p); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, store.Options{})
+	p := prog(t)
+	k := key("round-trip")
+
+	if got, ok, err := s.Load(k); err != nil || ok || got != nil {
+		t.Fatalf("empty store Load = (%v, %v, %v), want (nil, false, nil)", got, ok, err)
+	}
+	mustStore(t, s, k, p)
+
+	// Same handle, then a fresh process-equivalent handle.
+	for i, ld := range []*store.Store{s, open(t, dir, store.Options{})} {
+		got, ok, err := ld.Load(k)
+		if err != nil || !ok {
+			t.Fatalf("load[%d] = (ok=%v, err=%v)", i, ok, err)
+		}
+		if got.Level != p.Level || got.TotalSrcInsts != p.TotalSrcInsts || len(got.Blocks) != len(p.Blocks) {
+			t.Fatalf("load[%d]: metadata mismatch", i)
+		}
+		wc6x, wgen := cycles(t, p)
+		gc6x, ggen := cycles(t, got)
+		if gc6x != wc6x || ggen != wgen {
+			t.Fatalf("load[%d]: cycles (%d,%d) != original (%d,%d)", i, gc6x, ggen, wc6x, wgen)
+		}
+	}
+	st := s.Stats()
+	if st.Objects != 1 || st.Puts != 1 || st.Hits != 1 || st.Corrupt != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// objectPath finds the single object file under dir.
+func objectPath(t *testing.T, dir string) string {
+	t.Helper()
+	var paths []string
+	filepath.WalkDir(filepath.Join(dir, "objects"), func(path string, d os.DirEntry, err error) error {
+		if err == nil && !d.IsDir() {
+			paths = append(paths, path)
+		}
+		return nil
+	})
+	if len(paths) != 1 {
+		t.Fatalf("found %d objects, want 1", len(paths))
+	}
+	return paths[0]
+}
+
+// TestCorruptionTolerated is the crash-safety contract: every damaged
+// shape of an object file is detected, quarantined and reported as a
+// miss, and a subsequent Store repairs it.
+func TestCorruptionTolerated(t *testing.T) {
+	p := prog(t)
+	k := key("corruption")
+	corruptions := []struct {
+		name   string
+		mangle func([]byte) []byte
+	}{
+		{"truncated-header", func(b []byte) []byte { return b[:10] }},
+		{"truncated-payload", func(b []byte) []byte { return b[:len(b)-7] }},
+		{"empty", func(b []byte) []byte { return nil }},
+		{"bad-magic", func(b []byte) []byte { b[0] ^= 0xFF; return b }},
+		{"wrong-version", func(b []byte) []byte { b[8] = 0xEE; return b }},
+		{"flipped-payload-bit", func(b []byte) []byte { b[len(b)-1] ^= 0x01; return b }},
+		{"garbage-payload-valid-length", func(b []byte) []byte {
+			for i := 90; i < len(b); i++ {
+				b[i] = 0x5A
+			}
+			return b
+		}},
+	}
+	for _, tc := range corruptions {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			s := open(t, dir, store.Options{})
+			mustStore(t, s, k, p)
+			path := objectPath(t, dir)
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, tc.mangle(data), 0o644); err != nil {
+				t.Fatal(err)
+			}
+
+			// A fresh open (no memory of the put) must see a plain miss.
+			s2 := open(t, dir, store.Options{})
+			got, ok, err := s2.Load(k)
+			if err != nil || ok || got != nil {
+				t.Fatalf("corrupt Load = (%v, %v, %v), want (nil, false, nil)", got, ok, err)
+			}
+			if st := s2.Stats(); st.Corrupt != 1 {
+				t.Fatalf("Corrupt = %d, want 1 (stats %+v)", st.Corrupt, st)
+			}
+			if _, err := os.Stat(path); !os.IsNotExist(err) {
+				t.Fatalf("corrupt object not quarantined: %v", err)
+			}
+
+			// The store must rebuild, not stay poisoned.
+			mustStore(t, s2, k, p)
+			if _, ok, err := s2.Load(k); err != nil || !ok {
+				t.Fatalf("rebuilt Load = (ok=%v, err=%v)", ok, err)
+			}
+		})
+	}
+}
+
+// TestKeyMismatchDetected: an object renamed to another address (or a
+// colliding foreign file) fails the embedded-key check.
+func TestKeyMismatchDetected(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, store.Options{})
+	mustStore(t, s, key("original"), prog(t))
+	data, err := os.ReadFile(objectPath(t, dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	other := key("somewhere-else")
+	otherPath := filepath.Join(dir, "objects", hexShard(other), hexName(other))
+	if err := os.MkdirAll(filepath.Dir(otherPath), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(otherPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := s.Load(other); err != nil || ok {
+		t.Fatalf("renamed object Load = (ok=%v, err=%v), want miss", ok, err)
+	}
+	if st := s.Stats(); st.Corrupt != 1 {
+		t.Fatalf("Corrupt = %d, want 1", st.Corrupt)
+	}
+}
+
+func hexShard(k [sha256.Size]byte) string { return hexName(k)[:2] }
+func hexName(k [sha256.Size]byte) string {
+	const digits = "0123456789abcdef"
+	out := make([]byte, 0, 64)
+	for _, b := range k {
+		out = append(out, digits[b>>4], digits[b&0xF])
+	}
+	return string(out)
+}
+
+// TestIndexRecovery: the index is advisory — missing, garbage, or
+// wrong-version index files all recover by rescanning objects/.
+func TestIndexRecovery(t *testing.T) {
+	p := prog(t)
+	for _, tc := range []struct {
+		name   string
+		mangle func(indexPath string)
+	}{
+		{"missing", func(ip string) { os.Remove(ip) }},
+		{"garbage", func(ip string) { os.WriteFile(ip, []byte("{not json"), 0o644) }},
+		{"wrong-version", func(ip string) { os.WriteFile(ip, []byte(`{"version":99,"entries":[]}`), 0o644) }},
+		{"truncated", func(ip string) {
+			data, _ := os.ReadFile(ip)
+			os.WriteFile(ip, data[:len(data)/2], 0o644)
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			s := open(t, dir, store.Options{})
+			mustStore(t, s, key("a"), p)
+			mustStore(t, s, key("b"), p)
+			if err := s.Close(); err != nil {
+				t.Fatal(err)
+			}
+			tc.mangle(filepath.Join(dir, "index.json"))
+
+			s2 := open(t, dir, store.Options{})
+			if st := s2.Stats(); st.Objects != 2 {
+				t.Fatalf("recovered Objects = %d, want 2 (stats %+v)", st.Objects, st)
+			}
+			for _, k := range [][sha256.Size]byte{key("a"), key("b")} {
+				if _, ok, err := s2.Load(k); err != nil || !ok {
+					t.Fatalf("recovered Load = (ok=%v, err=%v)", ok, err)
+				}
+			}
+		})
+	}
+}
+
+// TestRescanRemovesTempFiles: leftovers of interrupted writes are swept
+// during index recovery and never mistaken for objects.
+func TestRescanRemovesTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, store.Options{})
+	mustStore(t, s, key("a"), prog(t))
+	stray := filepath.Join(dir, "objects", "ab", ".tmp-interrupted")
+	if err := os.MkdirAll(filepath.Dir(stray), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(stray, []byte("partial object write"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	os.Remove(filepath.Join(dir, "index.json"))
+
+	s2 := open(t, dir, store.Options{})
+	if st := s2.Stats(); st.Objects != 1 {
+		t.Fatalf("Objects = %d, want 1", st.Objects)
+	}
+	if _, err := os.Stat(stray); !os.IsNotExist(err) {
+		t.Fatalf("stray temp file survived rescan: %v", err)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, store.Options{})
+	p := prog(t)
+	mustStore(t, s, key("probe"), p)
+	objSize := s.Stats().Bytes
+
+	// Budget for two objects; the third put evicts the least recently
+	// used, which is "a" after "a" then "b" are written.
+	dir2 := t.TempDir()
+	s2 := open(t, dir2, store.Options{MaxBytes: 2 * objSize})
+	mustStore(t, s2, key("a"), p)
+	mustStore(t, s2, key("b"), p)
+	mustStore(t, s2, key("c"), p)
+
+	st := s2.Stats()
+	if st.Evictions != 1 || st.Objects != 2 || st.Bytes > 2*objSize {
+		t.Fatalf("stats after eviction = %+v", st)
+	}
+	if _, ok, _ := s2.Load(key("a")); ok {
+		t.Fatal("LRU object 'a' survived eviction")
+	}
+	for _, k := range []string{"b", "c"} {
+		if _, ok, err := s2.Load(key(k)); err != nil || !ok {
+			t.Fatalf("object %q evicted unexpectedly (ok=%v, err=%v)", k, ok, err)
+		}
+	}
+
+	// A load refreshes recency: touch "b", store "d", expect "c" evicted.
+	if _, ok, _ := s2.Load(key("b")); !ok {
+		t.Fatal("b missing")
+	}
+	mustStore(t, s2, key("d"), p)
+	if _, ok, _ := s2.Load(key("c")); ok {
+		t.Fatal("eviction ignored LRU order: c should have been evicted")
+	}
+	if _, ok, _ := s2.Load(key("b")); !ok {
+		t.Fatal("recently used b was evicted")
+	}
+}
+
+func TestNamespaceIsolation(t *testing.T) {
+	dir := t.TempDir()
+	root := open(t, dir, store.Options{})
+	a, b := root.Namespace("tenant-a"), root.Namespace("tenant-b")
+	p := prog(t)
+	k := key("shared-logical-key")
+
+	mustStore(t, root, k, p)
+	if _, ok, _ := a.Load(k); ok {
+		t.Fatal("tenant-a sees root object")
+	}
+	mustStore(t, a, k, p)
+	if _, ok, _ := b.Load(k); ok {
+		t.Fatal("tenant-b sees tenant-a object")
+	}
+	if _, ok, err := a.Load(k); err != nil || !ok {
+		t.Fatalf("tenant-a misses its own object (ok=%v, err=%v)", ok, err)
+	}
+	if _, ok, err := root.Load(k); err != nil || !ok {
+		t.Fatalf("root misses its own object (ok=%v, err=%v)", ok, err)
+	}
+	// Same logical key, two namespaces = two physical objects.
+	if st := root.Stats(); st.Objects != 2 {
+		t.Fatalf("Objects = %d, want 2", st.Objects)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, store.Options{})
+	p := prog(t)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				k := key(string(rune('a' + i%4)))
+				if g%2 == 0 {
+					if err := s.Store(k, p); err != nil {
+						t.Error(err)
+						return
+					}
+				} else if _, _, err := s.Load(k); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for i := 0; i < 4; i++ {
+		if _, ok, err := s.Load(key(string(rune('a' + i)))); err != nil || !ok {
+			t.Fatalf("object %d missing after concurrent writes (ok=%v, err=%v)", i, ok, err)
+		}
+	}
+}

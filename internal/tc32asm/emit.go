@@ -2,6 +2,7 @@ package tc32asm
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/elf32"
 	"repro/internal/tc32"
@@ -117,7 +118,17 @@ func (a *assembler) pass2() (*elf32.File, error) {
 			Addr: a.sectionBase(secBss), Size: a.loc[secBss],
 		})
 	}
-	for name, def := range a.symbols {
+	// Emit symbols in sorted order: assembling the same source must yield
+	// byte-identical ELF images across processes, because the simulation
+	// farm's persistent translation cache content-addresses the marshalled
+	// image (map iteration order must not leak into the file).
+	names := make([]string, 0, len(a.symbols))
+	for name := range a.symbols {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		def := a.symbols[name]
 		file.Symbols = append(file.Symbols, elf32.Symbol{
 			Name:    name,
 			Value:   a.sectionBase(def.section) + def.offset,

@@ -21,6 +21,14 @@
 // sweeps; cmd/cabt-farm runs full workload × level × cache-config
 // sweeps and emits JSON reports. Measure remains a direct, farm-free
 // path and is the equivalence oracle the farm is tested against.
+//
+// The translation cache persists: with -cache-dir, cmd/cabt-farm, the
+// benchmark harness and the cmd/cabt-serve HTTP service write translated
+// programs through to a content-addressed on-disk store
+// (internal/simfarm/store), so any process pointed at the same directory
+// reuses every program translated before it. cabt-serve additionally
+// namespaces the store per tenant. See README.md and
+// docs/architecture.md.
 package repro
 
 import (
