@@ -1,15 +1,20 @@
 // Command cabt-serve runs the simulation farm as an HTTP batch service:
-// clients submit (workload × level × config) batches over the JSON API of
-// internal/simfarm/server and poll for results. With -cache-dir the
-// translation cache writes through to a persistent content-addressed
-// store, so restarts and concurrent cabt-farm runs share translations;
-// tenants (X-Cabt-Tenant header) get isolated cache namespaces within it.
+// clients submit (workload × level × config) batches — or multi-core SoC
+// sweeps — over the JSON API of internal/simfarm/server and poll for
+// results. With -cache-dir the translation cache writes through to a
+// persistent content-addressed store, so restarts and concurrent
+// cabt-farm runs share translations; tenants (X-Cabt-Tenant header) get
+// isolated cache namespaces within it. Finished job records are pruned
+// by the retention policy (-retain-ttl, -retain-max), so the service can
+// run indefinitely with bounded memory.
 //
 // Usage:
 //
-//	cabt-serve -addr :8080 -cache-dir /var/cache/cabt
+//	cabt-serve -addr :8080 -cache-dir /var/cache/cabt -retain-ttl 24h
 //	curl -s -X POST localhost:8080/v1/jobs \
 //	     -d '{"workloads":["gcd","sieve"],"levels":[1,3]}'
+//	curl -s -X POST localhost:8080/v1/soc-jobs \
+//	     -d '{"workloads":["mc-pingpong"],"core_counts":[4],"quanta":[1,64],"level":2}'
 //	curl -s 'localhost:8080/v1/jobs/job-1?wait=1'
 //	curl -s localhost:8080/v1/stats
 package main
@@ -34,9 +39,11 @@ func main() {
 	cacheDir := flag.String("cache-dir", "", "persistent translation-cache store directory (empty = in-memory only)")
 	cacheBudget := flag.Int64("cache-budget", 0, "store size budget in bytes, LRU-evicted (0 = unbounded)")
 	workers := flag.Int("workers", 0, "per-tenant worker pool size (0 = GOMAXPROCS)")
+	retainTTL := flag.Duration("retain-ttl", 24*time.Hour, "prune finished job records older than this (0 = keep forever)")
+	retainMax := flag.Int("retain-max", 10000, "keep at most this many finished job records per tenant (0 = unlimited)")
 	flag.Parse()
 
-	cfg := server.Config{Workers: *workers}
+	cfg := server.Config{Workers: *workers, RetainTTL: *retainTTL, RetainMax: *retainMax}
 	if *cacheDir != "" {
 		st, err := store.Open(*cacheDir, store.Options{MaxBytes: *cacheBudget})
 		if err != nil {

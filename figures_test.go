@@ -1,0 +1,63 @@
+package repro
+
+import (
+	"testing"
+)
+
+// TestFiguresMatchDirectMeasure pins the farm-routed Figure5/Figure6
+// paths to the direct measurement oracle: for a spot-checked workload the
+// farm-produced figures must equal repro.Measure's bit for bit.
+func TestFiguresMatchDirectMeasure(t *testing.T) {
+	w, ok := WorkloadByName("gcd")
+	if !ok {
+		t.Fatal("gcd missing")
+	}
+	m, err := Measure(w, AllLevels()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	f5, err := Figure5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, r := range f5 {
+		if r.Name != "gcd" {
+			continue
+		}
+		found = true
+		if r.BoardMIPS != m.BoardMIPS {
+			t.Errorf("Figure5 BoardMIPS %v != Measure %v", r.BoardMIPS, m.BoardMIPS)
+		}
+		for _, l := range AllLevels() {
+			if r.MIPS[l] != m.Levels[l].MIPS {
+				t.Errorf("Figure5 L%d MIPS %v != Measure %v", int(l), r.MIPS[l], m.Levels[l].MIPS)
+			}
+		}
+	}
+	if !found {
+		t.Error("gcd missing from Figure5")
+	}
+
+	f6, err := Figure6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range f6 {
+		if r.Name != "gcd" {
+			continue
+		}
+		if r.BoardCycles != m.BoardCycles {
+			t.Errorf("Figure6 BoardCycles %d != Measure %d", r.BoardCycles, m.BoardCycles)
+		}
+		for _, l := range []Level{Level1, Level2, Level3} {
+			if r.Cycles[l] != m.Levels[l].GeneratedCycles {
+				t.Errorf("Figure6 L%d cycles %d != Measure %d", int(l), r.Cycles[l], m.Levels[l].GeneratedCycles)
+			}
+			if r.Deviation[l] != m.Levels[l].DeviationPct {
+				t.Errorf("Figure6 L%d deviation %v != Measure %v", int(l), r.Deviation[l], m.Levels[l].DeviationPct)
+			}
+		}
+	}
+}

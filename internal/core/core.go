@@ -151,8 +151,15 @@ type Program struct {
 	BssSize uint32
 
 	// CacheTableWords is the size of the simulated I-cache state in
-	// 32-bit words (level 3).
+	// 32-bit words (level 3). 1- and 2-way geometries use the compact
+	// per-set layout [way0, way1, lru]; wider geometries use
+	// [tag0..tagN-1, age0..ageN-1] with CacheTableInit holding the
+	// initial words (the true-LRU ages must start as a permutation).
 	CacheTableWords int
+	// CacheTableInit is the initial contents of the cache table (empty =
+	// all zeros, the 1-/2-way case). The platform loads it into the
+	// reserved emulation RAM before the run.
+	CacheTableInit []uint32
 
 	// TotalSrcInsts is the number of source instructions translated.
 	TotalSrcInsts int
@@ -231,7 +238,20 @@ func (t *translator) run(f *elf32.File) (*Program, error) {
 	}
 	if t.opts.Level >= Level3 {
 		g := t.desc.ICache
-		prog.CacheTableWords = g.Sets * (g.Ways + 1)
+		if g.Ways <= 2 {
+			prog.CacheTableWords = g.Sets * (g.Ways + 1)
+		} else {
+			prog.CacheTableWords = g.Sets * 2 * g.Ways
+			prog.CacheTableInit = make([]uint32, prog.CacheTableWords)
+			for s := 0; s < g.Sets; s++ {
+				base := s * 2 * g.Ways
+				for w := 0; w < g.Ways; w++ {
+					// Ages start as the same permutation the reference
+					// model resets to (march.Cache.Reset): way index.
+					prog.CacheTableInit[base+g.Ways+w] = uint32(w)
+				}
+			}
+		}
 	}
 	return prog, nil
 }

@@ -157,11 +157,16 @@ func TestTranslateAtAllLevelsWithCustomDesc(t *testing.T) {
 			t.Fatalf("L%d run: %v", int(level), err)
 		}
 	}
-	// Unsupported associativity for probe generation.
+	// Associativities up to 16 generate probes; beyond that is rejected.
 	d4 := *platformDesc(t)
 	d4.ICache.Ways = 4
-	if _, err := core.Translate(f, core.Options{Level: core.Level3, Desc: &d4}); err == nil {
-		t.Error("4-way probe generation should be rejected")
+	if _, err := core.Translate(f, core.Options{Level: core.Level3, Desc: &d4}); err != nil {
+		t.Errorf("4-way probe generation should be supported: %v", err)
+	}
+	d32 := *platformDesc(t)
+	d32.ICache.Ways = 32
+	if _, err := core.Translate(f, core.Options{Level: core.Level3, Desc: &d32}); err == nil {
+		t.Error("32-way probe generation should be rejected")
 	}
 }
 

@@ -391,7 +391,13 @@ func (l *lowerer) emitProbe(lineAddr uint32) {
 	set := (lineAddr >> lineBits) & uint32(g.Sets-1)
 	tag := lineAddr >> (lineBits + setBits)
 	tagWord := int32(0x8000_0000 | tag)
-	setOff := int32(set) * int32(g.Ways+1) * 4
+	// Per-set stride: the compact [ways..., lru] layout for 1-/2-way
+	// geometries, [tags..., ages...] for wider ones (see emitProbeNWay).
+	stride := int32(g.Ways + 1)
+	if g.Ways > 2 {
+		stride = int32(2 * g.Ways)
+	}
+	setOff := int32(set) * stride * 4
 	if l.t.opts.InlineCacheProbe && len(l.blk.insts) >= l.t.opts.InlineCacheThreshold && g.Ways == 2 {
 		l.emitProbeInline(tagWord, setOff)
 		return

@@ -159,11 +159,18 @@ func (t *translator) emitDivComplex() {
 // and add the miss penalty to the cycle correction counter.
 //
 // Arguments: A24 = expected tag word (valid|tag), A25 = set byte offset.
-// The in-memory layout per set is [way0, way1, ..., lru], 4 bytes each.
+// For 1- and 2-way geometries the in-memory layout per set is
+// [way0, way1, lru], 4 bytes each, with a single LRU index word; wider
+// geometries get the generalized routine over the
+// [tag0..tagN-1, age0..ageN-1] layout (see emitProbeNWay).
 func (t *translator) emitProbeRoutine() error {
 	g := t.desc.ICache
-	if g.Ways != 1 && g.Ways != 2 {
-		return fmt.Errorf("core: cache probe generation supports 1 or 2 ways, got %d", g.Ways)
+	if g.Ways < 1 || g.Ways > maxProbeWays {
+		return fmt.Errorf("core: cache probe generation supports 1..%d ways, got %d", maxProbeWays, g.Ways)
+	}
+	if g.Ways > 2 {
+		t.emitProbeNWay()
+		return nil
 	}
 	entry := t.routineLabel("probe")
 	pen := int32(g.MissPenalty)
@@ -230,4 +237,110 @@ func (t *translator) emitProbeRoutine() error {
 	b.emit(c6x.Inst{Op: c6x.STW, Data: s0, Src1: c6x.R(regBScr0), Src2: c6x.Imm(8)})
 	b.ret()
 	return nil
+}
+
+// maxProbeWays bounds the generalized probe generator: way indices are
+// compared against short immediates, and the generated code grows with
+// the square of the associativity.
+const maxProbeWays = 16
+
+// emitProbeNWay generates the cache simulation subroutine for an N-way
+// set-associative cache (N ≥ 3), implementing exactly the true-LRU
+// policy of the reference model (march.Cache): per set the table holds
+// the N tag/valid words followed by the N age words (0 = most recently
+// used). A hit re-ages the set around the hit way; a miss victimizes the
+// way with the greatest effective age — invalid ways, whose tag word
+// lacks the valid bit, count as older than any valid way — installs the
+// tag, re-ages, and adds the miss penalty to the correction counter.
+//
+// The routine is straight-line predicated code plus one branch per way
+// for the hit checks and the victim dispatch; ages live in memory, so
+// only the reserved argument/scratch registers are used.
+func (t *translator) emitProbeNWay() {
+	g := t.desc.ICache
+	n := g.Ways
+	entry := t.routineLabel("probe")
+	pen := int32(g.MissPenalty)
+	tagOff := func(w int) int32 { return int32(w) * 4 }
+	ageOff := func(w int) int32 { return int32(n+w) * 4 }
+
+	s0 := regScratch[0] // A26: loaded tag word
+	s1 := regScratch[1] // A27: loaded/updated age
+	s2 := regScratch[2] // A28: compare scratch
+	s3 := regScratch[3] // A29: best age / old age
+	best := regBScr1    // B25: victim way index
+
+	b := &rb{t: t}
+
+	// touch re-ages the set around way w: every younger way ages by one,
+	// w becomes age 0. Identical to march.Cache.touch.
+	touch := func(w int) {
+		b.emit(c6x.Inst{Op: c6x.LDW, Dst: s3, Src1: c6x.R(regBScr0), Src2: c6x.Imm(ageOff(w))})
+		for k := 0; k < n; k++ {
+			if k == w {
+				continue
+			}
+			b.emit(c6x.Inst{Op: c6x.LDW, Dst: s1, Src1: c6x.R(regBScr0), Src2: c6x.Imm(ageOff(k))})
+			b.emit(c6x.Inst{Op: c6x.CMPLT, Dst: s2, Src1: c6x.R(s1), Src2: c6x.R(s3)})
+			b.emit(c6x.Inst{Op: c6x.ADD, Dst: s1, Src1: c6x.R(s1), Src2: c6x.Imm(1), Pred: pred(s2)})
+			b.emit(c6x.Inst{Op: c6x.STW, Data: s1, Src1: c6x.R(regBScr0), Src2: c6x.Imm(ageOff(k)), Pred: pred(s2)})
+		}
+		b.emit(c6x.Inst{Op: c6x.MVK, Dst: s1, Src2: c6x.Imm(0)})
+		b.emit(c6x.Inst{Op: c6x.STW, Data: s1, Src1: c6x.R(regBScr0), Src2: c6x.Imm(ageOff(w))})
+	}
+
+	// Hit checks, one way per block.
+	hit := make([]int, n)
+	for w := range hit {
+		hit[w] = t.newLabel()
+	}
+	b.block("probe", entry)
+	b.emit(c6x.Inst{Op: c6x.ADD, Dst: regBScr0, Src1: c6x.R(regCacheTab), Src2: c6x.R(regArg1)})
+	for w := 0; w < n; w++ {
+		b.emit(c6x.Inst{Op: c6x.LDW, Dst: s0, Src1: c6x.R(regBScr0), Src2: c6x.Imm(tagOff(w))})
+		b.emit(c6x.Inst{Op: c6x.CMPEQ, Dst: s2, Src1: c6x.R(s0), Src2: c6x.R(regArg0)})
+		b.branch(hit[w], pred(s2))
+		b.block(fmt.Sprintf("probe.chk%d", w+1))
+	}
+
+	// Miss: select the victim — the way with the greatest effective age,
+	// earliest way winning ties, as in the reference model's scan.
+	b.emit(c6x.Inst{Op: c6x.MVK, Dst: s3, Src2: c6x.Imm(-1)})
+	b.emit(c6x.Inst{Op: c6x.MVK, Dst: best, Src2: c6x.Imm(0)})
+	for w := 0; w < n; w++ {
+		b.emit(c6x.Inst{Op: c6x.LDW, Dst: s0, Src1: c6x.R(regBScr0), Src2: c6x.Imm(tagOff(w))})
+		b.emit(c6x.Inst{Op: c6x.LDW, Dst: s1, Src1: c6x.R(regBScr0), Src2: c6x.Imm(ageOff(w))})
+		// Invalid tag words lack the valid bit (they are non-negative);
+		// treat them as older than any valid way.
+		b.emit(c6x.Inst{Op: c6x.CMPLT, Dst: s2, Src1: c6x.R(s0), Src2: c6x.Imm(0)})
+		b.emit(c6x.Inst{Op: c6x.MVK, Dst: s1, Src2: c6x.Imm(int32(n)), Pred: npred(s2)})
+		b.emit(c6x.Inst{Op: c6x.CMPLT, Dst: s2, Src1: c6x.R(s3), Src2: c6x.R(s1)})
+		b.emit(c6x.Inst{Op: c6x.MV, Dst: s3, Src1: c6x.R(s1), Pred: pred(s2)})
+		b.emit(c6x.Inst{Op: c6x.MVK, Dst: best, Src2: c6x.Imm(int32(w)), Pred: pred(s2)})
+	}
+
+	// Victim dispatch: branch to the per-way replacement block.
+	repl := make([]int, n)
+	for w := range repl {
+		repl[w] = t.newLabel()
+	}
+	for w := 0; w < n-1; w++ {
+		b.emit(c6x.Inst{Op: c6x.CMPEQ, Dst: s2, Src1: c6x.R(best), Src2: c6x.Imm(int32(w))})
+		b.branch(repl[w], pred(s2))
+		b.block(fmt.Sprintf("probe.disp%d", w+1))
+	}
+	b.branch(repl[n-1], c6x.Pred{})
+
+	for w := 0; w < n; w++ {
+		b.block(fmt.Sprintf("probe.repl%d", w), repl[w])
+		b.emit(c6x.Inst{Op: c6x.STW, Data: regArg0, Src1: c6x.R(regBScr0), Src2: c6x.Imm(tagOff(w))})
+		touch(w)
+		b.emit(c6x.Inst{Op: c6x.ADD, Dst: regCorr, Src1: c6x.R(regCorr), Src2: c6x.Imm(pen)})
+		b.ret()
+	}
+	for w := 0; w < n; w++ {
+		b.block(fmt.Sprintf("probe.hit%d", w), hit[w])
+		touch(w)
+		b.ret()
+	}
 }

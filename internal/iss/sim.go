@@ -180,6 +180,26 @@ func (s *Sim) Run() error {
 	return nil
 }
 
+// Cycles returns the core's position on the source-cycle clock: pipeline
+// cycles when cycle-accurate, retired instructions otherwise. This is the
+// clock a multi-core scheduler (internal/soc) advances in quanta.
+func (s *Sim) Cycles() int64 {
+	if !s.cfg.CycleAccurate {
+		return s.Arch.Retired
+	}
+	return s.pipe.Cycles()
+}
+
+// Stall injects n extra stall cycles into the pipeline timing model — bus
+// arbitration wait-states charged back by the multi-core scheduler after
+// a contended shared-bus access. A no-op in functional mode, where the
+// clock counts instructions.
+func (s *Sim) Stall(n int64) {
+	if n > 0 && s.cfg.CycleAccurate {
+		s.pipe.Stall(n)
+	}
+}
+
 // Stats returns the measurement outputs accumulated so far.
 func (s *Sim) Stats() Stats {
 	st := s.stats

@@ -1,0 +1,62 @@
+package platform_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/iss"
+	"repro/internal/platform"
+	"repro/internal/tc32asm"
+	"repro/internal/workload"
+)
+
+// TestSrcInstructionAttribution pins the platform's per-region source
+// instruction accounting to the reference simulator: on a single-core
+// run every retired instruction belongs to exactly one executed cycle
+// region, so the attributed count must equal the ISS retirement count —
+// in both correction-drain shapes (the two-drain shape re-writes the
+// sync START register mid-region, which the attribution must not double
+// count) and in instruction-oriented mode.
+func TestSrcInstructionAttribution(t *testing.T) {
+	for _, wname := range []string{"gcd", "sieve", "fir"} {
+		w, ok := workload.ByName(wname)
+		if !ok {
+			t.Fatalf("workload %s missing", wname)
+		}
+		f, err := tc32asm.Assemble(w.Source)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := iss.New(f, iss.Config{CycleAccurate: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ref.Run(); err != nil {
+			t.Fatal(err)
+		}
+		retired := ref.Stats().Retired
+
+		opts := []core.Options{
+			{Level: core.Level1},
+			{Level: core.Level2},
+			{Level: core.Level3},
+			{Level: core.Level3, SingleDrainCorrection: true},
+			{Level: core.Level2, InstructionOriented: true},
+		}
+		for _, o := range opts {
+			name := fmt.Sprintf("%s-L%d-sd%v-io%v", wname, int(o.Level), o.SingleDrainCorrection, o.InstructionOriented)
+			prog, err := core.Translate(f, o)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			sys := platform.New(prog)
+			if err := sys.Run(); err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			if got := sys.Stats().SrcInstructions; got != retired {
+				t.Errorf("%s: attributed %d source instructions, ISS retired %d", name, got, retired)
+			}
+		}
+	}
+}

@@ -74,6 +74,15 @@ func (s *SyncDev) Drain(t int64) int64 {
 	return t
 }
 
+// WaitReporter is the optional interface of an arbitrated SoC bus
+// (internal/soc): TakeWait drains the source-cycle wait-states the bus
+// charged for the transaction just performed (arbitration contention).
+// The platform adds them to the generated cycle stream exactly like the
+// ordinary I/O wait states.
+type WaitReporter interface {
+	TakeWait() int64
+}
+
 // System is the assembled platform: core, sync device, memories and bus.
 type System struct {
 	Prog *core.Program
@@ -93,16 +102,30 @@ type System struct {
 	rBase uint32
 	ctab  []byte // cache-table RAM in the emulation fabric
 	cBase uint32
+
+	// Source-instruction attribution: every base cycle-generation start
+	// identifies its region (via the writing packet), whose SrcInsts are
+	// credited. See attributeRegion.
+	regionPkt    []int
+	regionInsts  []int
+	srcInsts     int64
+	lastRegion   int
+	lastStartPkt int
 }
 
 // New builds a platform around a translated program.
 func New(prog *core.Program) *System {
 	sys := &System{
-		Prog:  prog,
-		Sync:  &SyncDev{Ratio: DefaultRatio},
-		rBase: 0x1000_0000,
-		ram:   make([]byte, iss.RAMSize),
-		cBase: core.CacheTableBase,
+		Prog:       prog,
+		Sync:       &SyncDev{Ratio: DefaultRatio},
+		rBase:      0x1000_0000,
+		ram:        make([]byte, iss.RAMSize),
+		cBase:      core.CacheTableBase,
+		lastRegion: -1,
+	}
+	for _, b := range prog.Blocks {
+		sys.regionPkt = append(sys.regionPkt, b.PacketStart)
+		sys.regionInsts = append(sys.regionInsts, b.SrcInsts)
 	}
 	if prog.DataAddr != 0 {
 		sys.rBase = prog.DataAddr
@@ -112,6 +135,9 @@ func New(prog *core.Program) *System {
 	}
 	if prog.CacheTableWords > 0 {
 		sys.ctab = make([]byte, prog.CacheTableWords*4)
+		for i, v := range prog.CacheTableInit {
+			wr(sys.ctab, uint32(i*4), v, 4)
+		}
 	}
 	if len(prog.TextImage) > 0 {
 		sys.SetText(prog.TextAddr, prog.TextImage)
@@ -175,7 +201,7 @@ func (sys *System) Load(addr uint32, size int, cycle int64) (uint32, int64, erro
 		} else if sys.Bus != nil {
 			v = sys.Bus.BusRead32(addr, now)
 		}
-		t = sys.ioWait(t)
+		t = sys.ioWait(t, sys.busWait())
 		return v, t, nil
 	case addr >= sys.tBase && addr-sys.tBase+uint32(size) <= uint32(len(sys.text)):
 		return rd(sys.text, addr-sys.tBase, size), cycle, nil
@@ -193,6 +219,7 @@ func (sys *System) Store(addr uint32, val uint32, size int, cycle int64) (int64,
 		wr(sys.ctab, addr-sys.cBase, val, size)
 		return cycle, nil
 	case addr == core.SyncStart:
+		sys.attributeRegion()
 		sys.Sync.Start(val, cycle)
 		return cycle, nil
 	case addr == core.SyncAdd:
@@ -206,16 +233,26 @@ func (sys *System) Store(addr uint32, val uint32, size int, cycle int64) (int64,
 		} else if sys.Bus != nil {
 			sys.Bus.BusWrite32(addr, val, now)
 		}
-		t = sys.ioWait(t)
+		t = sys.ioWait(t, sys.busWait())
 		return t, nil
 	}
 	return cycle, fmt.Errorf("platform: unmapped store @%#x", addr)
 }
 
-// ioWait generates the bus wait-state cycles of an I/O access and returns
-// the C6x cycle at which the CPU may continue.
-func (sys *System) ioWait(t int64) int64 {
-	wait := int64(sys.Prog.Desc.IOWaitCycles)
+// busWait drains the arbitration wait-states of the transaction just
+// performed, when the bus is arbitrated (a multi-core SoC).
+func (sys *System) busWait() int64 {
+	if wr, ok := sys.Bus.(WaitReporter); ok {
+		return wr.TakeWait()
+	}
+	return 0
+}
+
+// ioWait generates the bus wait-state cycles of an I/O access (the fixed
+// source-bus wait states plus any arbitration wait charged by a shared
+// bus) and returns the C6x cycle at which the CPU may continue.
+func (sys *System) ioWait(t, extra int64) int64 {
+	wait := int64(sys.Prog.Desc.IOWaitCycles) + extra
 	if sys.Prog.Level == core.Level0 {
 		return t // untimed mode
 	}
@@ -224,9 +261,64 @@ func (sys *System) ioWait(t int64) int64 {
 	return sys.Sync.DoneAt
 }
 
+// attributeRegion credits the source instructions of the region that just
+// started a cycle generation. The region is identified by the packet
+// performing the SyncStart write (the c6x PC is one past it during the
+// store). In the paper's two-drain correction shape the correction flush
+// also writes SyncStart from a later packet of the same region — such
+// writes must not re-credit the region, while a loop re-entering the
+// region (base write, at a packet no later than the last credited one)
+// must. Distinguishing on the packet ordering is exact because regions
+// are basic blocks: the base start is pinned first, so within one region
+// execution every further SyncStart write comes from a strictly later
+// packet.
+func (sys *System) attributeRegion() {
+	pkt := sys.CPU.PC() - 1
+	// Find the last region whose first packet is at or before pkt.
+	lo, hi := 0, len(sys.regionPkt)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if sys.regionPkt[mid] <= pkt {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	ri := lo - 1
+	if ri < 0 {
+		return
+	}
+	if ri == sys.lastRegion && pkt > sys.lastStartPkt {
+		return // correction generation within the same region execution
+	}
+	sys.srcInsts += int64(sys.regionInsts[ri])
+	sys.lastRegion, sys.lastStartPkt = ri, pkt
+}
+
+// Now returns the core's position on the emulated source-cycle clock: the
+// generated cycle count, or scaled C6x time in untimed (Level0) mode.
+// This is the clock a multi-core scheduler (internal/soc) advances in
+// quanta.
+func (sys *System) Now() int64 { return sys.emulatedNow(sys.CPU.Cycle()) }
+
 // Run executes the translated program to completion.
 func (sys *System) Run() error {
 	return sys.CPU.Run()
+}
+
+// RunUntil executes until the emulated source-cycle clock reaches limit
+// or the program halts. The clock advances in region-sized jumps, so the
+// run may overshoot the limit by one cycle region.
+func (sys *System) RunUntil(limit int64) error {
+	for !sys.CPU.Halted() && sys.Now() < limit {
+		if sys.CPU.Cycle() > sys.CPU.MaxCycles {
+			return fmt.Errorf("platform: cycle limit (%d) exceeded", sys.CPU.MaxCycles)
+		}
+		if err := sys.CPU.Step(); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Stats summarizes a platform run.
@@ -237,6 +329,11 @@ type Stats struct {
 	StallCycles     int64
 	Packets         int64
 	Instructions    int64
+	// SrcInstructions is the number of source (TC32) instructions
+	// attributed to executed cycle regions — the denominator of a
+	// per-core CPI without a paired reference run. 0 at Level0 (no cycle
+	// generation to attribute against).
+	SrcInstructions int64
 }
 
 // Stats returns the platform measurements.
@@ -249,6 +346,7 @@ func (sys *System) Stats() Stats {
 		StallCycles:     cs.StallCycles,
 		Packets:         cs.Packets,
 		Instructions:    cs.Instructions,
+		SrcInstructions: sys.srcInsts,
 	}
 }
 

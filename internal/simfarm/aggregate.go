@@ -1,0 +1,47 @@
+package simfarm
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// WorkloadAgg aggregates one workload's sweep results across detail
+// levels: the board-side reference quantities (identical in every level's
+// Result) plus the per-level translated measurements. It is the bridge
+// between a farm sweep and per-workload reporting such as the paper's
+// Figure 5 (MIPS per level) and Figure 6 (cycle deviation per level).
+type WorkloadAgg struct {
+	Name string
+	// Board carries the reference quantities (BoardCycles, BoardCPI,
+	// BoardMIPS, Instructions, ...); taken from the workload's first
+	// result.
+	Board Result
+	// ByLevel holds each level's full result.
+	ByLevel map[core.Level]Result
+}
+
+// AggregateByWorkload groups a sweep's results by workload, in first-
+// appearance order. It fails on any failed result and on duplicate
+// (workload, level) pairs — the helper aggregates level sweeps of a
+// single configuration, not config sweeps.
+func AggregateByWorkload(results []Result) ([]WorkloadAgg, error) {
+	var aggs []WorkloadAgg
+	index := map[string]int{}
+	for _, r := range results {
+		if r.Err != nil {
+			return nil, fmt.Errorf("%s L%d: %w", r.Name, int(r.Level), r.Err)
+		}
+		i, ok := index[r.Name]
+		if !ok {
+			i = len(aggs)
+			index[r.Name] = i
+			aggs = append(aggs, WorkloadAgg{Name: r.Name, Board: r, ByLevel: map[core.Level]Result{}})
+		}
+		if _, dup := aggs[i].ByLevel[r.Level]; dup {
+			return nil, fmt.Errorf("duplicate result for %s L%d (aggregate one configuration at a time)", r.Name, int(r.Level))
+		}
+		aggs[i].ByLevel[r.Level] = r
+	}
+	return aggs, nil
+}

@@ -1,0 +1,38 @@
+package simfarm
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestAggregateByWorkload(t *testing.T) {
+	results := []Result{
+		{Name: "a", Level: core.Level0, BoardCycles: 10},
+		{Name: "b", Level: core.Level0, BoardCycles: 20},
+		{Name: "a", Level: core.Level1, BoardCycles: 10},
+		{Name: "b", Level: core.Level1, BoardCycles: 20},
+	}
+	aggs, err := AggregateByWorkload(results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(aggs) != 2 || aggs[0].Name != "a" || aggs[1].Name != "b" {
+		t.Fatalf("aggs = %+v", aggs)
+	}
+	if aggs[0].Board.BoardCycles != 10 || len(aggs[0].ByLevel) != 2 {
+		t.Errorf("agg a = %+v", aggs[0])
+	}
+
+	dup := append(results, Result{Name: "a", Level: core.Level1})
+	if _, err := AggregateByWorkload(dup); err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Errorf("duplicate not rejected: %v", err)
+	}
+
+	bad := []Result{{Name: "x", Err: errors.New("boom")}}
+	if _, err := AggregateByWorkload(bad); err == nil {
+		t.Error("failed result not surfaced")
+	}
+}

@@ -93,32 +93,33 @@ func (f *Farm) Stats() FarmStats {
 	}
 }
 
-// Submit runs the batch on the worker pool and streams each Result on
-// the returned channel as it completes (completion order, Index set).
-// The channel is buffered for the whole batch and closed when the batch
-// is done, so consumers may read lazily without stalling workers.
-func (f *Farm) Submit(jobs []Job) <-chan Result {
-	out := make(chan Result, len(jobs))
+// submitPool streams run(i) for every i in [0, n) through a bounded
+// worker pool: results arrive on the returned channel in completion
+// order, buffered for the whole batch and closed when it is done, so
+// consumers may read lazily without stalling workers. Shared by Submit
+// and SubmitSoC.
+func submitPool[R any](workers, n int, run func(i int) R) <-chan R {
+	out := make(chan R, n)
 	idx := make(chan int)
-	n := f.workers
-	if n > len(jobs) {
-		n = len(jobs)
+	w := workers
+	if w > n {
+		w = n
 	}
-	if n < 1 {
-		n = 1
+	if w < 1 {
+		w = 1
 	}
 	var wg sync.WaitGroup
-	for w := 0; w < n; w++ {
+	for k := 0; k < w; k++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				out <- f.runJob(i, jobs[i])
+				out <- run(i)
 			}
 		}()
 	}
 	go func() {
-		for i := range jobs {
+		for i := 0; i < n; i++ {
 			idx <- i
 		}
 		close(idx)
@@ -128,6 +129,16 @@ func (f *Farm) Submit(jobs []Job) <-chan Result {
 		close(out)
 	}()
 	return out
+}
+
+// Submit runs the batch on the worker pool and streams each Result on
+// the returned channel as it completes (completion order, Index set).
+// The channel is buffered for the whole batch and closed when the batch
+// is done, so consumers may read lazily without stalling workers.
+func (f *Farm) Submit(jobs []Job) <-chan Result {
+	return submitPool(f.workers, len(jobs), func(i int) Result {
+		return f.runJob(i, jobs[i])
+	})
 }
 
 // Run executes the batch and returns the results in job order (result i

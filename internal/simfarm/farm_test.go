@@ -75,14 +75,16 @@ func TestFarmTranslationCacheReuse(t *testing.T) {
 			}
 		}
 	}
-	// Three configs differing only in I-cache geometry: levels 0–2 are
-	// translated once and shared, Level3 is translated per config. So
-	// misses = 6 workloads × (3 shared levels + 3×Level3) = 36, and the
-	// remaining 36 jobs hit.
-	if want := int64(6 * (3 + 3)); bs.CacheMisses != want {
-		t.Errorf("CacheMisses = %d, want %d", bs.CacheMisses, want)
+	// The configs differ only in I-cache geometry: levels 0–2 are
+	// translated once and shared across all of them, Level3 is
+	// translated per config. So misses = 6 workloads × (3 shared levels
+	// + one Level3 per config), and every remaining job hits.
+	nCfg := len(DefaultMarchConfigs())
+	misses := int64(6 * (3 + nCfg))
+	if bs.CacheMisses != misses {
+		t.Errorf("CacheMisses = %d, want %d", bs.CacheMisses, misses)
 	}
-	if want := int64(len(jobs)) - 36; bs.CacheHits != want {
+	if want := int64(len(jobs)) - misses; bs.CacheHits != want {
 		t.Errorf("CacheHits = %d, want %d", bs.CacheHits, want)
 	}
 	if bs.CacheHitRate <= 0 {
@@ -121,8 +123,8 @@ func TestFarmTranslationCacheReuse(t *testing.T) {
 	if st.JobsRun != int64(2*len(jobs)) {
 		t.Errorf("cumulative JobsRun = %d, want %d", st.JobsRun, 2*len(jobs))
 	}
-	if st.CachedPrograms != 36 {
-		t.Errorf("CachedPrograms = %d, want 36", st.CachedPrograms)
+	if st.CachedPrograms != int(misses) {
+		t.Errorf("CachedPrograms = %d, want %d", st.CachedPrograms, misses)
 	}
 }
 

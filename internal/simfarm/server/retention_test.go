@@ -1,0 +1,153 @@
+package server_test
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/simfarm/server"
+	"repro/internal/workload"
+)
+
+// fakeClock is a settable retention clock.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(d)
+}
+
+func newServerCfg(t *testing.T, cfg server.Config) func(tenant string) *client {
+	t.Helper()
+	ts := httptest.NewServer(server.New(cfg))
+	t.Cleanup(ts.Close)
+	return func(tenant string) *client {
+		return &client{t: t, base: ts.URL, tenant: tenant, http: ts.Client()}
+	}
+}
+
+// TestRetentionMaxRecords: finished records beyond RetainMax are pruned
+// oldest-first; pruned ids answer 404 like never-existing ones.
+func TestRetentionMaxRecords(t *testing.T) {
+	clock := &fakeClock{now: time.Now()}
+	mk := newServerCfg(t, server.Config{Workers: 2, RetainMax: 2, Clock: clock.Now})
+	c := mk("")
+	var ids []string
+	for i := 0; i < 4; i++ {
+		job := c.submitAndWait(server.SubmitRequest{Workloads: []string{"gcd"}, Levels: []int{0}})
+		ids = append(ids, job.ID)
+		clock.Advance(time.Second) // distinct creation times
+	}
+	// A submission prunes before registering, so after the 4th submit at
+	// most (RetainMax finished + the new one) remain; the oldest must be
+	// gone once one more arrives.
+	c.submitAndWait(server.SubmitRequest{Workloads: []string{"gcd"}, Levels: []int{1}})
+	c.do("GET", "/v1/jobs/"+ids[0], nil, http.StatusNotFound, nil)
+	// The most recent finished records survive.
+	var last server.JobResponse
+	c.do("GET", "/v1/jobs/"+ids[3], nil, http.StatusOK, &last)
+	if last.Status != "done" {
+		t.Errorf("recent record lost: %+v", last)
+	}
+}
+
+// TestRetentionTTL: finished records older than RetainTTL are pruned on
+// the next submission or stats call.
+func TestRetentionTTL(t *testing.T) {
+	clock := &fakeClock{now: time.Now()}
+	mk := newServerCfg(t, server.Config{Workers: 2, RetainTTL: time.Hour, Clock: clock.Now})
+	c := mk("")
+	old := c.submitAndWait(server.SubmitRequest{Workloads: []string{"gcd"}, Levels: []int{0}})
+	clock.Advance(30 * time.Minute)
+	var alive server.JobResponse
+	c.do("GET", "/v1/jobs/"+old.ID, nil, http.StatusOK, &alive)
+
+	clock.Advance(time.Hour) // now 1.5h old
+	c.do("GET", "/v1/stats", nil, http.StatusOK, nil)
+	c.do("GET", "/v1/jobs/"+old.ID, nil, http.StatusNotFound, nil)
+}
+
+// submitSoCAndWait submits a SoC sweep and blocks until done.
+func (c *client) submitSoCAndWait(req server.SoCSubmitRequest) server.JobResponse {
+	c.t.Helper()
+	var sub server.SubmitResponse
+	c.do("POST", "/v1/soc-jobs", req, http.StatusAccepted, &sub)
+	deadline := time.Now().Add(time.Minute)
+	for {
+		var job server.JobResponse
+		c.do("GET", sub.URL+"?wait=1", nil, http.StatusOK, &job)
+		if job.Status == "done" {
+			return job
+		}
+		if time.Now().After(deadline) {
+			c.t.Fatalf("soc job %s did not finish", sub.ID)
+		}
+	}
+}
+
+// TestSoCJobsOverHTTP submits a multi-core sweep and checks every core's
+// output against the workload expectations.
+func TestSoCJobsOverHTTP(t *testing.T) {
+	_, mk := newServer(t, nil)
+	c := mk("soc-tenant")
+	job := c.submitSoCAndWait(server.SoCSubmitRequest{
+		Workloads:  []string{"mc-pingpong"},
+		CoreCounts: []int{2},
+		Quanta:     []int64{1, 16},
+		Level:      1,
+	})
+	if job.Kind != "soc" {
+		t.Fatalf("kind = %q, want soc", job.Kind)
+	}
+	if job.SoCStats == nil || job.SoCStats.Failed != 0 {
+		t.Fatalf("soc stats: %+v", job.SoCStats)
+	}
+	if len(job.SoCResults) != 2 {
+		t.Fatalf("got %d soc results, want 2", len(job.SoCResults))
+	}
+	mw, _ := workload.MCByName("mc-pingpong", 2)
+	for _, r := range job.SoCResults {
+		if len(r.PerCore) != 2 {
+			t.Fatalf("%s: per-core results: %+v", r.Config, r.PerCore)
+		}
+		for i, pc := range r.PerCore {
+			if err := workload.SameOutput(pc.Output, mw.Cores[i].Expected); err != nil {
+				t.Errorf("%s core %d: %v", r.Config, i, err)
+			}
+		}
+	}
+	// The quantum sweep shares translations: second job all hits.
+	if job.SoCStats.CacheMisses != 2 || job.SoCStats.CacheHits != 2 {
+		t.Errorf("cache traffic: %+v", job.SoCStats)
+	}
+}
+
+// TestSoCSubmitRejects covers the validation paths.
+func TestSoCSubmitRejects(t *testing.T) {
+	_, mk := newServer(t, nil)
+	c := mk("")
+	bad := []server.SoCSubmitRequest{
+		{},
+		{Workloads: []string{"nope"}, CoreCounts: []int{2}, Quanta: []int64{1}},
+		{Workloads: []string{"mc-fir"}, CoreCounts: []int{0}, Quanta: []int64{1}},
+		{Workloads: []string{"mc-fir"}, CoreCounts: []int{2}, Quanta: []int64{0}},
+		{Workloads: []string{"mc-fir"}, CoreCounts: []int{2}, Quanta: []int64{1}, Level: 9},
+		{Workloads: []string{"mc-fir"}, CoreCounts: []int{2}, Quanta: []int64{1}, Arbitrations: []string{"lifo"}},
+		{Workloads: []string{"mc-pingpong"}, CoreCounts: []int{1}, Quanta: []int64{1}}, // empty sweep
+	}
+	for _, req := range bad {
+		c.do("POST", "/v1/soc-jobs", req, http.StatusBadRequest, nil)
+	}
+}

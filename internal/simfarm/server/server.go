@@ -5,12 +5,14 @@ import (
 	"fmt"
 	"net/http"
 	"regexp"
+	"sort"
 	"sync"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/simfarm"
 	"repro/internal/simfarm/store"
+	"repro/internal/soc"
 	"repro/internal/workload"
 )
 
@@ -21,6 +23,16 @@ type Config struct {
 	// Store is the shared persistent translation-cache store; nil runs
 	// every tenant on a private in-memory cache.
 	Store *store.Store
+
+	// RetainTTL is the job-record retention time: finished records older
+	// than it are pruned (0 = keep forever). Running records are never
+	// pruned.
+	RetainTTL time.Duration
+	// RetainMax caps the number of finished records kept per tenant; the
+	// earliest-finished are pruned first (0 = unlimited).
+	RetainMax int
+	// Clock overrides the retention clock (tests); nil = time.Now.
+	Clock func() time.Time
 }
 
 // Server is the HTTP front-end of the simulation farm. Each tenant
@@ -36,19 +48,32 @@ type Server struct {
 	tenants map[string]*simfarm.Farm
 	jobs    map[string]*jobRecord
 	nextID  int
+	// submitted counts batches cumulatively — retention prunes records
+	// from jobs but must not shrink the reported submission counter.
+	submitted int
 }
 
-// jobRecord tracks one submitted batch. done is closed when results and
-// stats are populated; both are written exactly once, before the close.
+// jobRecord tracks one submitted batch (single-core or SoC). done is
+// closed when results and stats are populated; they are written exactly
+// once, before the close.
 type jobRecord struct {
 	id      string
 	tenant  string
 	created time.Time
-	specs   []JobSpec
+	kind    string // "sweep" or "soc"
+	jobs    int
+	// finished is when the batch completed; written once before done is
+	// closed (readers synchronize on the close). Retention ages finished
+	// records from this time, so a long-running batch is never prunable
+	// the moment it completes.
+	finished time.Time
 
 	done    chan struct{}
 	results []simfarm.Result
 	stats   simfarm.BatchStats
+
+	socResults []simfarm.SoCResult
+	socStats   simfarm.SoCBatchStats
 }
 
 // New builds a server.
@@ -61,9 +86,59 @@ func New(cfg Config) *Server {
 		jobs:    map[string]*jobRecord{},
 	}
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("POST /v1/soc-jobs", s.handleSoCSubmit)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	return s
+}
+
+// now returns the retention clock's time.
+func (s *Server) now() time.Time {
+	if s.cfg.Clock != nil {
+		return s.cfg.Clock()
+	}
+	return time.Now()
+}
+
+// prune applies the retention policy (caller holds s.mu): finished
+// records older than RetainTTL go, then the oldest finished records
+// beyond RetainMax. Running batches are always kept — their results are
+// still being produced and the submitter holds the id.
+func (s *Server) prune(now time.Time) {
+	finished := func(rec *jobRecord) bool {
+		select {
+		case <-rec.done:
+			return true
+		default:
+			return false
+		}
+	}
+	if s.cfg.RetainTTL > 0 {
+		for id, rec := range s.jobs {
+			if finished(rec) && now.Sub(rec.finished) > s.cfg.RetainTTL {
+				delete(s.jobs, id)
+			}
+		}
+	}
+	if s.cfg.RetainMax > 0 {
+		// The cap applies per tenant: one tenant's burst must not evict
+		// another tenant's fresh records (job visibility is tenant-scoped).
+		byTenant := map[string][]*jobRecord{}
+		for _, rec := range s.jobs {
+			if finished(rec) {
+				byTenant[rec.tenant] = append(byTenant[rec.tenant], rec)
+			}
+		}
+		for _, done := range byTenant {
+			if len(done) <= s.cfg.RetainMax {
+				continue
+			}
+			sort.Slice(done, func(i, j int) bool { return done[i].finished.Before(done[j].finished) })
+			for _, rec := range done[:len(done)-s.cfg.RetainMax] {
+				delete(s.jobs, rec.id)
+			}
+		}
+	}
 }
 
 // ServeHTTP implements http.Handler.
@@ -105,7 +180,8 @@ type JobSpec struct {
 	// Level is the translation detail level, 0..3.
 	Level int `json:"level"`
 	// Config optionally names a sweep configuration ("base",
-	// "icache-4k", "icache-64b-direct"); "" is the default march.
+	// "icache-4k", "icache-64b-direct", "icache-4way"); "" is the
+	// default march.
 	Config string `json:"config,omitempty"`
 }
 
@@ -127,16 +203,34 @@ type SubmitResponse struct {
 	URL    string `json:"url"`
 }
 
-// JobResponse is the GET /v1/jobs/{id} body. Results and Stats are
+// SoCSubmitRequest is the POST /v1/soc-jobs body: a multi-core sweep
+// over workloads × core counts × quanta × arbitration policies, every
+// core translated at Level (or run on the reference ISS with ISS set).
+type SoCSubmitRequest struct {
+	Workloads    []string `json:"workloads"`
+	CoreCounts   []int    `json:"core_counts"`
+	Quanta       []int64  `json:"quanta"`
+	Arbitrations []string `json:"arbitrations,omitempty"` // default ["rr"]
+	Level        int      `json:"level"`
+	ISS          bool     `json:"iss,omitempty"`
+}
+
+// JobResponse is the GET /v1/jobs/{id} body. Kind says which result set
+// applies; Results/Stats (sweep) or SoCResults/SoCStats (soc) are
 // present once Status is "done".
 type JobResponse struct {
-	ID      string              `json:"id"`
-	Tenant  string              `json:"tenant,omitempty"`
-	Status  string              `json:"status"`
-	Created time.Time           `json:"created"`
-	Jobs    int                 `json:"jobs"`
+	ID      string    `json:"id"`
+	Tenant  string    `json:"tenant,omitempty"`
+	Status  string    `json:"status"`
+	Kind    string    `json:"kind"`
+	Created time.Time `json:"created"`
+	Jobs    int       `json:"jobs"`
+
 	Results []simfarm.Result    `json:"results,omitempty"`
 	Stats   *simfarm.BatchStats `json:"stats,omitempty"`
+
+	SoCResults []simfarm.SoCResult    `json:"soc_results,omitempty"`
+	SoCStats   *simfarm.SoCBatchStats `json:"soc_stats,omitempty"`
 }
 
 // TenantStats is one tenant's cumulative farm view.
@@ -175,34 +269,113 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
 		return
 	}
-	specs, jobs, err := resolve(req)
+	jobs, err := resolve(req)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 
-	rec := &jobRecord{tenant: tenant, created: time.Now(), specs: specs, done: make(chan struct{})}
-	s.mu.Lock()
-	s.nextID++
-	rec.id = fmt.Sprintf("job-%d", s.nextID)
-	s.jobs[rec.id] = rec
-	s.mu.Unlock()
-
+	rec := s.register(tenant, "sweep", len(jobs))
 	farm := s.farm(tenant)
 	go func() {
 		results, stats := farm.Run(jobs)
 		rec.results, rec.stats = results, stats
+		rec.finished = s.now()
 		close(rec.done)
 	}()
 
 	writeJSON(w, http.StatusAccepted, SubmitResponse{ID: rec.id, Status: "running", Jobs: len(jobs), URL: "/v1/jobs/" + rec.id})
 }
 
+// register files a new job record under the retention policy.
+func (s *Server) register(tenant, kind string, jobs int) *jobRecord {
+	rec := &jobRecord{tenant: tenant, created: s.now(), kind: kind, jobs: jobs, done: make(chan struct{})}
+	s.mu.Lock()
+	s.prune(rec.created)
+	s.nextID++
+	s.submitted++
+	rec.id = fmt.Sprintf("job-%d", s.nextID)
+	s.jobs[rec.id] = rec
+	s.mu.Unlock()
+	return rec
+}
+
+// handleSoCSubmit accepts a multi-core SoC sweep.
+func (s *Server) handleSoCSubmit(w http.ResponseWriter, r *http.Request) {
+	tenant := r.Header.Get(TenantHeader)
+	if !tenantRE.MatchString(tenant) {
+		httpError(w, http.StatusBadRequest, "bad tenant %q: want [A-Za-z0-9._-]{0,64}", tenant)
+		return
+	}
+	var req SoCSubmitRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	jobs, err := resolveSoC(req)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	rec := s.register(tenant, "soc", len(jobs))
+	farm := s.farm(tenant)
+	go func() {
+		results, stats := farm.RunSoC(jobs)
+		rec.socResults, rec.socStats = results, stats
+		rec.finished = s.now()
+		close(rec.done)
+	}()
+
+	writeJSON(w, http.StatusAccepted, SubmitResponse{ID: rec.id, Status: "running", Jobs: len(jobs), URL: "/v1/jobs/" + rec.id})
+}
+
+// resolveSoC validates and expands a SoC sweep request.
+func resolveSoC(req SoCSubmitRequest) ([]simfarm.SoCJob, error) {
+	if len(req.Workloads) == 0 || len(req.CoreCounts) == 0 || len(req.Quanta) == 0 {
+		return nil, fmt.Errorf("need workloads, core_counts and quanta")
+	}
+	for _, n := range req.CoreCounts {
+		if n < 1 || n > 64 {
+			return nil, fmt.Errorf("bad core count %d: want 1..64", n)
+		}
+	}
+	for _, q := range req.Quanta {
+		if q < 1 || q > 1<<20 {
+			return nil, fmt.Errorf("bad quantum %d: want 1..%d", q, 1<<20)
+		}
+	}
+	if req.Level < int(core.Level0) || req.Level > int(core.Level3) {
+		return nil, fmt.Errorf("bad level %d: want 0..3", req.Level)
+	}
+	arbNames := req.Arbitrations
+	if len(arbNames) == 0 {
+		arbNames = []string{"rr"}
+	}
+	var arbs []soc.Arbitration
+	for _, n := range arbNames {
+		a, ok := soc.ArbitrationByName(n)
+		if !ok {
+			return nil, fmt.Errorf("bad arbitration %q: want rr or fixed", n)
+		}
+		arbs = append(arbs, a)
+	}
+	jobs, err := simfarm.SoCSweepJobs(req.Workloads, req.CoreCounts, req.Quanta, arbs,
+		core.Options{Level: core.Level(req.Level)}, req.ISS)
+	if err != nil {
+		return nil, err
+	}
+	if len(jobs) == 0 {
+		return nil, fmt.Errorf("empty sweep (are the workloads available at these core counts?)")
+	}
+	return jobs, nil
+}
+
 // resolve turns a submission into farm jobs, validating every name.
-func resolve(req SubmitRequest) ([]JobSpec, []simfarm.Job, error) {
+func resolve(req SubmitRequest) ([]simfarm.Job, error) {
 	specs := req.Jobs
 	if len(specs) > 0 && (len(req.Workloads) > 0 || len(req.Levels) > 0) {
-		return nil, nil, fmt.Errorf("give either jobs or workloads×levels, not both")
+		return nil, fmt.Errorf("give either jobs or workloads×levels, not both")
 	}
 	if len(specs) == 0 {
 		for _, wl := range req.Workloads {
@@ -212,7 +385,7 @@ func resolve(req SubmitRequest) ([]JobSpec, []simfarm.Job, error) {
 		}
 	}
 	if len(specs) == 0 {
-		return nil, nil, fmt.Errorf("empty batch")
+		return nil, fmt.Errorf("empty batch")
 	}
 	configs := map[string]simfarm.MarchConfig{"": {}}
 	for _, c := range simfarm.DefaultMarchConfigs() {
@@ -222,14 +395,14 @@ func resolve(req SubmitRequest) ([]JobSpec, []simfarm.Job, error) {
 	for _, sp := range specs {
 		wl, ok := workload.ByName(sp.Workload)
 		if !ok {
-			return nil, nil, fmt.Errorf("unknown workload %q", sp.Workload)
+			return nil, fmt.Errorf("unknown workload %q", sp.Workload)
 		}
 		if sp.Level < int(core.Level0) || sp.Level > int(core.Level3) {
-			return nil, nil, fmt.Errorf("bad level %d: want 0..3", sp.Level)
+			return nil, fmt.Errorf("bad level %d: want 0..3", sp.Level)
 		}
 		cfg, ok := configs[sp.Config]
 		if !ok {
-			return nil, nil, fmt.Errorf("unknown config %q", sp.Config)
+			return nil, fmt.Errorf("unknown config %q", sp.Config)
 		}
 		jobs = append(jobs, simfarm.Job{
 			Workload: wl,
@@ -237,7 +410,7 @@ func resolve(req SubmitRequest) ([]JobSpec, []simfarm.Job, error) {
 			Options:  core.Options{Level: core.Level(sp.Level), Desc: cfg.Desc},
 		})
 	}
-	return specs, jobs, nil
+	return jobs, nil
 }
 
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
@@ -263,13 +436,19 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 		case <-time.After(5 * time.Minute):
 		}
 	}
-	resp := JobResponse{ID: rec.id, Tenant: rec.tenant, Status: "running", Created: rec.created, Jobs: len(rec.specs)}
+	resp := JobResponse{ID: rec.id, Tenant: rec.tenant, Status: "running", Kind: rec.kind, Created: rec.created, Jobs: rec.jobs}
 	select {
 	case <-rec.done:
 		resp.Status = "done"
-		resp.Results = rec.results
-		stats := rec.stats
-		resp.Stats = &stats
+		if rec.kind == "soc" {
+			resp.SoCResults = rec.socResults
+			stats := rec.socStats
+			resp.SoCStats = &stats
+		} else {
+			resp.Results = rec.results
+			stats := rec.stats
+			resp.Stats = &stats
+		}
 	default:
 	}
 	writeJSON(w, http.StatusOK, resp)
@@ -285,9 +464,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.mu.Lock()
+	s.prune(s.now())
 	resp := StatsResponse{
 		UptimeSeconds: time.Since(s.start).Seconds(),
-		JobsSubmitted: len(s.jobs),
+		JobsSubmitted: s.submitted,
 		TenantCount:   len(s.tenants),
 		Tenants:       []TenantStats{},
 	}

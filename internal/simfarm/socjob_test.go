@@ -1,0 +1,124 @@
+package simfarm
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/soc"
+	"repro/internal/workload"
+)
+
+// TestRunSoCBatch runs a small multi-core sweep through the farm and
+// checks results, ordering and cache accounting.
+func TestRunSoCBatch(t *testing.T) {
+	f := New(Config{Workers: 4})
+	jobs, err := SoCSweepJobs(workload.MCNames(), []int{2}, []int64{1, 32},
+		[]soc.Arbitration{soc.RoundRobin}, core.Options{Level: core.Level2}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, stats := f.RunSoC(jobs)
+	if stats.Failed != 0 {
+		for _, r := range results {
+			if r.Err != nil {
+				t.Errorf("%s %s: %v", r.Name, r.Config, r.Err)
+			}
+		}
+		t.Fatalf("%d failed jobs", stats.Failed)
+	}
+	if len(results) != len(jobs) {
+		t.Fatalf("%d results for %d jobs", len(results), len(jobs))
+	}
+	for i, r := range results {
+		if r.Index != i || r.Name != jobs[i].Name || r.Config != jobs[i].Config {
+			t.Errorf("result %d out of order: %+v", i, r)
+		}
+		if r.CoreCount != 2 || len(r.PerCore) != 2 {
+			t.Errorf("%s %s: bad core counts: %+v", r.Name, r.Config, r)
+		}
+		if r.TotalCycles == 0 || r.BusTransactions == 0 {
+			t.Errorf("%s %s: empty aggregates: %+v", r.Name, r.Config, r)
+		}
+	}
+	// Each (workload, core index) translates once; the second quantum
+	// point reuses every translation. Sweeping the quantum must not
+	// retranslate anything.
+	if stats.CacheMisses*2 != stats.CacheHits+stats.CacheMisses {
+		t.Errorf("quantum sweep should hit the cache for its second half: %+v", stats)
+	}
+	if f.Stats().JobsRun != int64(len(jobs)) {
+		t.Errorf("farm JobsRun = %d, want %d", f.Stats().JobsRun, len(jobs))
+	}
+}
+
+// TestSoCHeterogeneousSharing checks the per-core cache keying: a
+// heterogeneous job (per-core levels) shares translations with earlier
+// jobs that used the same (program, options) pairs.
+func TestSoCHeterogeneousSharing(t *testing.T) {
+	f := New(Config{Workers: 2})
+	mw := workload.MCShardedFIR(2)
+	mk := func(l0, l1 core.Level) SoCJob {
+		return SoCJob{
+			Name:    mw.Name,
+			Quantum: 16,
+			Cores: []SoCCoreSpec{
+				{Workload: mw.Cores[0], Options: core.Options{Level: l0}},
+				{Workload: mw.Cores[1], Options: core.Options{Level: l1}},
+			},
+		}
+	}
+	// First batch translates (L1, L2); the heterogeneous second batch
+	// swaps per-core levels but needs no new translation... except the
+	// two programs differ per core, so swapping levels introduces two
+	// genuinely new (program, options) keys. The third batch repeats the
+	// second and must be all hits.
+	_, s1 := f.RunSoC([]SoCJob{mk(core.Level1, core.Level2)})
+	if s1.Failed != 0 || s1.CacheMisses != 2 {
+		t.Fatalf("batch1: %+v", s1)
+	}
+	_, s2 := f.RunSoC([]SoCJob{mk(core.Level2, core.Level1)})
+	if s2.Failed != 0 || s2.CacheMisses != 2 {
+		t.Fatalf("batch2: %+v", s2)
+	}
+	_, s3 := f.RunSoC([]SoCJob{mk(core.Level2, core.Level1)})
+	if s3.Failed != 0 || s3.CacheMisses != 0 || s3.CacheHits != 2 {
+		t.Fatalf("batch3 should be all cache hits: %+v", s3)
+	}
+}
+
+// TestSoCJobFailure checks that a functional mismatch is reported on the
+// result, not swallowed.
+func TestSoCJobFailure(t *testing.T) {
+	f := New(Config{Workers: 1})
+	mw := workload.MCContention(2)
+	bad := mw.Cores[1]
+	bad.Expected = []uint32{0xDEAD}
+	_, stats := f.RunSoC([]SoCJob{{
+		Name:    "bad",
+		Quantum: 8,
+		Cores: []SoCCoreSpec{
+			{Workload: mw.Cores[0], UseISS: true},
+			{Workload: bad, UseISS: true},
+		},
+	}})
+	if stats.Failed != 1 {
+		t.Fatalf("expected 1 failed job, got %+v", stats)
+	}
+}
+
+// TestSoCSweepJobsSkips checks pingpong is skipped at 1 core and unknown
+// names are rejected.
+func TestSoCSweepJobsSkips(t *testing.T) {
+	jobs, err := SoCSweepJobs([]string{"mc-pingpong"}, []int{1, 2}, []int64{1}, []soc.Arbitration{soc.RoundRobin}, core.Options{}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 1 || len(jobs[0].Cores) != 2 {
+		t.Fatalf("jobs = %+v", jobs)
+	}
+	if _, err := SoCSweepJobs([]string{"nope"}, []int{2}, []int64{1}, []soc.Arbitration{soc.RoundRobin}, core.Options{}, true); err == nil ||
+		!strings.Contains(err.Error(), "unknown") {
+		t.Fatalf("expected unknown-workload error, got %v", err)
+	}
+}

@@ -13,15 +13,15 @@ type MarchConfig struct {
 }
 
 // DefaultMarchConfigs returns the standard sweep configurations: the
-// paper's TC32 description plus two I-cache variants. Because the
-// translation-cache key omits I-cache geometry below Level3, a sweep
-// over these configs re-translates each (workload, level) pair only for
-// Level3 — levels 0–2 share one translated program across all three.
+// paper's TC32 description plus three I-cache variants, including a
+// high-associativity point (the probe generator handles up to 16 ways).
+// Because the translation-cache key omits I-cache geometry below Level3,
+// a sweep over these configs re-translates each (workload, level) pair
+// only for Level3 — levels 0–2 share one translated program across all
+// four.
 func DefaultMarchConfigs() []MarchConfig {
 	base := march.Default()
 
-	// The translator's cache-probe generator supports 1- and 2-way
-	// geometries, so the large variant scales sets, not associativity.
 	big := march.Default()
 	big.Name = "tc32-icache4k"
 	big.ICache = march.CacheGeom{Sets: 256, Ways: 2, LineBytes: 8, MissPenalty: 8}
@@ -30,10 +30,15 @@ func DefaultMarchConfigs() []MarchConfig {
 	tiny.Name = "tc32-icache64b"
 	tiny.ICache = march.CacheGeom{Sets: 8, Ways: 1, LineBytes: 8, MissPenalty: 8}
 
+	assoc := march.Default()
+	assoc.Name = "tc32-icache4w"
+	assoc.ICache = march.CacheGeom{Sets: 16, Ways: 4, LineBytes: 8, MissPenalty: 8}
+
 	return []MarchConfig{
 		{Name: "base", Desc: base},
 		{Name: "icache-4k", Desc: big},
 		{Name: "icache-64b-direct", Desc: tiny},
+		{Name: "icache-4way", Desc: assoc},
 	}
 }
 

@@ -1,0 +1,115 @@
+package soc
+
+import (
+	"fmt"
+
+	"repro/internal/socbus"
+)
+
+// Arbitration selects the bus-arbitration policy of the SoC: the order
+// cores are serviced within a quantum, which is the order same-cycle
+// contenders win the shared bus.
+type Arbitration int
+
+// Arbitration policies.
+const (
+	// RoundRobin rotates the starting core every quantum, so no core has
+	// standing priority over the bus.
+	RoundRobin Arbitration = iota
+	// FixedPriority always services cores in index order: core 0 wins
+	// every tie.
+	FixedPriority
+)
+
+// String names the policy.
+func (a Arbitration) String() string {
+	switch a {
+	case RoundRobin:
+		return "round-robin"
+	case FixedPriority:
+		return "fixed-priority"
+	}
+	return fmt.Sprintf("Arbitration(%d)", int(a))
+}
+
+// ArbitrationByName parses a policy name ("rr", "round-robin", "fixed",
+// "fixed-priority").
+func ArbitrationByName(s string) (Arbitration, bool) {
+	switch s {
+	case "rr", "round-robin":
+		return RoundRobin, true
+	case "fixed", "fixed-priority":
+		return FixedPriority, true
+	}
+	return 0, false
+}
+
+// Arbiter serializes shared-bus transactions and charges contention
+// wait-states. A transaction granted at cycle g occupies the bus until
+// g+BusyCycles; a request arriving earlier waits until the bus frees and
+// the wait is charged to the requesting core.
+type Arbiter struct {
+	// BusyCycles is the bus occupancy of one transaction.
+	BusyCycles int64
+
+	busyUntil int64
+	grants    []int64
+	waits     []int64
+}
+
+func newArbiter(cores int, busy int64) *Arbiter {
+	return &Arbiter{BusyCycles: busy, grants: make([]int64, cores), waits: make([]int64, cores)}
+}
+
+// acquire grants the bus to core for a transaction requested at cycle t
+// and returns the grant cycle (≥ t).
+func (a *Arbiter) acquire(core int, t int64) int64 {
+	grant := t
+	if a.busyUntil > t {
+		grant = a.busyUntil
+		a.waits[core] += grant - t
+	}
+	a.busyUntil = grant + a.BusyCycles
+	a.grants[core]++
+	return grant
+}
+
+// Grants returns the number of bus transactions core has performed.
+func (a *Arbiter) Grants(core int) int64 { return a.grants[core] }
+
+// Waits returns the total contention wait-state cycles charged to core.
+func (a *Arbiter) Waits(core int) int64 { return a.waits[core] }
+
+// busPort is one core's window onto the shared bus: it runs every access
+// through the arbiter, timestamps the transaction with the grant cycle,
+// and accumulates the wait-states for the core's timing model to drain
+// (platform.WaitReporter on the translated side, an explicit Stall on the
+// ISS side).
+type busPort struct {
+	core    int
+	arb     *Arbiter
+	bus     *socbus.Bus
+	pending int64
+}
+
+// BusRead32 implements iss.Bus.
+func (p *busPort) BusRead32(addr uint32, cycle int64) uint32 {
+	grant := p.arb.acquire(p.core, cycle)
+	p.pending += grant - cycle
+	return p.bus.BusRead32(addr, grant)
+}
+
+// BusWrite32 implements iss.Bus.
+func (p *busPort) BusWrite32(addr uint32, val uint32, cycle int64) {
+	grant := p.arb.acquire(p.core, cycle)
+	p.pending += grant - cycle
+	p.bus.BusWrite32(addr, val, grant)
+}
+
+// TakeWait implements platform.WaitReporter: it drains the wait-states
+// accumulated since the last call.
+func (p *busPort) TakeWait() int64 {
+	w := p.pending
+	p.pending = 0
+	return w
+}

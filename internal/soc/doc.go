@@ -1,0 +1,45 @@
+// Package soc simulates a multi-core SoC: N TC32 cores — each executing
+// its own program on the translated emulation platform
+// (internal/platform) or on the cycle-accurate reference ISS
+// (internal/iss), selectable per core — around one shared SoC bus
+// (internal/socbus) carrying the inter-core devices: shared memory, a
+// per-core mailbox/doorbell block, and a bank of atomic counters.
+//
+// # Quantum scheduling
+//
+// Every core owns a private memory and a private clock in the common
+// source-cycle domain (the ISS pipeline clock, or the translated
+// platform's generated-cycle count). The scheduler advances the cores
+// toward a global target in fixed quanta of Config.Quantum cycles: each
+// quantum, every non-halted core runs until its local clock reaches the
+// target. Quantum=1 degenerates to cycle-lockstep — the accuracy oracle —
+// while larger quanta amortize the scheduling overhead at the cost of
+// intra-quantum skew between cores, exactly the trade made by
+// quantum-based multi-core binary-translation simulators. Cores only
+// interact through bus transactions (timestamped in the shared cycle
+// domain), so on race-free workloads the functional results are
+// independent of the quantum; cycle counts of workloads that synchronize
+// by polling legitimately vary with it (a poll loop spins to the end of
+// its quantum before the producer runs).
+//
+// # Bus arbitration
+//
+// All cores share the bus through per-core ports feeding one arbiter. A
+// transaction occupies the bus for Config.BusBusyCycles; a port whose
+// transaction arrives while the bus is busy is granted at the earliest
+// free cycle and the difference is charged back to the requesting core as
+// wait-state cycles — pipeline stalls on an ISS core, generated cycles on
+// a translated core (platform.WaitReporter). The arbitration policy
+// decides the intra-quantum service order of the cores, which is exactly
+// the order same-cycle contenders win the bus: FixedPriority always runs
+// core 0 first, RoundRobin rotates the starting core every quantum.
+//
+// # Determinism
+//
+// The scheduler is strictly sequential: cores run one after another
+// within a quantum, in an order that depends only on (policy, quantum
+// index). No goroutines, no map iteration, no wall-clock input — a run is
+// bit-identical for any host GOMAXPROCS, which the package's tests
+// enforce together with quantum=1 vs quantum=k equivalence on race-free
+// workloads and translated-vs-ISS per-core differential runs.
+package soc

@@ -1,0 +1,345 @@
+package soc
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/elf32"
+	"repro/internal/iss"
+	"repro/internal/march"
+	"repro/internal/platform"
+	"repro/internal/socbus"
+)
+
+// CoreConfig configures one core of the SoC.
+type CoreConfig struct {
+	// Name labels the core in errors and results ("core0" if empty).
+	Name string
+	// ELF is the core's assembled program. It may be nil when Prog is
+	// given (a pre-translated program, e.g. from the farm's
+	// content-addressed translation cache).
+	ELF *elf32.File
+	// Prog is an optional pre-translated program; when nil and UseISS is
+	// false, ELF is translated under Options.
+	Prog *core.Program
+	// UseISS runs this core on the cycle-accurate reference ISS instead
+	// of the translated platform (per-core differential testing).
+	UseISS bool
+	// Options are the translation options of a translated core.
+	Options core.Options
+	// Desc is the ISS timing description; nil falls back to Options.Desc,
+	// then march.Default.
+	Desc *march.Desc
+}
+
+// Config configures a System.
+type Config struct {
+	Cores []CoreConfig
+	// Quantum is the scheduling quantum in source cycles (min 1; 1 =
+	// cycle lockstep, the accuracy oracle).
+	Quantum int64
+	// Arbitration is the bus-arbitration policy.
+	Arbitration Arbitration
+	// BusBusyCycles is the shared-bus occupancy of one transaction
+	// (default 1).
+	BusBusyCycles int64
+	// SharedWords sizes the shared memory window (default 1024 words).
+	SharedWords int
+	// CounterRegs sizes the atomic counter bank (default 16).
+	CounterRegs int
+	// MaxCycles aborts a run whose global target clock exceeds it — the
+	// deadlock guard for workloads whose peers never signal (default
+	// 50e6 cycles).
+	MaxCycles int64
+	// ExtraDevices attaches additional peripherals to the shared bus.
+	ExtraDevices []socbus.Device
+}
+
+// CoreKind names how a core executes.
+const (
+	KindTranslated = "translated"
+	KindISS        = "iss"
+)
+
+// coreState is one instantiated core.
+type coreState struct {
+	name string
+	kind string
+	port *busPort
+
+	// Exactly one of the two is non-nil.
+	iss  *iss.Sim
+	plat *platform.System
+}
+
+// System is an assembled multi-core SoC.
+type System struct {
+	cfg Config
+
+	// Bus is the shared SoC bus; Shared, Mail and Counters are the
+	// standard inter-core devices attached to it.
+	Bus      *socbus.Bus
+	Shared   *socbus.SharedRAM
+	Mail     *socbus.Mailbox
+	Counters *socbus.CounterBank
+	// Arb is the bus arbiter.
+	Arb *Arbiter
+
+	cores  []*coreState
+	order  []int
+	quanta int64
+}
+
+// New assembles a SoC from the configuration: builds the shared bus and
+// devices, instantiates every core (translating where needed), and wires
+// each core's bus port through the arbiter.
+func New(cfg Config) (*System, error) {
+	if len(cfg.Cores) == 0 {
+		return nil, fmt.Errorf("soc: no cores configured")
+	}
+	if cfg.Quantum <= 0 {
+		cfg.Quantum = 1
+	}
+	if cfg.BusBusyCycles <= 0 {
+		cfg.BusBusyCycles = 1
+	}
+	if cfg.SharedWords <= 0 {
+		cfg.SharedWords = 1024
+	}
+	if cfg.CounterRegs <= 0 {
+		cfg.CounterRegs = 16
+	}
+	if cfg.MaxCycles <= 0 {
+		cfg.MaxCycles = 50_000_000
+	}
+
+	s := &System{
+		cfg:      cfg,
+		Shared:   socbus.NewSharedRAM(cfg.SharedWords),
+		Mail:     socbus.NewMailbox(len(cfg.Cores)),
+		Counters: socbus.NewCounterBank(cfg.CounterRegs),
+		Arb:      newArbiter(len(cfg.Cores), cfg.BusBusyCycles),
+		order:    make([]int, len(cfg.Cores)),
+	}
+	devs := []socbus.Device{s.Shared, s.Mail, s.Counters, socbus.NewTimer()}
+	devs = append(devs, cfg.ExtraDevices...)
+	s.Bus = socbus.NewBus(devs...)
+
+	for i, cc := range cfg.Cores {
+		name := cc.Name
+		if name == "" {
+			name = fmt.Sprintf("core%d", i)
+		}
+		cs := &coreState{name: name, port: &busPort{core: i, arb: s.Arb, bus: s.Bus}}
+		if cc.UseISS {
+			if cc.ELF == nil {
+				return nil, fmt.Errorf("soc: %s: ISS core needs an ELF", name)
+			}
+			desc := cc.Desc
+			if desc == nil {
+				desc = cc.Options.Desc
+			}
+			sim, err := iss.New(cc.ELF, iss.Config{Desc: desc, CycleAccurate: true})
+			if err != nil {
+				return nil, fmt.Errorf("soc: %s: %w", name, err)
+			}
+			sim.AttachBus(cs.port)
+			cs.kind = KindISS
+			cs.iss = sim
+		} else {
+			prog := cc.Prog
+			if prog == nil {
+				if cc.ELF == nil {
+					return nil, fmt.Errorf("soc: %s: translated core needs an ELF or a Program", name)
+				}
+				p, err := core.Translate(cc.ELF, cc.Options)
+				if err != nil {
+					return nil, fmt.Errorf("soc: %s: %w", name, err)
+				}
+				prog = p
+			}
+			sys := platform.New(prog)
+			sys.Bus = cs.port
+			cs.kind = KindTranslated
+			cs.plat = sys
+		}
+		s.cores = append(s.cores, cs)
+	}
+	return s, nil
+}
+
+// Cores returns the number of cores.
+func (s *System) Cores() int { return len(s.cores) }
+
+// Quanta returns the number of scheduling quanta executed so far.
+func (s *System) Quanta() int64 { return s.quanta }
+
+// now returns the core's position on the shared source-cycle clock.
+func (c *coreState) now() int64 {
+	if c.iss != nil {
+		return c.iss.Cycles()
+	}
+	return c.plat.Now()
+}
+
+func (c *coreState) haltedCore() bool {
+	if c.iss != nil {
+		return c.iss.Arch.Halted
+	}
+	return c.plat.CPU.Halted()
+}
+
+// runUntil advances the core until its clock reaches limit or it halts,
+// draining bus wait-states into its timing model as it goes.
+func (c *coreState) runUntil(limit int64) error {
+	if c.iss != nil {
+		for !c.iss.Arch.Halted && c.iss.Cycles() < limit {
+			if err := c.iss.Step(); err != nil {
+				return err
+			}
+			if w := c.port.TakeWait(); w > 0 {
+				c.iss.Stall(w)
+			}
+		}
+		return nil
+	}
+	return c.plat.RunUntil(limit)
+}
+
+// output returns the core's debug-port writes.
+func (c *coreState) output() []uint32 {
+	if c.iss != nil {
+		return c.iss.Output()
+	}
+	return c.plat.Output
+}
+
+// scheduleOrder fills s.order with the core service order of quantum q.
+func (s *System) scheduleOrder(q int64) []int {
+	n := len(s.order)
+	start := 0
+	if s.cfg.Arbitration == RoundRobin {
+		start = int(q % int64(n))
+	}
+	for i := 0; i < n; i++ {
+		s.order[i] = (start + i) % n
+	}
+	return s.order
+}
+
+// Run executes the SoC until every core has halted. The scheduler is
+// strictly sequential (see the package comment on determinism): each
+// quantum it services the cores one after another in arbitration order,
+// advancing each to the quantum's target cycle.
+func (s *System) Run() error {
+	target := int64(0)
+	for q := int64(0); ; q++ {
+		running := false
+		for _, c := range s.cores {
+			if !c.haltedCore() {
+				running = true
+				break
+			}
+		}
+		if !running {
+			return nil
+		}
+		if target >= s.cfg.MaxCycles {
+			return fmt.Errorf("soc: cycle limit (%d) exceeded with cores still running (deadlock?)", s.cfg.MaxCycles)
+		}
+		target += s.cfg.Quantum
+		s.quanta++
+		for _, ci := range s.scheduleOrder(q) {
+			c := s.cores[ci]
+			if c.haltedCore() {
+				continue
+			}
+			if err := c.runUntil(target); err != nil {
+				return fmt.Errorf("soc: %s: %w", c.name, err)
+			}
+		}
+	}
+}
+
+// Output returns the debug-port output of core i.
+func (s *System) Output(i int) []uint32 { return s.cores[i].output() }
+
+// CoreResult is the measurement of one core after a run.
+type CoreResult struct {
+	Name string `json:"name"`
+	Kind string `json:"kind"` // "translated" or "iss"
+
+	// Instructions is the number of source instructions executed (ISS:
+	// retired; translated: attributed to executed cycle regions — 0 at
+	// Level0, which generates no cycles to attribute against).
+	Instructions int64 `json:"instructions"`
+	// Cycles is the core's final position on the emulated source-cycle
+	// clock.
+	Cycles int64 `json:"cycles"`
+	// CPI is Cycles per source instruction (the board-CPI analog; 0 when
+	// Instructions is 0).
+	CPI float64 `json:"cpi"`
+	// C6xCycles is the host-platform cycle count of a translated core (0
+	// for ISS cores).
+	C6xCycles int64 `json:"c6x_cycles,omitempty"`
+
+	// BusGrants and BusWaitCycles are the core's shared-bus traffic and
+	// the contention wait-states charged to it.
+	BusGrants     int64 `json:"bus_grants"`
+	BusWaitCycles int64 `json:"bus_wait_cycles"`
+
+	Output []uint32 `json:"output"`
+}
+
+// Stats summarizes a run.
+type Stats struct {
+	Quanta  int64 `json:"quanta"`
+	Quantum int64 `json:"quantum"`
+
+	Cores []CoreResult `json:"cores"`
+
+	// TotalInstructions and TotalCycles aggregate over all cores (the
+	// simulated work of the run); MakespanCycles is the slowest core's
+	// clock.
+	TotalInstructions int64 `json:"total_instructions"`
+	TotalCycles       int64 `json:"total_cycles"`
+	MakespanCycles    int64 `json:"makespan_cycles"`
+
+	BusTransactions int64 `json:"bus_transactions"`
+	BusWaitCycles   int64 `json:"bus_wait_cycles"`
+}
+
+// Results measures every core.
+func (s *System) Results() Stats {
+	st := Stats{Quanta: s.quanta, Quantum: s.cfg.Quantum}
+	for i, c := range s.cores {
+		r := CoreResult{
+			Name:          c.name,
+			Kind:          c.kind,
+			Cycles:        c.now(),
+			BusGrants:     s.Arb.Grants(i),
+			BusWaitCycles: s.Arb.Waits(i),
+			Output:        append([]uint32(nil), c.output()...),
+		}
+		if c.iss != nil {
+			is := c.iss.Stats()
+			r.Instructions = is.Retired
+		} else {
+			ps := c.plat.Stats()
+			r.Instructions = ps.SrcInstructions
+			r.C6xCycles = ps.C6xCycles
+		}
+		if r.Instructions > 0 {
+			r.CPI = float64(r.Cycles) / float64(r.Instructions)
+		}
+		st.Cores = append(st.Cores, r)
+		st.TotalInstructions += r.Instructions
+		st.TotalCycles += r.Cycles
+		if r.Cycles > st.MakespanCycles {
+			st.MakespanCycles = r.Cycles
+		}
+		st.BusTransactions += r.BusGrants
+		st.BusWaitCycles += r.BusWaitCycles
+	}
+	return st
+}

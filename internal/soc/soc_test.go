@@ -1,0 +1,229 @@
+package soc
+
+import (
+	"fmt"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/elf32"
+	"repro/internal/tc32asm"
+	"repro/internal/workload"
+)
+
+// assembleMulti assembles every core program of a multi-core workload.
+func assembleMulti(t *testing.T, mw workload.MultiWorkload) []*elf32.File {
+	t.Helper()
+	files := make([]*elf32.File, len(mw.Cores))
+	for i, w := range mw.Cores {
+		f, err := tc32asm.Assemble(w.Source)
+		if err != nil {
+			t.Fatalf("%s: assemble: %v", w.Name, err)
+		}
+		files[i] = f
+	}
+	return files
+}
+
+// buildConfig builds a Config with one core per program. kind selects
+// per-core execution: for core i, useISS[i%len(useISS)].
+func buildConfig(t *testing.T, mw workload.MultiWorkload, quantum int64, useISS []bool, opts core.Options) Config {
+	t.Helper()
+	files := assembleMulti(t, mw)
+	cfg := Config{Quantum: quantum}
+	for i, f := range files {
+		cfg.Cores = append(cfg.Cores, CoreConfig{
+			Name:    mw.Cores[i].Name,
+			ELF:     f,
+			UseISS:  useISS[i%len(useISS)],
+			Options: opts,
+		})
+	}
+	return cfg
+}
+
+// verifyOutputs checks every core's debug output against its expectation.
+func verifyOutputs(t *testing.T, mw workload.MultiWorkload, s *System, label string) {
+	t.Helper()
+	for i, w := range mw.Cores {
+		if err := workload.SameOutput(s.Output(i), w.Expected); err != nil {
+			t.Errorf("%s %s: %v", label, w.Name, err)
+		}
+	}
+}
+
+// runMulti assembles, runs and verifies one configuration.
+func runMulti(t *testing.T, mw workload.MultiWorkload, quantum int64, useISS []bool, opts core.Options) *System {
+	t.Helper()
+	s, err := New(buildConfig(t, mw, quantum, useISS, opts))
+	if err != nil {
+		t.Fatalf("%s: New: %v", mw.Name, err)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatalf("%s: Run: %v", mw.Name, err)
+	}
+	verifyOutputs(t, mw, s, fmt.Sprintf("q=%d", quantum))
+	return s
+}
+
+// TestISSLockstep runs every multi-core workload on reference-ISS cores
+// in cycle lockstep (quantum 1), the accuracy oracle.
+func TestISSLockstep(t *testing.T) {
+	for _, cores := range []int{1, 2, 4} {
+		for _, mw := range workload.MCAll(cores) {
+			t.Run(fmt.Sprintf("%s-%d", mw.Name, cores), func(t *testing.T) {
+				runMulti(t, mw, 1, []bool{true}, core.Options{})
+			})
+		}
+	}
+}
+
+// TestTranslatedCores runs every multi-core workload on translated cores
+// at every detail level.
+func TestTranslatedCores(t *testing.T) {
+	for _, level := range []core.Level{core.Level0, core.Level1, core.Level2, core.Level3} {
+		for _, mw := range workload.MCAll(4) {
+			t.Run(fmt.Sprintf("%s-L%d", mw.Name, int(level)), func(t *testing.T) {
+				runMulti(t, mw, 16, []bool{false}, core.Options{Level: level})
+			})
+		}
+	}
+}
+
+// TestMixedDifferential runs translated and ISS cores side by side in
+// one SoC — the per-core differential mode — and expects every core to
+// produce its reference output.
+func TestMixedDifferential(t *testing.T) {
+	for _, mw := range workload.MCAll(4) {
+		t.Run(mw.Name, func(t *testing.T) {
+			runMulti(t, mw, 8, []bool{false, true}, core.Options{Level: core.Level2})
+		})
+	}
+}
+
+// TestQuantumEquivalence checks that on the (race-free) multi-core
+// workloads the functional results are bit-identical between cycle
+// lockstep and large quanta.
+func TestQuantumEquivalence(t *testing.T) {
+	for _, mw := range workload.MCAll(4) {
+		t.Run(mw.Name, func(t *testing.T) {
+			a := runMulti(t, mw, 1, []bool{true}, core.Options{})
+			b := runMulti(t, mw, 64, []bool{true}, core.Options{})
+			for i := range mw.Cores {
+				if !reflect.DeepEqual(a.Output(i), b.Output(i)) {
+					t.Errorf("core %d: output differs between quantum 1 and 64: %v vs %v",
+						i, a.Output(i), b.Output(i))
+				}
+			}
+		})
+	}
+}
+
+// TestDeterminism runs the same SoC twice under different GOMAXPROCS and
+// requires bit-identical results — outputs, cycle counts, bus statistics,
+// everything in Stats.
+func TestDeterminism(t *testing.T) {
+	mw := workload.MCAll(4)[0]
+	run := func(procs int) Stats {
+		old := runtime.GOMAXPROCS(procs)
+		defer runtime.GOMAXPROCS(old)
+		s := runMulti(t, mw, 16, []bool{false, true}, core.Options{Level: core.Level3})
+		return s.Results()
+	}
+	one := run(1)
+	many := run(4)
+	if !reflect.DeepEqual(one, many) {
+		t.Errorf("results differ across GOMAXPROCS:\n1: %+v\n4: %+v", one, many)
+	}
+}
+
+// TestArbitrationPolicies runs the contention stressor under both
+// policies: functional results must agree (the adds are atomic), and the
+// contended run must actually charge wait-states.
+func TestArbitrationPolicies(t *testing.T) {
+	mw := workload.MCContention(4)
+	for _, pol := range []Arbitration{RoundRobin, FixedPriority} {
+		cfg := buildConfig(t, mw, 4, []bool{true}, core.Options{})
+		cfg.Arbitration = pol
+		cfg.BusBusyCycles = 2
+		s, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Run(); err != nil {
+			t.Fatalf("%v: %v", pol, err)
+		}
+		verifyOutputs(t, mw, s, pol.String())
+		st := s.Results()
+		if st.BusWaitCycles == 0 {
+			t.Errorf("%v: contention stressor charged no bus wait-states", pol)
+		}
+		if got := s.Counters.Value(1); got != uint32(4*32) {
+			t.Errorf("%v: contended counter = %d, want %d", pol, got, 4*32)
+		}
+	}
+}
+
+// TestArbiterAccounting checks the arbiter's grant/wait math exactly.
+func TestArbiterAccounting(t *testing.T) {
+	a := newArbiter(3, 2)
+	cases := []struct {
+		core      int
+		t         int64
+		wantGrant int64
+	}{
+		{0, 10, 10}, // bus idle
+		{1, 10, 12}, // same-cycle contender waits one occupancy
+		{2, 11, 14}, // arrives while busy with core 1's transaction
+		{0, 20, 20}, // bus long idle again
+		{0, 21, 22}, // back-to-back from the same core also waits
+	}
+	for i, c := range cases {
+		if got := a.acquire(c.core, c.t); got != c.wantGrant {
+			t.Errorf("acquire %d: grant %d, want %d", i, got, c.wantGrant)
+		}
+	}
+	if w := a.Waits(1); w != 2 {
+		t.Errorf("core 1 waits = %d, want 2", w)
+	}
+	if w := a.Waits(2); w != 3 {
+		t.Errorf("core 2 waits = %d, want 3", w)
+	}
+	if w := a.Waits(0); w != 1 {
+		t.Errorf("core 0 waits = %d, want 1", w)
+	}
+	if g := a.Grants(0); g != 3 {
+		t.Errorf("core 0 grants = %d, want 3", g)
+	}
+}
+
+// TestPerCoreCPI checks that per-core CPI is populated for both core
+// kinds and that the translated core's attributed instruction count
+// matches the ISS retirement count of the same program running in the
+// same SoC roles (sharded sieve shards 1 and 2 run identical code paths
+// only on their own shards, so compare each core against itself across
+// two runs).
+func TestPerCoreCPI(t *testing.T) {
+	mw := workload.MCShardedSieve(2)
+	trans := runMulti(t, mw, 16, []bool{false}, core.Options{Level: core.Level2}).Results()
+	ref := runMulti(t, mw, 16, []bool{true}, core.Options{}).Results()
+	for i := range mw.Cores {
+		tc, rc := trans.Cores[i], ref.Cores[i]
+		if tc.Instructions == 0 || tc.CPI == 0 {
+			t.Errorf("core %d: translated CPI not populated: %+v", i, tc)
+		}
+		if rc.Instructions == 0 || rc.CPI == 0 {
+			t.Errorf("core %d: ISS CPI not populated: %+v", i, rc)
+		}
+		// The attributed source instructions of the translated core and
+		// the ISS retirement count differ only by the spin-loop
+		// iterations each timing model sees; both must be in the same
+		// ballpark (within 25%) for the sieve shards.
+		lo, hi := rc.Instructions*3/4, rc.Instructions*5/4
+		if tc.Instructions < lo || tc.Instructions > hi {
+			t.Errorf("core %d: attributed instructions %d far from ISS %d",
+				i, tc.Instructions, rc.Instructions)
+		}
+	}
+}

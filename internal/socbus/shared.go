@@ -1,0 +1,164 @@
+package socbus
+
+// This file holds the inter-core devices of the multi-core SoC
+// (internal/soc): a shared memory window, a per-core mailbox block with
+// doorbell semantics, and a bank of atomic counters. Like every other
+// peripheral they are lazily-advancing state machines keyed on absolute
+// cycle timestamps, so the same devices serve the reference simulator and
+// the translated platform unchanged. Cross-core ordering comes entirely
+// from the bus: the SoC's arbiter serializes transactions, and a device
+// observes them in arbitration order.
+
+// Default addresses of the multi-core devices. They live in the I/O
+// window (iss.IOBase + 16 MB) next to the timer and UART.
+const (
+	// SharedRAMBase is the default shared-memory window address.
+	SharedRAMBase = 0xF010_0000
+	// MailboxBase is the default mailbox block address.
+	MailboxBase = 0xF011_0000
+	// CounterBase is the default atomic-counter bank address.
+	CounterBase = 0xF012_0000
+)
+
+// SharedRAM is a word-addressable shared memory window: the simplest
+// inter-core communication channel (result reduction, work queues). Reads
+// and writes complete in arbitration order; there is no cache, so every
+// access is globally visible at its bus timestamp.
+type SharedRAM struct {
+	Base  uint32
+	mem   []uint32
+	Reads int64
+	// Writes counts stores; LastWrite is the cycle of the most recent one.
+	Writes    int64
+	LastWrite int64
+}
+
+// NewSharedRAM returns a words-long shared memory at the default address.
+func NewSharedRAM(words int) *SharedRAM {
+	return &SharedRAM{Base: SharedRAMBase, mem: make([]uint32, words)}
+}
+
+// Range implements Device.
+func (s *SharedRAM) Range() (uint32, uint32) { return s.Base, uint32(len(s.mem) * 4) }
+
+// Read implements Device.
+func (s *SharedRAM) Read(off uint32, cycle int64) uint32 {
+	s.Reads++
+	return s.mem[off/4]
+}
+
+// Write implements Device.
+func (s *SharedRAM) Write(off uint32, val uint32, cycle int64) {
+	s.Writes++
+	s.LastWrite = cycle
+	s.mem[off/4] = val
+}
+
+// Word inspects a shared word (tests and reporting).
+func (s *SharedRAM) Word(i int) uint32 { return s.mem[i] }
+
+// Mailbox is a block of single-entry mailboxes with doorbell semantics,
+// one slot per core. Writing a slot's DATA register posts a word and sets
+// the full flag (a post while full is an overrun and the word is lost);
+// reading STATUS polls the doorbell; reading DATA pops the word and
+// clears the flag (an empty pop returns 0 and clears nothing). The
+// producer/consumer handshake this enforces is the mailbox ping-pong
+// workload's whole point.
+//
+// Slot i occupies 16 bytes at offset i*16:
+//
+//	+0 DATA   (W: post, sets full; R: pop, clears full)
+//	+4 STATUS (R: bit0 = full)
+type Mailbox struct {
+	Base  uint32
+	slots []mslot
+
+	Posts    int64
+	Pops     int64
+	Overruns int64
+}
+
+type mslot struct {
+	val  uint32
+	full bool
+}
+
+// SlotStride is the byte stride between mailbox slots.
+const SlotStride = 16
+
+// NewMailbox returns an n-slot mailbox block at the default address.
+func NewMailbox(n int) *Mailbox {
+	return &Mailbox{Base: MailboxBase, slots: make([]mslot, n)}
+}
+
+// Range implements Device.
+func (m *Mailbox) Range() (uint32, uint32) { return m.Base, uint32(len(m.slots) * SlotStride) }
+
+// Read implements Device.
+func (m *Mailbox) Read(off uint32, cycle int64) uint32 {
+	s := &m.slots[off/SlotStride]
+	switch off % SlotStride {
+	case 0:
+		if !s.full {
+			return 0
+		}
+		s.full = false
+		m.Pops++
+		return s.val
+	case 4:
+		if s.full {
+			return 1
+		}
+		return 0
+	}
+	return 0
+}
+
+// Write implements Device.
+func (m *Mailbox) Write(off uint32, val uint32, cycle int64) {
+	if off%SlotStride != 0 {
+		return
+	}
+	s := &m.slots[off/SlotStride]
+	if s.full {
+		m.Overruns++
+		return
+	}
+	s.val = val
+	s.full = true
+	m.Posts++
+}
+
+// Full reports whether slot i holds an unread word.
+func (m *Mailbox) Full(i int) bool { return m.slots[i].full }
+
+// CounterBank is a bank of atomic add counters: writing register i adds
+// the written value (two's complement, so it can subtract), reading
+// returns the current value. Because the bus serializes transactions, the
+// read-modify-write is atomic without any core-side primitive — TC32 has
+// none — which makes the bank the SoC's barrier and contention primitive.
+type CounterBank struct {
+	Base     uint32
+	counters []uint32
+	Adds     int64
+}
+
+// NewCounterBank returns an n-counter bank at the default address.
+func NewCounterBank(n int) *CounterBank {
+	return &CounterBank{Base: CounterBase, counters: make([]uint32, n)}
+}
+
+// Range implements Device.
+func (c *CounterBank) Range() (uint32, uint32) { return c.Base, uint32(len(c.counters) * 4) }
+
+// Read implements Device.
+func (c *CounterBank) Read(off uint32, cycle int64) uint32 { return c.counters[off/4] }
+
+// Write implements Device.
+func (c *CounterBank) Write(off uint32, val uint32, cycle int64) {
+	c.Adds++
+	c.counters[off/4] += val
+}
+
+// Value returns counter i (tests and reporting).
+func (c *CounterBank) Value(i int) uint32 { return c.counters[i] }

@@ -1,0 +1,429 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/socbus"
+)
+
+// This file holds the multi-core workloads of the SoC simulator
+// (internal/soc): per-core TC32 programs that cooperate through the
+// shared bus devices — shared memory, the mailbox block and the atomic
+// counter bank. Each core's program carries its own expected debug-port
+// output, computed by an independent Go reference of the whole
+// multi-core algorithm, so every core is functionally verified on its
+// own port.
+//
+// All four workloads are race-free by construction: cross-core values
+// flow only through barrier- or doorbell-ordered accesses, so the
+// functional results are independent of the scheduling quantum and of
+// the bus-arbitration policy. That property is what the SoC simulator's
+// quantum-equivalence tests (and the cabt-soc CI smoke) rely on.
+
+// MultiWorkload is one multi-core benchmark: one program (plus expected
+// output) per core.
+type MultiWorkload struct {
+	Name        string
+	Description string
+	Cores       []Workload
+}
+
+// Fixed problem sizes of the multi-core workloads (small enough for
+// quantum=1 lockstep runs in tests, large enough to exercise the bus).
+const (
+	mcSieveN        = 600 // sieve range, sharded across cores
+	mcFIRSamples    = 48  // per-core FIR samples
+	mcFIRTaps       = 8
+	mcPingPongRound = 8  // full ring round trips
+	mcContentionK   = 32 // stores per core to the contended counter
+)
+
+// mcPrologue extends the common prologue with the inter-core device
+// base registers: a12 shared memory, a13 mailbox block, a14 counters.
+func mcPrologue() string {
+	return prologue + fmt.Sprintf(`	la	a12, %#x	; shared RAM
+	la	a13, %#x	; mailboxes
+	la	a14, %#x	; atomic counters
+`, uint32(socbus.SharedRAMBase), uint32(socbus.MailboxBase), uint32(socbus.CounterBase))
+}
+
+// barrierArrive emits the barrier-arrival sequence: counter[0] += 1.
+// (Counter writes add atomically; the bus serializes them.)
+const barrierArrive = `	movi	d0, 1
+	st.w	d0, 0(a14)
+`
+
+// reduceOnCore0 emits core 0's reduction tail: wait until counter[0]
+// reaches n (every core arrived), then sum shared[0..n) and emit the
+// total.
+func reduceOnCore0(n int) string {
+	src := fmt.Sprintf(`	li	d1, %d		; expected arrivals
+barr:	ld.w	d0, 0(a14)
+	jne	d0, d1, barr
+	movi	d2, 0
+`, n)
+	for k := 0; k < n; k++ {
+		src += fmt.Sprintf("\tld.w\td0, %d(a12)\n\tadd\td2, d2, d0\n", 4*k)
+	}
+	src += emit(2)
+	return src
+}
+
+// MCShardedSieve is the sharded sieve of Eratosthenes: every core sieves
+// the full range privately but counts the primes of its own shard, emits
+// the partial count, publishes it in shared memory, and arrives at the
+// barrier; core 0 then reduces the shards to the total prime count.
+func MCShardedSieve(cores int) MultiWorkload {
+	mw := MultiWorkload{
+		Name:        "mc-sieve",
+		Description: fmt.Sprintf("sharded sieve of %d across %d cores, reduction through shared memory", mcSieveN, cores),
+	}
+	total := 0
+	counts := make([]int, cores)
+	for c := 0; c < cores; c++ {
+		lo, hi := mcShard(c, cores, 2, mcSieveN)
+		counts[c] = mcPrimesInRange(mcSieveN, lo, hi)
+		total += counts[c]
+	}
+	for c := 0; c < cores; c++ {
+		lo, hi := mcShard(c, cores, 2, mcSieveN)
+		src := mcPrologue()
+		src += fmt.Sprintf(`	la	a2, flags
+	li	d1, %d		; N
+	li	d8, %d		; shard lo
+	li	d9, %d		; shard hi
+	movi	d0, 0
+	mov	d2, d1
+	lea	a3, 0(a2)
+clear:	st.b	d0, 0(a3)
+	addi.a	a3, a3, 1
+	addi	d2, d2, -1
+	jnz	d2, clear
+	movi	d3, 2		; i
+	movi	d7, 0		; shard prime count
+outer:	mov.a	a4, d3
+	add.a	a4, a2, a4
+	ld.bu	d5, 0(a4)
+	jnz	d5, next	; composite
+	jlt	d3, d8, mark	; prime below the shard: mark only
+	jge	d3, d9, mark	; prime above the shard: mark only
+	addi	d7, d7, 1
+mark:	mul	d4, d3, d3	; j = i*i
+	jge	d4, d1, next
+	movi	d6, 1
+inner:	mov.a	a5, d4
+	add.a	a5, a2, a5
+	st.b	d6, 0(a5)
+	add	d4, d4, d3
+	jlt	d4, d1, inner
+next:	addi	d3, d3, 1
+	jlt	d3, d1, outer
+`, mcSieveN, lo, hi)
+		src += emit(7)                            // own shard count
+		src += fmt.Sprintf("\tst.w\td7, %d(a12)\n", 4*c) // publish shard
+		src += barrierArrive
+		expected := []uint32{uint32(counts[c])}
+		if c == 0 {
+			src += reduceOnCore0(cores)
+			expected = append(expected, uint32(total))
+		}
+		src += "\thalt\n\t.bss\nflags:\t.space\t" + fmt.Sprint(mcSieveN) + "\n"
+		mw.Cores = append(mw.Cores, Workload{
+			Name:        fmt.Sprintf("mc-sieve.c%d", c),
+			Description: fmt.Sprintf("sieve shard [%d,%d) of %d", lo, hi, mcSieveN),
+			Source:      src,
+			Expected:    expected,
+		})
+	}
+	return mw
+}
+
+// mcShard splits [lo, hi) into even contiguous shards.
+func mcShard(c, cores, lo, hi int) (int, int) {
+	span := hi - lo
+	a := lo + c*span/cores
+	b := lo + (c+1)*span/cores
+	return a, b
+}
+
+// mcPrimesInRange counts primes in [lo, hi) below n.
+func mcPrimesInRange(n, lo, hi int) int {
+	flags := make([]bool, n)
+	count := 0
+	for i := 2; i < n; i++ {
+		if flags[i] {
+			continue
+		}
+		if i >= lo && i < hi {
+			count++
+		}
+		for j := i * i; j < n; j += i {
+			flags[j] = true
+		}
+	}
+	return count
+}
+
+// MCShardedFIR is the sharded FIR filter: every core filters its own
+// (per-core pseudo-random) sample block against the common tap set,
+// emits the checksum of its outputs, publishes it, and core 0 reduces
+// the checksums.
+func MCShardedFIR(cores int) MultiWorkload {
+	mw := MultiWorkload{
+		Name:        "mc-fir",
+		Description: fmt.Sprintf("%d-tap FIR over %d samples per core, checksum reduction", mcFIRTaps, mcFIRSamples),
+	}
+	taps := make([]int32, mcFIRTaps)
+	tl := lcg(7)
+	for i := range taps {
+		taps[i] = tl.sample(16)
+	}
+	// One sample block per core, used for both the reference checksum and
+	// the emitted data table — they must never diverge.
+	samples := make([][]int32, cores)
+	var sums []uint32
+	var total uint32
+	for c := 0; c < cores; c++ {
+		xs := make([]int32, mcFIRSamples)
+		xl := lcg(101 + 13*c)
+		for i := range xs {
+			xs[i] = xl.sample(128)
+		}
+		samples[c] = xs
+		sums = append(sums, mcFIRChecksum(xs, taps))
+		total += sums[c]
+	}
+	for c := 0; c < cores; c++ {
+		xs := samples[c]
+		src := mcPrologue()
+		src += fmt.Sprintf(`	la	a2, xs
+	la	a3, hs
+	li	d1, %d		; samples
+	li	d8, %d		; taps
+	movi	d0, 0
+	movi	d2, 0		; i
+	movi	d7, 0		; checksum
+iloop:	movi	d3, 0		; acc
+	movi	d4, 0		; k
+kloop:	sub	d5, d2, d4	; idx = i - k
+	jlt	d5, d0, knext	; x[idx<0] = 0
+	shli	d6, d5, 2
+	mov.a	a4, d6
+	add.a	a4, a2, a4
+	ld.w	d6, 0(a4)	; x[idx]
+	shli	d5, d4, 2
+	mov.a	a5, d5
+	add.a	a5, a3, a5
+	ld.w	d5, 0(a5)	; h[k]
+	mul	d6, d6, d5
+	add	d3, d3, d6
+knext:	addi	d4, d4, 1
+	jlt	d4, d8, kloop
+	add	d7, d7, d3	; checksum += y[i]
+	addi	d2, d2, 1
+	jlt	d2, d1, iloop
+`, mcFIRSamples, mcFIRTaps)
+		src += emit(7)
+		src += fmt.Sprintf("\tst.w\td7, %d(a12)\n", 4*c)
+		src += barrierArrive
+		expected := []uint32{sums[c]}
+		if c == 0 {
+			src += reduceOnCore0(cores)
+			expected = append(expected, total)
+		}
+		src += "\thalt\n\t.data\n"
+		src += wordTable("xs", xs)
+		src += wordTable("hs", taps)
+		mw.Cores = append(mw.Cores, Workload{
+			Name:        fmt.Sprintf("mc-fir.c%d", c),
+			Description: "FIR shard",
+			Source:      src,
+			Expected:    expected,
+		})
+	}
+	return mw
+}
+
+// mcFIRChecksum is the Go reference of one core's FIR shard.
+func mcFIRChecksum(xs, hs []int32) uint32 {
+	var sum uint32
+	for i := range xs {
+		var acc int32
+		for k := range hs {
+			idx := i - k
+			if idx < 0 {
+				continue
+			}
+			acc += mul32(xs[idx], hs[k])
+		}
+		sum += uint32(acc)
+	}
+	return sum
+}
+
+// MCPingPong passes an incrementing token around the core ring through
+// the mailboxes: core 0 seeds the token, every core polls its own
+// doorbell, pops, increments and posts to the next core; after a fixed
+// number of ring round trips each core emits the last token value it
+// saw. Requires at least 2 cores.
+func MCPingPong(cores int) MultiWorkload {
+	mw := MultiWorkload{
+		Name:        "mc-pingpong",
+		Description: fmt.Sprintf("mailbox token ring, %d round trips across %d cores", mcPingPongRound, cores),
+	}
+	r := mcPingPongRound
+	for c := 0; c < cores; c++ {
+		next := (c + 1) % cores
+		mySlot := c * socbus.SlotStride
+		nextSlot := next * socbus.SlotStride
+		src := mcPrologue()
+		if c == 0 {
+			// Seed the token, then receive R times, forwarding all but
+			// the last.
+			src += fmt.Sprintf(`	movi	d0, 1
+	st.w	d0, %d(a13)	; seed token to core %d
+	li	d6, %d		; rounds
+	movi	d5, 0
+recv:	ld.w	d0, %d(a13)	; poll own doorbell
+	jz	d0, recv
+	ld.w	d1, %d(a13)	; pop token
+	addi	d5, d5, 1
+	jge	d5, d6, done	; last round: keep it
+	addi	d0, d1, 1
+	st.w	d0, %d(a13)	; forward
+	j	recv
+done:
+`, nextSlot, next, r, mySlot+4, mySlot, nextSlot)
+		} else {
+			src += fmt.Sprintf(`	li	d6, %d		; rounds
+	movi	d5, 0
+recv:	ld.w	d0, %d(a13)	; poll own doorbell
+	jz	d0, recv
+	ld.w	d1, %d(a13)	; pop token
+	addi	d0, d1, 1
+	st.w	d0, %d(a13)	; forward
+	addi	d5, d5, 1
+	jlt	d5, d6, recv
+`, r, mySlot+4, mySlot, nextSlot)
+		}
+		src += emit(1)
+		src += "\thalt\n"
+		// Token values: the seed is 1 and every hop increments, so core
+		// c (c>0) receives (round-1)*cores + c in the given round, and
+		// core 0 receives round*cores.
+		last := uint32(r * cores)
+		if c > 0 {
+			last = uint32((r-1)*cores + c)
+		}
+		mw.Cores = append(mw.Cores, Workload{
+			Name:        fmt.Sprintf("mc-pingpong.c%d", c),
+			Description: "mailbox ring node",
+			Source:      src,
+			Expected:    []uint32{last},
+		})
+	}
+	return mw
+}
+
+// MCContention is the bus-contention stressor: every core hammers the
+// same atomic counter with back-to-back adds (guaranteeing arbitration
+// wait-states), emits its core id, and arrives at the barrier; core 0
+// then emits the counter total, which the atomic adds make exact no
+// matter how the stores interleave.
+func MCContention(cores int) MultiWorkload {
+	mw := MultiWorkload{
+		Name:        "mc-contention",
+		Description: fmt.Sprintf("%d cores × %d atomic adds to one counter", cores, mcContentionK),
+	}
+	for c := 0; c < cores; c++ {
+		src := mcPrologue()
+		src += fmt.Sprintf(`	movi	d0, 1
+	li	d1, %d		; adds
+	movi	d2, 0
+loop:	st.w	d0, 4(a14)	; counter[1] += 1 (contended)
+	addi	d2, d2, 1
+	jlt	d2, d1, loop
+	li	d3, %d		; core id
+	st.w	d3, 0(a15)
+`, mcContentionK, c)
+		src += barrierArrive
+		expected := []uint32{uint32(c)}
+		if c == 0 {
+			src += fmt.Sprintf(`	li	d1, %d
+barr:	ld.w	d0, 0(a14)
+	jne	d0, d1, barr
+	ld.w	d2, 4(a14)	; contended total
+`, cores)
+			src += emit(2)
+			expected = append(expected, uint32(cores*mcContentionK))
+		}
+		src += "\thalt\n"
+		mw.Cores = append(mw.Cores, Workload{
+			Name:        fmt.Sprintf("mc-contention.c%d", c),
+			Description: "contention stressor node",
+			Source:      src,
+			Expected:    expected,
+		})
+	}
+	return mw
+}
+
+// mcCatalog is the registry of multi-core workloads: name, minimum core
+// count, and generator. Name validity and availability checks consult
+// it without instantiating anything (generating a MultiWorkload runs
+// the Go references and renders every core's assembly).
+var mcCatalog = []struct {
+	name     string
+	minCores int
+	gen      func(cores int) MultiWorkload
+}{
+	{"mc-sieve", 1, MCShardedSieve},
+	{"mc-fir", 1, MCShardedFIR},
+	{"mc-pingpong", 2, MCPingPong},
+	{"mc-contention", 1, MCContention},
+}
+
+// MCAll returns every multi-core workload instantiated for the given
+// core count (workloads whose minimum core count exceeds it are
+// omitted, e.g. mc-pingpong below 2).
+func MCAll(cores int) []MultiWorkload {
+	var ws []MultiWorkload
+	for _, e := range mcCatalog {
+		if cores >= e.minCores {
+			ws = append(ws, e.gen(cores))
+		}
+	}
+	return ws
+}
+
+// MCKnown reports whether name is a registered multi-core workload and,
+// if so, whether it is available at the given core count. It never
+// instantiates the workload.
+func MCKnown(name string, cores int) (known, available bool) {
+	for _, e := range mcCatalog {
+		if e.name == name {
+			return true, cores >= e.minCores
+		}
+	}
+	return false, false
+}
+
+// MCByName instantiates the named multi-core workload for the given core
+// count.
+func MCByName(name string, cores int) (MultiWorkload, bool) {
+	for _, e := range mcCatalog {
+		if e.name == name && cores >= e.minCores {
+			return e.gen(cores), true
+		}
+	}
+	return MultiWorkload{}, false
+}
+
+// MCNames returns the registered multi-core workload names.
+func MCNames() []string {
+	var names []string
+	for _, e := range mcCatalog {
+		names = append(names, e.name)
+	}
+	return names
+}

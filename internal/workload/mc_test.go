@@ -1,0 +1,89 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/tc32asm"
+)
+
+// TestMCAssemble checks that every generated multi-core program
+// assembles for a spread of core counts.
+func TestMCAssemble(t *testing.T) {
+	for _, cores := range []int{1, 2, 3, 4, 8} {
+		for _, mw := range MCAll(cores) {
+			if len(mw.Cores) != cores {
+				t.Errorf("%s(%d): %d core programs", mw.Name, cores, len(mw.Cores))
+			}
+			for _, w := range mw.Cores {
+				if _, err := tc32asm.Assemble(w.Source); err != nil {
+					t.Errorf("%s: %v", w.Name, err)
+				}
+				if len(w.Expected) == 0 {
+					t.Errorf("%s: no expected output", w.Name)
+				}
+			}
+		}
+	}
+}
+
+// TestMCShardReduction checks the sharding invariants of the Go
+// references: the shard counts of the sharded sieve sum to the
+// single-core sieve result, and the FIR checksums are shard-independent
+// of the core count only in total when shards don't overlap (they are
+// per-core inputs, so just check core0's reduction expectation is the
+// sum of the shard expectations).
+func TestMCShardReduction(t *testing.T) {
+	for _, cores := range []int{1, 2, 4, 5} {
+		mw := MCShardedSieve(cores)
+		var sum uint32
+		for _, w := range mw.Cores {
+			sum += w.Expected[0]
+		}
+		if want := uint32(sieveRef(mcSieveN)); sum != want {
+			t.Errorf("sieve(%d cores): shard sum %d, want %d", cores, sum, want)
+		}
+		if got := mw.Cores[0].Expected[1]; got != sum {
+			t.Errorf("sieve(%d cores): core0 reduction %d, want %d", cores, got, sum)
+		}
+
+		fir := MCShardedFIR(cores)
+		var fsum uint32
+		for _, w := range fir.Cores {
+			fsum += w.Expected[0]
+		}
+		if got := fir.Cores[0].Expected[1]; got != fsum {
+			t.Errorf("fir(%d cores): core0 reduction %d, want %d", cores, got, fsum)
+		}
+	}
+}
+
+// TestMCByName exercises the registry.
+func TestMCByName(t *testing.T) {
+	for _, name := range MCNames() {
+		if _, ok := MCByName(name, 2); !ok {
+			t.Errorf("MCByName(%q, 2) missing", name)
+		}
+	}
+	if _, ok := MCByName("nope", 2); ok {
+		t.Error("MCByName(nope) found")
+	}
+	if _, ok := MCByName("mc-pingpong", 1); ok {
+		t.Error("mc-pingpong should need 2 cores")
+	}
+	if known, available := MCKnown("mc-pingpong", 1); !known || available {
+		t.Errorf("MCKnown(mc-pingpong, 1) = %v, %v; want known, unavailable", known, available)
+	}
+	if known, _ := MCKnown("nope", 2); known {
+		t.Error("MCKnown(nope) known")
+	}
+	// The catalog and the instantiated set must agree.
+	all := MCAll(4)
+	if len(all) != len(MCNames()) {
+		t.Errorf("MCAll(4) has %d workloads, catalog %d", len(all), len(MCNames()))
+	}
+	for i, w := range all {
+		if w.Name != MCNames()[i] {
+			t.Errorf("MCAll order diverges from catalog: %s vs %s", w.Name, MCNames()[i])
+		}
+	}
+}

@@ -29,6 +29,13 @@
 // reuses every program translated before it. cabt-serve additionally
 // namespaces the store per tenant. See README.md and
 // docs/architecture.md.
+//
+// Multi-core SoC simulation lives in internal/soc: N cores (translated,
+// or the reference ISS per core) advance in a configurable cycle
+// quantum around a shared arbitrated bus with inter-core devices. The
+// farm runs such jobs through simfarm.RunSoC, cmd/cabt-soc sweeps core
+// count × quantum × arbitration, and cabt-serve accepts them at
+// POST /v1/soc-jobs.
 package repro
 
 import (

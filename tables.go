@@ -19,17 +19,22 @@ type Figure5Row struct {
 	MIPS      map[Level]float64
 }
 
-// Figure5 regenerates the paper's Figure 5 over the six benchmarks.
+// Figure5 regenerates the paper's Figure 5 over the six benchmarks. Like
+// the tables it runs as one batch on the shared simulation farm and
+// aggregates the sweep per workload, so repeated figure regeneration
+// reuses the content-addressed translation cache.
 func Figure5() ([]Figure5Row, error) {
+	jobs := simfarm.SweepJobs(SixWorkloads(), AllLevels(), nil)
+	results, _ := sharedFarm.Run(jobs)
+	aggs, err := simfarm.AggregateByWorkload(results)
+	if err != nil {
+		return nil, err
+	}
 	var rows []Figure5Row
-	for _, w := range SixWorkloads() {
-		m, err := Measure(w, AllLevels()...)
-		if err != nil {
-			return nil, err
-		}
-		row := Figure5Row{Name: w.Name, BoardMIPS: m.BoardMIPS, MIPS: map[Level]float64{}}
-		for l, lr := range m.Levels {
-			row.MIPS[l] = lr.MIPS
+	for _, a := range aggs {
+		row := Figure5Row{Name: a.Name, BoardMIPS: a.Board.BoardMIPS, MIPS: map[Level]float64{}}
+		for l, r := range a.ByLevel {
+			row.MIPS[l] = r.MIPS
 		}
 		rows = append(rows, row)
 	}
@@ -90,24 +95,26 @@ type Figure6Row struct {
 	Deviation   map[Level]float64 // percent vs board
 }
 
-// Figure6 regenerates the paper's Figure 6 over the six benchmarks.
+// Figure6 regenerates the paper's Figure 6 over the six benchmarks,
+// through the shared farm like Figure5.
 func Figure6() ([]Figure6Row, error) {
+	jobs := simfarm.SweepJobs(SixWorkloads(), []Level{Level1, Level2, Level3}, nil)
+	results, _ := sharedFarm.Run(jobs)
+	aggs, err := simfarm.AggregateByWorkload(results)
+	if err != nil {
+		return nil, err
+	}
 	var rows []Figure6Row
-	levels := []Level{Level1, Level2, Level3}
-	for _, w := range SixWorkloads() {
-		m, err := Measure(w, levels...)
-		if err != nil {
-			return nil, err
-		}
+	for _, a := range aggs {
 		row := Figure6Row{
-			Name:        w.Name,
-			BoardCycles: m.BoardCycles,
+			Name:        a.Name,
+			BoardCycles: a.Board.BoardCycles,
 			Cycles:      map[Level]int64{},
 			Deviation:   map[Level]float64{},
 		}
-		for l, lr := range m.Levels {
-			row.Cycles[l] = lr.GeneratedCycles
-			row.Deviation[l] = lr.DeviationPct
+		for l, r := range a.ByLevel {
+			row.Cycles[l] = r.GeneratedCycles
+			row.Deviation[l] = r.DeviationPct
 		}
 		rows = append(rows, row)
 	}
