@@ -244,6 +244,30 @@ func BenchmarkTable2(b *testing.B) {
 	}
 }
 
+// BenchmarkEngines measures translated-program host throughput of the
+// two C6x execution engines — the packet interpreter (the oracle) and
+// the threaded-code compiled engine (the default) — on one hot
+// workload. The simcycles/s metric is the headline the compiled engine
+// moves; allocs/op shows the interpreter's per-packet allocations gone.
+func BenchmarkEngines(b *testing.B) {
+	prog := cachedProg(b, "sieve", Level2)
+	for _, eng := range []platform.Engine{platform.EngineInterp, platform.EngineCompiled} {
+		eng := eng
+		b.Run(eng.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			var st platform.Stats
+			for i := 0; i < b.N; i++ {
+				sys := platform.NewWithEngine(prog, eng)
+				if err := sys.Run(); err != nil {
+					b.Fatal(err)
+				}
+				st = sys.Stats()
+			}
+			b.ReportMetric(float64(st.C6xCycles)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Msimcycles/s")
+		})
+	}
+}
+
 // BenchmarkISSBaselines measures host-side simulation speed of the three
 // ISS implementation styles of the paper's Section 2 (interpretation,
 // dynamic/block compilation) plus the RT-level proxy.

@@ -4,9 +4,13 @@
 // C6x execution cycles (the platform's real time at 200 MHz) and the
 // generated source cycles (the emulated core's time).
 //
+// The program executes on the compiled host-execution engine by
+// default; -interp selects the packet interpreter (the equivalence
+// oracle), which is bit-identical but slower.
+//
 // Usage:
 //
-//	c6xrun [-uart] prog.c6x
+//	c6xrun [-uart] [-interp] prog.c6x
 package main
 
 import (
@@ -15,6 +19,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/cliutil"
 	"repro/internal/core"
 	"repro/internal/platform"
 	"repro/internal/socbus"
@@ -22,6 +27,7 @@ import (
 
 func main() {
 	uart := flag.Bool("uart", false, "attach the SoC-bus UART and timer")
+	interp := flag.Bool("interp", false, "run on the packet interpreter instead of the compiled engine")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: c6xrun prog.c6x")
@@ -37,7 +43,7 @@ func main() {
 	}
 	r.Close()
 
-	sys := platform.New(&prog)
+	sys := platform.NewWithEngine(&prog, cliutil.Engine(*interp))
 	var u *socbus.UART
 	if *uart {
 		u = socbus.NewUART(16)
@@ -48,6 +54,7 @@ func main() {
 	}
 	st := sys.Stats()
 	fmt.Printf("level:            %s\n", prog.Level)
+	fmt.Printf("engine:           %s\n", sys.Engine())
 	fmt.Printf("c6x cycles:       %d (%.3f ms at 200 MHz)\n", st.C6xCycles, 1e3*float64(st.C6xCycles)/platform.C6xClockHz)
 	fmt.Printf("generated cycles: %d (emulated core time %.3f ms at 48 MHz)\n",
 		st.GeneratedCycles, 1e3*float64(st.GeneratedCycles)/48e6)

@@ -3,10 +3,16 @@
 // Results are printed next to the published values where the paper gives
 // numbers; see EXPERIMENTS.md for the recorded comparison.
 //
+// -perf-json writes the machine-readable perf trajectory (per-benchmark
+// ns/op, allocs/op, simulated-cycles/wall-second, and the Table-1
+// compiled-vs-interpreted engine speedup); CI records it as
+// BENCH_PR4.json so future changes can be diffed against it.
+//
 // Usage:
 //
 //	cabt-bench -all
 //	cabt-bench -fig5 -table1 -fig6 -table2 -ablation
+//	cabt-bench -perf-json BENCH_PR4.json [-perf-time 1s]
 package main
 
 import (
@@ -31,13 +37,18 @@ func main() {
 	fig6 := flag.Bool("fig6", false, "Figure 6: comparison of cycle accuracy")
 	table2 := flag.Bool("table2", false, "Table 2: software runtime comparison")
 	ablation := flag.Bool("ablation", false, "ablation studies")
+	perfJSON := flag.String("perf-json", "", "write the machine-readable perf trajectory to this file ('-' = stdout)")
+	perfTime := flag.Duration("perf-time", time.Second, "target measuring time per perf-trajectory benchmark")
 	flag.Parse()
 	if *all {
 		*fig5, *table1, *fig6, *table2, *ablation = true, true, true, true, true
 	}
-	if !*fig5 && !*table1 && !*fig6 && !*table2 && !*ablation {
+	if !*fig5 && !*table1 && !*fig6 && !*table2 && !*ablation && *perfJSON == "" {
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *perfJSON != "" {
+		check(writePerfJSON(*perfJSON, *perfTime))
 	}
 	if *fig5 {
 		rows, err := repro.Figure5()
@@ -87,6 +98,31 @@ func runAblations() {
 		}
 		two, one := run(false), run(true)
 		fmt.Printf("%-10s %16d %16d %7.1f%%\n", w.Name, two, one, 100*float64(two-one)/float64(two))
+	}
+	fmt.Println()
+
+	fmt.Println("Ablation E — C6x host-execution engine: packet interpreter vs threaded code")
+	fmt.Printf("%-10s %18s %18s %12s\n", "program", "interp (Mcyc/s)", "compiled", "speedup")
+	for _, name := range []string{"sieve", "ellip"} {
+		w, _ := workload.ByName(name)
+		f, err := tc32asm.Assemble(w.Source)
+		check(err)
+		prog, err := core.Translate(f, core.Options{Level: core.Level2})
+		check(err)
+		run := func(engine platform.Engine) float64 {
+			var best float64
+			for i := 0; i < 3; i++ {
+				sys := platform.NewWithEngine(prog, engine)
+				t0 := time.Now()
+				check(sys.Run())
+				if r := float64(sys.Stats().C6xCycles) / time.Since(t0).Seconds() / 1e6; r > best {
+					best = r
+				}
+			}
+			return best
+		}
+		im, cm := run(platform.EngineInterp), run(platform.EngineCompiled)
+		fmt.Printf("%-10s %18.1f %18.1f %11.2fx\n", w.Name, im, cm, cm/im)
 	}
 	fmt.Println()
 

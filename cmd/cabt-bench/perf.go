@@ -1,0 +1,209 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro"
+	"repro/internal/core"
+	"repro/internal/platform"
+	"repro/internal/simfarm"
+	"repro/internal/soc"
+	"repro/internal/tc32asm"
+	"repro/internal/workload"
+)
+
+// The perf trajectory: -perf-json measures a fixed benchmark set and
+// writes a machine-readable report (BENCH_PR4.json in CI) so future
+// changes can be compared against recorded numbers — per-benchmark
+// ns/op, allocs/op, and simulated-cycles-per-wall-second, the headline
+// metric of the compiled host-execution engine.
+
+// perfEntry is one measured benchmark.
+type perfEntry struct {
+	Name               string  `json:"name"`
+	Iters              int     `json:"iters"`
+	NsPerOp            float64 `json:"ns_per_op"`
+	AllocsPerOp        float64 `json:"allocs_per_op"`
+	SimCyclesPerOp     int64   `json:"sim_cycles_per_op,omitempty"`
+	SimCyclesPerSecond float64 `json:"sim_cycles_per_second,omitempty"`
+}
+
+// perfReport is the whole trajectory document.
+type perfReport struct {
+	Schema      int    `json:"schema"`
+	GeneratedAt string `json:"generated_at"`
+	GoVersion   string `json:"go_version"`
+	GOOS        string `json:"goos"`
+	GOARCH      string `json:"goarch"`
+	NumCPU      int    `json:"num_cpu"`
+	// Table1SpeedupCompiledVsInterp is the headline: total wall time of
+	// the interpreted Table-1 matrix divided by the compiled one.
+	Table1SpeedupCompiledVsInterp float64     `json:"table1_speedup_compiled_vs_interp"`
+	Benchmarks                    []perfEntry `json:"benchmarks"`
+}
+
+// measure runs op repeatedly for at least target, returning timing and
+// allocation rates. op returns the simulated C6x cycles of one
+// iteration (0 when the quantity is not meaningful).
+func measure(name string, target time.Duration, op func() int64) perfEntry {
+	op() // warm caches (assembly, translation, compilation)
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	var iters int
+	var sim int64
+	t0 := time.Now()
+	for time.Since(t0) < target || iters == 0 {
+		sim += op()
+		iters++
+	}
+	elapsed := time.Since(t0)
+	runtime.ReadMemStats(&m1)
+	e := perfEntry{
+		Name:        name,
+		Iters:       iters,
+		NsPerOp:     float64(elapsed.Nanoseconds()) / float64(iters),
+		AllocsPerOp: float64(m1.Mallocs-m0.Mallocs) / float64(iters),
+	}
+	if sim > 0 {
+		e.SimCyclesPerOp = sim / int64(iters)
+		e.SimCyclesPerSecond = float64(sim) / elapsed.Seconds()
+	}
+	return e
+}
+
+// table1Programs assembles and translates the six Table-1 workloads at
+// one detail level.
+func table1Programs(level core.Level) ([]*core.Program, error) {
+	var progs []*core.Program
+	for _, w := range workload.Six() {
+		f, err := tc32asm.Assemble(w.Source)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", w.Name, err)
+		}
+		p, err := core.Translate(f, core.Options{Level: level})
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", w.Name, err)
+		}
+		progs = append(progs, p)
+	}
+	return progs, nil
+}
+
+// runMatrix executes a translated program set once on the given engine
+// and returns the total simulated C6x cycles.
+func runMatrix(progs []*core.Program, engine platform.Engine) (int64, error) {
+	var cycles int64
+	for _, p := range progs {
+		sys := platform.NewWithEngine(p, engine)
+		if err := sys.Run(); err != nil {
+			return 0, err
+		}
+		cycles += sys.Stats().C6xCycles
+	}
+	return cycles, nil
+}
+
+// writePerfJSON measures the trajectory and writes it to path.
+func writePerfJSON(path string, target time.Duration) error {
+	report := perfReport{
+		Schema:      1,
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		NumCPU:      runtime.NumCPU(),
+	}
+	add := func(e perfEntry) {
+		report.Benchmarks = append(report.Benchmarks, e)
+		fmt.Fprintf(os.Stderr, "  %-28s %12.0f ns/op %12.0f allocs/op %14.1f Msimcycles/s\n",
+			e.Name, e.NsPerOp, e.AllocsPerOp, e.SimCyclesPerSecond/1e6)
+	}
+	fmt.Fprintf(os.Stderr, "cabt-bench: measuring perf trajectory (%v per benchmark)\n", target)
+
+	// Table-1 matrix (six workloads) per level, on both engines.
+	var interpNs, compiledNs float64
+	for _, level := range repro.AllLevels() {
+		progs, err := table1Programs(level)
+		if err != nil {
+			return err
+		}
+		for _, engine := range []platform.Engine{platform.EngineInterp, platform.EngineCompiled} {
+			engine := engine
+			e := measure(fmt.Sprintf("table1/L%d/%s", int(level), engine), target, func() int64 {
+				c, err := runMatrix(progs, engine)
+				if err != nil {
+					panic(err)
+				}
+				return c
+			})
+			add(e)
+			if engine == platform.EngineInterp {
+				interpNs += e.NsPerOp
+			} else {
+				compiledNs += e.NsPerOp
+			}
+		}
+	}
+	if compiledNs > 0 {
+		report.Table1SpeedupCompiledVsInterp = interpNs / compiledNs
+	}
+
+	// Translation throughput (the offline step).
+	sieve, _ := workload.ByName("sieve")
+	sieveELF, err := tc32asm.Assemble(sieve.Source)
+	if err != nil {
+		return err
+	}
+	add(measure("translate/sieve-L3", target, func() int64 {
+		if _, err := core.Translate(sieveELF, core.Options{Level: core.Level3}); err != nil {
+			panic(err)
+		}
+		return 0
+	}))
+
+	// Farm batch throughput on the full sweep matrix (warm caches).
+	farm := simfarm.New(simfarm.Config{})
+	jobs := simfarm.SweepJobs(workload.Six(), repro.AllLevels(), simfarm.DefaultMarchConfigs())
+	add(measure("farm-sweep", target, func() int64 {
+		results, bs := farm.Run(jobs)
+		if bs.Failed > 0 {
+			panic(fmt.Sprintf("%d farm jobs failed: %v", bs.Failed, results[0].Error))
+		}
+		return bs.TotalC6xCycles
+	}))
+
+	// Multi-core SoC throughput.
+	socJobs, err := simfarm.SoCSweepJobs([]string{"mc-pingpong"}, []int{4}, []int64{64},
+		[]soc.Arbitration{soc.RoundRobin}, core.Options{Level: core.Level2}, false)
+	if err != nil {
+		return err
+	}
+	add(measure("soc/mc-pingpong-4c-q64", target, func() int64 {
+		results, bs := farm.RunSoC(socJobs)
+		if bs.Failed > 0 {
+			panic(fmt.Sprintf("%d SoC jobs failed: %v", bs.Failed, results[0].Error))
+		}
+		return bs.TotalCycles
+	}))
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "cabt-bench: wrote %s (Table-1 compiled-engine speedup %.2fx)\n",
+		path, report.Table1SpeedupCompiledVsInterp)
+	return nil
+}

@@ -18,6 +18,7 @@
 //	cabt-farm -cache-dir ~/.cache/cabt   # persistent translation cache
 //	cabt-farm -table1 -table2     # the paper's tables, via the farm
 //	cabt-farm -progress           # stream per-job lines as they finish
+//	cabt-farm -interp             # interpreter engine (equivalence oracle)
 package main
 
 import (
@@ -31,9 +32,9 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/cliutil"
 	"repro/internal/core"
 	"repro/internal/simfarm"
-	"repro/internal/simfarm/store"
 	"repro/internal/workload"
 )
 
@@ -47,6 +48,7 @@ func main() {
 	table2 := flag.Bool("table2", false, "also print the paper's Table 2 (produced through the farm)")
 	cacheDir := flag.String("cache-dir", "", "persistent translation-cache store directory (empty = in-memory only)")
 	cacheBudget := flag.Int64("cache-budget", 0, "store size budget in bytes, LRU-evicted (0 = unbounded)")
+	interp := flag.Bool("interp", false, "run translated programs on the packet interpreter instead of the compiled engine")
 	flag.Parse()
 
 	levels, err := parseLevels(*levelsFlag)
@@ -59,14 +61,14 @@ func main() {
 	// so -table1/-table2 (which run on repro's shared farm) reuse the
 	// sweep's translations and vice versa. With it, back the sweep by the
 	// persistent store so translations survive the process.
+	diskCache, closeStore, err := cliutil.OpenTranslationCache(*cacheDir, *cacheBudget)
+	check(err)
+	defer closeStore()
 	cache := repro.Farm().Cache()
-	if *cacheDir != "" {
-		st, err := store.Open(*cacheDir, store.Options{MaxBytes: *cacheBudget})
-		check(err)
-		defer st.Close()
-		cache = simfarm.NewPersistentTranslationCache(st)
+	if diskCache != nil {
+		cache = diskCache
 	}
-	farm := simfarm.New(simfarm.Config{Workers: *workers, Cache: cache})
+	farm := simfarm.New(simfarm.Config{Workers: *workers, Cache: cache, Engine: cliutil.Engine(*interp)})
 	jobs := simfarm.SweepJobs(ws, levels, configs)
 	fmt.Fprintf(os.Stderr, "cabt-farm: %d jobs (%d workloads × %d levels × %d configs) on %d workers\n",
 		len(jobs), len(ws), len(levels), len(configs), farm.Workers())

@@ -6,11 +6,17 @@
 // cabt-farm runs share translations; tenants (X-Cabt-Tenant header) get
 // isolated cache namespaces within it. Finished job records are pruned
 // by the retention policy (-retain-ttl, -retain-max), so the service can
-// run indefinitely with bounded memory.
+// run indefinitely with bounded memory. The store itself is garbage
+// collected by a background sweeper (-gc-interval, -gc-max-age) and on
+// demand via the admin endpoints (GET /v1/admin/store inspects it,
+// POST /v1/admin/gc?max-age=24h sweeps it). The admin endpoints touch
+// the store shared by every tenant, so they stay disabled unless
+// -admin-token is set and the request presents it in X-Cabt-Admin-Token.
 //
 // Usage:
 //
-//	cabt-serve -addr :8080 -cache-dir /var/cache/cabt -retain-ttl 24h
+//	cabt-serve -addr :8080 -cache-dir /var/cache/cabt -retain-ttl 24h \
+//	           -gc-interval 1h -admin-token "$TOKEN"
 //	curl -s -X POST localhost:8080/v1/jobs \
 //	     -d '{"workloads":["gcd","sieve"],"levels":[1,3]}'
 //	curl -s -X POST localhost:8080/v1/soc-jobs \
@@ -41,9 +47,12 @@ func main() {
 	workers := flag.Int("workers", 0, "per-tenant worker pool size (0 = GOMAXPROCS)")
 	retainTTL := flag.Duration("retain-ttl", 24*time.Hour, "prune finished job records older than this (0 = keep forever)")
 	retainMax := flag.Int("retain-max", 10000, "keep at most this many finished job records per tenant (0 = unlimited)")
+	gcInterval := flag.Duration("gc-interval", 0, "background store-GC sweep interval (0 = on-demand only, via POST /v1/admin/gc)")
+	gcMaxAge := flag.Duration("gc-max-age", 0, "evict store objects not used within this window on each sweep (0 = budget-only GC)")
+	adminToken := flag.String("admin-token", "", "enable /v1/admin endpoints for requests presenting this X-Cabt-Admin-Token (empty = disabled)")
 	flag.Parse()
 
-	cfg := server.Config{Workers: *workers, RetainTTL: *retainTTL, RetainMax: *retainMax}
+	cfg := server.Config{Workers: *workers, AdminToken: *adminToken, RetainTTL: *retainTTL, RetainMax: *retainMax}
 	if *cacheDir != "" {
 		st, err := store.Open(*cacheDir, store.Options{MaxBytes: *cacheBudget})
 		if err != nil {
@@ -52,6 +61,11 @@ func main() {
 		defer st.Close()
 		cfg.Store = st
 		fmt.Fprintf(os.Stderr, "cabt-serve: translation store %s (%d objects)\n", st.Dir(), st.Stats().Objects)
+		if *gcInterval > 0 {
+			stop := st.StartSweeper(*gcInterval, *gcMaxAge)
+			defer stop()
+			fmt.Fprintf(os.Stderr, "cabt-serve: store GC every %v (max-age %v)\n", *gcInterval, *gcMaxAge)
+		}
 	}
 
 	srv := &http.Server{Addr: *addr, Handler: server.New(cfg)}

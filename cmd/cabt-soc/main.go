@@ -11,6 +11,8 @@
 //	cabt-soc -workloads mc-pingpong -cores 4 -quanta 1,64 -arb rr,fixed
 //	cabt-soc -level 3 -workers 8 -json -      # full JSON report on stdout
 //	cabt-soc -iss                             # reference-ISS cores (oracle)
+//	cabt-soc -interp                          # interpreter engine (oracle)
+//	cabt-soc -cache-dir ~/.cache/cabt         # persistent translation store
 //	cabt-soc -det                             # suppress host-timing output
 //	                                            (bit-identical across runs)
 package main
@@ -23,6 +25,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/cliutil"
 	"repro/internal/core"
 	"repro/internal/simfarm"
 	"repro/internal/soc"
@@ -39,6 +42,9 @@ func main() {
 	useISS := flag.Bool("iss", false, "run every core on the reference ISS instead of the translated platform")
 	jsonOut := flag.String("json", "", "write the JSON report to this file ('-' = stdout)")
 	det := flag.Bool("det", false, "deterministic output: omit host wall-time figures (CI smoke)")
+	interp := flag.Bool("interp", false, "run translated cores on the packet interpreter instead of the compiled engine")
+	cacheDir := flag.String("cache-dir", "", "persistent translation-cache store directory (empty = in-memory only)")
+	cacheBudget := flag.Int64("cache-budget", 0, "store size budget in bytes, LRU-evicted (0 = unbounded)")
 	flag.Parse()
 
 	names, err := parseNames(*workloadsFlag)
@@ -60,12 +66,23 @@ func main() {
 		check(fmt.Errorf("empty sweep"))
 	}
 
-	farm := simfarm.New(simfarm.Config{Workers: *workers})
+	// Like cabt-farm, -cache-dir backs the translation cache with the
+	// persistent content-addressed store, so SoC sweeps share every
+	// translation with previous runs (and with cabt-farm / cabt-serve
+	// processes pointed at the same directory).
+	cache, closeStore, err := cliutil.OpenTranslationCache(*cacheDir, *cacheBudget)
+	check(err)
+	defer closeStore()
+	farm := simfarm.New(simfarm.Config{Workers: *workers, Cache: cache, Engine: cliutil.Engine(*interp)})
 	fmt.Fprintf(os.Stderr, "cabt-soc: %d jobs (%d workloads × cores %v × quanta %v × %d policies) on %d workers\n",
 		len(jobs), len(names), coreCounts, quanta, len(arbs), farm.Workers())
 
 	results, stats := farm.RunSoC(jobs)
 	printSummary(os.Stdout, results, stats, *det)
+	if cache != nil && cache.Persistent() && !*det {
+		fmt.Fprintf(os.Stdout, "persistent store: %d of %d hits served from disk (%s)\n",
+			cache.DiskHits(), stats.CacheHits, *cacheDir)
+	}
 
 	if *jsonOut != "" {
 		report := simfarm.SoCReport{Workers: farm.Workers(), Results: results, Stats: stats}

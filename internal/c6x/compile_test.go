@@ -1,0 +1,419 @@
+package c6x
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// runBoth executes the same program on the interpreter and the compiled
+// engine (each with its own memory) and requires bit-identical outcomes:
+// error presence, final register file, cycle count, statistics and the
+// sequence of store addresses.
+func runBoth(t *testing.T, packets ...Packet) (*Sim, *Sim) {
+	t.Helper()
+	prog := &Program{Packets: packets}
+
+	im := newTestMem()
+	is := NewSim(prog, im)
+	ierr := is.Run()
+
+	cm := newTestMem()
+	cs := NewSim(prog, cm)
+	cp, err := Compile(prog)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	if err := cs.UseCompiled(cp); err != nil {
+		t.Fatal(err)
+	}
+	if !cs.Compiled() {
+		t.Fatal("compiled engine not attached")
+	}
+	cerr := cs.Run()
+
+	if (ierr == nil) != (cerr == nil) {
+		t.Fatalf("error divergence: interp=%v compiled=%v", ierr, cerr)
+	}
+	if ierr != nil && ierr.Error() != cerr.Error() {
+		t.Fatalf("error text divergence:\n  interp:   %v\n  compiled: %v", ierr, cerr)
+	}
+	if is.Regs != cs.Regs {
+		t.Fatalf("register divergence:\n  interp:   %v\n  compiled: %v", is.Regs, cs.Regs)
+	}
+	if is.Cycle() != cs.Cycle() {
+		t.Fatalf("cycle divergence: interp=%d compiled=%d", is.Cycle(), cs.Cycle())
+	}
+	if is.Stats() != cs.Stats() {
+		t.Fatalf("stats divergence:\n  interp:   %+v\n  compiled: %+v", is.Stats(), cs.Stats())
+	}
+	if !reflect.DeepEqual(im.stores, cm.stores) {
+		t.Fatalf("store-sequence divergence: interp=%v compiled=%v", im.stores, cm.stores)
+	}
+	if !reflect.DeepEqual(im.ram, cm.ram) {
+		t.Fatal("memory divergence")
+	}
+	return is, cs
+}
+
+func TestCompiledMatchesInterpreterBasics(t *testing.T) {
+	cases := map[string][]Packet{
+		"mvk-pair": {
+			pk(Inst{Op: MVK, Unit: S1, Dst: A(1), Src2: Imm(0x5678)}),
+			pk(Inst{Op: MVKH, Unit: S1, Dst: A(1), Src2: Imm(0x1234)}),
+			pk(Inst{Op: HALT}),
+		},
+		"parallel-packet": {
+			pk(
+				Inst{Op: MVK, Unit: S1, Dst: A(1), Src2: Imm(1)},
+				Inst{Op: MVK, Unit: S2, Dst: B(1), Src2: Imm(2)},
+				Inst{Op: ADD, Unit: L1, Dst: A(2), Src1: R(A(3)), Src2: R(A(4))},
+				Inst{Op: ADD, Unit: L2, Dst: B(2), Src1: R(B(3)), Src2: R(B(4))},
+			),
+			pk(Inst{Op: HALT}),
+		},
+		"mpy-delay-slot": {
+			pk(Inst{Op: MVK, Unit: S1, Dst: A(1), Src2: Imm(6)}),
+			pk(Inst{Op: MVK, Unit: S1, Dst: A(2), Src2: Imm(7)}),
+			pk(Inst{Op: MPY, Unit: M1, Dst: A(3), Src1: R(A(1)), Src2: R(A(2))}),
+			pk(Inst{Op: NOP, NopCycles: 1}),
+			pk(Inst{Op: ADD, Unit: L1, Dst: A(4), Src1: R(A(3)), Src2: R(A(3))}),
+			pk(Inst{Op: HALT}),
+		},
+		"load-use-delay": {
+			pk(Inst{Op: MVK, Unit: S1, Dst: A(5), Src2: Imm(0x100)}),
+			pk(Inst{Op: MVK, Unit: S1, Dst: A(1), Src2: Imm(0x2A)}),
+			pk(Inst{Op: STW, Unit: D1, Data: A(1), Src1: R(A(5)), Src2: Imm(0)}),
+			pk(Inst{Op: LDW, Unit: D1, Dst: A(2), Src1: R(A(5)), Src2: Imm(0)}),
+			pk(Inst{Op: NOP, NopCycles: 4}),
+			pk(Inst{Op: ADD, Unit: L1, Dst: A(3), Src1: R(A(2)), Src2: R(A(2))}),
+			pk(Inst{Op: HALT}),
+		},
+		"subword-sext": {
+			pk(Inst{Op: MVK, Unit: S1, Dst: A(5), Src2: Imm(0x100)}),
+			pk(Inst{Op: MVK, Unit: S1, Dst: A(1), Src2: Imm(-2)}),
+			pk(Inst{Op: STB, Unit: D1, Data: A(1), Src1: R(A(5)), Src2: Imm(0)}),
+			pk(Inst{Op: STH, Unit: D1, Data: A(1), Src1: R(A(5)), Src2: Imm(4)}),
+			pk(Inst{Op: LDB, Unit: D1, Dst: A(2), Src1: R(A(5)), Src2: Imm(0)}),
+			pk(Inst{Op: NOP, NopCycles: 4}),
+			pk(Inst{Op: LDBU, Unit: D1, Dst: A(3), Src1: R(A(5)), Src2: Imm(0)}),
+			pk(Inst{Op: NOP, NopCycles: 4}),
+			pk(Inst{Op: LDH, Unit: D1, Dst: A(4), Src1: R(A(5)), Src2: Imm(4)}),
+			pk(Inst{Op: NOP, NopCycles: 4}),
+			pk(Inst{Op: LDHU, Unit: D1, Dst: A(6), Src1: R(A(5)), Src2: Imm(4)}),
+			pk(Inst{Op: NOP, NopCycles: 4}),
+			pk(Inst{Op: HALT}),
+		},
+		"branch-delay": {
+			pk(Inst{Op: BPKT, Unit: S1, Target: 7}),
+			pk(Inst{Op: MVK, Unit: S1, Dst: A(1), Src2: Imm(1)}),
+			pk(Inst{Op: MVK, Unit: S1, Dst: A(2), Src2: Imm(2)}),
+			pk(Inst{Op: MVK, Unit: S1, Dst: A(3), Src2: Imm(3)}),
+			pk(Inst{Op: MVK, Unit: S1, Dst: A(4), Src2: Imm(4)}),
+			pk(Inst{Op: MVK, Unit: S1, Dst: A(5), Src2: Imm(5)}),
+			pk(Inst{Op: MVK, Unit: S1, Dst: A(6), Src2: Imm(6)}), // not reached
+			pk(Inst{Op: HALT}),
+		},
+		"branch-with-nop5": {
+			pk(Inst{Op: BPKT, Unit: S1, Target: 3}),
+			pk(Inst{Op: NOP, NopCycles: 5}),
+			pk(Inst{Op: MVK, Unit: S1, Dst: A(9), Src2: Imm(9)}), // skipped
+			pk(Inst{Op: HALT}),
+		},
+		"breg": {
+			pk(Inst{Op: MVK, Unit: S1, Dst: A(7), Src2: Imm(4)}),
+			pk(Inst{Op: BREG, Unit: S1, Src1: R(A(7))}),
+			pk(Inst{Op: NOP, NopCycles: 5}),
+			pk(Inst{Op: MVK, Unit: S1, Dst: A(8), Src2: Imm(8)}), // skipped
+			pk(Inst{Op: HALT}),
+		},
+		"predication": {
+			pk(Inst{Op: MVK, Unit: S1, Dst: A(1), Src2: Imm(1)}),
+			pk(Inst{Op: MVK, Unit: S1, Dst: A(2), Src2: Imm(0)}),
+			pk(Inst{Op: MVK, Unit: S1, Dst: A(3), Src2: Imm(10), Pred: Pred{Valid: true, Reg: A(1)}}),
+			pk(Inst{Op: MVK, Unit: S1, Dst: A(4), Src2: Imm(11), Pred: Pred{Valid: true, Reg: A(2)}}),
+			pk(Inst{Op: MVK, Unit: S1, Dst: A(5), Src2: Imm(12), Pred: Pred{Valid: true, Neg: true, Reg: A(2)}}),
+			pk(Inst{Op: HALT}),
+		},
+		"imm-base-memory": {
+			// Immediate base addresses are legal (issueViolation skips the
+			// side rule for them) even though the translator emits register
+			// bases; both engines must use the immediate, not a register.
+			pk(Inst{Op: MVK, Unit: S1, Dst: A(1), Src2: Imm(0x2A)}),
+			pk(Inst{Op: STW, Unit: D1, Data: A(1), Src1: Imm(0x100), Src2: Imm(4)}),
+			pk(Inst{Op: LDW, Unit: D1, Dst: A(2), Src1: Imm(0x100), Src2: Imm(4)}),
+			pk(Inst{Op: NOP, NopCycles: 4}),
+			pk(Inst{Op: STB, Unit: D1, Data: A(2), Src1: Imm(0x80), Src2: Imm(0)}),
+			pk(Inst{Op: LDB, Unit: D1, Dst: A(3), Src1: Imm(0x80), Src2: Imm(0)}),
+			pk(Inst{Op: NOP, NopCycles: 4}),
+			pk(Inst{Op: HALT}),
+		},
+		"alu-mix": {
+			pk(Inst{Op: MVK, Unit: S1, Dst: A(1), Src2: Imm(-7)}),
+			pk(Inst{Op: MVK, Unit: S1, Dst: A(2), Src2: Imm(3)}),
+			pk(Inst{Op: SUB, Unit: L1, Dst: A(3), Src1: R(A(1)), Src2: R(A(2))}),
+			pk(Inst{Op: SAR, Unit: S1, Dst: A(4), Src1: R(A(1)), Src2: Imm(1)}),
+			pk(Inst{Op: SHR, Unit: S1, Dst: A(5), Src1: R(A(1)), Src2: Imm(1)}),
+			pk(Inst{Op: ANDN, Unit: L1, Dst: A(6), Src1: R(A(1)), Src2: R(A(2))}),
+			pk(Inst{Op: NEG, Unit: L1, Dst: A(7), Src1: R(A(1))}),
+			pk(Inst{Op: EXTB, Unit: S1, Dst: A(8), Src1: R(A(1))}),
+			pk(Inst{Op: EXTH, Unit: S1, Dst: A(9), Src1: R(A(1))}),
+			pk(Inst{Op: CMPLT, Unit: L1, Dst: A(10), Src1: R(A(1)), Src2: R(A(2))}),
+			pk(Inst{Op: CMPLTU, Unit: L1, Dst: A(11), Src1: R(A(1)), Src2: R(A(2))}),
+			pk(Inst{Op: CMPGT, Unit: L1, Dst: A(12), Src1: R(A(1)), Src2: R(A(2))}),
+			pk(Inst{Op: CMPGTU, Unit: L1, Dst: A(13), Src1: R(A(1)), Src2: R(A(2))}),
+			pk(Inst{Op: CMPEQ, Unit: L1, Dst: A(14), Src1: R(A(1)), Src2: R(A(1))}),
+			pk(Inst{Op: MV, Unit: L1, Dst: B(1), Src1: R(A(3))}),
+			pk(Inst{Op: HALT}),
+		},
+	}
+	for name, packets := range cases {
+		t.Run(name, func(t *testing.T) { runBoth(t, packets...) })
+	}
+}
+
+// TestCompiledMatchesInterpreterErrors checks that runtime contract
+// violations produce the same error from both engines.
+func TestCompiledMatchesInterpreterErrors(t *testing.T) {
+	t.Run("load-use-too-early", func(t *testing.T) {
+		runBoth(t,
+			pk(Inst{Op: MVK, Unit: S1, Dst: A(5), Src2: Imm(0x100)}),
+			pk(Inst{Op: LDW, Unit: D1, Dst: A(2), Src1: R(A(5)), Src2: Imm(0)}),
+			pk(Inst{Op: ADD, Unit: L1, Dst: A(3), Src1: R(A(2)), Src2: R(A(2))}),
+			pk(Inst{Op: HALT}),
+		)
+	})
+	t.Run("overlapping-branches", func(t *testing.T) {
+		runBoth(t,
+			pk(Inst{Op: BPKT, Unit: S1, Target: 0}),
+			pk(Inst{Op: BPKT, Unit: S1, Target: 0}),
+			pk(Inst{Op: HALT}),
+		)
+	})
+	t.Run("writeback-collision", func(t *testing.T) {
+		// MPY (latency 2) issued one cycle before ADD (latency 1): both
+		// land on A3 in the same cycle.
+		runBoth(t,
+			pk(Inst{Op: MPY, Unit: M1, Dst: A(3), Src1: R(A(1)), Src2: R(A(2))}),
+			pk(Inst{Op: ADD, Unit: L1, Dst: A(3), Src1: R(A(1)), Src2: R(A(2))}),
+			pk(Inst{Op: HALT}),
+		)
+	})
+	t.Run("fell-off-program", func(t *testing.T) {
+		runBoth(t, pk(Inst{Op: MVK, Unit: S1, Dst: A(1), Src2: Imm(1)}))
+	})
+	t.Run("unmapped-target", func(t *testing.T) {
+		runBoth(t,
+			pk(Inst{Op: BPKT, Unit: S1, Target: 99}),
+			pk(Inst{Op: NOP, NopCycles: 5}),
+			pk(Inst{Op: HALT}),
+		)
+	})
+}
+
+// TestCompileRejectsIssueViolations: malformed packets fail at compile
+// time with the packet index, where the interpreter faults at runtime.
+func TestCompileRejectsIssueViolations(t *testing.T) {
+	prog := &Program{Packets: []Packet{
+		pk(Inst{Op: HALT}),
+		pk( // unreachable unit conflict
+			Inst{Op: ADD, Unit: L1, Dst: A(1), Src1: R(A(2)), Src2: R(A(3))},
+			Inst{Op: SUB, Unit: L1, Dst: A(4), Src1: R(A(5)), Src2: R(A(6))},
+		),
+	}}
+	if _, err := Compile(prog); err == nil {
+		t.Fatal("compile accepted a unit conflict")
+	} else if se, ok := err.(*SimError); !ok || se.Packet != 1 {
+		t.Fatalf("want SimError at packet 1, got %v", err)
+	}
+}
+
+func TestUseCompiledRejectsForeignProgram(t *testing.T) {
+	a := &Program{Packets: []Packet{pk(Inst{Op: HALT})}}
+	b := &Program{Packets: []Packet{pk(Inst{Op: HALT})}}
+	cp, err := Compile(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := NewSim(b, newTestMem()).UseCompiled(cp); err == nil {
+		t.Fatal("attached a compiled program to a different program's sim")
+	}
+}
+
+func TestCompileCachedSharesCompilation(t *testing.T) {
+	prog := &Program{Packets: []Packet{pk(Inst{Op: HALT})}}
+	c1, err := CompileCached(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := CompileCached(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1 != c2 {
+		t.Fatal("CompileCached recompiled the same program")
+	}
+}
+
+// genLegalProgram builds a random schedule-contract-respecting program:
+// straight-line packets of ALU, memory and predicated operations with
+// conservative NOP padding covering every in-flight latency, plus a
+// counted loop, ending in HALT. Both engines must run it without error.
+func genLegalProgram(r *rand.Rand) []Packet {
+	var packets []Packet
+	emit := func(in Inst) { packets = append(packets, pk(in)) }
+	pad := func(n int) { packets = append(packets, pk(Inst{Op: NOP, NopCycles: n})) }
+
+	// Seed a few registers on both sides.
+	for i := 0; i < 6; i++ {
+		emit(Inst{Op: MVK, Unit: S1, Dst: A(i), Src2: Imm(int32(r.Intn(4000) - 2000))})
+		emit(Inst{Op: MVK, Unit: S2, Dst: B(i), Src2: Imm(int32(r.Intn(4000) - 2000))})
+	}
+	emit(Inst{Op: MVK, Unit: S1, Dst: A(10), Src2: Imm(0x200)}) // scratch base
+
+	binOps := []Op{ADD, SUB, AND, OR, XOR, ANDN, SHL, SHR, SAR, CMPEQ, CMPLT, CMPLTU, CMPGT, CMPGTU}
+	pickBin := func() (Op, Unit) {
+		op := binOps[r.Intn(len(binOps))]
+		return op, UnitFor(op.UnitKinds()[0], SideA)
+	}
+	n := 5 + r.Intn(25)
+	for k := 0; k < n; k++ {
+		dst := A(r.Intn(6))
+		s1, s2 := A(r.Intn(6)), A(r.Intn(6))
+		switch r.Intn(8) {
+		case 0, 1, 2:
+			op, u := pickBin()
+			emit(Inst{Op: op, Unit: u, Dst: dst, Src1: R(s1), Src2: R(s2)})
+		case 3:
+			op, u := pickBin()
+			emit(Inst{Op: op, Unit: u, Dst: dst, Src1: R(s1), Src2: Imm(int32(r.Intn(31)))})
+		case 4:
+			emit(Inst{Op: MPY, Unit: M1, Dst: dst, Src1: R(s1), Src2: R(s2)})
+			pad(1) // multiply delay slot
+		case 5:
+			off := int32(4 * r.Intn(16))
+			emit(Inst{Op: STW, Unit: D1, Data: s1, Src1: R(A(10)), Src2: Imm(off)})
+			emit(Inst{Op: LDW, Unit: D1, Dst: dst, Src1: R(A(10)), Src2: Imm(off)})
+			pad(4) // load delay slots
+		case 6:
+			off := int32(r.Intn(32))
+			emit(Inst{Op: STB, Unit: D1, Data: s1, Src1: R(A(10)), Src2: Imm(off)})
+			emit(Inst{Op: LDB, Unit: D1, Dst: dst, Src1: R(A(10)), Src2: Imm(off)})
+			pad(4)
+		case 7:
+			pred := Pred{Valid: true, Neg: r.Intn(2) == 0, Reg: A(r.Intn(6))}
+			op, u := pickBin()
+			emit(Inst{Op: op, Unit: u, Pred: pred, Dst: dst, Src1: R(s1), Src2: R(s2)})
+		}
+	}
+
+	// Counted loop: A8 iterations accumulating into A9, closed by a
+	// predicated backward branch with its five delay slots padded.
+	emit(Inst{Op: MVK, Unit: S1, Dst: A(8), Src2: Imm(int32(2 + r.Intn(5)))})
+	emit(Inst{Op: MVK, Unit: S1, Dst: A(9), Src2: Imm(0)})
+	loop := len(packets)
+	emit(Inst{Op: ADD, Unit: L1, Dst: A(9), Src1: R(A(9)), Src2: R(A(8))})
+	emit(Inst{Op: SUB, Unit: L1, Dst: A(8), Src1: R(A(8)), Src2: Imm(1)})
+	emit(Inst{Op: BPKT, Unit: S1, Target: loop, Pred: Pred{Valid: true, Reg: A(8)}})
+	pad(5)
+	emit(Inst{Op: HALT})
+	return packets
+}
+
+// TestCompiledMatchesInterpreterRandom is the engine-differential
+// property test: random legal programs must produce bit-identical
+// registers, cycles, stats and memory traffic on both engines.
+func TestCompiledMatchesInterpreterRandom(t *testing.T) {
+	f := func(seed int64) bool {
+		packets := genLegalProgram(rand.New(rand.NewSource(seed)))
+		is, _ := runBoth(t, packets...)
+		return is.Halted()
+	}
+	cfg := &quick.Config{MaxCount: 120}
+	if testing.Short() {
+		cfg.MaxCount = 20
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// FuzzCompiledVsInterpreter drives the same differential through the
+// fuzzer, letting it explore generator seeds beyond the property test's
+// fixed budget.
+func FuzzCompiledVsInterpreter(f *testing.F) {
+	for _, seed := range []int64{0, 1, 42, 1 << 40} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		packets := genLegalProgram(rand.New(rand.NewSource(seed)))
+		runBoth(t, packets...)
+	})
+}
+
+// TestCompiledSteadyStateAllocs is the allocation-free hot loop
+// guarantee: once warm, stepping the compiled engine performs zero heap
+// allocations per packet.
+func TestCompiledSteadyStateAllocs(t *testing.T) {
+	// A tight endless loop with in-flight loads and multiplies so the
+	// writeback machinery is exercised every iteration.
+	packets := []Packet{
+		pk(Inst{Op: MVK, Unit: S1, Dst: A(10), Src2: Imm(0x200)}),
+		pk(Inst{Op: MVK, Unit: S1, Dst: A(1), Src2: Imm(3)}),
+		// loop (packet 2):
+		pk(Inst{Op: MPY, Unit: M1, Dst: A(2), Src1: R(A(1)), Src2: R(A(1))}),
+		pk(Inst{Op: STW, Unit: D1, Data: A(1), Src1: R(A(10)), Src2: Imm(0)}),
+		pk(Inst{Op: LDW, Unit: D1, Dst: A(3), Src1: R(A(10)), Src2: Imm(0)}),
+		pk(Inst{Op: BPKT, Unit: S1, Target: 2}),
+		pk(Inst{Op: NOP, NopCycles: 5}),
+		pk(Inst{Op: HALT}), // never reached
+	}
+	prog := &Program{Packets: packets}
+	cp, err := Compile(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSim(prog, newAllocFreeMem())
+	if err := s.UseCompiled(cp); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 256; i++ { // warm the scratch buffers
+		if err := s.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 64; i++ {
+			if err := s.Step(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Step allocates: %.1f allocs per 64 packets", allocs)
+	}
+}
+
+// allocFreeMem is a fixed-array MemPort (the map-backed testMem
+// allocates on writes, which would mask engine allocations).
+type allocFreeMem struct {
+	ram [4096]byte
+}
+
+func newAllocFreeMem() *allocFreeMem { return &allocFreeMem{} }
+
+func (m *allocFreeMem) Load(addr uint32, size int, cycle int64) (uint32, int64, error) {
+	var v uint32
+	for i := 0; i < size; i++ {
+		v |= uint32(m.ram[(addr+uint32(i))%4096]) << (8 * i)
+	}
+	return v, cycle, nil
+}
+
+func (m *allocFreeMem) Store(addr uint32, val uint32, size int, cycle int64) (int64, error) {
+	for i := 0; i < size; i++ {
+		m.ram[(addr+uint32(i))%4096] = byte(val >> (8 * i))
+	}
+	return cycle, nil
+}

@@ -1,0 +1,33 @@
+// Package c6x models the target processor of the binary translator: a
+// TMS320C6x-class VLIW DSP. Like the C62xx used on the paper's emulation
+// platform it has eight functional units (.L/.S/.M/.D on each of two
+// sides), two register files, full predication, exposed delay slots
+// (multiply 1, load 4, branch 5), multi-cycle NOPs, and no interlocks —
+// the schedule is the contract, and the simulator can verify it.
+//
+// One deliberate extension over the C6201: 32 registers per file (as on
+// the C64x) instead of 16, because the translator's fixed register binding
+// maps the TC32's 16 data + 16 address registers onto register file
+// A/B directly (see DESIGN.md).
+//
+// # Execution engines
+//
+// The package ships two execution engines over one architectural state:
+//
+//   - The packet interpreter (sim.go) decodes and validates every packet
+//     as it executes. It is the reference semantics and the equivalence
+//     oracle.
+//   - The compiled engine (compile.go) lowers a Program once into chains
+//     of specialized Go closures — predicates, operand kinds, memory
+//     sizes, latencies and the VLIW issue check resolved at compile
+//     time — and executes with reused scratch buffers, so the steady-
+//     state hot loop performs zero heap allocations. Attach it with
+//     Compile/CompileCached + Sim.UseCompiled.
+//
+// Both engines run behind the same Sim API (Step, Run, SetPC, register
+// accessors), and the compiled engine is differentially tested to be
+// bit-identical to the interpreter in registers, cycles and statistics.
+// internal/platform selects the engine for the emulation-platform
+// simulation (compiled by default, interpreter via the front-ends'
+// -interp flag).
+package c6x

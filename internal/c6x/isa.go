@@ -1,14 +1,3 @@
-// Package c6x models the target processor of the binary translator: a
-// TMS320C6x-class VLIW DSP. Like the C62xx used on the paper's emulation
-// platform it has eight functional units (.L/.S/.M/.D on each of two
-// sides), two register files, full predication, exposed delay slots
-// (multiply 1, load 4, branch 5), multi-cycle NOPs, and no interlocks —
-// the schedule is the contract, and the simulator can verify it.
-//
-// One deliberate extension over the C6201: 32 registers per file (as on
-// the C64x) instead of 16, because the translator's fixed register binding
-// maps the TC32's 16 data + 16 address registers onto register file
-// A/B directly (see DESIGN.md).
 package c6x
 
 import "fmt"

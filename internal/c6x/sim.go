@@ -44,7 +44,12 @@ type Stats struct {
 	NopCycles    int64 // cycles spent in NOPs (explicit idle)
 }
 
-// Sim is the cycle-exact C6x core simulator.
+// Sim is the cycle-exact C6x core simulator. It executes through one of
+// two engines sharing the same architectural state: the packet
+// interpreter (the reference below, and the equivalence oracle) or the
+// threaded-code compiled engine attached with UseCompiled (see
+// compile.go). Step, Run, SetPC and the register accessors behave
+// identically under both.
 type Sim struct {
 	Regs [2 * NumRegs]uint32
 
@@ -69,6 +74,16 @@ type Sim struct {
 
 	// MaxCycles aborts runaway programs (default 2e9).
 	MaxCycles int64
+
+	// Compiled-engine state (see compile.go). comp selects the engine;
+	// cwb, dueBuf, cstall and cbrSeen are the per-packet scratch the
+	// interpreter keeps in locals, hoisted onto the Sim so packet
+	// closures can share them without allocating.
+	comp    *CompiledProgram
+	cwb     []writeback // current packet's writebacks
+	dueBuf  []writeback // commit scratch
+	cstall  int64       // memory stall cycles of the current packet
+	cbrSeen bool        // a branch issued in the current packet
 }
 
 // NewSim builds a simulator for prog with the given memory system.
@@ -133,8 +148,14 @@ func (s *Sim) operand(pkt int, o Operand, wbs []writeback) (uint32, error) {
 }
 
 // Step executes one packet (possibly multi-cycle for NOP n) and returns
-// whether the core is still running.
+// whether the core is still running. With a compiled program attached it
+// dispatches to the threaded-code engine; the body below is the
+// interpreter, the equivalence oracle the compiled engine is tested
+// against.
 func (s *Sim) Step() error {
+	if s.comp != nil {
+		return s.stepCompiled()
+	}
 	if s.halted {
 		return nil
 	}
@@ -354,16 +375,27 @@ func (s *Sim) alu(pkt int, in Inst, wbs []writeback) (uint32, error) {
 // validatePacket enforces the VLIW issue rules in strict mode: one
 // instruction per unit, ops on legal unit kinds, one cross-path read per
 // side, distinct data-path (T) sides for paired memory ops, and memory
-// base registers on the unit's side.
+// base registers on the unit's side. The compiled engine performs the
+// same check once per packet at compile time (see Compile).
 func (s *Sim) validatePacket(pktIdx int, pk Packet) error {
 	if !s.Strict {
 		return nil
 	}
+	if msg := issueViolation(pk); msg != "" {
+		return s.errf(pktIdx, "%s", msg)
+	}
+	return nil
+}
+
+// issueViolation reports the packet's VLIW issue-rule violation, or ""
+// for a well-formed packet. The rules do not depend on machine state, so
+// the compiled engine hoists this check out of the execution loop.
+func issueViolation(pk Packet) string {
 	if len(pk.Insts) == 0 {
-		return s.errf(pktIdx, "empty packet")
+		return "empty packet"
 	}
 	if len(pk.Insts) > 8 {
-		return s.errf(pktIdx, "packet with %d instructions", len(pk.Insts))
+		return fmt.Sprintf("packet with %d instructions", len(pk.Insts))
 	}
 	var unitUsed [9]bool
 	var crossUsed [2]bool
@@ -371,15 +403,15 @@ func (s *Sim) validatePacket(pktIdx int, pk Packet) error {
 	for _, in := range pk.Insts {
 		if in.Op == NOP || in.Op == HALT {
 			if len(pk.Insts) != 1 {
-				return s.errf(pktIdx, "%v must be alone in its packet", in.Op)
+				return fmt.Sprintf("%v must be alone in its packet", in.Op)
 			}
 			continue
 		}
 		if in.Unit == UnitNone {
-			return s.errf(pktIdx, "%v has no unit", in)
+			return fmt.Sprintf("%v has no unit", in)
 		}
 		if unitUsed[in.Unit] {
-			return s.errf(pktIdx, "unit %v used twice", in.Unit)
+			return fmt.Sprintf("unit %v used twice", in.Unit)
 		}
 		unitUsed[in.Unit] = true
 		kinds := in.Op.UnitKinds()
@@ -390,12 +422,12 @@ func (s *Sim) validatePacket(pktIdx int, pk Packet) error {
 			}
 		}
 		if !ok {
-			return s.errf(pktIdx, "%v cannot execute on %v", in.Op, in.Unit)
+			return fmt.Sprintf("%v cannot execute on %v", in.Op, in.Unit)
 		}
 		side := in.Unit.Side()
 		if in.Op.IsMem() {
 			if !in.Src1.IsImm && in.Src1.Reg.Side() != side {
-				return s.errf(pktIdx, "memory base %s not on unit side of %v", in.Src1.Reg, in.Unit)
+				return fmt.Sprintf("memory base %s not on unit side of %v", in.Src1.Reg, in.Unit)
 			}
 			dataReg := in.Dst
 			if in.Op.IsStore() {
@@ -403,7 +435,7 @@ func (s *Sim) validatePacket(pktIdx int, pk Packet) error {
 			}
 			t := dataReg.Side()
 			if tUsed[t] {
-				return s.errf(pktIdx, "two memory ops on data path T%d", t+1)
+				return fmt.Sprintf("two memory ops on data path T%d", t+1)
 			}
 			tUsed[t] = true
 			continue // memory offset/data do not use the cross path
@@ -421,15 +453,15 @@ func (s *Sim) validatePacket(pktIdx int, pk Packet) error {
 		}
 		if cross > 0 {
 			if cross > 1 {
-				return s.errf(pktIdx, "%v reads two cross-path operands", in)
+				return fmt.Sprintf("%v reads two cross-path operands", in)
 			}
 			if crossUsed[side] {
-				return s.errf(pktIdx, "cross path %v used twice", side)
+				return fmt.Sprintf("cross path %v used twice", side)
 			}
 			crossUsed[side] = true
 		}
 	}
-	return nil
+	return ""
 }
 
 // Run executes until HALT or error.

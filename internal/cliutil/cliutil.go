@@ -1,0 +1,35 @@
+// Package cliutil holds the flag-handling helpers shared by the cabt
+// command-line front-ends, so cabt-farm, cabt-soc and c6xrun cannot
+// drift apart in how they open the persistent translation store or
+// select the host-execution engine.
+package cliutil
+
+import (
+	"repro/internal/platform"
+	"repro/internal/simfarm"
+	"repro/internal/simfarm/store"
+)
+
+// OpenTranslationCache opens the content-addressed store at dir (with
+// an optional LRU byte budget) and returns a translation cache backed
+// by it, plus the store's close (index flush) function. An empty dir
+// returns (nil, no-op, nil): the caller's farm falls back to its
+// private in-memory cache.
+func OpenTranslationCache(dir string, budget int64) (*simfarm.TranslationCache, func() error, error) {
+	if dir == "" {
+		return nil, func() error { return nil }, nil
+	}
+	st, err := store.Open(dir, store.Options{MaxBytes: budget})
+	if err != nil {
+		return nil, nil, err
+	}
+	return simfarm.NewPersistentTranslationCache(st), st.Close, nil
+}
+
+// Engine maps the front-ends' -interp flag to the platform engine.
+func Engine(interp bool) platform.Engine {
+	if interp {
+		return platform.EngineInterp
+	}
+	return platform.EngineCompiled
+}

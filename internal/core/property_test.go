@@ -165,7 +165,9 @@ func TestRandomProgramsAgreeAcrossAllEngines(t *testing.T) {
 			return false
 		}
 
-		// Translated, functional and full-detail.
+		// Translated, functional and full-detail. The default engine is
+		// the compiled one; the interpreter run below must match it bit
+		// for bit (the engine-differential property).
 		for _, level := range []core.Level{core.Level0, core.Level3} {
 			tp, err := core.Translate(prog, core.Options{Level: level})
 			if err != nil {
@@ -173,8 +175,21 @@ func TestRandomProgramsAgreeAcrossAllEngines(t *testing.T) {
 				return false
 			}
 			sys := platform.New(tp)
+			if sys.Engine() != platform.EngineCompiled {
+				t.Logf("seed %d L%d: translator output did not compile", seed, int(level))
+				return false
+			}
 			if err := sys.Run(); err != nil {
 				t.Logf("seed %d L%d: %v", seed, int(level), err)
+				return false
+			}
+			isys := platform.NewWithEngine(tp, platform.EngineInterp)
+			if err := isys.Run(); err != nil {
+				t.Logf("seed %d L%d interp: %v", seed, int(level), err)
+				return false
+			}
+			if isys.Stats() != sys.Stats() || !equalU32(isys.Output, sys.Output) || isys.CPU.Regs != sys.CPU.Regs {
+				t.Logf("seed %d L%d: compiled engine diverged from interpreter", seed, int(level))
 				return false
 			}
 			if !equalU32(sys.Output, want) {

@@ -74,6 +74,29 @@ func (s *SyncDev) Drain(t int64) int64 {
 	return t
 }
 
+// Engine selects the C6x host-execution engine of a System.
+type Engine int
+
+const (
+	// EngineCompiled is the threaded-code compiled engine (the default):
+	// the translated program is lowered once into specialized closures
+	// and executed with an allocation-free hot loop. Bit-identical to
+	// the interpreter (differentially tested).
+	EngineCompiled Engine = iota
+	// EngineInterp is the packet interpreter — the reference semantics
+	// and the equivalence oracle, selected by the front-ends' -interp
+	// escape hatch.
+	EngineInterp
+)
+
+// String names the engine ("compiled" / "interp").
+func (e Engine) String() string {
+	if e == EngineInterp {
+		return "interp"
+	}
+	return "compiled"
+}
+
 // WaitReporter is the optional interface of an arbitrated SoC bus
 // (internal/soc): TakeWait drains the source-cycle wait-states the bus
 // charged for the transaction just performed (arbitration contention).
@@ -111,10 +134,21 @@ type System struct {
 	srcInsts     int64
 	lastRegion   int
 	lastStartPkt int
+
+	engine Engine
 }
 
-// New builds a platform around a translated program.
-func New(prog *core.Program) *System {
+// New builds a platform around a translated program, executing on the
+// compiled engine.
+func New(prog *core.Program) *System { return NewWithEngine(prog, EngineCompiled) }
+
+// NewWithEngine builds a platform with an explicit C6x execution engine.
+// EngineCompiled compiles the program once (memoized per program, so
+// farm workers sharing a cached translation share its compilation); a
+// program that fails compile-time issue validation falls back to the
+// interpreter, whose runtime checking reproduces the oracle behavior
+// exactly — including for malformed packets that are never reached.
+func NewWithEngine(prog *core.Program, engine Engine) *System {
 	sys := &System{
 		Prog:       prog,
 		Sync:       &SyncDev{Ratio: DefaultRatio},
@@ -143,8 +177,20 @@ func New(prog *core.Program) *System {
 		sys.SetText(prog.TextAddr, prog.TextImage)
 	}
 	sys.CPU = c6x.NewSim(prog.C6x, sys)
+	sys.engine = EngineInterp
+	if engine == EngineCompiled {
+		if cp, err := c6x.CompileCached(prog.C6x); err == nil {
+			if sys.CPU.UseCompiled(cp) == nil {
+				sys.engine = EngineCompiled
+			}
+		}
+	}
 	return sys
 }
+
+// Engine returns the engine the system actually runs on (EngineInterp
+// when compilation was declined or fell back).
+func (sys *System) Engine() Engine { return sys.engine }
 
 // SetText maps the source program's code image (for constant loads).
 func (sys *System) SetText(base uint32, data []byte) {

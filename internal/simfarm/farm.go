@@ -24,6 +24,12 @@ type Config struct {
 	// one. Passing a shared cache lets several farms (or a farm and a
 	// benchmark harness) pool translated programs.
 	Cache *TranslationCache
+	// Engine selects the C6x host-execution engine of every translated
+	// run in the farm, single-core and SoC alike (the zero value is
+	// platform.EngineCompiled; the -interp flags select EngineInterp).
+	// It does not key the translation cache: the engine changes how a
+	// program executes, never what was translated.
+	Engine platform.Engine
 }
 
 // Farm runs simulation jobs on a bounded worker pool, memoizing
@@ -31,6 +37,7 @@ type Config struct {
 type Farm struct {
 	workers int
 	cache   *TranslationCache
+	engine  platform.Engine
 
 	mu   sync.Mutex
 	elfs map[ELFHash]*elfEntry // keyed on source-text hash (see elf)
@@ -69,6 +76,7 @@ func New(cfg Config) *Farm {
 	return &Farm{
 		workers: w,
 		cache:   c,
+		engine:  cfg.Engine,
 		elfs:    map[ELFHash]*elfEntry{},
 		refs:    map[Key]*refEntry{},
 	}
@@ -76,6 +84,9 @@ func New(cfg Config) *Farm {
 
 // Workers returns the configured pool size.
 func (f *Farm) Workers() int { return f.workers }
+
+// Engine returns the farm's C6x host-execution engine.
+func (f *Farm) Engine() platform.Engine { return f.engine }
 
 // Cache returns the farm's translation cache.
 func (f *Farm) Cache() *TranslationCache { return f.cache }
@@ -306,7 +317,7 @@ func (f *Farm) runJob(idx int, job Job) Result {
 	}
 
 	runStart := time.Now()
-	sys := platform.New(prog)
+	sys := platform.NewWithEngine(prog, f.engine)
 	if err := sys.Run(); err != nil {
 		return fail(fmt.Errorf("%s L%d: %w", job.Workload.Name, int(job.Options.Level), err))
 	}

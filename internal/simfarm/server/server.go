@@ -1,6 +1,7 @@
 package server
 
 import (
+	"crypto/subtle"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -23,6 +24,14 @@ type Config struct {
 	// Store is the shared persistent translation-cache store; nil runs
 	// every tenant on a private in-memory cache.
 	Store *store.Store
+
+	// AdminToken enables the store-administration endpoints
+	// (GET /v1/admin/store, POST /v1/admin/gc): requests must present it
+	// in the X-Cabt-Admin-Token header. Empty leaves the endpoints
+	// disabled — the store is shared across tenants, and a sweep evicts
+	// every tenant's objects, so administration must never be reachable
+	// by an ordinary tenant.
+	AdminToken string
 
 	// RetainTTL is the job-record retention time: finished records older
 	// than it are pruned (0 = keep forever). Running records are never
@@ -89,6 +98,8 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/soc-jobs", s.handleSoCSubmit)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /v1/admin/store", s.handleStoreStats)
+	s.mux.HandleFunc("POST /v1/admin/gc", s.handleGC)
 	return s
 }
 
@@ -488,6 +499,67 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		resp.Store = &st
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// GCResponse is the POST /v1/admin/gc body: what the sweep removed and
+// the store state after it.
+type GCResponse struct {
+	GC    store.GCResult `json:"gc"`
+	Store store.Stats    `json:"store"`
+}
+
+// AdminTokenHeader carries the admin credential of the /v1/admin
+// endpoints.
+const AdminTokenHeader = "X-Cabt-Admin-Token"
+
+// adminOK authorizes an admin request, writing the error response
+// itself when it fails: the endpoints are disabled without a configured
+// token (403), useless without a store (404), and tenant-blind — only
+// the token grants access, because the store is shared across tenants.
+func (s *Server) adminOK(w http.ResponseWriter, r *http.Request) bool {
+	if s.cfg.AdminToken == "" {
+		httpError(w, http.StatusForbidden, "administration disabled (start the server with an admin token)")
+		return false
+	}
+	got := r.Header.Get(AdminTokenHeader)
+	if subtle.ConstantTimeCompare([]byte(got), []byte(s.cfg.AdminToken)) != 1 {
+		httpError(w, http.StatusForbidden, "bad admin token")
+		return false
+	}
+	if s.cfg.Store == nil {
+		httpError(w, http.StatusNotFound, "no persistent store configured")
+		return false
+	}
+	return true
+}
+
+// handleStoreStats reports the persistent store's point-in-time state
+// (GET /v1/admin/store).
+func (s *Server) handleStoreStats(w http.ResponseWriter, r *http.Request) {
+	if !s.adminOK(w, r) {
+		return
+	}
+	writeJSON(w, http.StatusOK, s.cfg.Store.Stats())
+}
+
+// handleGC triggers a store sweep (POST /v1/admin/gc). The optional
+// max-age query parameter (a Go duration, e.g. "24h") additionally
+// evicts objects not used within that window; without it the sweep only
+// enforces the byte budget.
+func (s *Server) handleGC(w http.ResponseWriter, r *http.Request) {
+	if !s.adminOK(w, r) {
+		return
+	}
+	var maxAge time.Duration
+	if raw := r.URL.Query().Get("max-age"); raw != "" {
+		d, err := time.ParseDuration(raw)
+		if err != nil || d < 0 {
+			httpError(w, http.StatusBadRequest, "bad max-age %q: want a non-negative duration", raw)
+			return
+		}
+		maxAge = d
+	}
+	writeJSON(w, http.StatusOK, GCResponse{GC: s.cfg.Store.GC(maxAge), Store: s.cfg.Store.Stats()})
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

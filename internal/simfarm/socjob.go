@@ -168,6 +168,7 @@ func (f *Farm) runSoCJob(idx int, job SoCJob) SoCResult {
 		Quantum:       job.Quantum,
 		Arbitration:   job.Arbitration,
 		BusBusyCycles: job.BusBusyCycles,
+		Engine:        f.engine,
 	}
 	hits := make([]bool, len(job.Cores))
 	for i, spec := range job.Cores {

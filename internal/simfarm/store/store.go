@@ -274,36 +274,107 @@ func (st *state) quarantine(dk [sha256.Size]byte, path string, cause error) {
 
 // enforceBudget evicts least-recently-used objects until the store fits
 // its byte budget. The just-written key is never evicted, so a store
-// smaller than one object still serves the write-through read. Index
-// entry and object file are removed under one lock hold, so a concurrent
-// Load can never observe the entry gone but the file present (or
-// re-index a file that is about to disappear — see refresh).
+// smaller than one object still serves the write-through read.
 func (st *state) enforceBudget(keep [sha256.Size]byte) {
 	if st.maxBytes <= 0 {
 		return
 	}
 	st.mu.Lock()
 	defer st.mu.Unlock()
+	st.evictLocked(&keep, 0)
+}
+
+// evictLocked removes objects under st.mu: first everything not used
+// since cutoff (when cutoff > 0), then least-recently-used objects until
+// the store fits its byte budget. keep (when non-nil) is never evicted.
+// Index entry and object file are removed under one lock hold, so a
+// concurrent Load can never observe the entry gone but the file present
+// (or re-index a file that is about to disappear — see refresh).
+func (st *state) evictLocked(keep *[sha256.Size]byte, cutoff int64) (evicted int, freed int64) {
 	type victim struct {
 		key [sha256.Size]byte
 		e   *entry
 	}
 	var vs []victim
 	for k, e := range st.index {
-		if k != keep {
-			vs = append(vs, victim{k, e})
+		if keep != nil && k == *keep {
+			continue
 		}
+		vs = append(vs, victim{k, e})
 	}
 	sort.Slice(vs, func(i, j int) bool { return vs[i].e.LastUsed < vs[j].e.LastUsed })
 	for _, v := range vs {
-		if st.bytes <= st.maxBytes {
-			break
+		stale := cutoff > 0 && v.e.LastUsed < cutoff
+		over := st.maxBytes > 0 && st.bytes > st.maxBytes
+		if !stale && !over {
+			if cutoff <= 0 {
+				break // LRU order: once within budget, the rest stays
+			}
+			continue // keep scanning for stale entries
 		}
 		st.bytes -= v.e.Size
+		freed += v.e.Size
 		delete(st.index, v.key)
 		os.Remove(st.objectPath(v.key))
 		st.evictions.Add(1)
+		evicted++
 	}
+	return evicted, freed
+}
+
+// GCResult summarizes one garbage-collection sweep.
+type GCResult struct {
+	Evicted    int   `json:"evicted"`
+	FreedBytes int64 `json:"freed_bytes"`
+	Objects    int   `json:"objects"` // objects remaining after the sweep
+	Bytes      int64 `json:"bytes"`   // bytes remaining after the sweep
+}
+
+// GC sweeps the store now: the index is first rebuilt from the objects
+// directory — picking up objects written by other processes sharing
+// it, which writes alone never see — then objects not used within
+// maxAge are evicted (maxAge 0 disables the age rule), then
+// least-recently-used objects until the byte budget is met, and the
+// index is flushed. File mtimes are the cross-process LRU clock (Load
+// refreshes them on every hit), so the rescan keeps recency intact.
+// cmd/cabt-serve runs GC from a background ticker and exposes it at
+// POST /v1/admin/gc.
+func (s *Store) GC(maxAge time.Duration) GCResult {
+	st := s.st
+	var cutoff int64
+	if maxAge > 0 {
+		cutoff = time.Now().Add(-maxAge).UnixNano()
+	}
+	// A rescan failure (e.g. an unreadable directory) degrades to
+	// sweeping this process's own view, never to skipping the sweep.
+	_ = st.rescan()
+	st.mu.Lock()
+	evicted, freed := st.evictLocked(nil, cutoff)
+	objects, bytes := len(st.index), st.bytes
+	st.mu.Unlock()
+	st.writeIndex()
+	return GCResult{Evicted: evicted, FreedBytes: freed, Objects: objects, Bytes: bytes}
+}
+
+// StartSweeper garbage-collects the store every interval (with the
+// given maxAge) until the returned stop function is called. Stop is
+// idempotent.
+func (s *Store) StartSweeper(interval, maxAge time.Duration) (stop func()) {
+	done := make(chan struct{})
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				s.GC(maxAge)
+			case <-done:
+				return
+			}
+		}
+	}()
+	var once sync.Once
+	return func() { once.Do(func() { close(done) }) }
 }
 
 // Stats snapshots the store.

@@ -1,0 +1,50 @@
+package soc
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/platform"
+	"repro/internal/workload"
+)
+
+// TestEngineEquivalence runs every multi-core workload on the compiled
+// and interpreted C6x engines — all-translated and mixed
+// translated/ISS, cycle lockstep and a large quantum — and requires
+// bit-identical SoC results, including per-core CPI, cycles, bus
+// traffic and output.
+func TestEngineEquivalence(t *testing.T) {
+	for _, mw := range workload.MCAll(4) {
+		for _, quantum := range []int64{1, 64} {
+			for _, mixed := range []bool{false, true} {
+				useISS := []bool{false}
+				label := "translated"
+				if mixed {
+					useISS = []bool{false, true}
+					label = "mixed"
+				}
+				t.Run(fmt.Sprintf("%s/q%d/%s", mw.Name, quantum, label), func(t *testing.T) {
+					var results [2]Stats
+					for i, engine := range []platform.Engine{platform.EngineCompiled, platform.EngineInterp} {
+						cfg := buildConfig(t, mw, quantum, useISS, core.Options{Level: core.Level2})
+						cfg.Engine = engine
+						s, err := New(cfg)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if err := s.Run(); err != nil {
+							t.Fatalf("%v: %v", engine, err)
+						}
+						verifyOutputs(t, mw, s, engine.String())
+						results[i] = s.Results()
+					}
+					if !reflect.DeepEqual(results[0], results[1]) {
+						t.Fatalf("engine divergence:\n  compiled: %+v\n  interp:   %+v", results[0], results[1])
+					}
+				})
+			}
+		}
+	}
+}

@@ -53,6 +53,10 @@ type Config struct {
 	MaxCycles int64
 	// ExtraDevices attaches additional peripherals to the shared bus.
 	ExtraDevices []socbus.Device
+	// Engine selects the C6x host-execution engine of every translated
+	// core (the zero value is platform.EngineCompiled; ISS cores are
+	// unaffected).
+	Engine platform.Engine
 }
 
 // CoreKind names how a core executes.
@@ -158,7 +162,7 @@ func New(cfg Config) (*System, error) {
 				}
 				prog = p
 			}
-			sys := platform.New(prog)
+			sys := platform.NewWithEngine(prog, cfg.Engine)
 			sys.Bus = cs.port
 			cs.kind = KindTranslated
 			cs.plat = sys
