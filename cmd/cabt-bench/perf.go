@@ -191,6 +191,22 @@ func writePerfJSON(path string, target time.Duration) error {
 		return bs.TotalCycles
 	}))
 
+	// The interrupt-driven analog: doorbell IRQs and wfi idling instead
+	// of mailbox polling, so the trajectory tracks the delivery path's
+	// cost too.
+	irqJobs, err := simfarm.SoCSweepJobs([]string{"mc-irq-pingpong"}, []int{4}, []int64{64},
+		[]soc.Arbitration{soc.RoundRobin}, core.Options{Level: core.Level2}, false)
+	if err != nil {
+		return err
+	}
+	add(measure("soc/mc-irq-pingpong-4c-q64", target, func() int64 {
+		results, bs := farm.RunSoC(irqJobs)
+		if bs.Failed > 0 {
+			panic(fmt.Sprintf("%d SoC IRQ jobs failed: %v", bs.Failed, results[0].Error))
+		}
+		return bs.TotalCycles
+	}))
+
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		return err

@@ -35,6 +35,7 @@ import (
 func main() {
 	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 	workloadsFlag := flag.String("workloads", "all", "comma-separated multi-core workload names, or 'all'")
+	irqOnly := flag.Bool("irq", false, "sweep only the interrupt-driven workloads (mc-irq-*)")
 	coresFlag := flag.String("cores", "1,2,4", "comma-separated core counts to sweep")
 	quantaFlag := flag.String("quanta", "1,16,64", "comma-separated scheduling quanta (source cycles)")
 	arbFlag := flag.String("arb", "rr", "comma-separated arbitration policies (rr, fixed)")
@@ -49,6 +50,20 @@ func main() {
 
 	names, err := parseNames(*workloadsFlag)
 	check(err)
+	if *irqOnly {
+		// Filter the selection (explicit or 'all') down to the
+		// interrupt-driven set.
+		kept := names[:0]
+		for _, n := range names {
+			if strings.HasPrefix(n, "mc-irq-") {
+				kept = append(kept, n)
+			}
+		}
+		if len(kept) == 0 {
+			check(fmt.Errorf("-irq selected, but none of the requested workloads (%s) are interrupt-driven", strings.Join(names, ", ")))
+		}
+		names = kept
+	}
 	coreCounts, err := parseInts(*coresFlag, "core count", 1, 64)
 	check(err)
 	quanta, err := parseInts64(*quantaFlag, "quantum", 1, 1<<20)
@@ -125,20 +140,22 @@ func scrubWallTimes(r *simfarm.SoCReport) {
 }
 
 func printSummary(w *os.File, results []simfarm.SoCResult, stats simfarm.SoCBatchStats, det bool) {
-	fmt.Fprintf(w, "%-14s %-16s %8s %10s %12s %12s %10s  %s\n",
-		"program", "config", "quanta", "insts", "cycles", "makespan", "bus-wait", "per-core CPI")
+	fmt.Fprintf(w, "%-16s %-16s %8s %10s %12s %12s %10s %6s  %s\n",
+		"program", "config", "quanta", "insts", "cycles", "makespan", "bus-wait", "irqs", "per-core CPI")
 	for _, r := range results {
 		if r.Err != nil {
-			fmt.Fprintf(w, "%-14s %-16s FAILED: %s\n", r.Name, r.Config, r.Error)
+			fmt.Fprintf(w, "%-16s %-16s FAILED: %s\n", r.Name, r.Config, r.Error)
 			continue
 		}
 		var cpis []string
+		var irqs int64
 		for _, c := range r.PerCore {
 			cpis = append(cpis, fmt.Sprintf("%.2f", c.CPI))
+			irqs += c.IRQsTaken
 		}
-		fmt.Fprintf(w, "%-14s %-16s %8d %10d %12d %12d %10d  %s\n",
+		fmt.Fprintf(w, "%-16s %-16s %8d %10d %12d %12d %10d %6d  %s\n",
 			r.Name, r.Config, r.Quanta, r.TotalInstructions, r.TotalCycles,
-			r.MakespanCycles, r.BusWaitCycles, strings.Join(cpis, "/"))
+			r.MakespanCycles, r.BusWaitCycles, irqs, strings.Join(cpis, "/"))
 	}
 	fmt.Fprintf(w, "\njobs %d (failed %d) · translation cache %d hits / %d misses\n",
 		stats.Jobs, stats.Failed, stats.CacheHits, stats.CacheMisses)

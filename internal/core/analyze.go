@@ -129,6 +129,17 @@ func (t *translator) analyzeRegions() {
 		ra.seen[ei] = true
 		work = append(work, ei)
 	}
+	// The interrupt handler can be entered between any two instructions,
+	// so it is seeded with the unknown (bottom) state: every access it
+	// performs goes through the runtime address check. Interrupt
+	// transparency is the flip side: the analysis assumes a handler
+	// restores every register it touches before reti (see
+	// docs/architecture.md, "Interrupts").
+	if t.irqEntry != 0 {
+		if hi, ok := t.blkAt[t.irqEntry]; ok {
+			push(hi, absState{}, false)
+		}
+	}
 
 	for len(work) > 0 {
 		bi := work[len(work)-1]

@@ -62,30 +62,13 @@ func (t *translator) decode(text []byte, base uint32, entry uint32) error {
 }
 
 // buildBlocks finds basic-block leaders and forms blocks, mirroring the
-// paper's "building of basic blocks" stage.
+// paper's "building of basic blocks" stage. The leader computation is
+// shared with the reference simulator (tc32.Leaders): leaders are also
+// the interrupt delivery points, and both sides must agree on them
+// bit-exactly. The `__irq` vector is seeded as an extra leader — it is
+// reachable only through interrupt delivery.
 func (t *translator) buildBlocks(entry uint32) error {
-	leaders := map[uint32]bool{entry: true}
-	// Direct branch targets and fall-through successors.
-	for _, in := range t.insts {
-		if !in.Op.IsBranch() {
-			continue
-		}
-		if !in.Op.IsIndirect() && in.Op != tc32.HALT {
-			leaders[in.Target()] = true
-		}
-		leaders[in.Addr+uint32(in.Size)] = true
-	}
-	// Potential indirect-jump targets: code addresses materialized by
-	// movh.a/lea pairs (the `la` idiom).
-	for i := 0; i+1 < len(t.insts); i++ {
-		a, b := t.insts[i], t.insts[i+1]
-		if a.Op == tc32.MOVHA && b.Op == tc32.LEA && a.Rd == b.Rd && b.Rs1 == a.Rd {
-			v := uint32(a.Imm)<<16 + uint32(b.Imm)
-			if _, ok := t.index[v]; ok {
-				leaders[v] = true
-			}
-		}
-	}
+	leaders := tc32.Leaders(t.insts, entry, t.irqEntry)
 	var starts []uint32
 	for a := range leaders {
 		if _, ok := t.index[a]; ok {
@@ -97,6 +80,7 @@ func (t *translator) buildBlocks(entry uint32) error {
 	for _, a := range starts {
 		isLeader[a] = true
 	}
+	t.leaders = isLeader
 
 	t.blkAt = map[uint32]int{}
 	for _, start := range starts {
@@ -208,7 +192,7 @@ func (t *translator) calcCycles() {
 				pipe.Control(issue, t.desc.Branch.Direct)
 			case in.Op.IsIndirect():
 				pipe.Control(issue, t.desc.Branch.Indirect)
-			case in.Op == tc32.HALT:
+			case in.Op == tc32.HALT, in.Op == tc32.WFI:
 				pipe.Control(issue, 1)
 			}
 		}

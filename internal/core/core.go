@@ -61,7 +61,41 @@ const (
 	// of the translated program" in Section 3.4.2; we place it in a
 	// dedicated emulation RAM region).
 	CacheTableBase = 0x2000_0000
+
+	// Interrupt support registers of the platform (next to the sync
+	// device; visible only to generated code, never to source programs).
+	// The source-level interrupt state of a translated core — IE, the
+	// shadow PC, the in-handler flag — lives on the platform side, which
+	// also owns delivery: at a region boundary whose region starts at a
+	// basic-block leader, a pending line redirects the C6x to the
+	// translated handler (see internal/platform).
+	//
+	// IRQCtl: writing 1 is the source program's ei, 0 its di.
+	IRQCtl = SyncBase + 0x10
+	// IRQRet: written by the translated reti just before it branches
+	// through RegIRQShadow; the platform restores IE and clears the
+	// in-handler flag (a write outside a handler is an error, exactly
+	// like the ISS's spurious reti).
+	IRQRet = SyncBase + 0x14
+	// IRQWait: written by the translated wfi; the platform idles the
+	// emulated clock until the interrupt line delivers.
+	IRQWait = SyncBase + 0x18
 )
+
+// RegIRQShadow is the reserved C6x register holding the shadow return
+// packet index: interrupt entry writes the interrupted region's packet
+// index here, and the translated reti branches through it (BREG). It is
+// reserved alongside the translator's other fixed registers and never
+// allocated to generated code.
+var RegIRQShadow = c6x.B(27)
+
+// RegCorrCycles is the reserved C6x register accumulating correction
+// cycles (cache-miss penalties, branch-prediction corrections) not yet
+// flushed into the sync device. The platform reads it to stamp bus
+// transactions at the reference simulator's convention: the instruction
+// issue cycle includes penalties the translated code only flushes at the
+// region end.
+var RegCorrCycles = regCorr
 
 // Reserved C6x registers. TC32 data registers d0..d15 map to A0..A15 and
 // address registers a0..a15 to B0..B15; everything above is owned by the
@@ -123,6 +157,13 @@ type BlockInfo struct {
 	PacketStart  int    // first packet of the region
 	CondBranch   bool   // region ends with a conditional branch
 	CABs         int    // cache analysis blocks (level 3)
+	// Leader marks a region that starts at a source basic-block leader
+	// (tc32.Leaders). Regions produced by I/O or instruction-oriented
+	// splitting are not leaders. Leader region starts are the translated
+	// program's interrupt delivery points: the reference simulator
+	// checks the line at exactly the same set, which is what makes a
+	// pending interrupt land at the identical source cycle in both.
+	Leader bool
 }
 
 // Program is a translated program plus its metadata.
@@ -163,6 +204,10 @@ type Program struct {
 
 	// TotalSrcInsts is the number of source instructions translated.
 	TotalSrcInsts int
+
+	// IRQEntry is the source address of the `__irq` interrupt handler
+	// (0 = the program has no handler and interrupts are undeliverable).
+	IRQEntry uint32
 }
 
 // Translate translates an assembled TC32 ELF image.
@@ -185,11 +230,13 @@ type translator struct {
 	opts Options
 	desc *march.Desc
 
-	entry  uint32
-	insts  []tc32.Inst // decoded source instructions
-	index  map[uint32]int
-	blocks []*srcBlock
-	blkAt  map[uint32]int // source addr -> blocks index
+	entry    uint32
+	irqEntry uint32      // `__irq` vector (0 = none)
+	insts    []tc32.Inst // decoded source instructions
+	index    map[uint32]int
+	leaders  map[uint32]bool // basic-block leader set (tc32.Leaders)
+	blocks   []*srcBlock
+	blkAt    map[uint32]int // source addr -> blocks index
 
 	regions *regionAnalysis
 
@@ -210,6 +257,15 @@ func (t *translator) run(f *elf32.File) (*Program, error) {
 	if err := t.decode(text.Data, text.Addr, f.Entry); err != nil {
 		return nil, err
 	}
+	// The `__irq` symbol is the interrupt vector: an extra entry point
+	// reachable only through interrupt delivery, so it must be seeded as
+	// a block leader (and into the region analysis) explicitly.
+	if sym, ok := f.Symbol("__irq"); ok {
+		if _, isInst := t.index[sym.Value]; !isInst {
+			return nil, fmt.Errorf("core: __irq vector %#x is not an instruction", sym.Value)
+		}
+		t.irqEntry = sym.Value
+	}
 	if err := t.buildBlocks(f.Entry); err != nil {
 		return nil, err
 	}
@@ -226,6 +282,12 @@ func (t *translator) run(f *elf32.File) (*Program, error) {
 	prog.Level = t.opts.Level
 	prog.Desc = t.desc
 	prog.TotalSrcInsts = len(t.insts)
+	prog.IRQEntry = t.irqEntry
+	if t.irqEntry != 0 {
+		if _, ok := prog.PacketOfSrc[t.irqEntry]; !ok {
+			return nil, fmt.Errorf("core: __irq vector %#x has no translated region", t.irqEntry)
+		}
+	}
 	prog.TextAddr = text.Addr
 	prog.TextImage = append([]byte(nil), text.Data...)
 	if data := f.Section(".data"); data != nil {

@@ -138,10 +138,11 @@ func (t *translator) lowerAll() error {
 	// Prologue: reserved-register setup, then branch to the entry region.
 	pro := t.newTBlock("prologue")
 	l := &lowerer{t: t, cur: pro, region: -1}
-	if t.opts.Level >= Level1 {
-		syncBase := uint32(SyncBase)
-		l.matConst(int32(syncBase), regSyncBase)
-	}
+	// The sync-device base is always materialized: even untimed (Level0)
+	// code reaches the platform's IRQ registers through it (ei/di/wfi/
+	// reti lowerings).
+	syncBase := uint32(SyncBase)
+	l.matConst(int32(syncBase), regSyncBase)
 	if t.opts.Level >= Level2 {
 		l.emitI(c6x.Inst{Op: c6x.MVK, Dst: regCorr, Src2: c6x.Imm(0)})
 	}
@@ -171,6 +172,7 @@ func (t *translator) lowerBlock(bi int) error {
 		SrcEnd:     blk.end,
 		SrcInsts:   len(blk.insts),
 		CondBranch: blk.condBranch,
+		Leader:     t.leaders[blk.start],
 	}
 	region := len(t.prog.Blocks)
 
@@ -316,6 +318,28 @@ func (l *lowerer) lowerTerminator(in tc32.Inst, bi int, level Level) (*ir.Ins, e
 		b := ir.New(c6x.Inst{Op: c6x.BREG, Src1: c6x.R(aR(tc32.RA))})
 		b.Pin = ir.PinBranch
 		return &b, nil
+	case tc32.RETI:
+		// Tell the platform to restore the interrupt state (IE and the
+		// in-handler flag; a spurious reti is a platform error, exactly
+		// like the ISS's), then branch through the shadow packet index
+		// that interrupt entry parked in RegIRQShadow. The store's data
+		// value is ignored — regSyncBase is just a register that always
+		// holds a defined value.
+		l.emitI(c6x.Inst{Op: c6x.STW, Data: regSyncBase, Src1: c6x.R(regSyncBase), Src2: c6x.Imm(IRQRet - SyncBase), Volatile: true})
+		b := ir.New(c6x.Inst{Op: c6x.BREG, Src1: c6x.R(RegIRQShadow)})
+		b.Pin = ir.PinBranch
+		return &b, nil
+	case tc32.WFI:
+		// The wait-for-interrupt trap must reach the platform only after
+		// the region's corrections are flushed and the generation has
+		// drained (the clock is then exactly at the region boundary), so
+		// it is pinned last like the sync wait; the scheduler places it
+		// after the wait load it depends on. Execution falls through to
+		// the successor region — the interrupt return target — where the
+		// platform idles until delivery.
+		st := ir.New(c6x.Inst{Op: c6x.STW, Data: regSyncBase, Src1: c6x.R(regSyncBase), Src2: c6x.Imm(IRQWait - SyncBase), Volatile: true})
+		st.Pin = ir.PinLast
+		return &st, nil
 	}
 	if !in.Op.IsCondBranch() {
 		return nil, fmt.Errorf("core: unexpected terminator %v at %#x", in.Op, in.Addr)

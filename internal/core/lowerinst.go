@@ -129,6 +129,20 @@ func (l *lowerer) lowerInst(in tc32.Inst, mc memClass) error {
 
 	case tc32.NOP, tc32.NOP16:
 		// Occupies source cycles (already counted); no target code.
+	case tc32.EI, tc32.DI:
+		// The interrupt-enable state of a translated core lives on the
+		// platform: ei/di become a write of 1/0 to the IRQ control
+		// register. Delivery only happens at region boundaries, so the
+		// mid-region timing of the write is unobservable — only the IE
+		// value at the next boundary matters, and program order
+		// preserves it.
+		v := int32(0)
+		if in.Op == tc32.EI {
+			v = 1
+		}
+		tmp := l.tempA()
+		e(c6x.Inst{Op: c6x.MVK, Dst: tmp, Src2: c6x.Imm(v)})
+		e(c6x.Inst{Op: c6x.STW, Data: tmp, Src1: c6x.R(regSyncBase), Src2: c6x.Imm(IRQCtl - SyncBase), Volatile: true})
 	default:
 		return fmt.Errorf("core: cannot lower %v at %#x", in.Op, in.Addr)
 	}

@@ -20,13 +20,14 @@ import (
 
 // XML document structure.
 type xmlProcessor struct {
-	XMLName xml.Name    `xml:"processor"`
-	Name    string      `xml:"name,attr"`
-	ClockHz int64       `xml:"clock-hz,attr"`
-	Pipe    xmlPipeline `xml:"pipeline"`
-	ICache  xmlCache    `xml:"icache"`
-	Bus     xmlBus      `xml:"bus"`
-	Insts   []xmlInst   `xml:"instructions>inst"`
+	XMLName xml.Name      `xml:"processor"`
+	Name    string        `xml:"name,attr"`
+	ClockHz int64         `xml:"clock-hz,attr"`
+	Pipe    xmlPipeline   `xml:"pipeline"`
+	ICache  xmlCache      `xml:"icache"`
+	Bus     xmlBus        `xml:"bus"`
+	IRQ     xmlInterrupts `xml:"interrupts"`
+	Insts   []xmlInst     `xml:"instructions>inst"`
 }
 
 type xmlPipeline struct {
@@ -69,6 +70,10 @@ type xmlBus struct {
 	IOWaitCycles uint8 `xml:"io-wait-cycles,attr"`
 }
 
+type xmlInterrupts struct {
+	EntryCycles uint8 `xml:"entry-cycles,attr"`
+}
+
 type xmlInst struct {
 	Name   string `xml:"name,attr"`
 	Format string `xml:"format,attr"`
@@ -88,15 +93,16 @@ func Parse(data []byte) (*march.Desc, error) {
 		return nil, fmt.Errorf("isadesc: only the dual-issue pipeline model is implemented")
 	}
 	d := &march.Desc{
-		Name:          p.Name,
-		ClockHz:       p.ClockHz,
-		LoadLat:       p.Pipe.Load.Cycles,
-		MulLat:        p.Pipe.Mul.Cycles,
-		DivBlock:      p.Pipe.Divider.BlockCycles,
-		Branch:        march.BranchCosts{NotTakenOK: p.Pipe.Branch.NotTaken, TakenOK: p.Pipe.Branch.Taken, Mispredict: p.Pipe.Branch.Mispredict, Direct: p.Pipe.Branch.Direct, Indirect: p.Pipe.Branch.Indirect},
-		BackwardTaken: p.Pipe.Predictor.BackwardTaken,
-		ICache:        march.CacheGeom{Sets: p.ICache.Sets, Ways: p.ICache.Ways, LineBytes: p.ICache.LineBytes, MissPenalty: p.ICache.MissPenalty},
-		IOWaitCycles:  p.Bus.IOWaitCycles,
+		Name:           p.Name,
+		ClockHz:        p.ClockHz,
+		LoadLat:        p.Pipe.Load.Cycles,
+		MulLat:         p.Pipe.Mul.Cycles,
+		DivBlock:       p.Pipe.Divider.BlockCycles,
+		Branch:         march.BranchCosts{NotTakenOK: p.Pipe.Branch.NotTaken, TakenOK: p.Pipe.Branch.Taken, Mispredict: p.Pipe.Branch.Mispredict, Direct: p.Pipe.Branch.Direct, Indirect: p.Pipe.Branch.Indirect},
+		BackwardTaken:  p.Pipe.Predictor.BackwardTaken,
+		ICache:         march.CacheGeom{Sets: p.ICache.Sets, Ways: p.ICache.Ways, LineBytes: p.ICache.LineBytes, MissPenalty: p.ICache.MissPenalty},
+		IOWaitCycles:   p.Bus.IOWaitCycles,
+		IRQEntryCycles: p.IRQ.EntryCycles,
 	}
 	if err := validate(d, p.Insts); err != nil {
 		return nil, err
@@ -201,6 +207,7 @@ func Default() []byte {
 	fmt.Fprintf(&b, "  <icache sets=\"%d\" ways=\"%d\" line-bytes=\"%d\" miss-penalty=\"%d\"/>\n",
 		d.ICache.Sets, d.ICache.Ways, d.ICache.LineBytes, d.ICache.MissPenalty)
 	fmt.Fprintf(&b, "  <bus io-wait-cycles=\"%d\"/>\n", d.IOWaitCycles)
+	fmt.Fprintf(&b, "  <interrupts entry-cycles=\"%d\"/>\n", d.IRQEntryCycles)
 	fmt.Fprintf(&b, "  <instructions>\n")
 	for op := tc32.Op(1); op < tc32.NumOps; op++ {
 		class := "IP"

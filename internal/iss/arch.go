@@ -19,6 +19,16 @@ type Arch struct {
 	Halted  bool
 	Retired int64
 
+	// Interrupt state. IE is the global interrupt enable (reset
+	// disabled); taking an interrupt saves the resume address in
+	// ShadowPC, sets InHandler and clears IE; reti restores PC from
+	// ShadowPC, re-enables IE and clears InHandler. Waiting is set by
+	// wfi: the core idles until the interrupt line delivers.
+	IE        bool
+	InHandler bool
+	Waiting   bool
+	ShadowPC  uint32
+
 	Mem *Memory
 }
 
@@ -208,6 +218,24 @@ func (a *Arch) Exec(i tc32.Inst, cycle int64) (taken bool, err error) {
 	case tc32.NOP, tc32.NOP16:
 	case tc32.HALT:
 		a.Halted = true
+	case tc32.EI:
+		a.IE = true
+	case tc32.DI:
+		a.IE = false
+	case tc32.RETI:
+		if !a.InHandler {
+			return false, fmt.Errorf("iss: reti outside interrupt handler at %#x", i.Addr)
+		}
+		nextPC = a.ShadowPC
+		a.IE = true
+		a.InHandler = false
+	case tc32.WFI:
+		// Waits for the interrupt line regardless of IE. With IE set the
+		// wake is an interrupt delivery; with IE clear the core just
+		// resumes after the wfi (ARM-style), which is what makes the
+		// masked check-then-sleep idiom race-free: a line that rises
+		// between the check and the wfi still wakes it.
+		a.Waiting = true
 	default:
 		return false, fmt.Errorf("iss: unimplemented op %v at %#x", i.Op, i.Addr)
 	}

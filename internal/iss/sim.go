@@ -30,6 +30,7 @@ type Stats struct {
 	Mispredicts  int64
 	TakenCond    int64
 	CondBranches int64
+	IRQsTaken    int64 // interrupts delivered
 }
 
 // Sim is the interpreted cycle-accurate TC32 simulator.
@@ -45,6 +46,19 @@ type Sim struct {
 	code     []tc32.Inst
 	codeBase uint32
 	stats    Stats
+
+	// Interrupt delivery. leaders marks the basic-block boundaries of
+	// the program (tc32.Leaders) — the only points an interrupt may be
+	// taken, so delivery lands at the identical source cycle here and in
+	// the translated program, whose cycle regions start at the same set.
+	// irqVec is the `__irq` vector (0 = program has no handler).
+	leaders []bool
+	irqVec  uint32
+	idled   int64
+
+	// IRQLine, if non-nil, is the external interrupt line input (level
+	// sensitive): it is sampled at every delivery point while IE is set.
+	IRQLine func() bool
 
 	// Trace, if non-nil, is called after every executed instruction.
 	Trace func(i tc32.Inst, cycle int64)
@@ -85,6 +99,7 @@ func New(f *elf32.File, cfg Config) (*Sim, error) {
 	// Pre-decode the text section. Half-word slots that are the middle of
 	// a 32-bit instruction keep a BAD marker.
 	s.code = make([]tc32.Inst, (len(text.Data)+1)/2)
+	var insts []tc32.Inst
 	off := 0
 	for off < len(text.Data) {
 		inst, err := tc32.Decode(text.Data[off:], text.Addr+uint32(off))
@@ -95,7 +110,26 @@ func New(f *elf32.File, cfg Config) (*Sim, error) {
 			continue
 		}
 		s.code[off/2] = inst
+		insts = append(insts, inst)
 		off += int(inst.Size)
+	}
+	// Interrupt vector and delivery points. The leader set must match
+	// the translator's region starts exactly, so both come from
+	// tc32.Leaders.
+	if sym, ok := f.Symbol("__irq"); ok {
+		s.irqVec = sym.Value
+	}
+	s.leaders = make([]bool, len(s.code))
+	for addr := range tc32.Leaders(insts, f.Entry, s.irqVec) {
+		idx := (addr - s.codeBase) / 2
+		if addr >= s.codeBase && int(idx) < len(s.code) && s.code[idx].Op != tc32.BAD && s.code[idx].Addr == addr {
+			s.leaders[idx] = true
+		}
+	}
+	if s.irqVec != 0 {
+		if _, err := s.fetch(s.irqVec); err != nil {
+			return nil, fmt.Errorf("iss: __irq vector: %w", err)
+		}
 	}
 	return s, nil
 }
@@ -116,8 +150,72 @@ func (s *Sim) fetch(pc uint32) (tc32.Inst, error) {
 	return inst, nil
 }
 
-// Step executes a single instruction with full timing accounting.
+// IRQLineAsserted samples the external interrupt line — the wfi wake
+// condition, independent of IE.
+func (s *Sim) IRQLineAsserted() bool {
+	return s.IRQLine != nil && s.IRQLine()
+}
+
+// IRQDeliverable reports whether a pending interrupt could be taken
+// right now: interrupts enabled, a vector present, and the line asserted.
+// Delivery additionally requires the core to be at a delivery point (a
+// block leader, or waking from wfi).
+func (s *Sim) IRQDeliverable() bool {
+	return s.Arch.IE && s.irqVec != 0 && s.IRQLineAsserted()
+}
+
+// WaitingForIRQ reports whether the core is idling in wfi.
+func (s *Sim) WaitingForIRQ() bool { return s.Arch.Waiting }
+
+// IdleTo advances the core's clock to cycle without executing anything —
+// the wfi idle of a quantum scheduler whose line cannot assert before
+// the next quantum boundary.
+func (s *Sim) IdleTo(cycle int64) {
+	if s.cfg.CycleAccurate {
+		if d := cycle - s.pipe.Cycles(); d > 0 {
+			s.pipe.Stall(d)
+			s.idled += d
+		}
+	}
+}
+
+// isLeader reports whether pc is a basic-block boundary.
+func (s *Sim) isLeader(pc uint32) bool {
+	idx := (pc - s.codeBase) / 2
+	return pc >= s.codeBase && int(idx) < len(s.leaders) && s.leaders[idx]
+}
+
+// enterIRQ takes the pending interrupt: shadow the resume point, mask,
+// vector, and charge the entry cost.
+func (s *Sim) enterIRQ() {
+	s.Arch.ShadowPC = s.Arch.PC
+	s.Arch.InHandler = true
+	s.Arch.IE = false
+	s.Arch.PC = s.irqVec
+	s.stats.IRQsTaken++
+	if s.cfg.CycleAccurate {
+		s.pipe.Stall(int64(s.desc.IRQEntryCycles))
+	}
+}
+
+// Step executes a single instruction with full timing accounting. At a
+// delivery point with the interrupt line asserted it first vectors into
+// the handler, then executes the handler's first instruction.
 func (s *Sim) Step() error {
+	if s.Arch.Waiting {
+		if !s.IRQLineAsserted() {
+			return fmt.Errorf("iss: step while waiting for interrupt (wfi)")
+		}
+		s.Arch.Waiting = false
+		if s.IRQDeliverable() {
+			s.enterIRQ()
+		}
+		// With IE masked the wake resumes after the wfi without taking
+		// the interrupt (the pending line stays latched in the
+		// controller).
+	} else if s.Arch.IE && s.isLeader(s.Arch.PC) && s.IRQDeliverable() {
+		s.enterIRQ()
+	}
 	inst, err := s.fetch(s.Arch.PC)
 	if err != nil {
 		return err
@@ -158,7 +256,7 @@ func (s *Sim) Step() error {
 		s.pipe.Control(issue, s.desc.Branch.Direct)
 	case inst.Op.IsIndirect():
 		s.pipe.Control(issue, s.desc.Branch.Indirect)
-	case inst.Op == tc32.HALT:
+	case inst.Op == tc32.HALT, inst.Op == tc32.WFI:
 		s.pipe.Control(issue, 1)
 	}
 	if s.Trace != nil {
@@ -167,11 +265,26 @@ func (s *Sim) Step() error {
 	return nil
 }
 
-// Run executes until HALT (or an error / the instruction limit).
+// Run executes until HALT (or an error / the instruction limit). A core
+// waiting in wfi idles one cycle at a time until the line delivers, so a
+// standalone run with a cycle-keyed interrupt source wakes at exactly
+// the first cycle the line asserts — the same cycle the platform's
+// translated execution wakes at.
 func (s *Sim) Run() error {
 	for !s.Arch.Halted {
 		if s.Arch.Retired >= s.cfg.MaxInstructions {
 			return fmt.Errorf("iss: instruction limit (%d) exceeded", s.cfg.MaxInstructions)
+		}
+		if s.Arch.Waiting && !s.IRQLineAsserted() {
+			if s.IRQLine == nil || !s.cfg.CycleAccurate {
+				return fmt.Errorf("iss: wfi with no interrupt source")
+			}
+			if s.idled >= s.cfg.MaxInstructions {
+				return fmt.Errorf("iss: wfi idle limit (%d) exceeded", s.cfg.MaxInstructions)
+			}
+			s.pipe.Stall(1)
+			s.idled++
+			continue
 		}
 		if err := s.Step(); err != nil {
 			return err
@@ -212,6 +325,12 @@ func (s *Sim) Stats() Stats {
 	st.ICacheMisses = s.icache.Misses
 	return st
 }
+
+// IRQVector returns the `__irq` handler address (0 = none).
+func (s *Sim) IRQVector() uint32 { return s.irqVec }
+
+// IdleCycles returns the cycles spent idling in wfi.
+func (s *Sim) IdleCycles() int64 { return s.idled }
 
 // Output returns the words the program wrote to the debug port.
 func (s *Sim) Output() []uint32 { return s.Arch.Mem.Output }

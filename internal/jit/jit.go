@@ -110,6 +110,11 @@ func (s *Sim) compile(pc uint32) (*block, error) {
 // Run executes until HALT.
 func (s *Sim) Run() error {
 	for !s.Arch.Halted {
+		if s.Arch.Waiting {
+			// The JIT has no interrupt controller attachment; programs
+			// that idle in wfi run on the ISS or the translated platform.
+			return fmt.Errorf("jit: wfi executed but the JIT has no interrupt source")
+		}
 		if s.Arch.Retired >= s.MaxInstructions {
 			return fmt.Errorf("jit: instruction limit exceeded")
 		}
@@ -158,11 +163,11 @@ func (s *Sim) runBlock(b *block) error {
 			s.pipe.Control(issue, s.desc.Branch.Direct)
 		case inst.Op.IsIndirect():
 			s.pipe.Control(issue, s.desc.Branch.Indirect)
-		case inst.Op == tc32.HALT:
+		case inst.Op == tc32.HALT, inst.Op == tc32.WFI:
 			s.pipe.Control(issue, 1)
 		}
 		s.Arch.PC = nextPC
-		if s.Arch.Halted {
+		if s.Arch.Halted || s.Arch.Waiting {
 			return nil
 		}
 	}

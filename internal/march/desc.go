@@ -72,6 +72,12 @@ type Desc struct {
 	// access in the I/O region (beyond normal load/store pipeline cost).
 	IOWaitCycles uint8
 
+	// IRQEntryCycles is the cost of taking an interrupt: the pipeline
+	// flush plus the vector fetch, charged at the delivery point before
+	// the first handler instruction issues. Return cost is not separate —
+	// reti is charged as an indirect branch.
+	IRQEntryCycles uint8
+
 	// BoothMul enables the operand-dependent multiplier timing named in
 	// the paper's outlook ("on a processor that uses a Booth multiplier
 	// the delay of this multiplier depends on operand value"). The
@@ -100,15 +106,16 @@ func BoothExtra(v uint32) int64 {
 // iterative divide, static backward-taken prediction, 512 B 2-way I-cache.
 func Default() *Desc {
 	return &Desc{
-		Name:          "tc32",
-		ClockHz:       48_000_000,
-		LoadLat:       2,
-		MulLat:        2,
-		DivBlock:      17, // divider busy 18 cycles total
-		Branch:        BranchCosts{NotTakenOK: 1, TakenOK: 2, Mispredict: 3, Direct: 2, Indirect: 3},
-		BackwardTaken: true,
-		ICache:        CacheGeom{Sets: 32, Ways: 2, LineBytes: 8, MissPenalty: 8},
-		IOWaitCycles:  2,
+		Name:           "tc32",
+		ClockHz:        48_000_000,
+		LoadLat:        2,
+		MulLat:         2,
+		DivBlock:       17, // divider busy 18 cycles total
+		Branch:         BranchCosts{NotTakenOK: 1, TakenOK: 2, Mispredict: 3, Direct: 2, Indirect: 3},
+		BackwardTaken:  true,
+		ICache:         CacheGeom{Sets: 32, Ways: 2, LineBytes: 8, MissPenalty: 8},
+		IOWaitCycles:   2,
+		IRQEntryCycles: 6,
 	}
 }
 

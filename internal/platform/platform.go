@@ -135,6 +135,37 @@ type System struct {
 	lastRegion   int
 	lastStartPkt int
 
+	// IRQLine, if non-nil, is the external interrupt line input (level
+	// sensitive; typically the SoC's interrupt controller output for
+	// this core). It is sampled at region boundaries whose region starts
+	// at a source basic-block leader — the same delivery points the
+	// reference simulator uses — so a pending interrupt is taken at the
+	// identical source cycle on both sides.
+	IRQLine func() bool
+
+	// Source-level interrupt state of the translated core (the ISS keeps
+	// the same state in iss.Arch): interrupt enable, in-handler flag,
+	// the shadowed source resume address, and the wfi wait flag.
+	irqIE        bool
+	irqInHandler bool
+	irqWaiting   bool
+	irqShadowSrc uint32
+	irqTaken     int64
+	irqIdled     int64
+
+	// regionOfPkt maps a packet index to the region starting there (-1
+	// elsewhere): the boundary detector of the delivery check.
+	regionOfPkt []int32
+
+	// BoundaryTrace, if non-nil, is called whenever execution reaches a
+	// region boundary (before the region runs) with the region's source
+	// start address and the emulated clock — the translated analog of
+	// iss.Sim.Trace, for differential debugging.
+	BoundaryTrace func(src uint32, now int64)
+	// l0Idle is wfi idle time at Level0, where the clock is derived from
+	// scaled C6x time instead of the sync device.
+	l0Idle int64
+
 	engine Engine
 }
 
@@ -160,6 +191,17 @@ func NewWithEngine(prog *core.Program, engine Engine) *System {
 	for _, b := range prog.Blocks {
 		sys.regionPkt = append(sys.regionPkt, b.PacketStart)
 		sys.regionInsts = append(sys.regionInsts, b.SrcInsts)
+	}
+	sys.regionOfPkt = make([]int32, len(prog.C6x.Packets))
+	for i := range sys.regionOfPkt {
+		sys.regionOfPkt[i] = -1
+	}
+	for ri, b := range prog.Blocks {
+		// First region wins: an empty Level0 region can share its start
+		// packet with its successor.
+		if sys.regionOfPkt[b.PacketStart] < 0 {
+			sys.regionOfPkt[b.PacketStart] = int32(ri)
+		}
 	}
 	if prog.DataAddr != 0 {
 		sys.rBase = prog.DataAddr
@@ -212,14 +254,30 @@ func wr(b []byte, off uint32, val uint32, size int) {
 	}
 }
 
-// emulatedNow returns the bus time stamp for an I/O transaction.
+// emulatedNow returns the core's position on the emulated clock.
 func (sys *System) emulatedNow(cycle int64) int64 {
 	if sys.Prog.Level == core.Level0 {
 		// No cycle generation at level 0: approximate with scaled C6x
-		// time (functional-only mode).
-		return cycle / sys.Sync.Ratio
+		// time (functional-only mode) plus any wfi idle time.
+		return cycle/sys.Sync.Ratio + sys.l0Idle
 	}
 	return sys.Sync.Total
+}
+
+// busNow returns the time stamp of an I/O transaction, matching the
+// reference simulator's convention: the source instruction's issue
+// cycle. Every bus access sits alone in its own cycle region (the I/O
+// split), whose start has already added the region's one static cycle
+// to the generated count — subtract it — while penalties accrued earlier
+// in the surrounding basic block (cache misses, at level 3) are still
+// parked in the correction register and must be added. Without this the
+// two engines' transactions interleave differently on an arbitrated bus
+// even though their clocks agree at every region boundary.
+func (sys *System) busNow(cycle int64) int64 {
+	if sys.Prog.Level == core.Level0 {
+		return sys.emulatedNow(cycle)
+	}
+	return sys.Sync.Total - 1 + int64(int32(sys.CPU.Regs[core.RegCorrCycles]))
 }
 
 // Load implements c6x.MemPort.
@@ -240,7 +298,7 @@ func (sys *System) Load(addr uint32, size int, cycle int64) (uint32, int64, erro
 		// Bus interface: wait for the emulated clock, perform the
 		// transaction, generate the wait states.
 		t := sys.Sync.Drain(cycle)
-		now := sys.emulatedNow(cycle)
+		now := sys.busNow(cycle)
 		var v uint32
 		if addr == iss.DebugPortAddr || addr == iss.DebugPortAddr+4 {
 			v = uint32(len(sys.Output))
@@ -271,9 +329,32 @@ func (sys *System) Store(addr uint32, val uint32, size int, cycle int64) (int64,
 	case addr == core.SyncAdd:
 		sys.Sync.Add(val, cycle)
 		return cycle, nil
+	case addr == core.IRQCtl:
+		// Translated ei/di. Delivery only happens at region boundaries,
+		// so the mid-region store timing is unobservable.
+		sys.irqIE = val&1 != 0
+		return cycle, nil
+	case addr == core.IRQRet:
+		// Translated reti: restore the interrupt state; the generated
+		// BREG through RegIRQShadow performs the control transfer.
+		if !sys.irqInHandler {
+			return cycle, fmt.Errorf("platform: reti outside interrupt handler")
+		}
+		sys.irqInHandler = false
+		sys.irqIE = true
+		return cycle, nil
+	case addr == core.IRQWait:
+		// Translated wfi: the run loop idles the emulated clock until
+		// the line asserts. With IE masked the wake resumes without
+		// delivery (ARM-style) — see stepIRQ.
+		if sys.IRQLine == nil {
+			return cycle, fmt.Errorf("platform: wfi with no interrupt source")
+		}
+		sys.irqWaiting = true
+		return cycle, nil
 	case iss.IsIO(addr):
 		t := sys.Sync.Drain(cycle)
-		now := sys.emulatedNow(cycle)
+		now := sys.busNow(cycle)
 		if addr == iss.DebugPortAddr {
 			sys.Output = append(sys.Output, val)
 		} else if sys.Bus != nil {
@@ -347,21 +428,186 @@ func (sys *System) attributeRegion() {
 // quanta.
 func (sys *System) Now() int64 { return sys.emulatedNow(sys.CPU.Cycle()) }
 
-// Run executes the translated program to completion.
+// IRQLineAsserted samples the external interrupt line — the wfi wake
+// condition, independent of IE.
+func (sys *System) IRQLineAsserted() bool {
+	return sys.IRQLine != nil && sys.IRQLine()
+}
+
+// IRQDeliverable reports whether a pending interrupt could be taken
+// right now (enabled, vectored, line asserted). Delivery additionally
+// requires a region boundary whose region starts at a block leader.
+func (sys *System) IRQDeliverable() bool {
+	return sys.irqIE && sys.Prog.IRQEntry != 0 && sys.IRQLineAsserted()
+}
+
+// WaitingForIRQ reports whether the core is idling in a translated wfi.
+func (sys *System) WaitingForIRQ() bool { return sys.irqWaiting }
+
+// atLeaderBoundary returns the region index if the C6x sits at the first
+// packet of a leader region — an interrupt delivery point — and -1
+// otherwise. Region boundaries are the only places the emulated clock is
+// exact (corrections flushed, generation drained), which is what makes
+// delivery here land at the identical source cycle the ISS delivers at.
+func (sys *System) atLeaderBoundary() int {
+	pc := sys.CPU.PC()
+	if pc < 0 || pc >= len(sys.regionOfPkt) {
+		return -1
+	}
+	ri := sys.regionOfPkt[pc]
+	if ri < 0 || !sys.Prog.Blocks[ri].Leader {
+		return -1
+	}
+	return int(ri)
+}
+
+// enterIRQ takes the pending interrupt at the region boundary ri: park
+// the shadow return state, mask, charge the entry cost into the cycle
+// stream, and redirect the C6x to the translated handler.
+func (sys *System) enterIRQ(ri int) error {
+	hpkt, ok := sys.Prog.PacketOfSrc[sys.Prog.IRQEntry]
+	if !ok {
+		return fmt.Errorf("platform: __irq vector %#x has no translated region", sys.Prog.IRQEntry)
+	}
+	sys.irqShadowSrc = sys.Prog.Blocks[ri].SrcStart
+	sys.CPU.SetReg(core.RegIRQShadow, uint32(sys.Prog.Blocks[ri].PacketStart))
+	sys.irqInHandler = true
+	sys.irqIE = false
+	sys.irqTaken++
+	if sys.Prog.Level >= core.Level1 {
+		sys.Sync.Add(uint32(sys.Prog.Desc.IRQEntryCycles), sys.CPU.Cycle())
+	} else {
+		sys.l0Idle += int64(sys.Prog.Desc.IRQEntryCycles)
+	}
+	sys.CPU.SetPC(hpkt)
+	return nil
+}
+
+// idleTo advances the emulated clock to limit without executing target
+// code (a wfi idle).
+func (sys *System) idleTo(limit int64) {
+	d := limit - sys.Now()
+	if d <= 0 {
+		return
+	}
+	sys.irqIdled += d
+	if sys.Prog.Level == core.Level0 {
+		sys.l0Idle += d
+		return
+	}
+	sys.Sync.Total += d
+}
+
+// stepIRQ performs the delivery check (and wfi handling) before one C6x
+// step. It reports whether the caller should step the CPU; idle reports
+// a wfi idle with no pending delivery, which the caller resolves against
+// its clock limit.
+func (sys *System) stepIRQ() (idle bool, err error) {
+	if sys.irqWaiting {
+		// The wfi trap fires inside the region's final packets; trailing
+		// padding (scheduler NOPs) may still separate the CPU from the
+		// successor region's first packet. Those packets cost C6x time
+		// only — step through them, then idle at the boundary.
+		ri := sys.atLeaderBoundary()
+		if ri < 0 {
+			return false, nil
+		}
+		if !sys.IRQLineAsserted() {
+			return true, nil
+		}
+		sys.irqWaiting = false
+		if !sys.IRQDeliverable() {
+			// Masked wake: resume after the wfi without taking the
+			// interrupt; the pending line stays latched.
+			return false, nil
+		}
+		return false, sys.enterIRQ(ri)
+	}
+	if !sys.IRQDeliverable() {
+		return false, nil
+	}
+	ri := sys.atLeaderBoundary()
+	if ri < 0 {
+		return false, nil
+	}
+	return false, sys.enterIRQ(ri)
+}
+
+// Run executes the translated program to completion. With an interrupt
+// line attached, a core waiting in wfi idles one cycle at a time until
+// the line delivers — the same wake cycle the ISS's standalone run
+// arrives at.
 func (sys *System) Run() error {
-	return sys.CPU.Run()
+	if sys.IRQLine == nil {
+		return sys.CPU.Run()
+	}
+	for !sys.CPU.Halted() {
+		if sys.CPU.Cycle() > sys.CPU.MaxCycles {
+			return fmt.Errorf("platform: cycle limit (%d) exceeded", sys.CPU.MaxCycles)
+		}
+		idle, err := sys.stepIRQ()
+		if err != nil {
+			return err
+		}
+		if idle {
+			if sys.irqIdled > sys.CPU.MaxCycles {
+				return fmt.Errorf("platform: wfi idle limit (%d) exceeded", sys.CPU.MaxCycles)
+			}
+			sys.idleTo(sys.Now() + 1)
+			continue
+		}
+		if err := sys.CPU.Step(); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // RunUntil executes until the emulated source-cycle clock reaches limit
 // or the program halts. The clock advances in region-sized jumps, so the
-// run may overshoot the limit by one cycle region.
+// run may overshoot the limit by one cycle region. A core waiting in wfi
+// whose line is idle advances its clock to exactly limit — the quantum
+// scheduler's sequential schedule guarantees the line cannot assert
+// before then.
+//
+// Progress is region-at-a-time: once a region's execution begins, its
+// packets (including runtime-routine calls and trailing padding) run to
+// the next region boundary within the same call. The only externally
+// visible actions — bus transactions — sit in their own
+// single-instruction regions (the I/O split), so region-at-a-time
+// progress performs each of them in the same scheduler slice as the
+// reference simulator's instruction-at-a-time progress; stopping
+// mid-region on the clock gate would push an access one slice later and
+// reorder same-cycle bus contention between the engines.
 func (sys *System) RunUntil(limit int64) error {
 	for !sys.CPU.Halted() && sys.Now() < limit {
 		if sys.CPU.Cycle() > sys.CPU.MaxCycles {
 			return fmt.Errorf("platform: cycle limit (%d) exceeded", sys.CPU.MaxCycles)
 		}
-		if err := sys.CPU.Step(); err != nil {
+		idle, err := sys.stepIRQ()
+		if err != nil {
 			return err
+		}
+		if idle {
+			sys.idleTo(limit)
+			return nil
+		}
+		for {
+			if err := sys.CPU.Step(); err != nil {
+				return err
+			}
+			if sys.CPU.Halted() || sys.irqWaiting {
+				break
+			}
+			if pc := sys.CPU.PC(); pc >= 0 && pc < len(sys.regionOfPkt) && sys.regionOfPkt[pc] >= 0 {
+				if sys.BoundaryTrace != nil {
+					sys.BoundaryTrace(sys.Prog.Blocks[sys.regionOfPkt[pc]].SrcStart, sys.Now())
+				}
+				break
+			}
+			if sys.CPU.Cycle() > sys.CPU.MaxCycles {
+				return fmt.Errorf("platform: cycle limit (%d) exceeded", sys.CPU.MaxCycles)
+			}
 		}
 	}
 	return nil
@@ -380,6 +626,10 @@ type Stats struct {
 	// per-core CPI without a paired reference run. 0 at Level0 (no cycle
 	// generation to attribute against).
 	SrcInstructions int64
+	// IRQsTaken is the number of interrupts delivered; IdleCycles is the
+	// emulated time spent waiting in wfi.
+	IRQsTaken  int64
+	IdleCycles int64
 }
 
 // Stats returns the platform measurements.
@@ -393,8 +643,22 @@ func (sys *System) Stats() Stats {
 		Packets:         cs.Packets,
 		Instructions:    cs.Instructions,
 		SrcInstructions: sys.srcInsts,
+		IRQsTaken:       sys.irqTaken,
+		IdleCycles:      sys.irqIdled,
 	}
 }
+
+// IRQShadowPC returns the source address interrupt entry shadowed (the
+// resume point of the most recent delivery) — the translated analog of
+// iss.Arch.ShadowPC, for differential tests.
+func (sys *System) IRQShadowPC() uint32 { return sys.irqShadowSrc }
+
+// IRQEnabled returns the platform-side IE flag (ei/di state).
+func (sys *System) IRQEnabled() bool { return sys.irqIE }
+
+// InIRQHandler reports whether the core is between interrupt entry and
+// reti.
+func (sys *System) InIRQHandler() bool { return sys.irqInHandler }
 
 // ReadWord inspects platform RAM (tests and debugger).
 func (sys *System) ReadWord(addr uint32) uint32 {

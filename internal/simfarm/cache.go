@@ -82,7 +82,9 @@ func ProgramKey(h ELFHash, opts core.Options) Key {
 	put(uint64(d.Branch.NotTakenOK), uint64(d.Branch.TakenOK),
 		uint64(d.Branch.Mispredict), uint64(d.Branch.Direct), uint64(d.Branch.Indirect))
 	putBool(d.BackwardTaken)
-	put(uint64(d.IOWaitCycles))
+	// Like IOWaitCycles, IRQEntryCycles is read from the cached
+	// program's Desc at run time (interrupt entry cost).
+	put(uint64(d.IOWaitCycles), uint64(d.IRQEntryCycles))
 	if opts.Level >= core.Level2 {
 		putBool(opts.SingleDrainCorrection)
 	}
@@ -122,7 +124,7 @@ func descFingerprint(hs hash.Hash, d *march.Desc) {
 	if d.BoothMul {
 		flags |= 2
 	}
-	put(flags, uint64(d.IOWaitCycles))
+	put(flags, uint64(d.IOWaitCycles), uint64(d.IRQEntryCycles))
 	put(uint64(d.ICache.Sets), uint64(d.ICache.Ways),
 		uint64(d.ICache.LineBytes), uint64(d.ICache.MissPenalty))
 }

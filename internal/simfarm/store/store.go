@@ -26,7 +26,11 @@ import (
 // with a different version are treated as misses and rebuilt, never
 // parsed: the payload is a gob stream of core.Program, whose layout the
 // repository does not promise across versions.
-const FormatVersion = 1
+//
+// Version 2: core.Program gained interrupt metadata (BlockInfo.Leader,
+// Program.IRQEntry) that older objects decode as zero values — which
+// would silently disable interrupt delivery — so they must be rebuilt.
+const FormatVersion = 2
 
 // indexVersion versions index.json independently of the object format;
 // an unreadable or wrong-version index is rebuilt by scanning objects/.

@@ -3,7 +3,8 @@
 // (internal/platform) or on the cycle-accurate reference ISS
 // (internal/iss), selectable per core — around one shared SoC bus
 // (internal/socbus) carrying the inter-core devices: shared memory, a
-// per-core mailbox/doorbell block, and a bank of atomic counters.
+// per-core mailbox/doorbell block, a bank of atomic counters, and the
+// interrupt controller.
 //
 // # Quantum scheduling
 //
@@ -33,6 +34,26 @@
 // decides the intra-quantum service order of the cores, which is exactly
 // the order same-cycle contenders win the bus: FixedPriority always runs
 // core 0 first, RoundRobin rotates the starting core every quantum.
+//
+// # Interrupts
+//
+// Every core's interrupt-line input is wired to its output of the
+// interrupt controller (socbus.IRQController): mailbox posts ring the
+// receiving core's doorbell line, RAISE writes are cross-core soft
+// IPIs, and the per-core periodic timer line is clocked by the
+// scheduler at quantum boundaries — never by bus timestamps, so raises
+// are engine-independent. Between quanta the scheduler ticks the
+// controller; within a core's slice, delivery happens at basic-block
+// boundaries (the architecture's delivery points, identical for the
+// ISS and the translated program — see docs/architecture.md,
+// "Interrupts"), and a core waiting in wfi with an idle line advances
+// its clock to exactly the quantum target. The sequential schedule
+// makes all of it deterministic: at a fixed quantum, an interrupt
+// raised at source cycle k is taken at the identical source cycle on
+// every engine, which the package's differential interrupt matrix
+// pins with zero tolerance; across quanta the interrupt-driven mc-irq-*
+// workloads stay functionally bit-identical. An all-waiting SoC with no
+// line asserted and no timer armed fails fast with a deadlock error.
 //
 // # Determinism
 //

@@ -3,6 +3,7 @@ package soc
 import (
 	"fmt"
 
+	"repro/internal/c6x"
 	"repro/internal/core"
 	"repro/internal/elf32"
 	"repro/internal/iss"
@@ -65,6 +66,52 @@ const (
 	KindISS        = "iss"
 )
 
+// Validate checks the configuration, rejecting misconfiguration with a
+// direct error instead of the confusing downstream failure it would
+// otherwise become. Zero values of the sized fields (bus occupancy,
+// shared words, counter regs, cycle limit) still mean "default"; the
+// quantum does not — a quantum below 1 cycle is meaningless.
+func (cfg *Config) Validate() error {
+	if len(cfg.Cores) < 1 {
+		return fmt.Errorf("soc: no cores configured")
+	}
+	if cfg.Quantum < 1 {
+		return fmt.Errorf("soc: quantum %d invalid (minimum 1 source cycle; 1 = lockstep)", cfg.Quantum)
+	}
+	switch cfg.Arbitration {
+	case RoundRobin, FixedPriority:
+	default:
+		return fmt.Errorf("soc: unknown arbitration policy %d", int(cfg.Arbitration))
+	}
+	switch cfg.Engine {
+	case platform.EngineCompiled, platform.EngineInterp:
+	default:
+		return fmt.Errorf("soc: unknown execution engine %d", int(cfg.Engine))
+	}
+	if cfg.BusBusyCycles < 0 {
+		return fmt.Errorf("soc: negative bus occupancy %d", cfg.BusBusyCycles)
+	}
+	if cfg.SharedWords < 0 || cfg.CounterRegs < 0 {
+		return fmt.Errorf("soc: negative device size (shared %d, counters %d)", cfg.SharedWords, cfg.CounterRegs)
+	}
+	if cfg.MaxCycles < 0 {
+		return fmt.Errorf("soc: negative cycle limit %d", cfg.MaxCycles)
+	}
+	for i, cc := range cfg.Cores {
+		if cc.ELF == nil && (cc.UseISS || cc.Prog == nil) {
+			name := cc.Name
+			if name == "" {
+				name = fmt.Sprintf("core%d", i)
+			}
+			if cc.UseISS {
+				return fmt.Errorf("soc: %s: ISS core needs an ELF", name)
+			}
+			return fmt.Errorf("soc: %s: translated core needs an ELF or a Program", name)
+		}
+	}
+	return nil
+}
+
 // coreState is one instantiated core.
 type coreState struct {
 	name string
@@ -80,12 +127,17 @@ type coreState struct {
 type System struct {
 	cfg Config
 
-	// Bus is the shared SoC bus; Shared, Mail and Counters are the
+	// Bus is the shared SoC bus; Shared, Mail, Counters and IRQ are the
 	// standard inter-core devices attached to it.
 	Bus      *socbus.Bus
 	Shared   *socbus.SharedRAM
 	Mail     *socbus.Mailbox
 	Counters *socbus.CounterBank
+	// IRQ is the interrupt controller: every mailbox post raises the
+	// receiving core's doorbell line, RAISE writes are cross-core IPIs,
+	// and the per-core timer line is clocked at quantum boundaries. Each
+	// core's interrupt input is wired to its controller output.
+	IRQ *socbus.IRQController
 	// Arb is the bus arbiter.
 	Arb *Arbiter
 
@@ -98,11 +150,8 @@ type System struct {
 // devices, instantiates every core (translating where needed), and wires
 // each core's bus port through the arbiter.
 func New(cfg Config) (*System, error) {
-	if len(cfg.Cores) == 0 {
-		return nil, fmt.Errorf("soc: no cores configured")
-	}
-	if cfg.Quantum <= 0 {
-		cfg.Quantum = 1
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	if cfg.BusBusyCycles <= 0 {
 		cfg.BusBusyCycles = 1
@@ -122,10 +171,16 @@ func New(cfg Config) (*System, error) {
 		Shared:   socbus.NewSharedRAM(cfg.SharedWords),
 		Mail:     socbus.NewMailbox(len(cfg.Cores)),
 		Counters: socbus.NewCounterBank(cfg.CounterRegs),
+		IRQ:      socbus.NewIRQController(len(cfg.Cores)),
 		Arb:      newArbiter(len(cfg.Cores), cfg.BusBusyCycles),
 		order:    make([]int, len(cfg.Cores)),
 	}
-	devs := []socbus.Device{s.Shared, s.Mail, s.Counters, socbus.NewTimer()}
+	// Every mailbox post rings the receiving core's doorbell line. Cores
+	// that never enable the line (the polling workloads) just accumulate
+	// pending bits — delivery additionally requires the program to
+	// enable interrupts and carry a `__irq` handler.
+	s.Mail.OnPost = func(slot int) { s.IRQ.Raise(slot, socbus.LineDoorbell) }
+	devs := []socbus.Device{s.Shared, s.Mail, s.Counters, s.IRQ, socbus.NewTimer()}
 	devs = append(devs, cfg.ExtraDevices...)
 	s.Bus = socbus.NewBus(devs...)
 
@@ -148,6 +203,8 @@ func New(cfg Config) (*System, error) {
 				return nil, fmt.Errorf("soc: %s: %w", name, err)
 			}
 			sim.AttachBus(cs.port)
+			core := i
+			sim.IRQLine = func() bool { return s.IRQ.Line(core) }
 			cs.kind = KindISS
 			cs.iss = sim
 		} else {
@@ -164,6 +221,8 @@ func New(cfg Config) (*System, error) {
 			}
 			sys := platform.NewWithEngine(prog, cfg.Engine)
 			sys.Bus = cs.port
+			core := i
+			sys.IRQLine = func() bool { return s.IRQ.Line(core) }
 			cs.kind = KindTranslated
 			cs.plat = sys
 		}
@@ -193,11 +252,36 @@ func (c *coreState) haltedCore() bool {
 	return c.plat.CPU.Halted()
 }
 
+// waitingCore reports whether the core is idling in wfi.
+func (c *coreState) waitingCore() bool {
+	if c.iss != nil {
+		return c.iss.WaitingForIRQ()
+	}
+	return c.plat.WaitingForIRQ()
+}
+
+// irqsTaken returns the core's delivered-interrupt count.
+func (c *coreState) irqsTaken() int64 {
+	if c.iss != nil {
+		return c.iss.Stats().IRQsTaken
+	}
+	return c.plat.Stats().IRQsTaken
+}
+
 // runUntil advances the core until its clock reaches limit or it halts,
-// draining bus wait-states into its timing model as it goes.
+// draining bus wait-states into its timing model as it goes. A core
+// waiting in wfi whose line is idle advances its clock to exactly limit:
+// the strictly sequential scheduler guarantees no other core can raise
+// the line before the next quantum boundary, so the idle is exact — and
+// identical for ISS and translated cores, which is what keeps wfi wake
+// cycles bit-identical across the engines.
 func (c *coreState) runUntil(limit int64) error {
 	if c.iss != nil {
 		for !c.iss.Arch.Halted && c.iss.Cycles() < limit {
+			if c.iss.WaitingForIRQ() && !c.iss.IRQLineAsserted() {
+				c.iss.IdleTo(limit)
+				return nil
+			}
 			if err := c.iss.Step(); err != nil {
 				return err
 			}
@@ -238,19 +322,28 @@ func (s *System) scheduleOrder(q int64) []int {
 func (s *System) Run() error {
 	target := int64(0)
 	for q := int64(0); ; q++ {
-		running := false
+		running, allWaiting := false, true
 		for _, c := range s.cores {
 			if !c.haltedCore() {
 				running = true
-				break
+				if !c.waitingCore() {
+					allWaiting = false
+				}
 			}
 		}
 		if !running {
 			return nil
 		}
+		if allWaiting && !s.irqPossible() {
+			return fmt.Errorf("soc: deadlock: every running core waits in wfi with no line asserted and no timer armed")
+		}
 		if target >= s.cfg.MaxCycles {
 			return fmt.Errorf("soc: cycle limit (%d) exceeded with cores still running (deadlock?)", s.cfg.MaxCycles)
 		}
+		// Clock the interrupt controller with the quantum's start time:
+		// timer lines raise here, between quanta, so every core observes
+		// the raise at the same boundary regardless of engine.
+		s.IRQ.Tick(target)
 		target += s.cfg.Quantum
 		s.quanta++
 		for _, ci := range s.scheduleOrder(q) {
@@ -265,8 +358,38 @@ func (s *System) Run() error {
 	}
 }
 
+// irqPossible reports whether any interrupt can still arrive while every
+// running core waits: a line already asserted, or a timer armed. Without
+// either, an all-waiting SoC is a deadlock — failing fast beats spinning
+// quanta to the cycle limit.
+func (s *System) irqPossible() bool {
+	for i := range s.cores {
+		if s.IRQ.Line(i) {
+			return true
+		}
+	}
+	return s.IRQ.AnyTimerArmed()
+}
+
 // Output returns the debug-port output of core i.
 func (s *System) Output(i int) []uint32 { return s.cores[i].output() }
+
+// CoreRegs returns the final TC32 register files of core i (data and
+// address registers) — directly from iss.Arch on an ISS core, from the
+// C6x register mapping (d→A0..15, a→B0..15) on a translated core. The
+// differential tests compare them bit-exactly; a11 is excluded there
+// because translated code keeps packet-index return links in it.
+func (s *System) CoreRegs(i int) (d, a [16]uint32) {
+	c := s.cores[i]
+	if c.iss != nil {
+		return c.iss.Arch.D, c.iss.Arch.A
+	}
+	for r := 0; r < 16; r++ {
+		d[r] = c.plat.CPU.Regs[c6x.A(r)]
+		a[r] = c.plat.CPU.Regs[c6x.B(r)]
+	}
+	return d, a
+}
 
 // CoreResult is the measurement of one core after a run.
 type CoreResult struct {
@@ -291,6 +414,11 @@ type CoreResult struct {
 	// the contention wait-states charged to it.
 	BusGrants     int64 `json:"bus_grants"`
 	BusWaitCycles int64 `json:"bus_wait_cycles"`
+
+	// IRQsTaken counts delivered interrupts; IdleCycles is emulated time
+	// spent waiting in wfi.
+	IRQsTaken  int64 `json:"irqs_taken,omitempty"`
+	IdleCycles int64 `json:"idle_cycles,omitempty"`
 
 	Output []uint32 `json:"output"`
 }
@@ -328,10 +456,14 @@ func (s *System) Results() Stats {
 		if c.iss != nil {
 			is := c.iss.Stats()
 			r.Instructions = is.Retired
+			r.IRQsTaken = is.IRQsTaken
+			r.IdleCycles = c.iss.IdleCycles()
 		} else {
 			ps := c.plat.Stats()
 			r.Instructions = ps.SrcInstructions
 			r.C6xCycles = ps.C6xCycles
+			r.IRQsTaken = ps.IRQsTaken
+			r.IdleCycles = ps.IdleCycles
 		}
 		if r.Instructions > 0 {
 			r.CPI = float64(r.Cycles) / float64(r.Instructions)

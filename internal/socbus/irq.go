@@ -1,0 +1,209 @@
+package socbus
+
+// IRQController is the SoC's interrupt controller: per-core pending and
+// enable registers with ack/raise/claim semantics, one level-sensitive
+// output line per core (the OR of pending∧enabled), software raise ports
+// usable cross-core (doorbell IPIs), a per-core periodic timer line
+// clocked by the scheduler, and a doorbell input wired to the Mailbox.
+//
+// Like every other peripheral it is a deterministic state machine: its
+// registers change only through bus writes (serialized by the arbiter)
+// and through Tick, which the quantum scheduler calls at quantum
+// boundaries with the global clock. Register reads never depend on bus
+// timestamps, so the reference simulator and the translated platform —
+// whose mid-region timestamps legitimately differ — observe identical
+// values at identical delivery points.
+//
+// Register block of core c at offset c*IRQStride:
+//
+//	+0  PENDING (R)  pending line bitmask (latched regardless of enable)
+//	+4  ENABLE  (RW) line enable mask
+//	+8  ACK     (W)  clear the pending bits written
+//	+12 RAISE   (W)  set the pending bits written (any core may write any
+//	                 core's RAISE — the software doorbell/IPI port)
+//	+16 CLAIM   (R)  lowest pending∧enabled line +1, auto-acked;
+//	                 0 = spurious (nothing pending)
+//	+20 TIMER   (RW) periodic timer line period in cycles (0 = off);
+//	                 writing rearms the deadline at clock+period
+type IRQController struct {
+	Base  uint32
+	cores []irqCore
+
+	// Statistics (deterministic, scheduler-driven).
+	Raises   int64 // pending bits set by RAISE writes or hardware sources
+	Acks     int64 // pending bits cleared by ACK writes
+	Claims   int64 // successful CLAIM reads
+	Spurious int64 // CLAIM reads with nothing pending
+
+	clock int64 // last Tick time (the quantum scheduler's global clock)
+}
+
+type irqCore struct {
+	pending uint32
+	enable  uint32
+	period  int64
+	nextAt  int64
+}
+
+// Interrupt line assignments.
+const (
+	// LineDoorbell is raised by a mailbox post to the core's slot.
+	LineDoorbell = 0
+	// LineTimer is raised by the core's periodic timer.
+	LineTimer = 1
+	// LineSoft0 and LineSoft1 are software lines (RAISE writes only).
+	LineSoft0 = 2
+	LineSoft1 = 3
+)
+
+// IRQCtrlBase is the default controller address; IRQStride is the byte
+// stride between per-core register blocks.
+const (
+	IRQCtrlBase = 0xF013_0000
+	IRQStride   = 32
+)
+
+// Register byte offsets within a core's block.
+const (
+	IRQRegPending = 0
+	IRQRegEnable  = 4
+	IRQRegAck     = 8
+	IRQRegRaise   = 12
+	IRQRegClaim   = 16
+	IRQRegTimer   = 20
+)
+
+// NewIRQController returns a controller for n cores at the default
+// address.
+func NewIRQController(n int) *IRQController {
+	return &IRQController{Base: IRQCtrlBase, cores: make([]irqCore, n)}
+}
+
+// Range implements Device.
+func (c *IRQController) Range() (uint32, uint32) {
+	return c.Base, uint32(len(c.cores) * IRQStride)
+}
+
+// Read implements Device.
+func (c *IRQController) Read(off uint32, cycle int64) uint32 {
+	core := int(off / IRQStride)
+	if core >= len(c.cores) {
+		return 0
+	}
+	st := &c.cores[core]
+	switch off % IRQStride {
+	case IRQRegPending:
+		return st.pending
+	case IRQRegEnable:
+		return st.enable
+	case IRQRegClaim:
+		active := st.pending & st.enable
+		if active == 0 {
+			c.Spurious++
+			return 0
+		}
+		line := uint32(0)
+		for active&1 == 0 {
+			active >>= 1
+			line++
+		}
+		st.pending &^= 1 << line
+		c.Claims++
+		return line + 1
+	case IRQRegTimer:
+		return uint32(st.period)
+	}
+	return 0
+}
+
+// Write implements Device.
+func (c *IRQController) Write(off uint32, val uint32, cycle int64) {
+	core := int(off / IRQStride)
+	if core >= len(c.cores) {
+		return
+	}
+	st := &c.cores[core]
+	switch off % IRQStride {
+	case IRQRegEnable:
+		st.enable = val
+	case IRQRegAck:
+		st.pending &^= val
+		c.Acks++
+	case IRQRegRaise:
+		st.pending |= val
+		c.Raises++
+	case IRQRegTimer:
+		// The deadline is armed against the scheduler clock, not the bus
+		// timestamp: Tick time is engine-independent, bus timestamps are
+		// not.
+		st.period = int64(val)
+		if st.period > 0 {
+			st.nextAt = c.clock + st.period
+		}
+	}
+}
+
+// Raise asserts line on core from a hardware source (the mailbox
+// doorbell port, tests). Out-of-range cores are ignored.
+func (c *IRQController) Raise(core, line int) {
+	if core < 0 || core >= len(c.cores) || line < 0 || line > 31 {
+		return
+	}
+	c.cores[core].pending |= 1 << line
+	c.Raises++
+}
+
+// Line returns core's interrupt output: pending ∧ enabled ≠ 0. This is
+// the wire the SoC connects to each core's IRQLine input; it is not a
+// bus access and costs nothing.
+func (c *IRQController) Line(core int) bool {
+	if core < 0 || core >= len(c.cores) {
+		return false
+	}
+	st := &c.cores[core]
+	return st.pending&st.enable != 0
+}
+
+// Pending returns core's raw pending mask (tests and reporting).
+func (c *IRQController) Pending(core int) uint32 {
+	if core < 0 || core >= len(c.cores) {
+		return 0
+	}
+	return c.cores[core].pending
+}
+
+// Tick advances the controller's clock to now (the quantum scheduler's
+// global time) and raises the timer line of every core whose deadline
+// has passed. Missed periods coalesce into a single raise — the pending
+// bit is level-latched, not a counter.
+func (c *IRQController) Tick(now int64) {
+	if now < c.clock {
+		return
+	}
+	c.clock = now
+	for i := range c.cores {
+		st := &c.cores[i]
+		if st.period <= 0 || st.nextAt > now {
+			continue
+		}
+		st.pending |= 1 << LineTimer
+		c.Raises++
+		for st.nextAt <= now {
+			st.nextAt += st.period
+		}
+	}
+}
+
+// Clock returns the controller's current (scheduler-driven) time.
+func (c *IRQController) Clock() int64 { return c.clock }
+
+// AnyTimerArmed reports whether any core has a periodic timer running —
+// i.e. whether an interrupt can still arrive with every core idle.
+func (c *IRQController) AnyTimerArmed() bool {
+	for i := range c.cores {
+		if c.cores[i].period > 0 {
+			return true
+		}
+	}
+	return false
+}

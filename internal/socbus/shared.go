@@ -76,6 +76,12 @@ type Mailbox struct {
 	Posts    int64
 	Pops     int64
 	Overruns int64
+
+	// OnPost, if non-nil, is the doorbell-raise port: it fires after a
+	// successful post to slot (not on overruns). The SoC wires it to the
+	// interrupt controller's doorbell line, turning every mailbox post
+	// into a doorbell IRQ for the receiving core.
+	OnPost func(slot int)
 }
 
 type mslot struct {
@@ -127,6 +133,9 @@ func (m *Mailbox) Write(off uint32, val uint32, cycle int64) {
 	s.val = val
 	s.full = true
 	m.Posts++
+	if m.OnPost != nil {
+		m.OnPost(int(off / SlotStride))
+	}
 }
 
 // Full reports whether slot i holds an unread word.

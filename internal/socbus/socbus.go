@@ -11,6 +11,11 @@
 // paper's motivating use case for device-driver validation — fall out of
 // the timestamps: a driver that polls the UART busy flag too early sees
 // it still busy.
+//
+// The multi-core devices (shared.go) add shared memory, the
+// mailbox/doorbell block and the atomic counter bank; the interrupt
+// controller (irq.go) turns mailbox posts, cross-core RAISE writes and
+// scheduler-clocked timer deadlines into per-core interrupt lines.
 package socbus
 
 import "sort"

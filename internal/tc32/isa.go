@@ -107,6 +107,18 @@ const (
 	NOP  // no operation (32-bit)
 	HALT // stop the processor (simulation exit)
 
+	// Interrupt architecture. TC32 has a single external interrupt line
+	// (driven by an interrupt controller), one shadow register pair
+	// (saved PC + interrupt-enable), and a single vector: the `__irq`
+	// symbol. Delivery happens only at basic-block boundaries — see
+	// Leaders — which is what lets the binary translator take an
+	// interrupt at the identical source cycle (docs/architecture.md,
+	// "Interrupts").
+	EI   // enable interrupts (IE = 1)
+	DI   // disable interrupts (IE = 0)
+	RETI // return from interrupt: pc = shadow pc, IE = 1
+	WFI  // wait for interrupt: idle until the line delivers
+
 	// 16-bit encodings.
 	MOV16  // d[rd] = d[rs1]
 	ADD16  // d[rd] += d[rs1]
@@ -217,6 +229,10 @@ var opInfo = [NumOps]Info{
 	JNZ:    {"jnz", FmtBR, 0x96},
 	NOP:    {"nop", FmtNone, 0x98},
 	HALT:   {"halt", FmtNone, 0x9A},
+	EI:     {"ei", FmtNone, 0x9C},
+	DI:     {"di", FmtNone, 0x9E},
+	RETI:   {"reti", FmtNone, 0xA0},
+	WFI:    {"wfi", FmtNone, 0xA2},
 	MOV16:  {"mov16", FmtSRR, 0x03},
 	ADD16:  {"add16", FmtSRR, 0x05},
 	SUB16:  {"sub16", FmtSRR, 0x07},
@@ -285,10 +301,12 @@ func (op Op) IsCondBranch() bool {
 	return false
 }
 
-// IsBranch reports whether op alters control flow (including halt).
+// IsBranch reports whether op alters control flow (including halt, reti
+// and wfi — wfi ends a basic block because the instruction after it is
+// an interrupt-return target and must be a block leader).
 func (op Op) IsBranch() bool {
 	switch op {
-	case J, JL, JI, RET, J16, RET16, HALT:
+	case J, JL, JI, RET, J16, RET16, HALT, RETI, WFI:
 		return true
 	}
 	return op.IsCondBranch()
@@ -298,7 +316,8 @@ func (op Op) IsBranch() bool {
 func (op Op) IsCall() bool { return op == JL }
 
 // IsIndirect reports whether the branch target is not statically known.
-func (op Op) IsIndirect() bool { return op == JI || op == RET || op == RET16 }
+// RETI is indirect: it branches through the shadow PC.
+func (op Op) IsIndirect() bool { return op == JI || op == RET || op == RET16 || op == RETI }
 
 // IsLoad reports whether op reads data memory.
 func (op Op) IsLoad() bool {

@@ -1,0 +1,45 @@
+package tc32
+
+// Leaders computes the basic-block leader set of a decoded instruction
+// stream: the entry point, every statically-known branch target, the
+// fall-through successor of every branch (including halt, reti and wfi),
+// every code address materialized by the movh.a/lea `la` idiom (a
+// potential indirect-jump target), and any extra entry points (the
+// `__irq` interrupt vector).
+//
+// The set defines the architecture's interrupt delivery points: an
+// asynchronous interrupt is taken only when the core is about to execute
+// a leader. The binary translator (internal/core) forms its cycle
+// regions from exactly this set, so the reference simulator and the
+// translated program agree bit-exactly on where — and therefore at which
+// source cycle — a pending interrupt is taken. Both consumers must call
+// this one function; a second implementation would be a divergence bug
+// waiting to happen.
+//
+// Addresses in the returned set are not guaranteed to be instruction
+// boundaries (a branch may target padding); callers filter against their
+// decode index.
+func Leaders(insts []Inst, entry uint32, extra ...uint32) map[uint32]bool {
+	leaders := map[uint32]bool{entry: true}
+	for _, in := range insts {
+		if !in.Op.IsBranch() {
+			continue
+		}
+		if !in.Op.IsIndirect() && in.Op != HALT && in.Op != WFI {
+			leaders[in.Target()] = true
+		}
+		leaders[in.Addr+uint32(in.Size)] = true
+	}
+	for i := 0; i+1 < len(insts); i++ {
+		a, b := insts[i], insts[i+1]
+		if a.Op == MOVHA && b.Op == LEA && a.Rd == b.Rd && b.Rs1 == a.Rd {
+			leaders[uint32(a.Imm)<<16+uint32(b.Imm)] = true
+		}
+	}
+	for _, x := range extra {
+		if x != 0 {
+			leaders[x] = true
+		}
+	}
+	return leaders
+}

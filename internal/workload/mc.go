@@ -119,7 +119,7 @@ inner:	mov.a	a5, d4
 next:	addi	d3, d3, 1
 	jlt	d3, d1, outer
 `, mcSieveN, lo, hi)
-		src += emit(7)                            // own shard count
+		src += emit(7)                                   // own shard count
 		src += fmt.Sprintf("\tst.w\td7, %d(a12)\n", 4*c) // publish shard
 		src += barrierArrive
 		expected := []uint32{uint32(counts[c])}
@@ -381,6 +381,9 @@ var mcCatalog = []struct {
 	{"mc-fir", 1, MCShardedFIR},
 	{"mc-pingpong", 2, MCPingPong},
 	{"mc-contention", 1, MCContention},
+	{"mc-irq-pingpong", 2, MCIRQPingPong},
+	{"mc-irq-barrier", 2, MCIRQBarrier},
+	{"mc-irq-timer", 1, MCIRQTimer},
 }
 
 // MCAll returns every multi-core workload instantiated for the given

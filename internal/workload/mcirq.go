@@ -1,0 +1,267 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/socbus"
+)
+
+// This file holds the interrupt-driven multi-core workloads: the same
+// cooperation patterns as the polling mc-* set, but synchronized through
+// the interrupt controller (doorbell IRQs, software IPI lines, periodic
+// timer lines) and wfi instead of spin loops.
+//
+// Conventions shared by all three workloads:
+//
+//   - `__irq` is the single handler entry; handlers use only registers
+//     the main program never touches (d13, d14 and a7), which makes them
+//     interrupt-transparent with nothing to save or restore.
+//   - a8 points at the core's own interrupt-controller register block,
+//     a9 at a private cell area the handler publishes event state into.
+//   - Event waits are masked check-then-sleep loops: di, read the
+//     handler's cell, and only if nothing new arrived execute wfi. With
+//     interrupts masked no handler can consume an event between the
+//     check and the wfi, and a masked wfi still wakes when the line
+//     asserts (without delivering), so the wait is race-free; the ei on
+//     the wake path lets the pending interrupt deliver at the next
+//     block boundary.
+//   - Outputs are event-count- or handshake-determined, never
+//     wake-timing-determined, so they are identical across engines,
+//     scheduling quanta and arbitration policies.
+//
+// The code is also written to be exactly statically predictable at
+// detail level 3 (no load-use dependency or pairable IP/LS pair
+// straddling a cycle-region split), so the SoC differential tests can
+// pin cycle counts bit-identical between ISS and translated cores.
+
+// Fixed problem sizes.
+const (
+	mcIRQPingPongRounds = 8
+	mcIRQTimerTicks     = 6
+	mcIRQTimerPeriod    = 97
+	mcIRQWorkIters      = 8
+)
+
+// mcIRQPrologue extends the multi-core prologue with the interrupt
+// bases: a8 = this core's controller block, a7 = controller base (block
+// of core 0), a9 = private IRQ cell area.
+func mcIRQPrologue(core int) string {
+	return mcPrologue() + fmt.Sprintf(`	la	a8, %#x	; own IRQ register block
+	la	a7, %#x	; IRQ controller base
+	la	a9, icells	; handler cell area
+`, uint32(socbus.IRQCtrlBase)+uint32(core*socbus.IRQStride), uint32(socbus.IRQCtrlBase))
+}
+
+// mcIRQEnable emits the interrupt-enable sequence: controller line mask,
+// then the core-level ei.
+func mcIRQEnable(mask int) string {
+	return fmt.Sprintf(`	movi	d0, %d
+	st.w	d0, 4(a8)	; ENABLE lines
+	ei
+`, mask)
+}
+
+// MCIRQPingPong is the doorbell-driven producer/consumer ring: the token
+// of mc-pingpong, but every core sleeps in wfi and is woken by the
+// doorbell interrupt its mailbox post raises; the handler claims the
+// line, pops the token and publishes it (and a receive count) for the
+// main loop. Requires at least 2 cores.
+func MCIRQPingPong(cores int) MultiWorkload {
+	mw := MultiWorkload{
+		Name:        "mc-irq-pingpong",
+		Description: fmt.Sprintf("doorbell-IRQ token ring, %d round trips across %d cores", mcIRQPingPongRounds, cores),
+	}
+	r := mcIRQPingPongRounds
+	for c := 0; c < cores; c++ {
+		next := (c + 1) % cores
+		mySlot := c * socbus.SlotStride
+		nextSlot := next * socbus.SlotStride
+		src := mcIRQPrologue(c)
+		src += mcIRQEnable(1 << socbus.LineDoorbell)
+		if c == 0 {
+			src += fmt.Sprintf(`	movi	d0, 1
+	st.w	d0, %d(a13)	; seed token to core %d
+`, nextSlot, next)
+		}
+		src += fmt.Sprintf(`	li	d6, %d		; rounds
+	movi	d5, 0		; processed count
+recv:	di			; masked check-then-sleep
+	lea	a4, 0(a9)
+	ld.w	d2, 0(a9)	; received count (handler cell)
+	lea	a4, 0(a9)
+	jeq	d2, d5, dowfi	; nothing new: sleep
+	ld.w	d1, 4(a9)	; token snapshot, still masked
+	lea	a4, 0(a9)
+	ei
+	addi	d5, d5, 1
+`, r)
+		if c == 0 {
+			src += fmt.Sprintf(`	jge	d5, d6, done	; last round: keep the token
+	addi	d0, d1, 1
+	st.w	d0, %d(a13)	; forward
+	j	recv
+`, nextSlot)
+		} else {
+			src += fmt.Sprintf(`	addi	d0, d1, 1
+	st.w	d0, %d(a13)	; forward
+	jlt	d5, d6, recv
+	j	done
+`, nextSlot)
+		}
+		src += fmt.Sprintf(`dowfi:	wfi			; masked: wakes on the line, no delivery
+	ei			; pending interrupt delivers at recv
+	j	recv
+done:	st.w	d1, 0(a15)	; last token seen
+	st.w	d5, 0(a15)	; rounds processed
+	halt
+__irq:	ld.w	d13, 16(a8)	; CLAIM (acks the doorbell)
+	ld.w	d13, %d(a13)	; pop the token
+	lea	a7, 0(a7)	; cover the pop's load latency
+	st.w	d13, 4(a9)	; publish token
+	addi	d14, d14, 1	; receive count
+	st.w	d14, 0(a9)	; publish count
+	reti
+	.bss
+icells:	.space	8
+`, mySlot)
+		last := uint32(r * cores)
+		if c > 0 {
+			last = uint32((r-1)*cores + c)
+		}
+		mw.Cores = append(mw.Cores, Workload{
+			Name:        fmt.Sprintf("mc-irq-pingpong.c%d", c),
+			Description: "doorbell-IRQ ring node",
+			Source:      src,
+			Expected:    []uint32{last, uint32(r)},
+		})
+	}
+	return mw
+}
+
+// MCIRQBarrier is the interrupt barrier: every core computes a private
+// sum, arrives (atomic counter add + soft-IPI to core 0) and sleeps in
+// wfi; core 0's handler counts arrivals through the counter bank and, on
+// the last one, broadcasts a release IPI to every core (itself
+// included). Requires at least 2 cores.
+func MCIRQBarrier(cores int) MultiWorkload {
+	mw := MultiWorkload{
+		Name:        "mc-irq-barrier",
+		Description: fmt.Sprintf("IRQ barrier: %d cores arrive by soft IPI, core 0 broadcasts the release", cores),
+	}
+	arriveMask := 1 << socbus.LineSoft0
+	releaseMask := 1 << socbus.LineSoft1
+	for c := 0; c < cores; c++ {
+		enable := releaseMask
+		if c == 0 {
+			enable |= arriveMask
+		}
+		src := mcIRQPrologue(c)
+		src += mcIRQEnable(enable)
+		src += fmt.Sprintf(`	li	d7, %d		; private term
+	movi	d2, 0
+	movi	d3, %d		; iterations
+work:	add	d2, d2, d7
+	addi	d3, d3, -1
+	jnz	d3, work
+	movi	d0, 1
+	st.w	d0, 0(a14)	; arrive: counter[0] += 1
+	movi	d0, %d
+	st.w	d0, 12(a7)	; raise the arrival IPI on core 0
+bwait:	di			; masked check-then-sleep
+	lea	a4, 0(a9)
+	ld.w	d5, 0(a9)	; released?
+	lea	a4, 0(a9)
+	jnz	d5, brel
+	wfi			; masked: wakes on the line, no delivery
+	ei			; pending interrupt delivers at bwait
+	j	bwait
+brel:	ld.w	d6, 0(a14)	; arrivals (== core count); still masked
+	lea	a4, 0(a9)
+	st.w	d2, 0(a15)	; private sum
+	st.w	d6, 0(a15)	; observed arrivals
+	halt
+`, 3*(c+1), mcIRQWorkIters, arriveMask)
+		if c == 0 {
+			src += fmt.Sprintf(`__irq:	ld.w	d13, 16(a8)	; CLAIM
+	lea	a7, 0(a7)	; cover the claim's load latency
+	eqi	d14, d13, %d	; release line?
+	jnz	d14, hrel
+	ld.w	d13, 0(a14)	; arrivals so far
+	lea	a7, 0(a7)
+	eqi	d14, d13, %d
+	jz	d14, hout	; not everyone yet
+	movi	d13, %d
+`, socbus.LineSoft1+1, cores, releaseMask)
+			for j := 0; j < cores; j++ {
+				src += fmt.Sprintf("\tst.w\td13, %d(a7)\t; release core %d\n", j*socbus.IRQStride+socbus.IRQRegRaise, j)
+			}
+			src += `hout:	reti
+hrel:	movi	d13, 1
+	st.w	d13, 0(a9)	; released
+	reti
+`
+		} else {
+			src += `__irq:	ld.w	d13, 16(a8)	; CLAIM (release IPI)
+	movi	d13, 1
+	st.w	d13, 0(a9)	; released
+	reti
+`
+		}
+		src += "\t.bss\nicells:\t.space\t8\n"
+		mw.Cores = append(mw.Cores, Workload{
+			Name:        fmt.Sprintf("mc-irq-barrier.c%d", c),
+			Description: "IRQ barrier node",
+			Source:      src,
+			Expected:    []uint32{uint32(mcIRQWorkIters * 3 * (c + 1)), uint32(cores)},
+		})
+	}
+	return mw
+}
+
+// MCIRQTimer is the timer-tick preemption counter: each core programs
+// its periodic timer line and sleeps in wfi; the handler counts ticks,
+// saturating at the target so the observed count is identical for every
+// quantum and engine; the main loop disables the timer and reports once
+// the target is reached.
+func MCIRQTimer(cores int) MultiWorkload {
+	mw := MultiWorkload{
+		Name:        "mc-irq-timer",
+		Description: fmt.Sprintf("periodic timer IRQs every %d cycles, %d ticks per core", mcIRQTimerPeriod, mcIRQTimerTicks),
+	}
+	for c := 0; c < cores; c++ {
+		src := mcIRQPrologue(c)
+		src += mcIRQEnable(1 << socbus.LineTimer)
+		src += fmt.Sprintf(`	li	d1, %d		; tick target
+	li	d0, %d		; period
+	st.w	d0, 20(a8)	; TIMER = period
+tloop:	di			; masked check-then-sleep
+	lea	a4, 0(a9)
+	ld.w	d2, 0(a9)	; ticks observed
+	lea	a4, 0(a9)
+	jge	d2, d1, tdone
+	wfi			; masked: wakes on the line, no delivery
+	ei			; pending tick delivers at tloop
+	j	tloop
+tdone:	movi	d0, 0
+	st.w	d0, 20(a8)	; timer off; still masked
+	li	d3, %d
+	st.w	d3, 0(a15)	; core id
+	st.w	d2, 0(a15)	; tick count (saturated)
+	halt
+__irq:	ld.w	d13, 16(a8)	; CLAIM (acks the timer line)
+	lti	d13, d14, %d	; below target?
+	add	d14, d14, d13	; saturating increment
+	st.w	d14, 0(a9)	; publish
+	reti
+	.bss
+icells:	.space	8
+`, mcIRQTimerTicks, mcIRQTimerPeriod, c, mcIRQTimerTicks)
+		mw.Cores = append(mw.Cores, Workload{
+			Name:        fmt.Sprintf("mc-irq-timer.c%d", c),
+			Description: "timer-tick preemption counter",
+			Source:      src,
+			Expected:    []uint32{uint32(c), uint32(mcIRQTimerTicks)},
+		})
+	}
+	return mw
+}
