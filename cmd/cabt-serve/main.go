@@ -13,6 +13,18 @@
 // the store shared by every tenant, so they stay disabled unless
 // -admin-token is set and the request presents it in X-Cabt-Admin-Token.
 //
+// Durability and distribution: with a journal (by default
+// <cache-dir>/journal.cabt when -cache-dir is set; -journal overrides,
+// "none" disables) every batch is recorded durably and replayed on
+// restart, so finished results survive a crash. cabt-worker processes
+// may register over HTTP and drain submitted batches through a leased
+// work queue (-lease-ttl, -task-retries); with no workers registered
+// the server executes in-process, bit-identically. Per-tenant
+// submission rates can be capped with -rate-limit/-rate-burst (429 +
+// Retry-After beyond them). On SIGTERM the server drains: submissions
+// get 503, queued work is failed or finished, in-flight batches
+// complete and are journaled, then the process exits.
+//
 // Usage:
 //
 //	cabt-serve -addr :8080 -cache-dir /var/cache/cabt -retain-ttl 24h \
@@ -23,6 +35,7 @@
 //	     -d '{"workloads":["mc-pingpong"],"core_counts":[4],"quanta":[1,64],"level":2}'
 //	curl -s 'localhost:8080/v1/jobs/job-1?wait=1'
 //	curl -s localhost:8080/v1/stats
+//	curl -s localhost:8080/v1/metrics
 package main
 
 import (
@@ -33,6 +46,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
@@ -50,9 +64,20 @@ func main() {
 	gcInterval := flag.Duration("gc-interval", 0, "background store-GC sweep interval (0 = on-demand only, via POST /v1/admin/gc)")
 	gcMaxAge := flag.Duration("gc-max-age", 0, "evict store objects not used within this window on each sweep (0 = budget-only GC)")
 	adminToken := flag.String("admin-token", "", "enable /v1/admin endpoints for requests presenting this X-Cabt-Admin-Token (empty = disabled)")
+	journal := flag.String("journal", "", "durable batch journal path (default <cache-dir>/journal.cabt; \"none\" disables)")
+	leaseTTL := flag.Duration("lease-ttl", 15*time.Second, "distributed task lease TTL: an unheartbeated task is re-run elsewhere after this")
+	taskRetries := flag.Int("task-retries", 3, "distributed per-task delivery budget before the task is failed")
+	rateLimit := flag.Float64("rate-limit", 0, "per-tenant job submissions per second, 429 beyond (0 = unlimited)")
+	rateBurst := flag.Int("rate-burst", 10, "rate limiter burst size")
+	drainTimeout := flag.Duration("drain-timeout", 60*time.Second, "graceful-shutdown budget for in-flight batches on SIGTERM")
 	flag.Parse()
 
-	cfg := server.Config{Workers: *workers, AdminToken: *adminToken, RetainTTL: *retainTTL, RetainMax: *retainMax}
+	cfg := server.Config{
+		Workers: *workers, AdminToken: *adminToken,
+		RetainTTL: *retainTTL, RetainMax: *retainMax,
+		LeaseTTL: *leaseTTL, TaskRetries: *taskRetries,
+		RateLimit: *rateLimit, RateBurst: *rateBurst,
+	}
 	if *cacheDir != "" {
 		st, err := store.Open(*cacheDir, store.Options{MaxBytes: *cacheBudget})
 		if err != nil {
@@ -67,8 +92,24 @@ func main() {
 			fmt.Fprintf(os.Stderr, "cabt-serve: store GC every %v (max-age %v)\n", *gcInterval, *gcMaxAge)
 		}
 	}
+	switch {
+	case *journal == "none":
+	case *journal != "":
+		cfg.Journal = *journal
+	case *cacheDir != "":
+		cfg.Journal = filepath.Join(*cacheDir, "journal.cabt")
+	}
 
-	srv := &http.Server{Addr: *addr, Handler: server.New(cfg)}
+	farm, err := server.New(cfg)
+	if err != nil {
+		fail(err)
+	}
+	defer farm.Close()
+	if cfg.Journal != "" {
+		fmt.Fprintf(os.Stderr, "cabt-serve: journal %s\n", cfg.Journal)
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: farm}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
 	fmt.Fprintf(os.Stderr, "cabt-serve: listening on %s\n", *addr)
@@ -79,12 +120,18 @@ func main() {
 	case err := <-errc:
 		fail(err)
 	case s := <-sig:
-		fmt.Fprintf(os.Stderr, "cabt-serve: %v, shutting down\n", s)
-		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		fmt.Fprintf(os.Stderr, "cabt-serve: %v, draining\n", s)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 		defer cancel()
+		// Drain first — stop admitting, finish in-flight batches, flush
+		// the journal — then close the listener.
+		if err := farm.Drain(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "cabt-serve: %v\n", err)
+		}
 		if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 			fail(err)
 		}
+		fmt.Fprintln(os.Stderr, "cabt-serve: drained, exiting")
 	}
 }
 

@@ -5,14 +5,24 @@
 // asserts the warm pass was served from the translation cache. CI runs it
 // against a freshly started server with a temp -cache-dir.
 //
+// With -workers N it additionally spawns N in-process farm workers
+// against the server before submitting, so both passes run through the
+// distributed path: leased tasks, remote store reads/writes, results
+// still bit-identical to repro.Measure. The workers run ephemeral (no
+// in-memory cache reuse across tasks), so the warm pass must be served
+// by the remote store — the smoke fails if no remote-store hits are
+// observed.
+//
 // Usage:
 //
 //	cabt-serve -addr 127.0.0.1:8091 -cache-dir /tmp/cache &
 //	cabt-smoke -addr http://127.0.0.1:8091 -workloads gcd,sieve -levels 1,3
+//	cabt-smoke -addr http://127.0.0.1:8091 -workers 2   # distributed path
 package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -23,6 +33,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/simfarm/dist"
 	"repro/internal/simfarm/server"
 	"repro/internal/workload"
 )
@@ -32,6 +43,7 @@ func main() {
 	workloadsFlag := flag.String("workloads", "gcd,sieve", "comma-separated workloads to submit")
 	levelsFlag := flag.String("levels", "1,3", "comma-separated levels to submit")
 	timeout := flag.Duration("timeout", 2*time.Minute, "overall deadline")
+	nWorkers := flag.Int("workers", 0, "spawn this many in-process farm workers and smoke the distributed path")
 	flag.Parse()
 
 	workloads := strings.Split(*workloadsFlag, ",")
@@ -45,6 +57,8 @@ func main() {
 	client := &http.Client{Timeout: *timeout}
 	base := strings.TrimRight(*addr, "/")
 	waitReady(client, base, *timeout)
+
+	workers := startWorkers(client, base, *nWorkers, *timeout)
 
 	// Cold pass: submit, wait, verify against the direct path.
 	cold := submitAndWait(client, base, workloads, levels)
@@ -79,6 +93,83 @@ func main() {
 	}
 	fmt.Printf("cabt-smoke: warm pass ok — %d/%d jobs were cache hits (%.0f%% hit rate)\n",
 		warm.Stats.CacheHits, warm.Stats.Jobs, 100*warm.Stats.CacheHitRate)
+
+	// Distributed path: the workers must have carried the batches, and
+	// the warm pass must have been served from the remote store.
+	if len(workers) > 0 {
+		var done int64
+		var st dist.RemoteStoreStats
+		for _, w := range workers {
+			done += w.TasksDone()
+			s := w.StoreStats()
+			st.Loads += s.Loads
+			st.LocalHits += s.LocalHits
+			st.RemoteHits += s.RemoteHits
+			st.Misses += s.Misses
+			st.Puts += s.Puts
+			st.PutsSkipped += s.PutsSkipped
+		}
+		want := int64(2 * len(cold.Results))
+		if done != want {
+			fatalf("workers completed %d tasks, want %d (did the server run the batch locally?)", done, want)
+		}
+		if st.RemoteHits == 0 {
+			fatalf("warm pass produced no remote-store hits (store stats: %+v)", st)
+		}
+		fmt.Printf("cabt-smoke: distributed ok — %d workers ran %d tasks; store: %d remote hits, %d misses, %d puts\n",
+			len(workers), done, st.RemoteHits, st.Misses, st.Puts)
+	}
+}
+
+// startWorkers launches n in-process ephemeral workers and blocks until
+// the server reports them all live.
+func startWorkers(client *http.Client, base string, n int, timeout time.Duration) []*dist.Worker {
+	if n <= 0 {
+		return nil
+	}
+	workers := make([]*dist.Worker, n)
+	for i := range workers {
+		workers[i] = dist.NewWorker(dist.WorkerConfig{
+			Server:    base,
+			Name:      fmt.Sprintf("smoke-%d", i+1),
+			Client:    client,
+			Ephemeral: true,
+		})
+		go workers[i].Run(context.Background())
+	}
+	deadline := time.Now().Add(timeout)
+	for {
+		if live := metricValue(client, base, "cabt_workers_live"); live >= n {
+			fmt.Printf("cabt-smoke: %d workers live\n", live)
+			return workers
+		}
+		if time.Now().After(deadline) {
+			fatalf("server never reported %d live workers", n)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// metricValue scrapes one integer metric from GET /v1/metrics.
+func metricValue(client *http.Client, base, name string) int {
+	resp, err := client.Get(base + "/v1/metrics")
+	check(err)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		fatalf("GET /v1/metrics: HTTP %d", resp.StatusCode)
+	}
+	var body bytes.Buffer
+	_, err = body.ReadFrom(resp.Body)
+	check(err)
+	for _, ln := range strings.Split(body.String(), "\n") {
+		if v, ok := strings.CutPrefix(ln, name+" "); ok {
+			i, err := strconv.Atoi(strings.TrimSpace(v))
+			check(err)
+			return i
+		}
+	}
+	fatalf("metric %s not found in /v1/metrics", name)
+	return 0
 }
 
 // waitReady polls /v1/stats until the server answers.

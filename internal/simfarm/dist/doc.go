@@ -1,0 +1,36 @@
+// Package dist is the distribution layer of the simulation farm: the
+// pieces that turn cabt-serve from one process with in-memory job
+// records into a control plane with replaceable workers.
+//
+// It has three independent parts, composed by internal/simfarm/server:
+//
+//   - Journal: a durable, append-only, checksum-framed record of every
+//     batch (submitted/started/finished/failed), replayed on startup so
+//     the server survives a restart without losing finished job results.
+//     Any damaged tail — a torn write, a flipped bit — is truncated at
+//     the last intact record, mirroring the translation store's
+//     corruption tolerance.
+//
+//   - Queue: a leased work queue. Worker processes (cmd/cabt-worker)
+//     register, lease one task at a time, heartbeat while executing and
+//     complete with the result. A lease that is not heartbeat within its
+//     TTL expires and the task is requeued with a retry budget, so a
+//     kill -9'd worker's tasks are re-run elsewhere and the batch still
+//     completes. Tasks carry fully resolved simfarm.Job / simfarm.SoCJob
+//     specs (everything is exported and JSON-serializable), so workers
+//     never resolve names against registries that could drift.
+//
+//   - Store protocol: StoreServer serves the content-addressed
+//     translation store over HTTP (GET/PUT /v1/store/{key}) and
+//     RemoteStore is the worker-side client, a simfarm.ProgramStore
+//     whose levels are local memory (the TranslationCache above it), a
+//     local disk store, and the server's store over HTTP. Objects are
+//     immutable and addressed by their namespace-derived content key, so
+//     ETag is simply that key and If-None-Match revalidation short-
+//     circuits redundant transfers with 304.
+//
+// Everything is deterministic where it matters: a task executed on any
+// worker produces results bit-identical to the single-process farm
+// (repro.Measure stays the oracle), which is also what makes re-running
+// a lost worker's tasks safe.
+package dist

@@ -1,0 +1,298 @@
+package dist
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"repro/internal/simfarm"
+)
+
+// RecordType labels a journal record.
+type RecordType string
+
+// The batch lifecycle: every batch appends Submitted, then Started when
+// dispatch begins, then exactly one of Finished or Failed. Replay folds
+// records by batch ID, so duplicates and interleavings are harmless.
+const (
+	RecordSubmitted RecordType = "submitted"
+	RecordStarted   RecordType = "started"
+	RecordFinished  RecordType = "finished"
+	RecordFailed    RecordType = "failed"
+)
+
+// Record is one journal entry. Submitted carries the batch identity and
+// shape; Finished carries the full result payload — exactly what
+// GET /v1/jobs/{id} serves — so a replayed record answers queries
+// bit-identically to the pre-restart server. Failed carries the batch
+// error (a batch found Submitted-but-unfinished at replay is failed with
+// an "interrupted" error, since its in-memory execution died with the
+// old process).
+type Record struct {
+	Type   RecordType `json:"type"`
+	ID     string     `json:"id"`
+	Tenant string     `json:"tenant,omitempty"`
+	Kind   string     `json:"kind,omitempty"`
+	Jobs   int        `json:"jobs,omitempty"`
+	// Time is the event time: creation for Submitted/Started, completion
+	// for Finished/Failed.
+	Time  time.Time `json:"time"`
+	Error string    `json:"error,omitempty"`
+
+	Results []simfarm.Result    `json:"results,omitempty"`
+	Stats   *simfarm.BatchStats `json:"stats,omitempty"`
+
+	SoCResults []simfarm.SoCResult    `json:"soc_results,omitempty"`
+	SoCStats   *simfarm.SoCBatchStats `json:"soc_stats,omitempty"`
+}
+
+// journalMagic opens the file; the u32 version after it is negotiated
+// explicitly, like the store's object format.
+var journalMagic = [8]byte{'C', 'A', 'B', 'T', 'J', 'R', 'N', '\n'}
+
+const journalVersion = 1
+
+// frameHeaderSize is the per-record frame: payload length (u32 LE) then
+// CRC-32 (IEEE) of the payload.
+const frameHeaderSize = 8
+
+// maxRecordBytes bounds a single record (a finished sweep of thousands
+// of jobs is a few MB of JSON; 256 MB is far beyond any legitimate
+// record and keeps a garbage length field from allocating the world).
+const maxRecordBytes = 256 << 20
+
+// Journal is the durable batch journal: an append-only file of
+// checksum-framed JSON records. Opening replays it, repairing any
+// damaged tail by truncating to the last intact record — the crash
+// contract is that a torn append costs exactly the record being written,
+// never an earlier one. Append syncs the file, so a record returned to a
+// client as durable survives power loss. A Journal is safe for
+// concurrent use.
+type Journal struct {
+	mu      sync.Mutex
+	path    string
+	f       *os.File
+	records []Record
+	// repaired reports how many bytes of damaged tail open discarded.
+	repaired int64
+}
+
+// OpenJournal opens (creating if needed) the journal at path and replays
+// it. Every failure mode of the file body recovers: a missing file is
+// created, an unreadable header or foreign content restarts the journal
+// empty (the old bytes are discarded — they cannot be trusted framed),
+// and a damaged tail is truncated at the last intact record.
+func OpenJournal(path string) (*Journal, error) {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	j := &Journal{path: path, f: f}
+	if err := j.replay(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return j, nil
+}
+
+// replay scans the file, fills j.records, and truncates damage.
+func (j *Journal) replay() error {
+	data, err := io.ReadAll(j.f)
+	if err != nil {
+		return fmt.Errorf("journal: read: %w", err)
+	}
+	if len(data) == 0 {
+		return j.writeHeader()
+	}
+	if len(data) < len(journalMagic)+4 ||
+		string(data[:8]) != string(journalMagic[:]) ||
+		binary.LittleEndian.Uint32(data[8:12]) != journalVersion {
+		// Not a journal we can frame records out of: restart it. The
+		// store-dir layout makes collisions with foreign files unlikely;
+		// a truly corrupt header means nothing after it is trustworthy.
+		j.repaired = int64(len(data))
+		if err := j.f.Truncate(0); err != nil {
+			return fmt.Errorf("journal: truncate: %w", err)
+		}
+		if _, err := j.f.Seek(0, io.SeekStart); err != nil {
+			return fmt.Errorf("journal: %w", err)
+		}
+		return j.writeHeader()
+	}
+
+	off := len(journalMagic) + 4
+	good := off // end of the last intact record
+	for off < len(data) {
+		rest := data[off:]
+		if len(rest) < frameHeaderSize {
+			break // torn frame header
+		}
+		plen := binary.LittleEndian.Uint32(rest[:4])
+		sum := binary.LittleEndian.Uint32(rest[4:8])
+		if plen == 0 || plen > maxRecordBytes || int(plen) > len(rest)-frameHeaderSize {
+			break // absurd or truncated payload
+		}
+		payload := rest[frameHeaderSize : frameHeaderSize+int(plen)]
+		if crc32.ChecksumIEEE(payload) != sum {
+			break // corrupt record: nothing after it is trustworthy
+		}
+		var rec Record
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			break // framed but undecodable: same treatment
+		}
+		off += frameHeaderSize + int(plen)
+		good = off
+		j.records = append(j.records, rec)
+	}
+	if good < len(data) {
+		j.repaired = int64(len(data) - good)
+		if err := j.f.Truncate(int64(good)); err != nil {
+			return fmt.Errorf("journal: truncate damaged tail: %w", err)
+		}
+	}
+	if _, err := j.f.Seek(int64(good), io.SeekStart); err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	return nil
+}
+
+func (j *Journal) writeHeader() error {
+	var hdr [12]byte
+	copy(hdr[:8], journalMagic[:])
+	binary.LittleEndian.PutUint32(hdr[8:], journalVersion)
+	if _, err := j.f.Write(hdr[:]); err != nil {
+		return fmt.Errorf("journal: header: %w", err)
+	}
+	return nil
+}
+
+// Records returns the records replayed when the journal was opened
+// (records appended since open are not included — the opener already
+// knows them).
+func (j *Journal) Records() []Record {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return append([]Record(nil), j.records...)
+}
+
+// Repaired reports how many bytes of damaged tail the open discarded
+// (0 = the journal was intact).
+func (j *Journal) Repaired() int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.repaired
+}
+
+// Path returns the journal's file path.
+func (j *Journal) Path() string { return j.path }
+
+// Append durably appends one record: frame (length + CRC-32), payload,
+// then fsync, so the record survives a crash the moment Append returns.
+func (j *Journal) Append(rec Record) error {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("journal: encode: %w", err)
+	}
+	frame := make([]byte, frameHeaderSize, frameHeaderSize+len(payload))
+	binary.LittleEndian.PutUint32(frame[:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload))
+	frame = append(frame, payload...)
+
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return errors.New("journal: closed")
+	}
+	if _, err := j.f.Write(frame); err != nil {
+		return fmt.Errorf("journal: append: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("journal: sync: %w", err)
+	}
+	return nil
+}
+
+// Compact atomically rewrites the journal to contain exactly recs (in
+// order). The server calls it after replay with the records that
+// survived retention, so pruned batches stop being resurrected and the
+// file does not grow across restarts without bound. The rewrite is a
+// temp-file-plus-rename, so a crash mid-compaction leaves the previous
+// journal intact.
+func (j *Journal) Compact(recs []Record) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return errors.New("journal: closed")
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(j.path), ".tmp-journal-*")
+	if err != nil {
+		return fmt.Errorf("journal: compact: %w", err)
+	}
+	werr := func() error {
+		var hdr [12]byte
+		copy(hdr[:8], journalMagic[:])
+		binary.LittleEndian.PutUint32(hdr[8:], journalVersion)
+		if _, err := tmp.Write(hdr[:]); err != nil {
+			return err
+		}
+		for _, rec := range recs {
+			payload, err := json.Marshal(rec)
+			if err != nil {
+				return err
+			}
+			frame := make([]byte, frameHeaderSize, frameHeaderSize+len(payload))
+			binary.LittleEndian.PutUint32(frame[:4], uint32(len(payload)))
+			binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload))
+			if _, err := tmp.Write(append(frame, payload...)); err != nil {
+				return err
+			}
+		}
+		return tmp.Sync()
+	}()
+	if cerr := tmp.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr == nil {
+		werr = os.Rename(tmp.Name(), j.path)
+	}
+	if werr != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("journal: compact: %w", werr)
+	}
+	// Swap the handle to the new file, positioned at its end.
+	f, err := os.OpenFile(j.path, os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("journal: compact: reopen: %w", err)
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return fmt.Errorf("journal: compact: %w", err)
+	}
+	j.f.Close()
+	j.f = f
+	j.records = append([]Record(nil), recs...)
+	return nil
+}
+
+// Close releases the file handle. Records are already durable (Append
+// syncs), so Close is a teardown, not a flush point.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Close()
+	j.f = nil
+	return err
+}

@@ -1,0 +1,359 @@
+package dist
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// QueueConfig tunes the leased work queue. The zero value is usable:
+// 15 s leases, 3 attempts per task, workers considered gone after two
+// lease TTLs of silence, wall clock.
+type QueueConfig struct {
+	// LeaseTTL is how long a leased task stays assigned without a
+	// heartbeat before it is requeued.
+	LeaseTTL time.Duration
+	// MaxAttempts is the per-task delivery budget: a task whose lease
+	// expires or whose worker reports an execution failure is retried
+	// until it has been delivered MaxAttempts times, then failed.
+	MaxAttempts int
+	// WorkerTTL is how long a registered worker counts as live after its
+	// last contact (register, lease, heartbeat, complete).
+	WorkerTTL time.Duration
+	// Clock is the time source (tests inject a fake one).
+	Clock func() time.Time
+}
+
+const (
+	defaultLeaseTTL    = 15 * time.Second
+	defaultMaxAttempts = 3
+)
+
+// QueueStats is a point-in-time snapshot for /v1/metrics.
+type QueueStats struct {
+	Pending     int   // enqueued, waiting for a lease
+	Leased      int   // currently leased to a worker
+	LiveWorkers int   // workers heard from within WorkerTTL
+	Enqueued    int64 // tasks ever enqueued
+	Completed   int64 // tasks delivered with a worker result
+	Failed      int64 // tasks failed by the queue (budget exhausted, drain)
+	Expiries    int64 // leases lost to TTL expiry
+	Retries     int64 // requeues (expiry or worker-reported failure)
+}
+
+type workerState struct {
+	name     string
+	lastSeen time.Time
+}
+
+type queueTask struct {
+	task     Task
+	ch       chan<- TaskResult
+	worker   string // "" while pending
+	deadline time.Time
+	done     bool
+}
+
+// Queue is the in-memory leased work queue. Enqueue hands back a
+// channel that receives exactly one TaskResult per task — from a
+// worker's completion or synthesized by the queue when a task exhausts
+// its budget — so the dispatcher's collect loop never hangs on a lost
+// worker. Leases expire lazily: every operation first requeues any
+// leased task whose deadline has passed. Durability is deliberately not
+// the queue's job — the journal records batches, and an unfinished
+// batch is failed on restart, so the queue can stay simple and
+// in-memory.
+type Queue struct {
+	mu       sync.Mutex
+	cfg      QueueConfig
+	nextW    int
+	nextT    int
+	workers  map[string]*workerState
+	tasks    map[string]*queueTask
+	pending  []string // task IDs, lease order
+	draining bool
+
+	enqueued  int64
+	completed int64
+	failed    int64
+	expiries  int64
+	retries   int64
+}
+
+// NewQueue builds a queue, applying defaults for unset config fields.
+func NewQueue(cfg QueueConfig) *Queue {
+	if cfg.LeaseTTL <= 0 {
+		cfg.LeaseTTL = defaultLeaseTTL
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = defaultMaxAttempts
+	}
+	if cfg.WorkerTTL <= 0 {
+		cfg.WorkerTTL = 2 * cfg.LeaseTTL
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = time.Now
+	}
+	return &Queue{
+		cfg:     cfg,
+		workers: make(map[string]*workerState),
+		tasks:   make(map[string]*queueTask),
+	}
+}
+
+// LeaseTTL returns the queue's lease duration (advertised to workers at
+// registration).
+func (q *Queue) LeaseTTL() time.Duration { return q.cfg.LeaseTTL }
+
+// Register adds a worker and returns its queue-assigned ID.
+func (q *Queue) Register(name string) string {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.nextW++
+	id := fmt.Sprintf("w-%d", q.nextW)
+	q.workers[id] = &workerState{name: name, lastSeen: q.cfg.Clock()}
+	return id
+}
+
+// LiveWorkers reports how many workers have been heard from within
+// WorkerTTL. The dispatcher uses it to choose distributed over local
+// execution.
+func (q *Queue) LiveWorkers() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.liveWorkersLocked(q.cfg.Clock())
+}
+
+func (q *Queue) liveWorkersLocked(now time.Time) int {
+	n := 0
+	for _, w := range q.workers {
+		if now.Sub(w.lastSeen) <= q.cfg.WorkerTTL {
+			n++
+		}
+	}
+	return n
+}
+
+// Enqueue adds a batch of tasks and returns the channel their results
+// will be delivered on. The channel is buffered for the whole batch and
+// receives exactly len(tasks) sends, in completion order. Task IDs are
+// assigned here; the caller's Batch/Index/Kind/spec fields are
+// preserved. Enqueueing into a draining queue fails every task
+// immediately.
+func (q *Queue) Enqueue(tasks []Task) <-chan TaskResult {
+	ch := make(chan TaskResult, len(tasks))
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for i := range tasks {
+		q.nextT++
+		t := tasks[i]
+		t.ID = fmt.Sprintf("t-%d", q.nextT)
+		t.Attempt = 0
+		q.enqueued++
+		if q.draining {
+			q.failed++
+			ch <- TaskResult{TaskID: t.ID, Index: t.Index, Err: "queue draining"}
+			continue
+		}
+		q.tasks[t.ID] = &queueTask{task: t, ch: ch}
+		q.pending = append(q.pending, t.ID)
+	}
+	return ch
+}
+
+// Lease hands the worker the next pending task, or nil when the queue
+// is empty or draining. The returned task's Attempt is 1-based.
+func (q *Queue) Lease(workerID string) *Task {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	now := q.touch(workerID)
+	q.expireLocked(now)
+	if q.draining || len(q.pending) == 0 {
+		return nil
+	}
+	id := q.pending[0]
+	q.pending = q.pending[1:]
+	qt := q.tasks[id]
+	qt.worker = workerID
+	qt.deadline = now.Add(q.cfg.LeaseTTL)
+	qt.task.Attempt++
+	t := qt.task
+	return &t
+}
+
+// Heartbeat extends the worker's leases on the listed tasks and returns
+// the IDs it no longer holds (expired and requeued, or already
+// completed) so the worker can abandon them.
+func (q *Queue) Heartbeat(workerID string, taskIDs []string) (lost []string) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	now := q.touch(workerID)
+	q.expireLocked(now)
+	for _, id := range taskIDs {
+		qt, ok := q.tasks[id]
+		if !ok || qt.done || qt.worker != workerID {
+			lost = append(lost, id)
+			continue
+		}
+		qt.deadline = now.Add(q.cfg.LeaseTTL)
+	}
+	return lost
+}
+
+// Complete delivers a worker's result for a task. A completion is
+// accepted if the worker still holds the lease, or if the lease expired
+// but the task is back in pending un-leased — the work is done and
+// deterministic, so delivering it early is safe. It is rejected (false)
+// once the task has been completed or re-leased to another worker,
+// which is what prevents double delivery after an expiry race. A result
+// carrying a task-level execution error consumes an attempt and is
+// retried while budget remains.
+func (q *Queue) Complete(workerID string, res TaskResult) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	now := q.touch(workerID)
+	q.expireLocked(now)
+	qt, ok := q.tasks[res.TaskID]
+	if !ok || qt.done {
+		return false
+	}
+	if qt.worker != workerID && qt.worker != "" {
+		return false // re-leased elsewhere: the new holder owns delivery
+	}
+	if qt.worker == "" {
+		// Expired back to pending but not re-leased: accept, and drop it
+		// from the pending list.
+		q.unpend(res.TaskID)
+	}
+	if res.Err != "" && qt.task.Attempt < q.cfg.MaxAttempts && !q.draining {
+		// Worker-reported execution failure with budget left: requeue.
+		q.retries++
+		qt.worker = ""
+		q.pending = append([]string{res.TaskID}, q.pending...)
+		return true
+	}
+	qt.done = true
+	q.completed++
+	delete(q.tasks, res.TaskID)
+	res.Index = qt.task.Index
+	qt.ch <- res
+	return true
+}
+
+// Drain switches the queue into shutdown mode: no new leases are
+// granted, every pending un-leased task is failed immediately, and
+// in-flight leased tasks may still complete (the server waits for them
+// up to its drain timeout). Idempotent.
+func (q *Queue) Drain() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.draining {
+		return
+	}
+	q.draining = true
+	for _, id := range q.pending {
+		q.failTask(q.tasks[id], "queue draining")
+	}
+	q.pending = nil
+}
+
+// InFlight reports how many tasks are currently leased.
+func (q *Queue) InFlight() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.expireLocked(q.cfg.Clock())
+	n := 0
+	for _, qt := range q.tasks {
+		if !qt.done && qt.worker != "" {
+			n++
+		}
+	}
+	return n
+}
+
+// Expire requeues every lease whose deadline has passed. Expiry is also
+// performed lazily by every queue operation; a periodic Expire from the
+// server bounds requeue latency when no worker is talking to us.
+func (q *Queue) Expire() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.expireLocked(q.cfg.Clock())
+}
+
+// Stats snapshots the queue for /v1/metrics.
+func (q *Queue) Stats() QueueStats {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	now := q.cfg.Clock()
+	q.expireLocked(now)
+	st := QueueStats{
+		Pending:     len(q.pending),
+		LiveWorkers: q.liveWorkersLocked(now),
+		Enqueued:    q.enqueued,
+		Completed:   q.completed,
+		Failed:      q.failed,
+		Expiries:    q.expiries,
+		Retries:     q.retries,
+	}
+	for _, qt := range q.tasks {
+		if !qt.done && qt.worker != "" {
+			st.Leased++
+		}
+	}
+	return st
+}
+
+// touch records worker contact and returns now.
+func (q *Queue) touch(workerID string) time.Time {
+	now := q.cfg.Clock()
+	if w, ok := q.workers[workerID]; ok {
+		w.lastSeen = now
+	}
+	return now
+}
+
+// expireLocked requeues (or fails, once out of budget or draining)
+// every lease past its deadline. Callers hold q.mu.
+func (q *Queue) expireLocked(now time.Time) {
+	for id, qt := range q.tasks {
+		if qt.done || qt.worker == "" || now.Before(qt.deadline) {
+			continue
+		}
+		q.expiries++
+		qt.worker = ""
+		if q.draining {
+			q.failTask(qt, "queue draining")
+			continue
+		}
+		if qt.task.Attempt >= q.cfg.MaxAttempts {
+			q.failTask(qt, fmt.Sprintf("lease expired after %d attempts", qt.task.Attempt))
+			continue
+		}
+		q.retries++
+		// Requeue at the front: a retry should not wait behind the rest
+		// of the batch.
+		q.pending = append([]string{id}, q.pending...)
+	}
+}
+
+// failTask synthesizes a failure result for a task the queue gave up
+// on. Callers hold q.mu.
+func (q *Queue) failTask(qt *queueTask, msg string) {
+	if qt.done {
+		return
+	}
+	qt.done = true
+	q.failed++
+	delete(q.tasks, qt.task.ID)
+	qt.ch <- TaskResult{TaskID: qt.task.ID, Index: qt.task.Index, Err: msg}
+}
+
+// unpend removes id from the pending list. Callers hold q.mu.
+func (q *Queue) unpend(id string) {
+	for i, p := range q.pending {
+		if p == id {
+			q.pending = append(q.pending[:i], q.pending[i+1:]...)
+			return
+		}
+	}
+}

@@ -1,0 +1,335 @@
+package dist
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced time source.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Date(2026, 8, 7, 12, 0, 0, 0, time.UTC)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func newQueue(clk *fakeClock, maxAttempts int) *Queue {
+	return NewQueue(QueueConfig{
+		LeaseTTL:    10 * time.Second,
+		MaxAttempts: maxAttempts,
+		Clock:       clk.Now,
+	})
+}
+
+func simTasks(n int) []Task {
+	tasks := make([]Task, n)
+	for i := range tasks {
+		tasks[i] = Task{Batch: "job-1", Index: i, Kind: KindSim}
+	}
+	return tasks
+}
+
+// recv pops one result without blocking forever.
+func recv(t *testing.T, ch <-chan TaskResult) TaskResult {
+	t.Helper()
+	select {
+	case r := <-ch:
+		return r
+	case <-time.After(5 * time.Second):
+		t.Fatal("no result delivered")
+		panic("unreachable")
+	}
+}
+
+func TestQueueLeaseComplete(t *testing.T) {
+	clk := newFakeClock()
+	q := newQueue(clk, 3)
+	w1 := q.Register("alpha")
+	w2 := q.Register("beta")
+	if q.LiveWorkers() != 2 {
+		t.Fatalf("LiveWorkers = %d, want 2", q.LiveWorkers())
+	}
+
+	ch := q.Enqueue(simTasks(3))
+
+	// FIFO lease order, 1-based attempts, queue-assigned IDs.
+	t1 := q.Lease(w1)
+	t2 := q.Lease(w2)
+	if t1 == nil || t2 == nil {
+		t.Fatal("lease returned nil with pending tasks")
+	}
+	if t1.Index != 0 || t2.Index != 1 {
+		t.Fatalf("lease order: got indices %d, %d", t1.Index, t2.Index)
+	}
+	if t1.Attempt != 1 || t2.Attempt != 1 {
+		t.Fatalf("attempts: %d, %d, want 1, 1", t1.Attempt, t2.Attempt)
+	}
+	if t1.ID == "" || t1.ID == t2.ID {
+		t.Fatalf("bad task IDs %q, %q", t1.ID, t2.ID)
+	}
+
+	if !q.Complete(w1, TaskResult{TaskID: t1.ID, Worker: w1}) {
+		t.Fatal("Complete rejected a held lease")
+	}
+	r := recv(t, ch)
+	if r.Index != 0 {
+		t.Fatalf("result index = %d, want 0", r.Index)
+	}
+
+	t3 := q.Lease(w1)
+	if t3 == nil || t3.Index != 2 {
+		t.Fatalf("third lease = %+v, want index 2", t3)
+	}
+	if q.Lease(w2) != nil {
+		t.Fatal("lease of empty queue returned a task")
+	}
+	q.Complete(w2, TaskResult{TaskID: t2.ID})
+	q.Complete(w1, TaskResult{TaskID: t3.ID})
+	got := map[int]bool{r.Index: true}
+	got[recv(t, ch).Index] = true
+	got[recv(t, ch).Index] = true
+	if len(got) != 3 {
+		t.Fatalf("delivered indices %v, want {0,1,2}", got)
+	}
+
+	st := q.Stats()
+	if st.Completed != 3 || st.Pending != 0 || st.Leased != 0 || st.Failed != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestQueueLeaseExpiryRequeues(t *testing.T) {
+	clk := newFakeClock()
+	q := newQueue(clk, 3)
+	w1 := q.Register("doomed")
+	w2 := q.Register("survivor")
+	ch := q.Enqueue(simTasks(1))
+
+	t1 := q.Lease(w1)
+	// w1 is kill -9'd: no heartbeat. Past the TTL the task must be
+	// leasable by w2, with the attempt counter bumped.
+	clk.Advance(11 * time.Second)
+	t2 := q.Lease(w2)
+	if t2 == nil || t2.ID != t1.ID {
+		t.Fatalf("expired task not re-leased: %+v", t2)
+	}
+	if t2.Attempt != 2 {
+		t.Fatalf("attempt = %d, want 2", t2.Attempt)
+	}
+
+	// w1 rises from the dead and completes: must be rejected — w2 owns
+	// delivery now.
+	if q.Complete(w1, TaskResult{TaskID: t1.ID, Worker: w1}) {
+		t.Fatal("stale completion accepted after re-lease")
+	}
+	if !q.Complete(w2, TaskResult{TaskID: t2.ID, Worker: w2}) {
+		t.Fatal("live completion rejected")
+	}
+	r := recv(t, ch)
+	if r.Err != "" || r.Worker != w2 {
+		t.Fatalf("delivered %+v, want w2's result", r)
+	}
+	// Exactly one delivery.
+	select {
+	case r := <-ch:
+		t.Fatalf("double delivery: %+v", r)
+	default:
+	}
+	st := q.Stats()
+	if st.Expiries != 1 || st.Retries != 1 {
+		t.Fatalf("stats %+v, want 1 expiry, 1 retry", st)
+	}
+}
+
+func TestQueueLateCompletionBeforeRelease(t *testing.T) {
+	// Lease expires but the original worker finishes before anyone else
+	// leases the task: the work is deterministic, accept it.
+	clk := newFakeClock()
+	q := newQueue(clk, 3)
+	w1 := q.Register("slow")
+	ch := q.Enqueue(simTasks(1))
+	t1 := q.Lease(w1)
+	clk.Advance(11 * time.Second)
+	if !q.Complete(w1, TaskResult{TaskID: t1.ID, Worker: w1}) {
+		t.Fatal("late completion of an un-re-leased task rejected")
+	}
+	if r := recv(t, ch); r.Err != "" {
+		t.Fatalf("delivered %+v", r)
+	}
+	// The requeued copy must not be leasable anymore.
+	if tk := q.Lease(w1); tk != nil {
+		t.Fatalf("completed task re-leased: %+v", tk)
+	}
+}
+
+func TestQueueAttemptBudgetExhaustion(t *testing.T) {
+	clk := newFakeClock()
+	q := newQueue(clk, 2)
+	w := q.Register("flaky")
+	ch := q.Enqueue(simTasks(1))
+
+	for attempt := 1; attempt <= 2; attempt++ {
+		tk := q.Lease(w)
+		if tk == nil || tk.Attempt != attempt {
+			t.Fatalf("lease %d: %+v", attempt, tk)
+		}
+		clk.Advance(11 * time.Second)
+	}
+	// Third expiry check synthesizes the failure (any op triggers it).
+	q.Expire()
+	r := recv(t, ch)
+	if !strings.Contains(r.Err, "lease expired after 2 attempts") {
+		t.Fatalf("failure result %+v", r)
+	}
+	if st := q.Stats(); st.Failed != 1 || st.Completed != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestQueueWorkerErrorRetried(t *testing.T) {
+	clk := newFakeClock()
+	q := newQueue(clk, 2)
+	w := q.Register("w")
+	ch := q.Enqueue(simTasks(1))
+
+	t1 := q.Lease(w)
+	if !q.Complete(w, TaskResult{TaskID: t1.ID, Err: "transient: store unreachable"}) {
+		t.Fatal("error completion rejected")
+	}
+	// Budget left: retried, not delivered.
+	select {
+	case r := <-ch:
+		t.Fatalf("error delivered with retry budget left: %+v", r)
+	default:
+	}
+	t2 := q.Lease(w)
+	if t2 == nil || t2.ID != t1.ID || t2.Attempt != 2 {
+		t.Fatalf("retry lease %+v", t2)
+	}
+	// Out of budget: the error is delivered as-is.
+	if !q.Complete(w, TaskResult{TaskID: t2.ID, Err: "still broken"}) {
+		t.Fatal("final error completion rejected")
+	}
+	if r := recv(t, ch); r.Err != "still broken" {
+		t.Fatalf("delivered %+v", r)
+	}
+}
+
+func TestQueueHeartbeatExtendsLease(t *testing.T) {
+	clk := newFakeClock()
+	q := newQueue(clk, 3)
+	w1 := q.Register("steady")
+	w2 := q.Register("vulture")
+	ch := q.Enqueue(simTasks(1))
+	t1 := q.Lease(w1)
+
+	for range 5 {
+		clk.Advance(8 * time.Second) // inside each extended TTL
+		if lost := q.Heartbeat(w1, []string{t1.ID}); lost != nil {
+			t.Fatalf("heartbeat lost %v", lost)
+		}
+		if tk := q.Lease(w2); tk != nil {
+			t.Fatalf("heartbeat did not hold the lease: %+v leased", tk)
+		}
+	}
+	// Stop heartbeating: the lease dies and the heartbeat reports it.
+	clk.Advance(11 * time.Second)
+	lost := q.Heartbeat(w1, []string{t1.ID})
+	if len(lost) != 1 || lost[0] != t1.ID {
+		t.Fatalf("lost = %v, want [%s]", lost, t1.ID)
+	}
+	if tk := q.Lease(w2); tk == nil || tk.Attempt != 2 {
+		t.Fatalf("expired task not leasable: %+v", tk)
+	}
+	_ = ch
+}
+
+func TestQueueDrain(t *testing.T) {
+	clk := newFakeClock()
+	q := newQueue(clk, 3)
+	w := q.Register("w")
+	ch := q.Enqueue(simTasks(3))
+	t1 := q.Lease(w)
+
+	q.Drain()
+	q.Drain() // idempotent
+
+	// The two pending tasks fail instantly; the leased one stays out.
+	for range 2 {
+		if r := recv(t, ch); r.Err != "queue draining" {
+			t.Fatalf("pending task result %+v", r)
+		}
+	}
+	if tk := q.Lease(w); tk != nil {
+		t.Fatalf("drained queue leased %+v", tk)
+	}
+	if q.InFlight() != 1 {
+		t.Fatalf("InFlight = %d, want 1", q.InFlight())
+	}
+	// The in-flight task may still complete.
+	if !q.Complete(w, TaskResult{TaskID: t1.ID}) {
+		t.Fatal("in-flight completion rejected while draining")
+	}
+	if r := recv(t, ch); r.Err != "" {
+		t.Fatalf("in-flight result %+v", r)
+	}
+	if q.InFlight() != 0 {
+		t.Fatalf("InFlight = %d, want 0", q.InFlight())
+	}
+
+	// New batches fail wholesale.
+	ch2 := q.Enqueue(simTasks(2))
+	for range 2 {
+		if r := recv(t, ch2); r.Err != "queue draining" {
+			t.Fatalf("post-drain enqueue result %+v", r)
+		}
+	}
+}
+
+func TestQueueDrainFailsExpiredInFlight(t *testing.T) {
+	// A leased task whose worker dies during drain must fail, not hang.
+	clk := newFakeClock()
+	q := newQueue(clk, 3)
+	w := q.Register("w")
+	ch := q.Enqueue(simTasks(1))
+	q.Lease(w)
+	q.Drain()
+	clk.Advance(11 * time.Second)
+	q.Expire()
+	if r := recv(t, ch); r.Err != "queue draining" {
+		t.Fatalf("result %+v", r)
+	}
+}
+
+func TestQueueLiveWorkersExpire(t *testing.T) {
+	clk := newFakeClock()
+	q := newQueue(clk, 3) // WorkerTTL defaults to 2×LeaseTTL = 20 s
+	w := q.Register("w")
+	q.Register("silent")
+	clk.Advance(15 * time.Second)
+	q.Heartbeat(w, nil) // only w stays in touch
+	clk.Advance(10 * time.Second)
+	if n := q.LiveWorkers(); n != 1 {
+		t.Fatalf("LiveWorkers = %d, want 1 (only the heartbeating one)", n)
+	}
+	clk.Advance(25 * time.Second)
+	if n := q.LiveWorkers(); n != 0 {
+		t.Fatalf("LiveWorkers = %d, want 0", n)
+	}
+}

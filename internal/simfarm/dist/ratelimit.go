@@ -1,0 +1,80 @@
+package dist
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// RateLimiter is a per-tenant token bucket for job submissions. Each
+// tenant gets burst tokens refilled at rate per second; Allow spends
+// one per submission. A rate <= 0 disables limiting entirely.
+type RateLimiter struct {
+	mu      sync.Mutex
+	rate    float64 // tokens per second
+	burst   float64
+	clock   func() time.Time
+	buckets map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// NewRateLimiter builds a limiter; clock nil means wall clock.
+func NewRateLimiter(rate float64, burst int, clock func() time.Time) *RateLimiter {
+	if clock == nil {
+		clock = time.Now
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	return &RateLimiter{
+		rate:    rate,
+		burst:   float64(burst),
+		clock:   clock,
+		buckets: make(map[string]*bucket),
+	}
+}
+
+// Allow spends one token of the tenant's bucket. When the bucket is
+// empty it reports false plus how long until a token is available —
+// the Retry-After value.
+func (l *RateLimiter) Allow(tenant string) (ok bool, retryAfter time.Duration) {
+	if l == nil || l.rate <= 0 {
+		return true, 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	now := l.clock()
+	b := l.buckets[tenant]
+	if b == nil {
+		l.maybePrune(now)
+		b = &bucket{tokens: l.burst, last: now}
+		l.buckets[tenant] = b
+	} else {
+		b.tokens = math.Min(l.burst, b.tokens+now.Sub(b.last).Seconds()*l.rate)
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	wait := time.Duration((1 - b.tokens) / l.rate * float64(time.Second))
+	return false, wait
+}
+
+// maybePrune drops buckets that have refilled completely — they carry
+// no state an absent entry would not — so the map tracks active
+// tenants, not every tenant ever seen. Callers hold l.mu.
+func (l *RateLimiter) maybePrune(now time.Time) {
+	if len(l.buckets) < 1024 {
+		return
+	}
+	for tenant, b := range l.buckets {
+		if b.tokens+now.Sub(b.last).Seconds()*l.rate >= l.burst {
+			delete(l.buckets, tenant)
+		}
+	}
+}

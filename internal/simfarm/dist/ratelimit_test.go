@@ -1,0 +1,80 @@
+package dist
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestRateLimiterBurstThenRefill(t *testing.T) {
+	clk := newFakeClock()
+	l := NewRateLimiter(1, 3, clk.Now) // 1 token/s, burst 3
+
+	for i := range 3 {
+		if ok, _ := l.Allow("acme"); !ok {
+			t.Fatalf("burst request %d denied", i)
+		}
+	}
+	ok, retry := l.Allow("acme")
+	if ok {
+		t.Fatal("request beyond burst allowed")
+	}
+	if retry <= 0 || retry > time.Second {
+		t.Fatalf("retryAfter = %v, want (0, 1s]", retry)
+	}
+
+	// Tenants are independent.
+	if ok, _ := l.Allow("globex"); !ok {
+		t.Fatal("fresh tenant denied")
+	}
+
+	// Waiting the advertised time makes the next request pass.
+	clk.Advance(retry)
+	if ok, _ := l.Allow("acme"); !ok {
+		t.Fatal("request denied after waiting Retry-After")
+	}
+	// ...but only one token refilled.
+	if ok, _ := l.Allow("acme"); ok {
+		t.Fatal("second request allowed after one token refill")
+	}
+
+	// Refill caps at burst.
+	clk.Advance(time.Hour)
+	for i := range 3 {
+		if ok, _ := l.Allow("acme"); !ok {
+			t.Fatalf("request %d denied after full refill", i)
+		}
+	}
+	if ok, _ := l.Allow("acme"); ok {
+		t.Fatal("refill exceeded burst")
+	}
+}
+
+func TestRateLimiterDisabled(t *testing.T) {
+	l := NewRateLimiter(0, 1, nil)
+	for range 100 {
+		if ok, _ := l.Allow("anyone"); !ok {
+			t.Fatal("disabled limiter denied a request")
+		}
+	}
+	var nilL *RateLimiter
+	if ok, _ := nilL.Allow("anyone"); !ok {
+		t.Fatal("nil limiter denied a request")
+	}
+}
+
+func TestRateLimiterPrunesIdleTenants(t *testing.T) {
+	clk := newFakeClock()
+	l := NewRateLimiter(10, 2, clk.Now)
+	for i := range 2000 {
+		l.Allow(fmt.Sprintf("tenant-%d", i))
+	}
+	clk.Advance(time.Minute) // everyone refills fully
+	l.Allow("trigger")       // prune runs on new-bucket creation
+	l.mu.Lock()
+	n := len(l.buckets)
+	l.mu.Unlock()
+	if n > 2 {
+		t.Fatalf("%d buckets retained after prune, want <= 2", n)
+	}
+}

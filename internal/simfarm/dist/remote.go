@@ -1,0 +1,169 @@
+package dist
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"net/http"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/simfarm/store"
+)
+
+// RemoteStore is the worker-side client of the store protocol: a
+// simfarm.ProgramStore whose backing levels are an optional local disk
+// store and the server's store over HTTP. Together with the in-memory
+// TranslationCache above it, a worker has three cache levels — memory,
+// local disk, server — each consulted in order and back-filled on a
+// hit from below. Keys are namespace-derived here (the server never
+// sees a logical key), and objects move as their exact on-disk framed
+// bytes, verified end to end on every hop.
+type RemoteStore struct {
+	base   string // server base URL, no trailing slash
+	ns     string // tenant namespace for key derivation
+	disk   *store.Store
+	client *http.Client
+
+	loads, localHits, remoteHits, misses atomic.Int64
+	puts, putsSkipped                    atomic.Int64
+}
+
+// NewRemoteStore builds a client for the store protocol at baseURL
+// (e.g. "http://127.0.0.1:8080"). ns scopes keys to a tenant ("" is
+// the shared default namespace, matching the server's own farms). disk
+// is an optional local store used as a second cache level; client nil
+// means http.DefaultClient.
+func NewRemoteStore(baseURL, ns string, disk *store.Store, client *http.Client) *RemoteStore {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	for len(baseURL) > 0 && baseURL[len(baseURL)-1] == '/' {
+		baseURL = baseURL[:len(baseURL)-1]
+	}
+	return &RemoteStore{base: baseURL, ns: ns, disk: disk, client: client}
+}
+
+// RemoteStoreStats is the client-side traffic snapshot.
+type RemoteStoreStats struct {
+	Loads       int64 `json:"loads"`
+	LocalHits   int64 `json:"local_hits"`
+	RemoteHits  int64 `json:"remote_hits"`
+	Misses      int64 `json:"misses"`
+	Puts        int64 `json:"puts"`
+	PutsSkipped int64 `json:"puts_skipped"` // avoided by If-None-Match revalidation
+}
+
+// Stats snapshots the traffic counters.
+func (rs *RemoteStore) Stats() RemoteStoreStats {
+	return RemoteStoreStats{
+		Loads:       rs.loads.Load(),
+		LocalHits:   rs.localHits.Load(),
+		RemoteHits:  rs.remoteHits.Load(),
+		Misses:      rs.misses.Load(),
+		Puts:        rs.puts.Load(),
+		PutsSkipped: rs.putsSkipped.Load(),
+	}
+}
+
+func (rs *RemoteStore) url(dk [sha256.Size]byte) string {
+	return rs.base + "/v1/store/" + hex.EncodeToString(dk[:])
+}
+
+// Load implements simfarm.ProgramStore: local disk first, then the
+// server. A remote hit is verified (the transfer could corrupt) and
+// back-filled to the local disk level so the next cold farm on this
+// machine never goes over the network for it.
+func (rs *RemoteStore) Load(key [sha256.Size]byte) (*core.Program, bool, error) {
+	rs.loads.Add(1)
+	dk := store.DeriveKey(rs.ns, key)
+	if rs.disk != nil {
+		if data, ok, err := rs.disk.LoadRaw(dk); err == nil && ok {
+			if prog, err := store.DecodeObject(dk, data); err == nil {
+				rs.localHits.Add(1)
+				return prog, true, nil
+			}
+		}
+	}
+
+	resp, err := rs.client.Get(rs.url(dk))
+	if err != nil {
+		return nil, false, fmt.Errorf("remote store: %w", err)
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusNotFound:
+		rs.misses.Add(1)
+		return nil, false, nil
+	default:
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, false, fmt.Errorf("remote store: GET %x: %s: %s", dk[:8], resp.Status, bytes.TrimSpace(body))
+	}
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxObjectBytes+1))
+	if err != nil {
+		return nil, false, fmt.Errorf("remote store: read %x: %w", dk[:8], err)
+	}
+	prog, err := store.DecodeObject(dk, data)
+	if err != nil {
+		// A corrupt transfer (or server) is a miss, like a corrupt local
+		// object: the worker re-translates and repairs it with a PUT.
+		rs.misses.Add(1)
+		return nil, false, nil
+	}
+	rs.remoteHits.Add(1)
+	if rs.disk != nil {
+		rs.disk.StoreRaw(dk, data) // best effort back-fill
+	}
+	return prog, true, nil
+}
+
+// Store implements simfarm.ProgramStore: encode once, write the local
+// disk level, then upload — unless an If-None-Match revalidation says
+// the server already holds the object (it is immutable, so any match
+// is definitive and the upload is skipped).
+func (rs *RemoteStore) Store(key [sha256.Size]byte, prog *core.Program) error {
+	dk := store.DeriveKey(rs.ns, key)
+	data, err := store.EncodeObject(dk, prog)
+	if err != nil {
+		return err
+	}
+	if rs.disk != nil {
+		rs.disk.StoreRaw(dk, data) // best effort
+	}
+
+	// Revalidate before uploading: a conditional GET with our ETag
+	// costs a 304 with no body when the server already has the object.
+	req, err := http.NewRequest(http.MethodGet, rs.url(dk), nil)
+	if err != nil {
+		return fmt.Errorf("remote store: %w", err)
+	}
+	req.Header.Set("If-None-Match", etag(dk))
+	if resp, err := rs.client.Do(req); err == nil {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, maxObjectBytes))
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusNotModified || resp.StatusCode == http.StatusOK {
+			rs.putsSkipped.Add(1)
+			return nil
+		}
+	}
+
+	put, err := http.NewRequest(http.MethodPut, rs.url(dk), bytes.NewReader(data))
+	if err != nil {
+		return fmt.Errorf("remote store: %w", err)
+	}
+	put.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := rs.client.Do(put)
+	if err != nil {
+		return fmt.Errorf("remote store: PUT %x: %w", dk[:8], err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("remote store: PUT %x: %s: %s", dk[:8], resp.Status, bytes.TrimSpace(body))
+	}
+	rs.puts.Add(1)
+	return nil
+}

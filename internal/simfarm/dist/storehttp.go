@@ -1,0 +1,151 @@
+package dist
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"net/http"
+	"sync/atomic"
+
+	"repro/internal/simfarm/store"
+)
+
+// maxObjectBytes bounds a PUT body; a translated program is well under
+// a megabyte of gob, so 64 MB is a generous ceiling, not a limit anyone
+// legitimate hits.
+const maxObjectBytes = 64 << 20
+
+// StoreServer serves a content-addressed translation store over HTTP:
+//
+//	GET /v1/store/{key}  -> 200 + object bytes, 304 on If-None-Match, 404 miss
+//	PUT /v1/store/{key}  -> 204 stored, 400 object does not verify
+//
+// {key} is the 64-hex namespace-derived on-disk key (see
+// store.DeriveKey); derivation happens on the worker, so the server
+// stays a dumb byte store and tenant isolation costs it nothing.
+// Objects are immutable — the key is a content address — so the ETag
+// is simply the quoted key and never changes, which makes
+// If-None-Match revalidation exact rather than heuristic.
+type StoreServer struct {
+	store *store.Store
+
+	gets, hits, misses, notModified atomic.Int64
+	puts, badPuts                   atomic.Int64
+}
+
+// NewStoreServer wraps st for HTTP serving. Raw keys bypass st's own
+// namespace, so any handle onto the right directory works.
+func NewStoreServer(st *store.Store) *StoreServer {
+	return &StoreServer{store: st}
+}
+
+// Register mounts the store protocol on mux.
+func (s *StoreServer) Register(mux *http.ServeMux) {
+	mux.HandleFunc("GET /v1/store/{key}", s.handleGet)
+	mux.HandleFunc("PUT /v1/store/{key}", s.handlePut)
+}
+
+// StoreServerStats is the server-side traffic snapshot for /v1/metrics.
+type StoreServerStats struct {
+	Gets        int64 // GET requests
+	Hits        int64 // GETs served with object bytes
+	Misses      int64 // GETs answered 404
+	NotModified int64 // GETs short-circuited 304
+	Puts        int64 // objects accepted
+	BadPuts     int64 // PUT bodies rejected by verification
+}
+
+// Stats snapshots the traffic counters.
+func (s *StoreServer) Stats() StoreServerStats {
+	return StoreServerStats{
+		Gets:        s.gets.Load(),
+		Hits:        s.hits.Load(),
+		Misses:      s.misses.Load(),
+		NotModified: s.notModified.Load(),
+		Puts:        s.puts.Load(),
+		BadPuts:     s.badPuts.Load(),
+	}
+}
+
+// parseKey decodes the 64-hex path key.
+func parseKey(r *http.Request) ([sha256.Size]byte, error) {
+	var dk [sha256.Size]byte
+	hx := r.PathValue("key")
+	if len(hx) != 2*sha256.Size {
+		return dk, fmt.Errorf("key must be %d hex characters", 2*sha256.Size)
+	}
+	raw, err := hex.DecodeString(hx)
+	if err != nil {
+		return dk, fmt.Errorf("key is not hex: %v", err)
+	}
+	copy(dk[:], raw)
+	return dk, nil
+}
+
+// etag returns the strong ETag of the (immutable) object at dk.
+func etag(dk [sha256.Size]byte) string {
+	return `"` + hex.EncodeToString(dk[:]) + `"`
+}
+
+func (s *StoreServer) handleGet(w http.ResponseWriter, r *http.Request) {
+	s.gets.Add(1)
+	dk, err := parseKey(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	data, ok, err := s.store.LoadRaw(dk)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	if !ok {
+		s.misses.Add(1)
+		http.Error(w, "object not found", http.StatusNotFound)
+		return
+	}
+	// The content address never changes, so a matching If-None-Match on
+	// an object we verifiably hold is a definitive 304 — the revalidation
+	// can never be stale, only short-circuited.
+	if r.Header.Get("If-None-Match") == etag(dk) {
+		s.notModified.Add(1)
+		w.Header().Set("ETag", etag(dk))
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	s.hits.Add(1)
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("ETag", etag(dk))
+	w.Header().Set("Cache-Control", "immutable")
+	w.Write(data)
+}
+
+func (s *StoreServer) handlePut(w http.ResponseWriter, r *http.Request) {
+	dk, err := parseKey(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	data, err := io.ReadAll(io.LimitReader(r.Body, maxObjectBytes+1))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(data) > maxObjectBytes {
+		s.badPuts.Add(1)
+		http.Error(w, "object too large", http.StatusRequestEntityTooLarge)
+		return
+	}
+	// StoreRaw verifies framing, embedded key, checksum and payload
+	// before writing, so a broken or malicious worker cannot plant an
+	// object another worker would later quarantine.
+	if err := s.store.StoreRaw(dk, data); err != nil {
+		s.badPuts.Add(1)
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	s.puts.Add(1)
+	w.Header().Set("ETag", etag(dk))
+	w.WriteHeader(http.StatusNoContent)
+}

@@ -1,0 +1,323 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/platform"
+	"repro/internal/simfarm"
+	"repro/internal/simfarm/store"
+)
+
+// WorkerConfig configures a Worker.
+type WorkerConfig struct {
+	// Server is the control plane's base URL ("http://host:port").
+	Server string
+	// Name labels the worker in registration (host-pid style); the
+	// server assigns the authoritative ID.
+	Name string
+	// Disk is an optional local store used as the middle cache level
+	// between farm memory and the server's store.
+	Disk *store.Store
+	// Client is the HTTP client; nil means http.DefaultClient.
+	Client *http.Client
+	// Poll is the idle sleep between empty leases (default 200 ms).
+	Poll time.Duration
+	// Engine selects the C6x host-execution engine for translated runs.
+	Engine platform.Engine
+	// Ephemeral discards the per-tenant farm (and with it the in-memory
+	// translation cache) after every task, so each task's translations
+	// come from the store levels. CI uses it to make remote-store
+	// traffic deterministic.
+	Ephemeral bool
+	// Logf receives progress lines; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+// Worker is one farm worker process: it registers with the control
+// plane, then leases tasks one at a time, executes them on a local
+// single-worker Farm whose translation cache reads and writes the
+// shared store over HTTP, heartbeats while executing, and reports the
+// result. Execution is exactly the in-process farm path — same Farm,
+// same engine, same verification against the reference ISS — so a
+// distributed batch is bit-identical to a local one.
+type Worker struct {
+	cfg WorkerConfig
+	id  string
+	ttl time.Duration
+
+	mu      sync.Mutex
+	farms   map[string]*simfarm.Farm
+	remotes map[string]*RemoteStore
+	done    int64
+}
+
+// NewWorker builds a worker (it does not contact the server yet).
+func NewWorker(cfg WorkerConfig) *Worker {
+	if cfg.Client == nil {
+		cfg.Client = http.DefaultClient
+	}
+	if cfg.Poll <= 0 {
+		cfg.Poll = 200 * time.Millisecond
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	return &Worker{
+		cfg:     cfg,
+		farms:   make(map[string]*simfarm.Farm),
+		remotes: make(map[string]*RemoteStore),
+	}
+}
+
+// ID returns the server-assigned worker ID ("" before Run registers).
+func (w *Worker) ID() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.id
+}
+
+// TasksDone reports how many tasks this worker has completed.
+func (w *Worker) TasksDone() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.done
+}
+
+// StoreStats aggregates remote-store traffic across tenants.
+func (w *Worker) StoreStats() RemoteStoreStats {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	var agg RemoteStoreStats
+	for _, rs := range w.remotes {
+		st := rs.Stats()
+		agg.Loads += st.Loads
+		agg.LocalHits += st.LocalHits
+		agg.RemoteHits += st.RemoteHits
+		agg.Misses += st.Misses
+		agg.Puts += st.Puts
+		agg.PutsSkipped += st.PutsSkipped
+	}
+	return agg
+}
+
+// Run registers and processes tasks until ctx is cancelled. A task in
+// flight at cancellation is finished and completed first — the graceful
+// half of shutdown; the abrupt half (kill -9) is what lease expiry is
+// for. Run returns nil on cancellation, an error only when
+// registration never succeeds.
+func (w *Worker) Run(ctx context.Context) error {
+	if err := w.register(ctx); err != nil {
+		return err
+	}
+	w.cfg.Logf("registered as %s (lease TTL %v)", w.id, w.ttl)
+	for {
+		if ctx.Err() != nil {
+			w.cfg.Logf("shutting down after %d tasks", w.TasksDone())
+			return nil
+		}
+		task, err := w.lease()
+		if err != nil {
+			w.cfg.Logf("lease: %v", err)
+			w.sleep(ctx)
+			continue
+		}
+		if task == nil {
+			w.sleep(ctx)
+			continue
+		}
+		res := w.execute(ctx, task)
+		if err := w.complete(res); err != nil {
+			w.cfg.Logf("complete %s: %v", task.ID, err)
+		}
+		w.mu.Lock()
+		w.done++
+		w.mu.Unlock()
+	}
+}
+
+// register retries registration until it succeeds or ctx ends, so a
+// worker started moments before its server comes up just waits.
+func (w *Worker) register(ctx context.Context) error {
+	for {
+		var resp RegisterResponse
+		err := w.post("/v1/workers/register", RegisterRequest{Name: w.cfg.Name}, &resp)
+		if err == nil {
+			w.mu.Lock()
+			w.id = resp.WorkerID
+			w.mu.Unlock()
+			w.ttl = resp.LeaseTTL
+			if w.ttl <= 0 {
+				w.ttl = defaultLeaseTTL
+			}
+			return nil
+		}
+		w.cfg.Logf("register: %v (retrying)", err)
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("worker: register: %w", err)
+		case <-time.After(w.cfg.Poll):
+		}
+	}
+}
+
+func (w *Worker) lease() (*Task, error) {
+	var resp LeaseResponse
+	if err := w.post("/v1/workers/"+w.id+"/lease", struct{}{}, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Task, nil
+}
+
+// execute runs one task on the tenant's farm, heartbeating at TTL/3
+// until the run finishes.
+func (w *Worker) execute(ctx context.Context, task *Task) TaskResult {
+	res := TaskResult{TaskID: task.ID, Index: task.Index, Worker: w.id}
+	w.cfg.Logf("task %s (%s, attempt %d)", task.ID, task.Kind, task.Attempt)
+
+	stop := w.heartbeat(ctx, task.ID)
+	defer stop()
+
+	farm := w.farm(task.Tenant)
+	switch {
+	case task.Kind == KindSim && task.Sim != nil:
+		results, _ := farm.Run([]simfarm.Job{*task.Sim})
+		r := results[0]
+		res.Sim = &r
+		res.CacheState = r.CacheOutcome()
+	case task.Kind == KindSoC && task.SoC != nil:
+		results, _ := farm.RunSoC([]simfarm.SoCJob{*task.SoC})
+		r := results[0]
+		res.SoC = &r
+		res.CacheHits, res.CacheMisses = r.CacheCounts()
+	default:
+		res.Err = fmt.Sprintf("malformed task: kind %q with no matching payload", task.Kind)
+	}
+	if w.cfg.Ephemeral {
+		w.mu.Lock()
+		delete(w.farms, task.Tenant)
+		w.mu.Unlock()
+	}
+	return res
+}
+
+// heartbeat keeps one task's lease alive until the returned stop
+// function is called (or ctx ends — a worker draining out still
+// heartbeats its last task through the drain).
+func (w *Worker) heartbeat(ctx context.Context, taskID string) (stop func()) {
+	done := make(chan struct{})
+	var once sync.Once
+	interval := w.ttl / 3
+	if interval <= 0 {
+		interval = defaultLeaseTTL / 3
+	}
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				var resp HeartbeatResponse
+				if err := w.post("/v1/workers/"+w.id+"/heartbeat", HeartbeatRequest{TaskIDs: []string{taskID}}, &resp); err != nil {
+					w.cfg.Logf("heartbeat %s: %v", taskID, err)
+				} else if len(resp.Lost) > 0 {
+					// The lease moved on; finish anyway — Complete will
+					// be accepted only if delivery is still ours.
+					w.cfg.Logf("lease %s lost", taskID)
+				}
+			}
+		}
+	}()
+	return func() { once.Do(func() { close(done) }) }
+}
+
+// complete reports a result, retrying transient transport errors; a
+// 409 (stale completion) is a clean non-error outcome.
+func (w *Worker) complete(res TaskResult) error {
+	var err error
+	for attempt := 0; attempt < 3; attempt++ {
+		if attempt > 0 {
+			time.Sleep(w.cfg.Poll)
+		}
+		err = w.post("/v1/workers/"+w.id+"/complete", res, nil)
+		if err == nil || isStale(err) {
+			return nil
+		}
+	}
+	return err
+}
+
+type staleError struct{ msg string }
+
+func (e *staleError) Error() string { return e.msg }
+
+func isStale(err error) bool {
+	_, ok := err.(*staleError)
+	return ok
+}
+
+// farm returns (building if needed) the tenant's single-worker farm,
+// backed by a translation cache whose persistent level is the remote
+// store under the tenant's namespace.
+func (w *Worker) farm(tenant string) *simfarm.Farm {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if f, ok := w.farms[tenant]; ok {
+		return f
+	}
+	rs, ok := w.remotes[tenant]
+	if !ok {
+		rs = NewRemoteStore(w.cfg.Server, tenant, w.cfg.Disk, w.cfg.Client)
+		w.remotes[tenant] = rs
+	}
+	f := simfarm.New(simfarm.Config{
+		Workers: 1,
+		Cache:   simfarm.NewPersistentTranslationCache(rs),
+		Engine:  w.cfg.Engine,
+	})
+	w.farms[tenant] = f
+	return f
+}
+
+// sleep waits one poll interval or until ctx ends.
+func (w *Worker) sleep(ctx context.Context) {
+	select {
+	case <-ctx.Done():
+	case <-time.After(w.cfg.Poll):
+	}
+}
+
+// post sends a JSON request and decodes a JSON response (out nil skips
+// decoding). Non-2xx statuses become errors; 409 becomes a staleError.
+func (w *Worker) post(path string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	resp, err := w.cfg.Client.Post(w.cfg.Server+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusConflict {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return &staleError{msg: string(bytes.TrimSpace(msg))}
+	}
+	if resp.StatusCode/100 != 2 {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("%s: %s: %s", path, resp.Status, bytes.TrimSpace(msg))
+	}
+	if out == nil {
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}

@@ -1,0 +1,78 @@
+package dist
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+)
+
+// WorkerAPI serves the worker protocol over a Queue:
+//
+//	POST /v1/workers/register       -> RegisterResponse
+//	POST /v1/workers/{id}/lease     -> LeaseResponse (task null when idle)
+//	POST /v1/workers/{id}/heartbeat -> HeartbeatResponse
+//	POST /v1/workers/{id}/complete  -> 204, or 409 for a stale completion
+//
+// It is mounted by internal/simfarm/server next to the job API; tests
+// mount it directly on a mux to exercise Worker against a bare Queue.
+type WorkerAPI struct {
+	Queue *Queue
+}
+
+// Register mounts the worker protocol on mux.
+func (a *WorkerAPI) Register(mux *http.ServeMux) {
+	mux.HandleFunc("POST /v1/workers/register", a.handleRegister)
+	mux.HandleFunc("POST /v1/workers/{id}/lease", a.handleLease)
+	mux.HandleFunc("POST /v1/workers/{id}/heartbeat", a.handleHeartbeat)
+	mux.HandleFunc("POST /v1/workers/{id}/complete", a.handleComplete)
+}
+
+func jsonOut(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+func jsonIn(w http.ResponseWriter, r *http.Request, v any) bool {
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxObjectBytes)).Decode(v); err != nil {
+		http.Error(w, fmt.Sprintf("bad request body: %v", err), http.StatusBadRequest)
+		return false
+	}
+	return true
+}
+
+func (a *WorkerAPI) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req RegisterRequest
+	if !jsonIn(w, r, &req) {
+		return
+	}
+	jsonOut(w, RegisterResponse{
+		WorkerID: a.Queue.Register(req.Name),
+		LeaseTTL: a.Queue.LeaseTTL(),
+	})
+}
+
+func (a *WorkerAPI) handleLease(w http.ResponseWriter, r *http.Request) {
+	jsonOut(w, LeaseResponse{Task: a.Queue.Lease(r.PathValue("id"))})
+}
+
+func (a *WorkerAPI) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var req HeartbeatRequest
+	if !jsonIn(w, r, &req) {
+		return
+	}
+	jsonOut(w, HeartbeatResponse{Lost: a.Queue.Heartbeat(r.PathValue("id"), req.TaskIDs)})
+}
+
+func (a *WorkerAPI) handleComplete(w http.ResponseWriter, r *http.Request) {
+	var res TaskResult
+	if !jsonIn(w, r, &res) {
+		return
+	}
+	if !a.Queue.Complete(r.PathValue("id"), res) {
+		// The lease moved on (expired and re-leased, or already
+		// completed); the worker just drops the result.
+		http.Error(w, "stale completion", http.StatusConflict)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}

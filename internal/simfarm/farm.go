@@ -168,10 +168,19 @@ func (f *Farm) Run(jobs []Job) ([]Result, BatchStats) {
 // Summarize computes the batch statistics for a set of results a caller
 // collected from Submit itself, with wall the batch's elapsed time.
 func (f *Farm) Summarize(results []Result, wall time.Duration) BatchStats {
-	bs := BatchStats{Jobs: len(results), Workers: f.workers, WallSeconds: wall.Seconds()}
+	return SummarizeResults(results, wall, f.workers)
+}
+
+// SummarizeResults computes batch statistics for results gathered from
+// any execution path — a local Farm batch or results collected from
+// remote workers (internal/simfarm/dist), where workers is the executor
+// count to report. Failures are recognized by Err or its wire form Error,
+// so results that crossed a JSON boundary (which drops Err) still count.
+func SummarizeResults(results []Result, wall time.Duration, workers int) BatchStats {
+	bs := BatchStats{Jobs: len(results), Workers: workers, WallSeconds: wall.Seconds()}
 	for i := range results {
 		r := &results[i]
-		if r.Err != nil {
+		if r.Err != nil || r.Error != "" {
 			bs.Failed++
 		}
 		switch r.cacheState {

@@ -71,6 +71,17 @@ type Result struct {
 	cacheState int
 }
 
+// CacheOutcome reports the job's translation-cache outcome for batch
+// accounting: 0 = the job never reached translation, 1 = cache hit,
+// 2 = cache miss. It exists so the distributed path can carry the
+// outcome over the wire (the field is deliberately not serialized with
+// the result) and restore it with SetCacheOutcome before summarizing.
+func (r *Result) CacheOutcome() int { return r.cacheState }
+
+// SetCacheOutcome restores a wire-transferred cache outcome; see
+// CacheOutcome.
+func (r *Result) SetCacheOutcome(state int) { r.cacheState = state }
+
 // BatchStats summarizes one Farm.Run batch.
 type BatchStats struct {
 	Jobs    int `json:"jobs"`

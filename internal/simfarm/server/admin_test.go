@@ -53,7 +53,7 @@ func TestAdminStoreAndGC(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(server.New(server.Config{Workers: 4, Store: st, AdminToken: "sekrit"}))
+	ts := httptest.NewServer(mustNew(t, server.Config{Workers: 4, Store: st, AdminToken: "sekrit"}))
 	t.Cleanup(ts.Close)
 	c := &client{t: t, base: ts.URL, http: ts.Client()}
 	admin := &adminClient{t: t, base: ts.URL, token: "sekrit", http: ts.Client()}
@@ -90,7 +90,7 @@ func TestAdminRequiresToken(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(server.New(server.Config{Workers: 1, Store: st, AdminToken: "sekrit"}))
+	ts := httptest.NewServer(mustNew(t, server.Config{Workers: 1, Store: st, AdminToken: "sekrit"}))
 	t.Cleanup(ts.Close)
 
 	noToken := &adminClient{t: t, base: ts.URL, http: ts.Client()}
@@ -101,7 +101,7 @@ func TestAdminRequiresToken(t *testing.T) {
 	badToken.do("GET", "/v1/admin/store", http.StatusForbidden, nil)
 	badToken.do("POST", "/v1/admin/gc", http.StatusForbidden, nil)
 
-	disabled := httptest.NewServer(server.New(server.Config{Workers: 1, Store: st}))
+	disabled := httptest.NewServer(mustNew(t, server.Config{Workers: 1, Store: st}))
 	t.Cleanup(disabled.Close)
 	d := &adminClient{t: t, base: disabled.URL, token: "anything", http: disabled.Client()}
 	d.do("GET", "/v1/admin/store", http.StatusForbidden, nil)
@@ -111,7 +111,7 @@ func TestAdminRequiresToken(t *testing.T) {
 // TestAdminWithoutStore: an authorized request against a server with no
 // persistent store answers 404 (nothing to administer).
 func TestAdminWithoutStore(t *testing.T) {
-	ts := httptest.NewServer(server.New(server.Config{Workers: 1, AdminToken: "sekrit"}))
+	ts := httptest.NewServer(mustNew(t, server.Config{Workers: 1, AdminToken: "sekrit"}))
 	t.Cleanup(ts.Close)
 	c := &adminClient{t: t, base: ts.URL, token: "sekrit", http: ts.Client()}
 	c.do("GET", "/v1/admin/store", http.StatusNotFound, nil)

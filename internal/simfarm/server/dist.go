@@ -1,0 +1,407 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/simfarm"
+	"repro/internal/simfarm/dist"
+)
+
+// This file is the server's distribution layer: dispatching batches to
+// the leased work queue when workers are registered, replaying the
+// durable journal on startup, the /v1/metrics endpoint, submission
+// admission (drain + rate limit) and graceful shutdown.
+
+// admitSubmission applies the submission gates shared by /v1/jobs and
+// /v1/soc-jobs: a draining server refuses new work outright (503, so a
+// load balancer retries elsewhere), and a tenant over its rate limit
+// gets 429 with Retry-After.
+func (s *Server) admitSubmission(w http.ResponseWriter, tenant string) bool {
+	if s.draining.Load() {
+		w.Header().Set("Retry-After", "5")
+		httpError(w, http.StatusServiceUnavailable, "server is draining")
+		return false
+	}
+	if ok, retry := s.limiter.Allow(tenant); !ok {
+		s.rateLimited.Add(1)
+		secs := int(math.Ceil(retry.Seconds()))
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		httpError(w, http.StatusTooManyRequests, "rate limit exceeded, retry in %ds", secs)
+		return false
+	}
+	return true
+}
+
+// journalAppend records rec if a journal is configured. Append failure
+// (disk full, yanked volume) must not fail the batch — the results
+// still live in memory — so it degrades to a logged warning.
+func (s *Server) journalAppend(rec dist.Record) {
+	if s.journal == nil {
+		return
+	}
+	if err := s.journal.Append(rec); err != nil {
+		log.Printf("simfarm server: journal: %v", err)
+	}
+}
+
+// replayJournal rebuilds the job table from the journal: fold records
+// by batch ID (duplicates are idempotent), fail batches that were still
+// running when the previous process died, apply retention, and compact
+// the file so it does not grow across restarts. Called from New before
+// the server accepts traffic.
+func (s *Server) replayJournal() {
+	now := s.now()
+	s.mu.Lock()
+	for _, r := range s.journal.Records() {
+		if n := idNumber(r.ID); n > s.nextID {
+			s.nextID = n
+		}
+		rec := s.jobs[r.ID]
+		if rec == nil {
+			// Normally created by the Submitted record; a Finished or
+			// Failed whose Submitted was lost to tail damage still
+			// carries everything the record needs.
+			rec = &jobRecord{id: r.ID, tenant: r.Tenant, created: r.Time, kind: r.Kind, jobs: r.Jobs, done: make(chan struct{})}
+			s.jobs[r.ID] = rec
+			s.submitted++
+		}
+		finished := func() bool {
+			select {
+			case <-rec.done:
+				return true
+			default:
+				return false
+			}
+		}
+		switch r.Type {
+		case dist.RecordSubmitted, dist.RecordStarted:
+			// Identity only; already folded above.
+		case dist.RecordFinished:
+			if finished() {
+				continue // duplicate replay
+			}
+			rec.results = r.Results
+			if r.Stats != nil {
+				rec.stats = *r.Stats
+			}
+			rec.socResults = r.SoCResults
+			if r.SoCStats != nil {
+				rec.socStats = *r.SoCStats
+			}
+			rec.finished = r.Time
+			close(rec.done)
+		case dist.RecordFailed:
+			if finished() {
+				continue
+			}
+			rec.err = r.Error
+			rec.finished = r.Time
+			close(rec.done)
+		}
+	}
+
+	// A batch submitted but never finished was executing in the previous
+	// process; its in-flight state died with it. Fail it durably so the
+	// submitter gets a definitive answer instead of "running" forever.
+	for _, rec := range s.jobs {
+		select {
+		case <-rec.done:
+		default:
+			rec.err = "interrupted by server restart"
+			rec.finished = now
+			close(rec.done)
+			s.journalAppend(dist.Record{
+				Type: dist.RecordFailed, ID: rec.id, Tenant: rec.tenant,
+				Kind: rec.kind, Jobs: rec.jobs, Time: now, Error: rec.err,
+			})
+		}
+	}
+
+	s.prune(now)
+
+	// Compact: rewrite the journal as exactly the surviving records, in
+	// ID order, two records per batch. Replayed-and-pruned batches stop
+	// being resurrected, and the file stays proportional to retention.
+	ids := make([]string, 0, len(s.jobs))
+	for id := range s.jobs {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return idNumber(ids[i]) < idNumber(ids[j]) })
+	var recs []dist.Record
+	for _, id := range ids {
+		rec := s.jobs[id]
+		recs = append(recs, dist.Record{
+			Type: dist.RecordSubmitted, ID: rec.id, Tenant: rec.tenant,
+			Kind: rec.kind, Jobs: rec.jobs, Time: rec.created,
+		})
+		jr := dist.Record{ID: rec.id, Tenant: rec.tenant, Kind: rec.kind, Jobs: rec.jobs, Time: rec.finished}
+		if rec.err != "" {
+			jr.Type = dist.RecordFailed
+			jr.Error = rec.err
+		} else {
+			jr.Type = dist.RecordFinished
+			if rec.kind == "soc" {
+				jr.SoCResults = rec.socResults
+				stats := rec.socStats
+				jr.SoCStats = &stats
+			} else {
+				jr.Results = rec.results
+				stats := rec.stats
+				jr.Stats = &stats
+			}
+		}
+		recs = append(recs, jr)
+	}
+	s.mu.Unlock()
+	if err := s.journal.Compact(recs); err != nil {
+		log.Printf("simfarm server: journal compact: %v", err)
+	}
+}
+
+// idNumber extracts N from "job-N" (0 when malformed).
+func idNumber(id string) int {
+	n, _ := strconv.Atoi(strings.TrimPrefix(id, "job-"))
+	return n
+}
+
+// startSweeper runs periodic lease expiry until the returned stop
+// function is called.
+func (s *Server) startSweeper() (stop func()) {
+	interval := s.queue.LeaseTTL() / 2
+	if interval < 50*time.Millisecond {
+		interval = 50 * time.Millisecond
+	}
+	done := make(chan struct{})
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				s.queue.Expire()
+			}
+		}
+	}()
+	return func() { close(done) }
+}
+
+// --- dispatch ---
+
+// distributed reports whether a batch should go to the worker queue:
+// only when at least one worker is live. The decision is taken once per
+// batch at submission; with no workers the server executes in-process
+// on the tenant's farm, bit-identical to the pre-distribution behavior.
+func (s *Server) distributed() bool {
+	return s.queue.LiveWorkers() > 0 && !s.draining.Load()
+}
+
+// runSim executes a single-core batch, distributed when workers are
+// available, locally otherwise.
+func (s *Server) runSim(rec *jobRecord, tenant string, jobs []simfarm.Job) ([]simfarm.Result, simfarm.BatchStats) {
+	if !s.distributed() {
+		return s.farm(tenant).Run(jobs)
+	}
+	s.journalAppend(dist.Record{Type: dist.RecordStarted, ID: rec.id, Tenant: tenant, Kind: rec.kind, Jobs: rec.jobs, Time: s.now()})
+	start := time.Now()
+	workers := s.queue.LiveWorkers()
+	tasks := make([]dist.Task, len(jobs))
+	for i := range jobs {
+		tasks[i] = dist.Task{Batch: rec.id, Index: i, Tenant: tenant, Kind: dist.KindSim, Sim: &jobs[i]}
+	}
+	results := make([]simfarm.Result, len(jobs))
+	ch := s.queue.Enqueue(tasks)
+	for range jobs {
+		tr := <-ch
+		if tr.Err != "" || tr.Sim == nil {
+			j := jobs[tr.Index]
+			msg := tr.Err
+			if msg == "" {
+				msg = "worker returned no result"
+			}
+			results[tr.Index] = simfarm.Result{
+				Index: tr.Index, Name: j.Workload.Name, Level: j.Options.Level,
+				Config: j.Config, Error: fmt.Sprintf("distributed execution failed: %s", msg),
+			}
+			continue
+		}
+		r := *tr.Sim
+		r.Index = tr.Index
+		r.SetCacheOutcome(tr.CacheState)
+		results[tr.Index] = r
+	}
+	return results, simfarm.SummarizeResults(results, time.Since(start), workers)
+}
+
+// runSoC is runSim for multi-core batches.
+func (s *Server) runSoC(rec *jobRecord, tenant string, jobs []simfarm.SoCJob) ([]simfarm.SoCResult, simfarm.SoCBatchStats) {
+	if !s.distributed() {
+		return s.farm(tenant).RunSoC(jobs)
+	}
+	s.journalAppend(dist.Record{Type: dist.RecordStarted, ID: rec.id, Tenant: tenant, Kind: rec.kind, Jobs: rec.jobs, Time: s.now()})
+	start := time.Now()
+	workers := s.queue.LiveWorkers()
+	tasks := make([]dist.Task, len(jobs))
+	for i := range jobs {
+		tasks[i] = dist.Task{Batch: rec.id, Index: i, Tenant: tenant, Kind: dist.KindSoC, SoC: &jobs[i]}
+	}
+	results := make([]simfarm.SoCResult, len(jobs))
+	ch := s.queue.Enqueue(tasks)
+	for range jobs {
+		tr := <-ch
+		if tr.Err != "" || tr.SoC == nil {
+			j := jobs[tr.Index]
+			msg := tr.Err
+			if msg == "" {
+				msg = "worker returned no result"
+			}
+			results[tr.Index] = simfarm.SoCResult{
+				Index: tr.Index, Name: j.Name, Config: j.Config, CoreCount: len(j.Cores),
+				Quantum: j.Quantum, Arbitration: j.Arbitration.String(),
+				Error: fmt.Sprintf("distributed execution failed: %s", msg),
+			}
+			continue
+		}
+		r := *tr.SoC
+		r.Index = tr.Index
+		r.SetCacheCounts(tr.CacheHits, tr.CacheMisses)
+		results[tr.Index] = r
+	}
+	return results, simfarm.SummarizeSoCResults(results, time.Since(start), workers)
+}
+
+// --- shutdown ---
+
+// Drain gracefully quiesces the server: new submissions are refused
+// (503), the queue stops granting leases and fails its un-leased
+// backlog, and Drain waits — up to ctx — for every running batch to
+// finish and be journaled. In-flight distributed tasks complete on
+// their workers; in-flight local batches run to completion. After a
+// clean Drain, a restart replays every batch as finished.
+func (s *Server) Drain(ctx context.Context) error {
+	s.draining.Store(true)
+	s.queue.Drain()
+	s.mu.Lock()
+	running := make([]*jobRecord, 0)
+	for _, rec := range s.jobs {
+		select {
+		case <-rec.done:
+		default:
+			running = append(running, rec)
+		}
+	}
+	s.mu.Unlock()
+	for _, rec := range running {
+		select {
+		case <-rec.done:
+		case <-ctx.Done():
+			return fmt.Errorf("drain: %d batches still running: %w", stillRunning(running), ctx.Err())
+		}
+	}
+	return nil
+}
+
+func stillRunning(recs []*jobRecord) int {
+	n := 0
+	for _, rec := range recs {
+		select {
+		case <-rec.done:
+		default:
+			n++
+		}
+	}
+	return n
+}
+
+// --- metrics ---
+
+// handleMetrics serves GET /v1/metrics in the text exposition format:
+// one "name value" line per counter, gauges and counters mixed, no
+// labels. It is an operator endpoint (scraped, not tenant-facing) and
+// deliberately discloses no tenant names.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var b strings.Builder
+	line := func(name string, value any) {
+		fmt.Fprintf(&b, "%s %v\n", name, value)
+	}
+
+	s.mu.Lock()
+	submitted := s.submitted
+	tenantCount := len(s.tenants)
+	var running, done, failed int
+	for _, rec := range s.jobs {
+		select {
+		case <-rec.done:
+			if rec.err != "" {
+				failed++
+			} else {
+				done++
+			}
+		default:
+			running++
+		}
+	}
+	s.mu.Unlock()
+
+	line("cabt_up", 1)
+	line("cabt_uptime_seconds", int64(time.Since(s.start).Seconds()))
+	line("cabt_draining", b2i(s.draining.Load()))
+	line("cabt_tenants", tenantCount)
+	line("cabt_jobs_submitted_total", submitted)
+	line("cabt_jobs_running", running)
+	line("cabt_jobs_done", done)
+	line("cabt_jobs_failed", failed)
+	line("cabt_rate_limited_total", s.rateLimited.Load())
+
+	qs := s.queue.Stats()
+	line("cabt_queue_pending", qs.Pending)
+	line("cabt_queue_leased", qs.Leased)
+	line("cabt_queue_enqueued_total", qs.Enqueued)
+	line("cabt_queue_completed_total", qs.Completed)
+	line("cabt_queue_failed_total", qs.Failed)
+	line("cabt_queue_lease_expiries_total", qs.Expiries)
+	line("cabt_queue_retries_total", qs.Retries)
+	line("cabt_workers_live", qs.LiveWorkers)
+
+	if s.cfg.Store != nil {
+		st := s.cfg.Store.Stats()
+		line("cabt_store_objects", st.Objects)
+		line("cabt_store_bytes", st.Bytes)
+		line("cabt_store_loads_total", st.Loads)
+		line("cabt_store_hits_total", st.Hits)
+		line("cabt_store_puts_total", st.Puts)
+		line("cabt_store_corrupt_total", st.Corrupt)
+		line("cabt_store_evictions_total", st.Evictions)
+	}
+	if s.storeSrv != nil {
+		ss := s.storeSrv.Stats()
+		line("cabt_store_remote_gets_total", ss.Gets)
+		line("cabt_store_remote_hits_total", ss.Hits)
+		line("cabt_store_remote_misses_total", ss.Misses)
+		line("cabt_store_remote_not_modified_total", ss.NotModified)
+		line("cabt_store_remote_puts_total", ss.Puts)
+		line("cabt_store_remote_bad_puts_total", ss.BadPuts)
+	}
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.Write([]byte(b.String()))
+}
+
+func b2i(v bool) int {
+	if v {
+		return 1
+	}
+	return 0
+}

@@ -31,7 +31,7 @@ func (c *fakeClock) Advance(d time.Duration) {
 
 func newServerCfg(t *testing.T, cfg server.Config) func(tenant string) *client {
 	t.Helper()
-	ts := httptest.NewServer(server.New(cfg))
+	ts := httptest.NewServer(mustNew(t, cfg))
 	t.Cleanup(ts.Close)
 	return func(tenant string) *client {
 		return &client{t: t, base: ts.URL, tenant: tenant, http: ts.Client()}

@@ -8,10 +8,12 @@ import (
 	"regexp"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/simfarm"
+	"repro/internal/simfarm/dist"
 	"repro/internal/simfarm/store"
 	"repro/internal/soc"
 	"repro/internal/workload"
@@ -42,6 +44,27 @@ type Config struct {
 	RetainMax int
 	// Clock overrides the retention clock (tests); nil = time.Now.
 	Clock func() time.Time
+
+	// Journal is the path of the durable batch journal. When set, every
+	// batch's submission and completion is recorded there and replayed on
+	// startup, so finished results survive a server restart. "" disables
+	// durability (records are in-memory only, as before).
+	Journal string
+
+	// LeaseTTL is the distributed task lease duration: a worker that
+	// stops heartbeating loses its task after this long and the task is
+	// re-run elsewhere (0 = the dist default, 15 s).
+	LeaseTTL time.Duration
+	// TaskRetries is the per-task delivery budget for distributed
+	// execution (0 = the dist default, 3).
+	TaskRetries int
+
+	// RateLimit caps each tenant's job submissions per second (token
+	// bucket of RateBurst capacity); beyond it submissions get 429 with
+	// Retry-After. 0 disables limiting.
+	RateLimit float64
+	// RateBurst is the rate limiter's burst size (minimum 1).
+	RateBurst int
 }
 
 // Server is the HTTP front-end of the simulation farm. Each tenant
@@ -52,6 +75,19 @@ type Server struct {
 	cfg   Config
 	mux   *http.ServeMux
 	start time.Time
+
+	// Distribution layer: queue and workerAPI always exist (a queue with
+	// no registered workers simply never wins the dispatch decision);
+	// journal, limiter and storeSrv are nil when unconfigured.
+	queue    *dist.Queue
+	journal  *dist.Journal
+	limiter  *dist.RateLimiter
+	storeSrv *dist.StoreServer
+
+	draining    atomic.Bool
+	rateLimited atomic.Int64
+	stopSweep   func()
+	closeOnce   sync.Once
 
 	mu      sync.Mutex
 	tenants map[string]*simfarm.Farm
@@ -83,24 +119,71 @@ type jobRecord struct {
 
 	socResults []simfarm.SoCResult
 	socStats   simfarm.SoCBatchStats
+
+	// err marks a batch that never produced results (today: interrupted
+	// by a server restart, or rejected wholesale by a draining queue).
+	err string
 }
 
-// New builds a server.
-func New(cfg Config) *Server {
+// New builds a server. The only error source is the journal: an
+// unusable journal file (unreadable directory, I/O error) refuses to
+// start rather than silently running without durability.
+func New(cfg Config) (*Server, error) {
 	s := &Server{
 		cfg:     cfg,
 		mux:     http.NewServeMux(),
 		start:   time.Now(),
+		queue:   dist.NewQueue(dist.QueueConfig{LeaseTTL: cfg.LeaseTTL, MaxAttempts: cfg.TaskRetries, Clock: cfg.Clock}),
 		tenants: map[string]*simfarm.Farm{},
 		jobs:    map[string]*jobRecord{},
+	}
+	if cfg.RateLimit > 0 {
+		s.limiter = dist.NewRateLimiter(cfg.RateLimit, cfg.RateBurst, cfg.Clock)
 	}
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	s.mux.HandleFunc("POST /v1/soc-jobs", s.handleSoCSubmit)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /v1/admin/store", s.handleStoreStats)
 	s.mux.HandleFunc("POST /v1/admin/gc", s.handleGC)
-	return s
+	(&dist.WorkerAPI{Queue: s.queue}).Register(s.mux)
+	if cfg.Store != nil {
+		s.storeSrv = dist.NewStoreServer(cfg.Store)
+		s.storeSrv.Register(s.mux)
+	}
+	if cfg.Journal != "" {
+		j, err := dist.OpenJournal(cfg.Journal)
+		if err != nil {
+			return nil, err
+		}
+		s.journal = j
+		s.replayJournal()
+	}
+	if cfg.Clock == nil {
+		// Background lease-expiry sweep (expiry is also lazy on every
+		// queue operation; the sweep bounds requeue latency when no
+		// worker is talking to us). Tests with a fake clock drive expiry
+		// themselves.
+		s.stopSweep = s.startSweeper()
+	}
+	return s, nil
+}
+
+// Close releases the server's background resources (expiry sweeper,
+// journal handle). It does not drain — call Drain first for a graceful
+// shutdown. Idempotent.
+func (s *Server) Close() error {
+	var err error
+	s.closeOnce.Do(func() {
+		if s.stopSweep != nil {
+			s.stopSweep()
+		}
+		if s.journal != nil {
+			err = s.journal.Close()
+		}
+	})
+	return err
 }
 
 // now returns the retention clock's time.
@@ -242,6 +325,10 @@ type JobResponse struct {
 
 	SoCResults []simfarm.SoCResult    `json:"soc_results,omitempty"`
 	SoCStats   *simfarm.SoCBatchStats `json:"soc_stats,omitempty"`
+
+	// Error is set (with Status "failed") when the batch produced no
+	// results at all — e.g. it was running when the server restarted.
+	Error string `json:"error,omitempty"`
 }
 
 // TenantStats is one tenant's cumulative farm view.
@@ -275,6 +362,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "bad tenant %q: want [A-Za-z0-9._-]{0,64}", tenant)
 		return
 	}
+	if !s.admitSubmission(w, tenant) {
+		return
+	}
 	var req SubmitRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
 		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
@@ -287,18 +377,17 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 
 	rec := s.register(tenant, "sweep", len(jobs))
-	farm := s.farm(tenant)
 	go func() {
-		results, stats := farm.Run(jobs)
+		results, stats := s.runSim(rec, tenant, jobs)
 		rec.results, rec.stats = results, stats
-		rec.finished = s.now()
-		close(rec.done)
+		s.finish(rec)
 	}()
 
 	writeJSON(w, http.StatusAccepted, SubmitResponse{ID: rec.id, Status: "running", Jobs: len(jobs), URL: "/v1/jobs/" + rec.id})
 }
 
-// register files a new job record under the retention policy.
+// register files a new job record under the retention policy and
+// journals the submission.
 func (s *Server) register(tenant, kind string, jobs int) *jobRecord {
 	rec := &jobRecord{tenant: tenant, created: s.now(), kind: kind, jobs: jobs, done: make(chan struct{})}
 	s.mu.Lock()
@@ -308,7 +397,33 @@ func (s *Server) register(tenant, kind string, jobs int) *jobRecord {
 	rec.id = fmt.Sprintf("job-%d", s.nextID)
 	s.jobs[rec.id] = rec
 	s.mu.Unlock()
+	s.journalAppend(dist.Record{
+		Type: dist.RecordSubmitted, ID: rec.id, Tenant: tenant,
+		Kind: kind, Jobs: jobs, Time: rec.created,
+	})
 	return rec
+}
+
+// finish stamps a completed record, journals the full result payload,
+// and wakes waiters. Results/stats (or socResults/socStats) must be
+// populated before the call.
+func (s *Server) finish(rec *jobRecord) {
+	rec.finished = s.now()
+	jr := dist.Record{
+		Type: dist.RecordFinished, ID: rec.id, Tenant: rec.tenant,
+		Kind: rec.kind, Jobs: rec.jobs, Time: rec.finished,
+	}
+	if rec.kind == "soc" {
+		jr.SoCResults = rec.socResults
+		stats := rec.socStats
+		jr.SoCStats = &stats
+	} else {
+		jr.Results = rec.results
+		stats := rec.stats
+		jr.Stats = &stats
+	}
+	s.journalAppend(jr)
+	close(rec.done)
 }
 
 // handleSoCSubmit accepts a multi-core SoC sweep.
@@ -316,6 +431,9 @@ func (s *Server) handleSoCSubmit(w http.ResponseWriter, r *http.Request) {
 	tenant := r.Header.Get(TenantHeader)
 	if !tenantRE.MatchString(tenant) {
 		httpError(w, http.StatusBadRequest, "bad tenant %q: want [A-Za-z0-9._-]{0,64}", tenant)
+		return
+	}
+	if !s.admitSubmission(w, tenant) {
 		return
 	}
 	var req SoCSubmitRequest
@@ -330,12 +448,10 @@ func (s *Server) handleSoCSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 
 	rec := s.register(tenant, "soc", len(jobs))
-	farm := s.farm(tenant)
 	go func() {
-		results, stats := farm.RunSoC(jobs)
+		results, stats := s.runSoC(rec, tenant, jobs)
 		rec.socResults, rec.socStats = results, stats
-		rec.finished = s.now()
-		close(rec.done)
+		s.finish(rec)
 	}()
 
 	writeJSON(w, http.StatusAccepted, SubmitResponse{ID: rec.id, Status: "running", Jobs: len(jobs), URL: "/v1/jobs/" + rec.id})
@@ -450,6 +566,11 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	resp := JobResponse{ID: rec.id, Tenant: rec.tenant, Status: "running", Kind: rec.kind, Created: rec.created, Jobs: rec.jobs}
 	select {
 	case <-rec.done:
+		if rec.err != "" {
+			resp.Status = "failed"
+			resp.Error = rec.err
+			break
+		}
 		resp.Status = "done"
 		if rec.kind == "soc" {
 			resp.SoCResults = rec.socResults

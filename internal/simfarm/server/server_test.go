@@ -22,9 +22,21 @@ type client struct {
 	http   *http.Client
 }
 
+// mustNew builds a server, failing the test on a journal error, and
+// releases its background resources at cleanup.
+func mustNew(t *testing.T, cfg server.Config) *server.Server {
+	t.Helper()
+	s, err := server.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
 func newServer(t *testing.T, st *store.Store) (*httptest.Server, func(tenant string) *client) {
 	t.Helper()
-	ts := httptest.NewServer(server.New(server.Config{Workers: 4, Store: st}))
+	ts := httptest.NewServer(mustNew(t, server.Config{Workers: 4, Store: st}))
 	t.Cleanup(ts.Close)
 	return ts, func(tenant string) *client {
 		return &client{t: t, base: ts.URL, tenant: tenant, http: ts.Client()}

@@ -74,6 +74,15 @@ type SoCResult struct {
 	cacheHits, cacheMisses int
 }
 
+// CacheCounts reports the job's translation-cache traffic (per-core hits
+// and misses) for batch accounting; like Result.CacheOutcome it exists so
+// the distributed path can carry the counts over the wire and restore
+// them with SetCacheCounts before summarizing.
+func (r *SoCResult) CacheCounts() (hits, misses int) { return r.cacheHits, r.cacheMisses }
+
+// SetCacheCounts restores wire-transferred cache counts; see CacheCounts.
+func (r *SoCResult) SetCacheCounts(hits, misses int) { r.cacheHits, r.cacheMisses = hits, misses }
+
 // SoCBatchStats summarizes one RunSoC batch.
 type SoCBatchStats struct {
 	Jobs    int `json:"jobs"`
@@ -122,10 +131,17 @@ func (f *Farm) RunSoC(jobs []SoCJob) ([]SoCResult, SoCBatchStats) {
 // SummarizeSoC computes the batch statistics for results collected from
 // SubmitSoC, with wall the batch's elapsed time.
 func (f *Farm) SummarizeSoC(results []SoCResult, wall time.Duration) SoCBatchStats {
-	bs := SoCBatchStats{Jobs: len(results), Workers: f.workers, WallSeconds: wall.Seconds()}
+	return SummarizeSoCResults(results, wall, f.workers)
+}
+
+// SummarizeSoCResults computes SoC batch statistics for results gathered
+// from any execution path (local farm or distributed workers), with
+// workers the executor count to report; see SummarizeResults.
+func SummarizeSoCResults(results []SoCResult, wall time.Duration, workers int) SoCBatchStats {
+	bs := SoCBatchStats{Jobs: len(results), Workers: workers, WallSeconds: wall.Seconds()}
 	for i := range results {
 		r := &results[i]
-		if r.Err != nil {
+		if r.Err != nil || r.Error != "" {
 			bs.Failed++
 		}
 		bs.CacheHits += int64(r.cacheHits)

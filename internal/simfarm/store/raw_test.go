@@ -1,0 +1,132 @@
+package store_test
+
+import (
+	"bytes"
+	"os"
+	"testing"
+
+	"repro/internal/simfarm/store"
+)
+
+// TestRawRoundTrip: LoadRaw returns the exact bytes an earlier Store
+// wrote, StoreRaw installs them verbatim in another store, and the
+// logical Load on the receiving side decodes the same program — the
+// byte-preserving path the remote store protocol depends on.
+func TestRawRoundTrip(t *testing.T) {
+	p := prog(t)
+	k := key("raw-round-trip")
+	src := open(t, t.TempDir(), store.Options{})
+	mustStore(t, src, k, p)
+
+	// Root namespace: the on-disk key is the logical key.
+	dk := store.DeriveKey("", k)
+	if dk != k {
+		t.Fatalf("root DeriveKey changed the key")
+	}
+	data, ok, err := src.LoadRaw(dk)
+	if err != nil || !ok {
+		t.Fatalf("LoadRaw = (ok=%v, err=%v)", ok, err)
+	}
+	onDisk, err2 := os.ReadFile(objectPath(t, src.Dir()))
+	if err2 != nil {
+		t.Fatal(err2)
+	}
+	if !bytes.Equal(data, onDisk) {
+		t.Fatal("LoadRaw bytes differ from the object file")
+	}
+
+	dst := open(t, t.TempDir(), store.Options{})
+	if err := dst.StoreRaw(dk, data); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := dst.Load(k)
+	if err != nil || !ok {
+		t.Fatalf("Load after StoreRaw = (ok=%v, err=%v)", ok, err)
+	}
+	wc6x, wgen := cycles(t, p)
+	gc6x, ggen := cycles(t, got)
+	if gc6x != wc6x || ggen != wgen {
+		t.Fatalf("raw-transferred program cycles (%d,%d) != original (%d,%d)", gc6x, ggen, wc6x, wgen)
+	}
+}
+
+// TestStoreRawRejectsBadObjects: StoreRaw never installs bytes that fail
+// verification — truncated, mis-keyed or bit-flipped objects are refused
+// before touching the disk.
+func TestStoreRawRejectsBadObjects(t *testing.T) {
+	p := prog(t)
+	k := key("raw-reject")
+	src := open(t, t.TempDir(), store.Options{})
+	mustStore(t, src, k, p)
+	data, ok, err := src.LoadRaw(k)
+	if err != nil || !ok {
+		t.Fatal("source object missing")
+	}
+
+	dst := open(t, t.TempDir(), store.Options{})
+	for _, tc := range []struct {
+		name string
+		dk   [32]byte
+		data []byte
+	}{
+		{"truncated", k, data[:len(data)-3]},
+		{"bit-flip", k, flip(data)},
+		{"wrong-key", key("some-other-address"), data},
+		{"empty", k, nil},
+	} {
+		if err := dst.StoreRaw(tc.dk, tc.data); err == nil {
+			t.Errorf("%s: StoreRaw accepted a bad object", tc.name)
+		}
+	}
+	if st := dst.Stats(); st.Objects != 0 || st.Puts != 0 {
+		t.Fatalf("rejected objects left state behind: %+v", st)
+	}
+}
+
+func flip(b []byte) []byte {
+	c := append([]byte(nil), b...)
+	c[len(c)-1] ^= 1
+	return c
+}
+
+// TestDeriveKeyMatchesNamespace: DeriveKey computes exactly the on-disk
+// key a Namespace view uses, so a remote worker addressing objects by
+// DeriveKey(tenant, key) reads what the server's namespaced view wrote.
+func TestDeriveKeyMatchesNamespace(t *testing.T) {
+	p := prog(t)
+	k := key("derive")
+	root := open(t, t.TempDir(), store.Options{})
+	mustStore(t, root.Namespace("tenant-a"), k, p)
+
+	dk := store.DeriveKey("tenant-a", k)
+	if dk == k {
+		t.Fatal("namespace derivation is the identity")
+	}
+	if data, ok, err := root.LoadRaw(dk); err != nil || !ok || len(data) == 0 {
+		t.Fatalf("LoadRaw(DeriveKey) = (ok=%v, err=%v)", ok, err)
+	}
+	if _, ok, _ := root.LoadRaw(k); ok {
+		t.Fatal("undeprived key resolved a namespaced object")
+	}
+}
+
+// TestEncodeDecodeObject: the exported framing round-trips and the
+// decoder rejects a frame addressed to the wrong key.
+func TestEncodeDecodeObject(t *testing.T) {
+	p := prog(t)
+	dk := key("frame")
+	data, err := store.EncodeObject(dk, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := store.DecodeObject(dk, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Level != p.Level || len(got.Blocks) != len(p.Blocks) {
+		t.Fatal("decoded program metadata mismatch")
+	}
+	if _, err := store.DecodeObject(key("other"), data); err == nil {
+		t.Fatal("DecodeObject accepted a mis-addressed frame")
+	}
+}

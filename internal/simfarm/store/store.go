@@ -130,19 +130,28 @@ func Open(dir string, opts Options) (*Store, error) {
 // root view.
 func (s *Store) Namespace(ns string) *Store { return &Store{ns: ns, st: s.st} }
 
-// derive maps a logical key into the namespace-scoped on-disk key.
-func (s *Store) derive(key [sha256.Size]byte) [sha256.Size]byte {
-	if s.ns == "" {
+// DeriveKey maps a logical key into namespace ns's on-disk key. It is a
+// pure function of (ns, key), so any process — a remote worker included —
+// computes the same on-disk address for the same logical object; the
+// remote store protocol (internal/simfarm/dist) addresses objects by this
+// derived key. ns "" is the root namespace (the identity derivation).
+func DeriveKey(ns string, key [sha256.Size]byte) [sha256.Size]byte {
+	if ns == "" {
 		return key
 	}
 	h := sha256.New()
 	io.WriteString(h, "cabt-store-namespace\x00")
-	io.WriteString(h, s.ns)
+	io.WriteString(h, ns)
 	h.Write([]byte{0})
 	h.Write(key[:])
 	var d [sha256.Size]byte
 	h.Sum(d[:0])
 	return d
+}
+
+// derive maps a logical key into the namespace-scoped on-disk key.
+func (s *Store) derive(key [sha256.Size]byte) [sha256.Size]byte {
+	return DeriveKey(s.ns, key)
 }
 
 // objectPath returns the sharded path of an on-disk key.
@@ -157,9 +166,24 @@ func (st *state) objectPath(key [sha256.Size]byte) string {
 // counted as corrupt, and also reported as a plain miss — the caller
 // re-translates and the next Store repairs the file.
 func (s *Store) Load(key [sha256.Size]byte) (*core.Program, bool, error) {
-	st := s.st
+	_, prog, ok, err := s.st.loadObject(s.derive(key))
+	return prog, ok, err
+}
+
+// LoadRaw reads the complete verified framed object stored under the
+// on-disk key dk (already namespace-derived — see DeriveKey; LoadRaw
+// never derives). It returns the exact file bytes, so the remote store
+// protocol serves objects byte-identically to what was written, and a
+// worker's local cache level stores what it fetched without a re-encode.
+// Verification, quarantine and traffic accounting are identical to Load.
+func (s *Store) LoadRaw(dk [sha256.Size]byte) ([]byte, bool, error) {
+	data, _, ok, err := s.st.loadObject(dk)
+	return data, ok, err
+}
+
+// loadObject reads, verifies and decodes the object at the on-disk key.
+func (st *state) loadObject(dk [sha256.Size]byte) ([]byte, *core.Program, bool, error) {
 	st.loads.Add(1)
-	dk := s.derive(key)
 	path := st.objectPath(dk)
 	data, err := os.ReadFile(path)
 	if errors.Is(err, fs.ErrNotExist) {
@@ -171,21 +195,21 @@ func (s *Store) Load(key [sha256.Size]byte) (*core.Program, bool, error) {
 			delete(st.index, dk)
 		}
 		st.mu.Unlock()
-		return nil, false, nil
+		return nil, nil, false, nil
 	}
 	if err != nil {
-		return nil, false, fmt.Errorf("store: load %x: %w", dk[:8], err)
+		return nil, nil, false, fmt.Errorf("store: load %x: %w", dk[:8], err)
 	}
 	prog, err := decodeObject(dk, data)
 	if err != nil {
 		st.quarantine(dk, path, err)
-		return nil, false, nil
+		return nil, nil, false, nil
 	}
 	st.hits.Add(1)
 	st.refresh(dk, path, int64(len(data)))
 	now := time.Now()
 	os.Chtimes(path, now, now) // keep mtime usable as LRU if the index is lost
-	return prog, true, nil
+	return data, prog, true, nil
 }
 
 // Store writes prog under key. The object is first written completely
@@ -193,12 +217,31 @@ func (s *Store) Load(key [sha256.Size]byte) (*core.Program, bool, error) {
 // into place, so concurrent readers and crashes only ever see complete
 // objects. Storing an already-present key rewrites it idempotently.
 func (s *Store) Store(key [sha256.Size]byte, prog *core.Program) error {
-	st := s.st
 	dk := s.derive(key)
-	data, err := encodeObject(dk, prog)
+	data, err := EncodeObject(dk, prog)
 	if err != nil {
 		return err
 	}
+	return s.st.writeObject(dk, data)
+}
+
+// StoreRaw writes a complete framed object under the on-disk key dk
+// (already namespace-derived; StoreRaw never derives). The bytes are
+// verified end to end — framing, embedded key, checksum, decodable
+// payload — before anything touches the disk, so a remote peer can never
+// plant an object that Load would later quarantine.
+func (s *Store) StoreRaw(dk [sha256.Size]byte, data []byte) error {
+	if _, err := decodeObject(dk, data); err != nil {
+		return fmt.Errorf("store: raw object %x does not verify: %w", dk[:8], err)
+	}
+	return s.st.writeObject(dk, data)
+}
+
+// writeObject atomically installs framed object bytes at their on-disk
+// key: complete write (and sync) to a temp file in the same directory,
+// then rename, so concurrent readers and crashes only ever see complete
+// objects.
+func (st *state) writeObject(dk [sha256.Size]byte, data []byte) error {
 	path := st.objectPath(dk)
 	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 		return fmt.Errorf("store: %w", err)
@@ -411,10 +454,12 @@ func (s *Store) Dir() string { return s.st.dir }
 
 // --- object encoding ---
 
-// encodeObject frames a gob-encoded program: header (magic, version, key,
+// EncodeObject frames a gob-encoded program: header (magic, version, key,
 // payload length, payload SHA-256) then payload. The key is part of the
-// header so a file renamed to the wrong address fails verification.
-func encodeObject(dk [sha256.Size]byte, prog *core.Program) ([]byte, error) {
+// header so a file renamed to the wrong address fails verification. dk is
+// the on-disk (namespace-derived) key; the framed bytes are what Store
+// writes, LoadRaw returns and the remote store protocol carries.
+func EncodeObject(dk [sha256.Size]byte, prog *core.Program) ([]byte, error) {
 	var payload bytes.Buffer
 	if err := gob.NewEncoder(&payload).Encode(prog); err != nil {
 		return nil, fmt.Errorf("store: encode program: %w", err)
@@ -428,6 +473,14 @@ func encodeObject(dk [sha256.Size]byte, prog *core.Program) ([]byte, error) {
 	buf = append(buf, sum[:]...)
 	buf = append(buf, payload.Bytes()...)
 	return buf, nil
+}
+
+// DecodeObject verifies framed object bytes end to end (magic, version,
+// embedded key, length, payload checksum) and decodes the program. Every
+// return path that is not a fully verified program is an error; callers
+// treat any error as corruption.
+func DecodeObject(dk [sha256.Size]byte, data []byte) (*core.Program, error) {
+	return decodeObject(dk, data)
 }
 
 // decodeObject verifies an object file end to end and decodes its
