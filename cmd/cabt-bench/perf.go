@@ -42,8 +42,14 @@ type perfReport struct {
 	NumCPU      int    `json:"num_cpu"`
 	// Table1SpeedupCompiledVsInterp is the headline: total wall time of
 	// the interpreted Table-1 matrix divided by the compiled one.
-	Table1SpeedupCompiledVsInterp float64     `json:"table1_speedup_compiled_vs_interp"`
-	Benchmarks                    []perfEntry `json:"benchmarks"`
+	Table1SpeedupCompiledVsInterp float64 `json:"table1_speedup_compiled_vs_interp"`
+	// SoCSpeedupParallelVsSequential is the speculative parallel
+	// scheduler's wall-time gain over the sequential scheduler on the
+	// same multi-core sweep. Bounded by NumCPU: on a single-CPU host it
+	// records the scheme's overhead (expect ≤ 1.0), on a multi-core host
+	// the speedup.
+	SoCSpeedupParallelVsSequential float64     `json:"soc_speedup_parallel_vs_sequential"`
+	Benchmarks                     []perfEntry `json:"benchmarks"`
 }
 
 // measure runs op repeatedly for at least target, returning timing and
@@ -179,7 +185,7 @@ func writePerfJSON(path string, target time.Duration) error {
 
 	// Multi-core SoC throughput.
 	socJobs, err := simfarm.SoCSweepJobs([]string{"mc-pingpong"}, []int{4}, []int64{64},
-		[]soc.Arbitration{soc.RoundRobin}, core.Options{Level: core.Level2}, false)
+		[]soc.Arbitration{soc.RoundRobin}, core.Options{Level: core.Level2}, false, false)
 	if err != nil {
 		return err
 	}
@@ -195,7 +201,7 @@ func writePerfJSON(path string, target time.Duration) error {
 	// of mailbox polling, so the trajectory tracks the delivery path's
 	// cost too.
 	irqJobs, err := simfarm.SoCSweepJobs([]string{"mc-irq-pingpong"}, []int{4}, []int64{64},
-		[]soc.Arbitration{soc.RoundRobin}, core.Options{Level: core.Level2}, false)
+		[]soc.Arbitration{soc.RoundRobin}, core.Options{Level: core.Level2}, false, false)
 	if err != nil {
 		return err
 	}
@@ -206,6 +212,39 @@ func writePerfJSON(path string, target time.Duration) error {
 		}
 		return bs.TotalCycles
 	}))
+
+	// Parallel-vs-sequential scheduler series: the same compute-heavy
+	// 4-core sweep point on both schedulers. The ratio of their wall
+	// times is the parallel scheduler's speedup, bounded above by the
+	// host's CPU count (see SoCSpeedupParallelVsSequential).
+	var seqNs, parNs float64
+	for _, par := range []bool{false, true} {
+		jobs, err := simfarm.SoCSweepJobs([]string{"mc-sieve"}, []int{4}, []int64{64},
+			[]soc.Arbitration{soc.RoundRobin}, core.Options{Level: core.Level2}, false, par)
+		if err != nil {
+			return err
+		}
+		label := "soc/mc-sieve-4c-q64-seq"
+		if par {
+			label = "soc/mc-sieve-4c-q64-par"
+		}
+		e := measure(label, target, func() int64 {
+			results, bs := farm.RunSoC(jobs)
+			if bs.Failed > 0 {
+				panic(fmt.Sprintf("%d SoC jobs failed: %v", bs.Failed, results[0].Error))
+			}
+			return bs.TotalCycles
+		})
+		add(e)
+		if par {
+			parNs = e.NsPerOp
+		} else {
+			seqNs = e.NsPerOp
+		}
+	}
+	if parNs > 0 {
+		report.SoCSpeedupParallelVsSequential = seqNs / parNs
+	}
 
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {

@@ -12,6 +12,8 @@
 //	cabt-soc -level 3 -workers 8 -json -      # full JSON report on stdout
 //	cabt-soc -iss                             # reference-ISS cores (oracle)
 //	cabt-soc -interp                          # interpreter engine (oracle)
+//	cabt-soc -parallel                        # speculative parallel scheduler
+//	                                            (bit-identical to sequential)
 //	cabt-soc -cache-dir ~/.cache/cabt         # persistent translation store
 //	cabt-soc -det                             # suppress host-timing output
 //	                                            (bit-identical across runs)
@@ -43,6 +45,7 @@ func main() {
 	useISS := flag.Bool("iss", false, "run every core on the reference ISS instead of the translated platform")
 	jsonOut := flag.String("json", "", "write the JSON report to this file ('-' = stdout)")
 	det := flag.Bool("det", false, "deterministic output: omit host wall-time figures (CI smoke)")
+	parallel := flag.Bool("parallel", false, "run each SoC on the speculative parallel scheduler (bit-identical results)")
 	interp := flag.Bool("interp", false, "run translated cores on the packet interpreter instead of the compiled engine")
 	cacheDir := flag.String("cache-dir", "", "persistent translation-cache store directory (empty = in-memory only)")
 	cacheBudget := flag.Int64("cache-budget", 0, "store size budget in bytes, LRU-evicted (0 = unbounded)")
@@ -75,7 +78,7 @@ func main() {
 	}
 
 	opts := core.Options{Level: core.Level(*level)}
-	jobs, err := simfarm.SoCSweepJobs(names, coreCounts, quanta, arbs, opts, *useISS)
+	jobs, err := simfarm.SoCSweepJobs(names, coreCounts, quanta, arbs, opts, *useISS, *parallel)
 	check(err)
 	if len(jobs) == 0 {
 		check(fmt.Errorf("empty sweep"))

@@ -84,6 +84,9 @@ type Sim struct {
 	dueBuf  []writeback // commit scratch
 	cstall  int64       // memory stall cycles of the current packet
 	cbrSeen bool        // a branch issued in the current packet
+
+	// Speculative-execution checkpoint (see checkpoint.go).
+	ck checkpoint
 }
 
 // NewSim builds a simulator for prog with the given memory system.

@@ -1,0 +1,61 @@
+package iss
+
+import "repro/internal/march"
+
+// This file is the speculative-execution hook of the reference
+// simulator: the multi-core scheduler (internal/soc) checkpoints a core
+// at a quantum boundary, lets it run speculatively, and either commits
+// (discarding the checkpoint) or rolls back to it. The small state —
+// architectural registers, pipeline, statistics — is saved by value;
+// RAM and debug output revert through the Memory undo journal, and the
+// I-cache through a reusable same-geometry copy.
+
+type checkpoint struct {
+	arch  Arch
+	pipe  march.Pipe
+	stats Stats
+	idled int64
+	valid bool
+}
+
+// Checkpoint saves the simulator's complete execution state and starts
+// journaling memory writes. Only one checkpoint is outstanding at a
+// time; a new one replaces the last.
+func (s *Sim) Checkpoint() {
+	s.ck.arch = s.Arch
+	s.ck.pipe = *s.pipe
+	s.ck.stats = s.stats
+	s.ck.idled = s.idled
+	if s.ckCache == nil {
+		s.ckCache = march.NewCache(s.icache.Geometry())
+	}
+	s.ckCache.CopyStateFrom(s.icache)
+	s.Arch.Mem.BeginJournal()
+	s.ck.valid = true
+}
+
+// CommitCheckpoint discards the outstanding checkpoint (the speculative
+// execution is kept).
+func (s *Sim) CommitCheckpoint() {
+	if !s.ck.valid {
+		return
+	}
+	s.Arch.Mem.DropJournal()
+	s.ck.valid = false
+}
+
+// Rollback restores the state saved by the last Checkpoint, exactly:
+// registers, PC, halt/interrupt/wait flags, pipeline timing, I-cache
+// lines and statistics, counters, RAM contents and debug output.
+func (s *Sim) Rollback() {
+	if !s.ck.valid {
+		return
+	}
+	s.Arch.Mem.RevertJournal()
+	s.Arch = s.ck.arch // Mem pointer is part of the copy and never changes
+	*s.pipe = s.ck.pipe
+	s.stats = s.ck.stats
+	s.idled = s.ck.idled
+	s.icache.CopyStateFrom(s.ckCache)
+	s.ck.valid = false
+}

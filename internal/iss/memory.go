@@ -59,6 +59,23 @@ type Memory struct {
 
 	// Output collects words written to the debug port.
 	Output []uint32
+
+	// Undo journal for speculative execution: while journaling, every
+	// region write records the bytes it overwrites, so a rollback can
+	// revert the RAM without copying it (the region is 1 MB; a quantum
+	// writes a handful of words). Debug-port output rolls back by
+	// truncation to outMark.
+	journaling bool
+	undo       []memUndo
+	outMark    int
+}
+
+// memUndo is one journaled region write: the old bytes at (region, off).
+type memUndo struct {
+	region int32
+	size   int32
+	off    uint32
+	old    uint32
 }
 
 // NewMemory builds a memory with a read-only code region at codeBase and a
@@ -90,16 +107,52 @@ func (m *Memory) LoadImage(addr uint32, data []byte) error {
 }
 
 func (m *Memory) find(addr uint32, write bool) *region {
+	r, _ := m.findIdx(addr, write)
+	return r
+}
+
+func (m *Memory) findIdx(addr uint32, write bool) (*region, int) {
 	for i := range m.regions {
 		r := &m.regions[i]
 		if addr >= r.base && addr-r.base < uint32(len(r.data)) {
 			if write && !r.writable {
-				return nil
+				return nil, -1
 			}
-			return r
+			return r, i
 		}
 	}
-	return nil
+	return nil, -1
+}
+
+// BeginJournal starts recording write undo information (speculative
+// execution support). Any previous journal is discarded.
+func (m *Memory) BeginJournal() {
+	m.journaling = true
+	m.undo = m.undo[:0]
+	m.outMark = len(m.Output)
+}
+
+// DropJournal stops journaling and discards the records (the
+// speculation committed).
+func (m *Memory) DropJournal() {
+	m.journaling = false
+	m.undo = m.undo[:0]
+}
+
+// RevertJournal undoes every journaled write in reverse order and
+// truncates the debug-port output back to the journal start, then stops
+// journaling (the speculation rolled back).
+func (m *Memory) RevertJournal() {
+	for i := len(m.undo) - 1; i >= 0; i-- {
+		u := &m.undo[i]
+		data := m.regions[u.region].data
+		for b := int32(0); b < u.size; b++ {
+			data[u.off+uint32(b)] = byte(u.old >> (8 * b))
+		}
+	}
+	m.Output = m.Output[:m.outMark]
+	m.journaling = false
+	m.undo = m.undo[:0]
 }
 
 // IsIO reports whether addr lies in the memory-mapped I/O window.
@@ -140,11 +193,18 @@ func (m *Memory) Write(pc, addr uint32, val uint32, size int, cycle int64) error
 		}
 		return nil
 	}
-	r := m.find(addr, true)
+	r, ri := m.findIdx(addr, true)
 	if r == nil || addr-r.base+uint32(size) > uint32(len(r.data)) {
 		return &Fault{PC: pc, Addr: addr, Write: true}
 	}
 	off := addr - r.base
+	if m.journaling {
+		var old uint32
+		for i := 0; i < size; i++ {
+			old |= uint32(r.data[off+uint32(i)]) << (8 * i)
+		}
+		m.undo = append(m.undo, memUndo{region: int32(ri), size: int32(size), off: off, old: old})
+	}
 	for i := 0; i < size; i++ {
 		r.data[off+uint32(i)] = byte(val >> (8 * i))
 	}

@@ -62,6 +62,10 @@ type Sim struct {
 
 	// Trace, if non-nil, is called after every executed instruction.
 	Trace func(i tc32.Inst, cycle int64)
+
+	// Speculative-execution checkpoint (see checkpoint.go).
+	ck      checkpoint
+	ckCache *march.Cache
 }
 
 // New builds a simulator from an assembled ELF image.

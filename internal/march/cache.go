@@ -146,3 +146,17 @@ func (c *Cache) Snapshot() (valid []bool, tags []uint32, age []uint8) {
 	age = append([]uint8(nil), c.age...)
 	return valid, tags, age
 }
+
+// CopyStateFrom copies o's lines and statistics into c, reusing c's
+// backing arrays (checkpoint/rollback support for speculative
+// execution). The two caches must share a geometry.
+func (c *Cache) CopyStateFrom(o *Cache) {
+	if c.geom != o.geom {
+		panic("march: CopyStateFrom across cache geometries")
+	}
+	copy(c.valid, o.valid)
+	copy(c.tags, o.tags)
+	copy(c.age, o.age)
+	c.Hits = o.Hits
+	c.Misses = o.Misses
+}

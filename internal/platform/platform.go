@@ -167,6 +167,11 @@ type System struct {
 	l0Idle int64
 
 	engine Engine
+
+	// Speculative-execution checkpoint (see checkpoint.go).
+	ck         checkpoint
+	journaling bool
+	undo       []memUndo
 }
 
 // New builds a platform around a translated program, executing on the
@@ -317,9 +322,15 @@ func (sys *System) Load(addr uint32, size int, cycle int64) (uint32, int64, erro
 func (sys *System) Store(addr uint32, val uint32, size int, cycle int64) (int64, error) {
 	switch {
 	case addr >= sys.rBase && addr-sys.rBase+uint32(size) <= uint32(len(sys.ram)):
+		if sys.journaling {
+			sys.journal(false, sys.ram, addr-sys.rBase, size)
+		}
 		wr(sys.ram, addr-sys.rBase, val, size)
 		return cycle, nil
 	case sys.ctab != nil && addr >= sys.cBase && addr-sys.cBase+uint32(size) <= uint32(len(sys.ctab)):
+		if sys.journaling {
+			sys.journal(true, sys.ctab, addr-sys.cBase, size)
+		}
 		wr(sys.ctab, addr-sys.cBase, val, size)
 		return cycle, nil
 	case addr == core.SyncStart:

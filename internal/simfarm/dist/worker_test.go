@@ -134,7 +134,7 @@ func TestWorkerRunsSoCTask(t *testing.T) {
 	q, _, base := controlPlane(t, QueueConfig{LeaseTTL: 3 * time.Second})
 	startWorker(t, ctx, WorkerConfig{Server: base, Name: "w"})
 
-	jobs, err := simfarm.SoCSweepJobs([]string{"mc-sieve"}, []int{2}, []int64{100}, []soc.Arbitration{0}, core.Options{Level: core.Level1}, false)
+	jobs, err := simfarm.SoCSweepJobs([]string{"mc-sieve"}, []int{2}, []int64{100}, []soc.Arbitration{0}, core.Options{Level: core.Level1}, false, false)
 	if err != nil {
 		t.Fatal(err)
 	}

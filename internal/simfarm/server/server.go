@@ -307,6 +307,9 @@ type SoCSubmitRequest struct {
 	Arbitrations []string `json:"arbitrations,omitempty"` // default ["rr"]
 	Level        int      `json:"level"`
 	ISS          bool     `json:"iss,omitempty"`
+	// Parallel runs each SoC on the speculative parallel scheduler
+	// (bit-identical results to the sequential one).
+	Parallel bool `json:"parallel,omitempty"`
 }
 
 // JobResponse is the GET /v1/jobs/{id} body. Kind says which result set
@@ -488,7 +491,7 @@ func resolveSoC(req SoCSubmitRequest) ([]simfarm.SoCJob, error) {
 		arbs = append(arbs, a)
 	}
 	jobs, err := simfarm.SoCSweepJobs(req.Workloads, req.CoreCounts, req.Quanta, arbs,
-		core.Options{Level: core.Level(req.Level)}, req.ISS)
+		core.Options{Level: core.Level(req.Level)}, req.ISS, req.Parallel)
 	if err != nil {
 		return nil, err
 	}

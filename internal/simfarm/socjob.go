@@ -35,6 +35,9 @@ type SoCJob struct {
 	Quantum       int64
 	Arbitration   soc.Arbitration
 	BusBusyCycles int64
+	// Parallel runs the SoC on the speculative parallel scheduler
+	// (bit-identical results; see soc.Config.Parallel).
+	Parallel bool
 }
 
 // SoCCoreResult is one core's measurement within a SoCResult.
@@ -185,6 +188,7 @@ func (f *Farm) runSoCJob(idx int, job SoCJob) SoCResult {
 		Arbitration:   job.Arbitration,
 		BusBusyCycles: job.BusBusyCycles,
 		Engine:        f.engine,
+		Parallel:      job.Parallel,
 	}
 	hits := make([]bool, len(job.Cores))
 	for i, spec := range job.Cores {
@@ -239,11 +243,11 @@ func (f *Farm) runSoCJob(idx int, job SoCJob) SoCResult {
 
 // SoCSweepJobs builds a sweep batch: the named multi-core workloads at
 // every core count × quantum × arbitration policy, all cores translated
-// under opts (or running the reference ISS when useISS is set).
-// Workloads unavailable at a core count (mc-pingpong below 2 cores) are
-// skipped. Jobs are in deterministic (workload, cores, quantum, policy)
-// order.
-func SoCSweepJobs(names []string, coreCounts []int, quanta []int64, arbs []soc.Arbitration, opts core.Options, useISS bool) ([]SoCJob, error) {
+// under opts (or running the reference ISS when useISS is set), on the
+// parallel scheduler when parallel is set. Workloads unavailable at a
+// core count (mc-pingpong below 2 cores) are skipped. Jobs are in
+// deterministic (workload, cores, quantum, policy) order.
+func SoCSweepJobs(names []string, coreCounts []int, quanta []int64, arbs []soc.Arbitration, opts core.Options, useISS, parallel bool) ([]SoCJob, error) {
 	var jobs []SoCJob
 	for _, name := range names {
 		for _, n := range coreCounts {
@@ -257,11 +261,16 @@ func SoCSweepJobs(names []string, coreCounts []int, quanta []int64, arbs []soc.A
 			mw, _ := workload.MCByName(name, n)
 			for _, q := range quanta {
 				for _, arb := range arbs {
+					config := fmt.Sprintf("%dc-q%d-%s", n, q, arb)
+					if parallel {
+						config += "-par"
+					}
 					job := SoCJob{
 						Name:        mw.Name,
-						Config:      fmt.Sprintf("%dc-q%d-%s", n, q, arb),
+						Config:      config,
 						Quantum:     q,
 						Arbitration: arb,
+						Parallel:    parallel,
 					}
 					for _, w := range mw.Cores {
 						job.Cores = append(job.Cores, SoCCoreSpec{Workload: w, UseISS: useISS, Options: opts})

@@ -14,7 +14,7 @@ import (
 func TestRunSoCBatch(t *testing.T) {
 	f := New(Config{Workers: 4})
 	jobs, err := SoCSweepJobs(workload.MCNames(), []int{2}, []int64{1, 32},
-		[]soc.Arbitration{soc.RoundRobin}, core.Options{Level: core.Level2}, false)
+		[]soc.Arbitration{soc.RoundRobin}, core.Options{Level: core.Level2}, false, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,15 +110,48 @@ func TestSoCJobFailure(t *testing.T) {
 // TestSoCSweepJobsSkips checks pingpong is skipped at 1 core and unknown
 // names are rejected.
 func TestSoCSweepJobsSkips(t *testing.T) {
-	jobs, err := SoCSweepJobs([]string{"mc-pingpong"}, []int{1, 2}, []int64{1}, []soc.Arbitration{soc.RoundRobin}, core.Options{}, true)
+	jobs, err := SoCSweepJobs([]string{"mc-pingpong"}, []int{1, 2}, []int64{1}, []soc.Arbitration{soc.RoundRobin}, core.Options{}, true, false)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(jobs) != 1 || len(jobs[0].Cores) != 2 {
 		t.Fatalf("jobs = %+v", jobs)
 	}
-	if _, err := SoCSweepJobs([]string{"nope"}, []int{2}, []int64{1}, []soc.Arbitration{soc.RoundRobin}, core.Options{}, true); err == nil ||
+	if _, err := SoCSweepJobs([]string{"nope"}, []int{2}, []int64{1}, []soc.Arbitration{soc.RoundRobin}, core.Options{}, true, false); err == nil ||
 		!strings.Contains(err.Error(), "unknown") {
 		t.Fatalf("expected unknown-workload error, got %v", err)
+	}
+}
+
+// TestSoCSweepJobsParallel checks the parallel flag is carried onto the
+// jobs and reflected in the config label, and that a parallel batch runs
+// to the same aggregates as the sequential one.
+func TestSoCSweepJobsParallel(t *testing.T) {
+	mk := func(parallel bool) []SoCJob {
+		jobs, err := SoCSweepJobs([]string{"mc-pingpong"}, []int{2}, []int64{16},
+			[]soc.Arbitration{soc.RoundRobin}, core.Options{Level: core.Level2}, false, parallel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return jobs
+	}
+	par := mk(true)
+	if len(par) != 1 || !par[0].Parallel || !strings.HasSuffix(par[0].Config, "-par") {
+		t.Fatalf("parallel sweep jobs = %+v", par)
+	}
+	seq := mk(false)
+	if seq[0].Parallel || strings.HasSuffix(seq[0].Config, "-par") {
+		t.Fatalf("sequential sweep jobs = %+v", seq)
+	}
+
+	f := New(Config{Workers: 2})
+	rs, ss := f.RunSoC(seq)
+	rp, sp := f.RunSoC(par)
+	if ss.Failed != 0 || sp.Failed != 0 {
+		t.Fatalf("failures: seq %+v par %+v (%s / %s)", ss, sp, rs[0].Error, rp[0].Error)
+	}
+	if rs[0].TotalCycles != rp[0].TotalCycles || rs[0].BusWaitCycles != rp[0].BusWaitCycles ||
+		rs[0].TotalInstructions != rp[0].TotalInstructions {
+		t.Errorf("parallel job diverged from sequential:\nseq %+v\npar %+v", rs[0], rp[0])
 	}
 }

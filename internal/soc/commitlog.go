@@ -1,0 +1,132 @@
+package soc
+
+import (
+	"fmt"
+
+	"repro/internal/socbus"
+)
+
+// busTxn is one logged shared-bus transaction of a scheduler lane: the
+// access itself plus its request and grant cycles. For a read, val is
+// the value the core observed — the commit replay asserts the live bus
+// produces the same one.
+type busTxn struct {
+	addr  uint32
+	val   uint32
+	write bool
+	req   int64
+	grant int64
+}
+
+// commitState is the per-quantum commit machinery of the parallel
+// scheduler. Cores commit in service order; the machinery tracks which
+// conflict granules the committed prefix has mutated, decides whether a
+// speculative lane's log is consistent with running after that prefix,
+// and replays consistent logs onto the live world.
+//
+// The rules, per transaction:
+//
+//   - a write mutates its granule; a read mutates it only if the device
+//     declares the offset side-effectful (mailbox DATA pop, IRQ CLAIM);
+//   - a lane conflicts if any of its transactions touches a granule the
+//     committed prefix mutated (reads would observe the mutation;
+//     writes may behave differently against mutated state — a mailbox
+//     post against a now-full slot);
+//   - a lane also conflicts if its bus grants would not replay
+//     identically against the live arbiter (earlier cores reserved
+//     overlapping slots, so its wait-states — and therefore its timing
+//     — were wrong).
+//
+// A conflicting lane is rolled back and re-run against the live world,
+// which is exactly the sequential schedule for that lane.
+type commitState struct {
+	bus *socbus.Bus
+	arb *Arbiter
+
+	mutated map[uint64]struct{}
+	scratch *Arbiter
+
+	// extraMutation reports an additional granule mutated as a side
+	// effect of a write to addr — the SoC wires the mailbox→doorbell
+	// path here, so a post also marks the receiving core's interrupt
+	// block as mutated.
+	extraMutation func(addr uint32) (uint64, bool)
+}
+
+func newCommitState(bus *socbus.Bus, arb *Arbiter) *commitState {
+	return &commitState{bus: bus, arb: arb, mutated: make(map[uint64]struct{}), scratch: arb.clone()}
+}
+
+// reset clears the quantum's mutation set.
+func (cs *commitState) reset() {
+	clear(cs.mutated)
+}
+
+// noteMutations folds a committed (or directly-run) lane's mutations
+// into the quantum's mutation set.
+func (cs *commitState) noteMutations(txns []busTxn) {
+	for i := range txns {
+		t := &txns[i]
+		granule, readMutates := cs.bus.AccessMeta(t.addr)
+		if !t.write && !readMutates {
+			continue
+		}
+		cs.mutated[granule] = struct{}{}
+		if t.write && cs.extraMutation != nil {
+			if g, ok := cs.extraMutation(t.addr); ok {
+				cs.mutated[g] = struct{}{}
+			}
+		}
+	}
+}
+
+// conflicts reports whether any of the lane's transactions touches a
+// granule the committed prefix mutated.
+func (cs *commitState) conflicts(txns []busTxn) bool {
+	for i := range txns {
+		granule, _ := cs.bus.AccessMeta(txns[i].addr)
+		if _, hit := cs.mutated[granule]; hit {
+			return true
+		}
+	}
+	return false
+}
+
+// grantsMatch reports whether the lane's speculative bus grants replay
+// identically against the live arbiter, without mutating it.
+func (cs *commitState) grantsMatch(txns []busTxn) bool {
+	cs.scratch.copyStateFrom(cs.arb)
+	for i := range txns {
+		g := cs.scratch.slot(txns[i].req)
+		if g != txns[i].grant {
+			return false
+		}
+		cs.scratch.reserve(g)
+	}
+	return true
+}
+
+// replay commits a conflict-free lane: every logged transaction is
+// re-acquired and re-applied on the live world in lane order, which
+// lands device state, bus log, arbitration counters and statistics
+// exactly where the sequential schedule would have put them. Read
+// values are asserted against the speculation — a mismatch means the
+// conflict rules missed a dependency, which is a scheduler bug, never
+// a workload error.
+func (cs *commitState) replay(core int, txns []busTxn) error {
+	for i := range txns {
+		t := &txns[i]
+		g := cs.arb.acquire(core, t.req)
+		if g != t.grant {
+			return fmt.Errorf("parallel commit: grant diverged on replay (%#x: got %d, speculated %d)", t.addr, g, t.grant)
+		}
+		if t.write {
+			cs.bus.BusWrite32(t.addr, t.val, g)
+			continue
+		}
+		if v := cs.bus.BusRead32(t.addr, g); v != t.val {
+			return fmt.Errorf("parallel commit: read diverged on replay (%#x: got %#x, speculated %#x)", t.addr, v, t.val)
+		}
+	}
+	return nil
+}

@@ -57,10 +57,29 @@
 //
 // # Determinism
 //
-// The scheduler is strictly sequential: cores run one after another
-// within a quantum, in an order that depends only on (policy, quantum
-// index). No goroutines, no map iteration, no wall-clock input — a run is
-// bit-identical for any host GOMAXPROCS, which the package's tests
-// enforce together with quantum=1 vs quantum=k equivalence on race-free
-// workloads and translated-vs-ISS per-core differential runs.
+// The default scheduler is strictly sequential: cores run one after
+// another within a quantum, in an order that depends only on (policy,
+// quantum index). No goroutines, no map iteration, no wall-clock input —
+// a run is bit-identical for any host GOMAXPROCS, which the package's
+// tests enforce together with quantum=1 vs quantum=k equivalence on
+// race-free workloads and translated-vs-ISS per-core differential runs.
+//
+// # Parallel execution
+//
+// Config.Parallel switches to a speculative parallel scheduler that is
+// bit-identical to the sequential one — same outputs, cycle counts,
+// wait-state accounting, device statistics and bus log — at any
+// GOMAXPROCS. Each core runs its quantum on its own goroutine against a
+// private shadow of the shared world while recording its bus
+// transactions; cores then commit in sequential service order, a lane
+// committing cleanly only if its reads, arbiter grants and sampled IRQ
+// state are unaffected by everything committed before it (conflict
+// granules: per word of shared RAM and counters, per mailbox slot, per
+// core block of the interrupt controller; mutating reads count as
+// writes). Clean lanes replay their transaction log onto the live world;
+// conflicting lanes roll back via the engines' checkpoint/rollback hooks
+// and re-run sequentially. The differential torture matrix, a
+// property/fuzz harness over the commit log, and -race determinism
+// stress tests pin the equivalence with zero tolerance; see
+// docs/architecture.md, "Parallel SoC execution".
 package soc

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/platform"
+	"repro/internal/socbus"
 	"repro/internal/workload"
 )
 
@@ -258,6 +259,10 @@ func TestIRQConfigValidation(t *testing.T) {
 		{"negative-max-cycles", func(c *Config) { c.MaxCycles = -1 }},
 		{"iss-core-no-elf", func(c *Config) { c.Cores[0].ELF = nil }},
 		{"translated-core-no-input", func(c *Config) { c.Cores[0].ELF = nil; c.Cores[0].UseISS = false }},
+		{"parallel-unshadowable-device", func(c *Config) {
+			c.Parallel = true
+			c.ExtraDevices = []socbus.Device{opaqueDevice{}}
+		}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -272,7 +277,22 @@ func TestIRQConfigValidation(t *testing.T) {
 	if _, err := New(good()); err != nil {
 		t.Fatalf("good config rejected: %v", err)
 	}
+	// A shadowable extra device must pass under Parallel.
+	cfg := good()
+	cfg.Parallel = true
+	cfg.ExtraDevices = []socbus.Device{socbus.NewUART(4)}
+	if _, err := New(cfg); err != nil {
+		t.Fatalf("parallel config with shadowable device rejected: %v", err)
+	}
 }
+
+// opaqueDevice is a bus device without shadow support — the parallel
+// scheduler must reject it at Validate.
+type opaqueDevice struct{}
+
+func (opaqueDevice) Range() (uint32, uint32)                   { return 0xF0FF_0000, 0x100 }
+func (opaqueDevice) Read(off uint32, cycle int64) uint32       { return 0 }
+func (opaqueDevice) Write(off uint32, val uint32, cycle int64) {}
 
 // TestIRQAllWaitingDeadlock pins the fail-fast deadlock diagnosis: a
 // program that sleeps with no raiser must produce the deadlock error,

@@ -58,6 +58,10 @@ type Config struct {
 	// core (the zero value is platform.EngineCompiled; ISS cores are
 	// unaffected).
 	Engine platform.Engine
+	// Parallel runs the cores of each quantum speculatively on their own
+	// goroutines with deterministic commit (see parallel.go). Results
+	// are bit-identical to the sequential scheduler at any GOMAXPROCS.
+	Parallel bool
 }
 
 // CoreKind names how a core executes.
@@ -109,6 +113,14 @@ func (cfg *Config) Validate() error {
 			return fmt.Errorf("soc: %s: translated core needs an ELF or a Program", name)
 		}
 	}
+	if cfg.Parallel {
+		for _, d := range cfg.ExtraDevices {
+			if _, ok := d.(socbus.ShadowDevice); !ok {
+				base, _ := d.Range()
+				return fmt.Errorf("soc: parallel execution needs shadowable devices; %T at %#x is not a socbus.ShadowDevice", d, base)
+			}
+		}
+	}
 	return nil
 }
 
@@ -118,9 +130,45 @@ type coreState struct {
 	kind string
 	port *busPort
 
+	// irqSrc is the interrupt controller the core's IRQ line samples —
+	// normally the live controller, retargeted at a lane's shadow
+	// controller while the core runs speculatively.
+	irqSrc *socbus.IRQController
+
 	// Exactly one of the two is non-nil.
 	iss  *iss.Sim
 	plat *platform.System
+}
+
+// checkpoint saves the core's complete execution state through its
+// engine's hook.
+func (c *coreState) checkpoint() {
+	if c.iss != nil {
+		c.iss.Checkpoint()
+		return
+	}
+	c.plat.Checkpoint()
+}
+
+// commitCheckpoint discards the outstanding checkpoint.
+func (c *coreState) commitCheckpoint() {
+	if c.iss != nil {
+		c.iss.CommitCheckpoint()
+		return
+	}
+	c.plat.CommitCheckpoint()
+}
+
+// rollback restores the state saved by checkpoint, including the bus
+// port's undrained wait-states (accumulated speculatively, never handed
+// to the timing model the checkpoint restored).
+func (c *coreState) rollback() {
+	if c.iss != nil {
+		c.iss.Rollback()
+	} else {
+		c.plat.Rollback()
+	}
+	c.port.pending = 0
 }
 
 // System is an assembled multi-core SoC.
@@ -144,6 +192,10 @@ type System struct {
 	cores  []*coreState
 	order  []int
 	quanta int64
+
+	// par is the lazily-built parallel-scheduler runtime (nil until the
+	// first parallel Run).
+	par *parRuntime
 }
 
 // New assembles a SoC from the configuration: builds the shared bus and
@@ -189,7 +241,7 @@ func New(cfg Config) (*System, error) {
 		if name == "" {
 			name = fmt.Sprintf("core%d", i)
 		}
-		cs := &coreState{name: name, port: &busPort{core: i, arb: s.Arb, bus: s.Bus}}
+		cs := &coreState{name: name, irqSrc: s.IRQ, port: &busPort{core: i, arb: s.Arb, bus: s.Bus}}
 		if cc.UseISS {
 			if cc.ELF == nil {
 				return nil, fmt.Errorf("soc: %s: ISS core needs an ELF", name)
@@ -204,7 +256,7 @@ func New(cfg Config) (*System, error) {
 			}
 			sim.AttachBus(cs.port)
 			core := i
-			sim.IRQLine = func() bool { return s.IRQ.Line(core) }
+			sim.IRQLine = func() bool { return cs.irqSrc.Line(core) }
 			cs.kind = KindISS
 			cs.iss = sim
 		} else {
@@ -222,7 +274,7 @@ func New(cfg Config) (*System, error) {
 			sys := platform.NewWithEngine(prog, cfg.Engine)
 			sys.Bus = cs.port
 			core := i
-			sys.IRQLine = func() bool { return s.IRQ.Line(core) }
+			sys.IRQLine = func() bool { return cs.irqSrc.Line(core) }
 			cs.kind = KindTranslated
 			cs.plat = sys
 		}
@@ -315,11 +367,30 @@ func (s *System) scheduleOrder(q int64) []int {
 	return s.order
 }
 
-// Run executes the SoC until every core has halted. The scheduler is
-// strictly sequential (see the package comment on determinism): each
-// quantum it services the cores one after another in arbitration order,
-// advancing each to the quantum's target cycle.
+// pruneSlack pads the arbiter's window-prune bound below the previous
+// quantum's start: a translated core's bus clock can sit one cycle
+// behind its region boundary (platform busNow is Sync.Total-1+corr), so
+// requests from the current quantum can be timestamped slightly before
+// its start. The slack keeps pruning strictly below any future request
+// time, which is what makes it grant-preserving.
+const pruneSlack = int64(4)
+
+// Run executes the SoC until every core has halted, on the sequential
+// scheduler — or, when Config.Parallel is set and there is more than
+// one core, on the speculative parallel scheduler, which is
+// bit-identical by construction (see parallel.go).
 func (s *System) Run() error {
+	if s.cfg.Parallel && len(s.cores) > 1 {
+		return s.runParallel()
+	}
+	return s.runSequential()
+}
+
+// runSequential is the strictly sequential scheduler (see the package
+// comment on determinism): each quantum it services the cores one after
+// another in arbitration order, advancing each to the quantum's target
+// cycle.
+func (s *System) runSequential() error {
 	target := int64(0)
 	for q := int64(0); ; q++ {
 		running, allWaiting := false, true
@@ -340,6 +411,7 @@ func (s *System) Run() error {
 		if target >= s.cfg.MaxCycles {
 			return fmt.Errorf("soc: cycle limit (%d) exceeded with cores still running (deadlock?)", s.cfg.MaxCycles)
 		}
+		s.Arb.prune(target - s.cfg.Quantum - pruneSlack)
 		// Clock the interrupt controller with the quantum's start time:
 		// timer lines raise here, between quanta, so every core observes
 		// the raise at the same boundary regardless of engine.

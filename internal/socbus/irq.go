@@ -207,3 +207,48 @@ func (c *IRQController) AnyTimerArmed() bool {
 	}
 	return false
 }
+
+// IRQCoreState is one core's complete register-block state, exposed for
+// the speculative scheduler's commit check: a speculating core's
+// interrupt behavior depends only on its own block, so "block unchanged
+// since the quantum boundary" proves its line samples and register
+// reads matched what a sequential run would have observed.
+type IRQCoreState struct {
+	Pending uint32
+	Enable  uint32
+	Period  int64
+	NextAt  int64
+}
+
+// CoreState returns core's register-block state (see IRQCoreState).
+func (c *IRQController) CoreState(core int) IRQCoreState {
+	if core < 0 || core >= len(c.cores) {
+		return IRQCoreState{}
+	}
+	st := &c.cores[core]
+	return IRQCoreState{Pending: st.pending, Enable: st.enable, Period: st.period, NextAt: st.nextAt}
+}
+
+// Granule implements Granular: every core's register block is one
+// granule. Cross-core RAISE writes land in the target core's granule,
+// which is exactly the conflict they are.
+func (c *IRQController) Granule(off uint32) uint32 { return off / IRQStride }
+
+// ReadMutates implements MutatingReader: CLAIM auto-acks.
+func (c *IRQController) ReadMutates(off uint32) bool { return off%IRQStride == IRQRegClaim }
+
+// NewShadow implements ShadowDevice.
+func (c *IRQController) NewShadow() Device {
+	d := &IRQController{cores: make([]irqCore, len(c.cores))}
+	c.SyncShadow(d)
+	return d
+}
+
+// SyncShadow implements ShadowDevice.
+func (c *IRQController) SyncShadow(shadow Device) {
+	d := shadow.(*IRQController)
+	cores := d.cores
+	*d = *c
+	d.cores = cores
+	copy(d.cores, c.cores)
+}

@@ -57,6 +57,29 @@ func (s *SharedRAM) Write(off uint32, val uint32, cycle int64) {
 // Word inspects a shared word (tests and reporting).
 func (s *SharedRAM) Word(i int) uint32 { return s.mem[i] }
 
+// Granule implements Granular: every word is independent.
+func (s *SharedRAM) Granule(off uint32) uint32 { return off / 4 }
+
+// ReadMutates implements MutatingReader: reads are pure (the Reads
+// counter replays with the transaction, so it is not speculation state).
+func (s *SharedRAM) ReadMutates(off uint32) bool { return false }
+
+// NewShadow implements ShadowDevice.
+func (s *SharedRAM) NewShadow() Device {
+	c := &SharedRAM{mem: make([]uint32, len(s.mem))}
+	s.SyncShadow(c)
+	return c
+}
+
+// SyncShadow implements ShadowDevice.
+func (s *SharedRAM) SyncShadow(shadow Device) {
+	d := shadow.(*SharedRAM)
+	mem := d.mem
+	*d = *s
+	d.mem = mem
+	copy(d.mem, s.mem)
+}
+
 // Mailbox is a block of single-entry mailboxes with doorbell semantics,
 // one slot per core. Writing a slot's DATA register posts a word and sets
 // the full flag (a post while full is an overrun and the word is lost);
@@ -141,6 +164,32 @@ func (m *Mailbox) Write(off uint32, val uint32, cycle int64) {
 // Full reports whether slot i holds an unread word.
 func (m *Mailbox) Full(i int) bool { return m.slots[i].full }
 
+// Granule implements Granular: every slot (DATA + STATUS) is one
+// granule — a pop and a same-slot STATUS poll must conflict even though
+// their byte offsets differ.
+func (m *Mailbox) Granule(off uint32) uint32 { return off / SlotStride }
+
+// ReadMutates implements MutatingReader: a DATA read pops the slot.
+func (m *Mailbox) ReadMutates(off uint32) bool { return off%SlotStride == 0 }
+
+// NewShadow implements ShadowDevice. The shadow's doorbell port is left
+// nil; the SoC wires it to the shadow interrupt controller.
+func (m *Mailbox) NewShadow() Device {
+	c := &Mailbox{slots: make([]mslot, len(m.slots))}
+	m.SyncShadow(c)
+	return c
+}
+
+// SyncShadow implements ShadowDevice (the shadow's OnPost wiring is
+// preserved).
+func (m *Mailbox) SyncShadow(shadow Device) {
+	d := shadow.(*Mailbox)
+	slots, onPost := d.slots, d.OnPost
+	*d = *m
+	d.slots, d.OnPost = slots, onPost
+	copy(d.slots, m.slots)
+}
+
 // CounterBank is a bank of atomic add counters: writing register i adds
 // the written value (two's complement, so it can subtract), reading
 // returns the current value. Because the bus serializes transactions, the
@@ -171,3 +220,25 @@ func (c *CounterBank) Write(off uint32, val uint32, cycle int64) {
 
 // Value returns counter i (tests and reporting).
 func (c *CounterBank) Value(i int) uint32 { return c.counters[i] }
+
+// Granule implements Granular: every counter is independent.
+func (c *CounterBank) Granule(off uint32) uint32 { return off / 4 }
+
+// ReadMutates implements MutatingReader: reads are pure.
+func (c *CounterBank) ReadMutates(off uint32) bool { return false }
+
+// NewShadow implements ShadowDevice.
+func (c *CounterBank) NewShadow() Device {
+	d := &CounterBank{counters: make([]uint32, len(c.counters))}
+	c.SyncShadow(d)
+	return d
+}
+
+// SyncShadow implements ShadowDevice.
+func (c *CounterBank) SyncShadow(shadow Device) {
+	d := shadow.(*CounterBank)
+	counters := d.counters
+	*d = *c
+	d.counters = counters
+	copy(d.counters, c.counters)
+}

@@ -18,7 +18,10 @@
 // scheduler-clocked timer deadlines into per-core interrupt lines.
 package socbus
 
-import "sort"
+import (
+	"fmt"
+	"sort"
+)
 
 // Device is one peripheral on the SoC bus.
 type Device interface {
@@ -28,6 +31,36 @@ type Device interface {
 	Read(off uint32, cycle int64) uint32
 	// Write stores to the register at byte offset off at the given cycle.
 	Write(off uint32, val uint32, cycle int64)
+}
+
+// Granular is the optional Device refinement that partitions the
+// device's register window into independent conflict granules for
+// speculative SoC execution (internal/soc): two accesses interact only
+// if Granule maps their offsets to the same key. A device without the
+// interface is one whole granule — any two accesses to it interact.
+type Granular interface {
+	Granule(off uint32) uint32
+}
+
+// MutatingReader is the optional Device refinement declaring which
+// reads mutate device state (a mailbox DATA pop, the interrupt
+// controller's auto-acking CLAIM). The speculative scheduler treats
+// such reads as writes for conflict purposes. A device without the
+// interface is assumed to mutate on every read (conservative).
+type MutatingReader interface {
+	ReadMutates(off uint32) bool
+}
+
+// ShadowDevice is a device that can participate in speculative SoC
+// execution: NewShadow allocates a private same-shape copy for a
+// speculating core to run against, and SyncShadow refreshes a shadow
+// with the live device's state at a quantum boundary. Shadow state is
+// always discarded — a committing core's transactions are replayed
+// against the live device instead.
+type ShadowDevice interface {
+	Device
+	NewShadow() Device
+	SyncShadow(shadow Device)
 }
 
 // Transaction is one logged bus access.
@@ -65,13 +98,77 @@ func NewBus(devs ...Device) *Bus {
 func (b *Bus) Attach(d Device) { b.devs = append(b.devs, d) }
 
 func (b *Bus) find(addr uint32) (Device, uint32) {
-	for _, d := range b.devs {
+	d, _, off := b.findIdx(addr)
+	return d, off
+}
+
+func (b *Bus) findIdx(addr uint32) (Device, int, uint32) {
+	for i, d := range b.devs {
 		base, size := d.Range()
 		if addr >= base && addr-base < size {
-			return d, addr - base
+			return d, i, addr - base
 		}
 	}
-	return nil, 0
+	return nil, -1, 0
+}
+
+// DeviceAt returns the device mapped at addr (nil if unmapped).
+func (b *Bus) DeviceAt(addr uint32) Device {
+	d, _ := b.find(addr)
+	return d
+}
+
+// unmappedGranule keys every unmapped access: such accesses touch no
+// device state, so sharing one granule is harmless.
+const unmappedGranule = uint64(1) << 63
+
+// AccessMeta classifies addr for the speculative SoC scheduler: the
+// conflict granule the access touches (unique across the whole bus) and
+// whether a read of addr mutates device state. Devices refine both via
+// the Granular and MutatingReader interfaces; without them a device is
+// a single granule whose reads are assumed mutating.
+func (b *Bus) AccessMeta(addr uint32) (granule uint64, readMutates bool) {
+	d, idx, off := b.findIdx(addr)
+	if d == nil {
+		return unmappedGranule, false
+	}
+	var g uint32
+	if gr, ok := d.(Granular); ok {
+		g = gr.Granule(off)
+	}
+	readMutates = true
+	if mr, ok := d.(MutatingReader); ok {
+		readMutates = mr.ReadMutates(off)
+	}
+	return uint64(idx+1)<<32 | uint64(g), readMutates
+}
+
+// NewShadow builds a private copy of the bus for a speculating core:
+// same device order and address map, every device a fresh shadow. It
+// fails if any attached device does not support shadowing (the
+// parallel scheduler's Validate gate).
+func (b *Bus) NewShadow() (*Bus, error) {
+	sb := &Bus{devs: make([]Device, len(b.devs))}
+	for i, d := range b.devs {
+		sd, ok := d.(ShadowDevice)
+		if !ok {
+			base, _ := d.Range()
+			return nil, fmt.Errorf("socbus: device %T at %#x does not support speculative shadowing", d, base)
+		}
+		sb.devs[i] = sd.NewShadow()
+	}
+	return sb, nil
+}
+
+// SyncShadow refreshes a shadow bus built by NewShadow with the live
+// bus's device state and clears its transaction log — the per-quantum
+// reset of a speculative world.
+func (b *Bus) SyncShadow(sb *Bus) {
+	for i, d := range b.devs {
+		d.(ShadowDevice).SyncShadow(sb.devs[i])
+	}
+	sb.Log = sb.Log[:0]
+	sb.Unmapped = b.Unmapped
 }
 
 // BusRead32 reads a device register (iss.Bus interface).
@@ -132,6 +229,15 @@ func (t *Timer) Write(off uint32, val uint32, cycle int64) {
 	}
 }
 
+// ReadMutates implements MutatingReader: COUNT reads are pure.
+func (t *Timer) ReadMutates(off uint32) bool { return false }
+
+// NewShadow implements ShadowDevice.
+func (t *Timer) NewShadow() Device { c := *t; return &c }
+
+// SyncShadow implements ShadowDevice.
+func (t *Timer) SyncShadow(shadow Device) { *shadow.(*Timer) = *t }
+
 // UART is a byte-wide output port with a busy handshake: after accepting
 // a byte it is busy for CyclesPerByte cycles, and a write while busy is an
 // overrun (the byte is lost). A correct driver polls STATUS until idle —
@@ -189,4 +295,23 @@ func (u *UART) Write(off uint32, val uint32, cycle int64) {
 	u.Sent = append(u.Sent, byte(val))
 	u.SendTimes = append(u.SendTimes, cycle)
 	u.busyUntil = cycle + u.CyclesPerByte
+}
+
+// ReadMutates implements MutatingReader: DATA and STATUS reads are pure.
+func (u *UART) ReadMutates(off uint32) bool { return false }
+
+// NewShadow implements ShadowDevice.
+func (u *UART) NewShadow() Device {
+	c := &UART{}
+	u.SyncShadow(c)
+	return c
+}
+
+// SyncShadow implements ShadowDevice.
+func (u *UART) SyncShadow(shadow Device) {
+	s := shadow.(*UART)
+	sent, times := s.Sent[:0], s.SendTimes[:0]
+	*s = *u
+	s.Sent = append(sent, u.Sent...)
+	s.SendTimes = append(times, u.SendTimes...)
 }
