@@ -18,10 +18,12 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"time"
 
 	"repro"
+	"repro/internal/cliutil"
 	"repro/internal/core"
 	"repro/internal/iss"
 	"repro/internal/jit"
@@ -39,7 +41,10 @@ func main() {
 	ablation := flag.Bool("ablation", false, "ablation studies")
 	perfJSON := flag.String("perf-json", "", "write the machine-readable perf trajectory to this file ('-' = stdout)")
 	perfTime := flag.Duration("perf-time", time.Second, "target measuring time per perf-trajectory benchmark")
+	perfBaseline := flag.String("perf-baseline", "", "recorded perf trajectory to diff the fresh -perf-json run against (warn-only)")
+	logFlags := cliutil.RegisterLogFlags()
 	flag.Parse()
+	check(logFlags.Setup("cabt-bench"))
 	if *all {
 		*fig5, *table1, *fig6, *table2, *ablation = true, true, true, true, true
 	}
@@ -47,8 +52,15 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if *perfBaseline != "" && *perfJSON == "" {
+		check(fmt.Errorf("-perf-baseline needs a fresh measurement: pass -perf-json too"))
+	}
 	if *perfJSON != "" {
-		check(writePerfJSON(*perfJSON, *perfTime))
+		report, err := writePerfJSON(*perfJSON, *perfTime)
+		check(err)
+		if *perfBaseline != "" {
+			check(comparePerfBaseline(report, *perfBaseline))
+		}
 	}
 	if *fig5 {
 		rows, err := repro.Figure5()
@@ -77,7 +89,7 @@ func main() {
 
 func check(err error) {
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "cabt-bench:", err)
+		slog.Error(err.Error())
 		os.Exit(1)
 	}
 }

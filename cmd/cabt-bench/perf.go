@@ -3,6 +3,7 @@ package main
 import (
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"os"
 	"runtime"
 	"time"
@@ -114,8 +115,9 @@ func runMatrix(progs []*core.Program, engine platform.Engine) (int64, error) {
 	return cycles, nil
 }
 
-// writePerfJSON measures the trajectory and writes it to path.
-func writePerfJSON(path string, target time.Duration) error {
+// writePerfJSON measures the trajectory, writes it to path, and returns
+// it for an optional -perf-baseline comparison.
+func writePerfJSON(path string, target time.Duration) (*perfReport, error) {
 	report := perfReport{
 		Schema:      1,
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
@@ -129,14 +131,14 @@ func writePerfJSON(path string, target time.Duration) error {
 		fmt.Fprintf(os.Stderr, "  %-28s %12.0f ns/op %12.0f allocs/op %14.1f Msimcycles/s\n",
 			e.Name, e.NsPerOp, e.AllocsPerOp, e.SimCyclesPerSecond/1e6)
 	}
-	fmt.Fprintf(os.Stderr, "cabt-bench: measuring perf trajectory (%v per benchmark)\n", target)
+	slog.Info("measuring perf trajectory", "per_benchmark", target.String())
 
 	// Table-1 matrix (six workloads) per level, on both engines.
 	var interpNs, compiledNs float64
 	for _, level := range repro.AllLevels() {
 		progs, err := table1Programs(level)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		for _, engine := range []platform.Engine{platform.EngineInterp, platform.EngineCompiled} {
 			engine := engine
@@ -163,7 +165,7 @@ func writePerfJSON(path string, target time.Duration) error {
 	sieve, _ := workload.ByName("sieve")
 	sieveELF, err := tc32asm.Assemble(sieve.Source)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	add(measure("translate/sieve-L3", target, func() int64 {
 		if _, err := core.Translate(sieveELF, core.Options{Level: core.Level3}); err != nil {
@@ -187,7 +189,7 @@ func writePerfJSON(path string, target time.Duration) error {
 	socJobs, err := simfarm.SoCSweepJobs([]string{"mc-pingpong"}, []int{4}, []int64{64},
 		[]soc.Arbitration{soc.RoundRobin}, core.Options{Level: core.Level2}, false, false)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	add(measure("soc/mc-pingpong-4c-q64", target, func() int64 {
 		results, bs := farm.RunSoC(socJobs)
@@ -203,7 +205,7 @@ func writePerfJSON(path string, target time.Duration) error {
 	irqJobs, err := simfarm.SoCSweepJobs([]string{"mc-irq-pingpong"}, []int{4}, []int64{64},
 		[]soc.Arbitration{soc.RoundRobin}, core.Options{Level: core.Level2}, false, false)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	add(measure("soc/mc-irq-pingpong-4c-q64", target, func() int64 {
 		results, bs := farm.RunSoC(irqJobs)
@@ -222,7 +224,7 @@ func writePerfJSON(path string, target time.Duration) error {
 		jobs, err := simfarm.SoCSweepJobs([]string{"mc-sieve"}, []int{4}, []int64{64},
 			[]soc.Arbitration{soc.RoundRobin}, core.Options{Level: core.Level2}, false, par)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		label := "soc/mc-sieve-4c-q64-seq"
 		if par {
@@ -248,17 +250,61 @@ func writePerfJSON(path string, target time.Duration) error {
 
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
-		return err
+		return nil, err
 	}
 	data = append(data, '\n')
 	if path == "-" {
 		_, err = os.Stdout.Write(data)
-		return err
+		return &report, err
 	}
 	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return nil, err
+	}
+	slog.Info("perf trajectory written", "path", path,
+		"table1_speedup", fmt.Sprintf("%.2fx", report.Table1SpeedupCompiledVsInterp))
+	return &report, nil
+}
+
+// perfRegressionThreshold is the warn-only sim-throughput drop bound
+// -perf-baseline flags.
+const perfRegressionThreshold = 0.25
+
+// comparePerfBaseline diffs a fresh trajectory against the recorded
+// baseline and warns about every benchmark whose sim_cycles_per_second
+// dropped more than the threshold. Warn-only by design: CI hosts are
+// noisy and shared, so regressions are flagged for a human to read,
+// never enforced as a failure.
+func comparePerfBaseline(report *perfReport, path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "cabt-bench: wrote %s (Table-1 compiled-engine speedup %.2fx)\n",
-		path, report.Table1SpeedupCompiledVsInterp)
+	var base perfReport
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	baseline := make(map[string]perfEntry, len(base.Benchmarks))
+	for _, e := range base.Benchmarks {
+		baseline[e.Name] = e
+	}
+	regressions := 0
+	for _, e := range report.Benchmarks {
+		b, ok := baseline[e.Name]
+		if !ok || b.SimCyclesPerSecond <= 0 || e.SimCyclesPerSecond <= 0 {
+			continue
+		}
+		drop := 1 - e.SimCyclesPerSecond/b.SimCyclesPerSecond
+		if drop > perfRegressionThreshold {
+			regressions++
+			slog.Warn("perf regression vs baseline", "benchmark", e.Name,
+				"baseline_msimcycles_per_s", fmt.Sprintf("%.1f", b.SimCyclesPerSecond/1e6),
+				"now_msimcycles_per_s", fmt.Sprintf("%.1f", e.SimCyclesPerSecond/1e6),
+				"drop_pct", fmt.Sprintf("%.0f", 100*drop), "baseline_file", path)
+		}
+	}
+	if regressions == 0 {
+		slog.Info("perf vs baseline ok", "baseline_file", path,
+			"threshold_pct", int(100*perfRegressionThreshold))
+	}
 	return nil
 }

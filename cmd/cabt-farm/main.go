@@ -19,12 +19,14 @@
 //	cabt-farm -table1 -table2     # the paper's tables, via the farm
 //	cabt-farm -progress           # stream per-job lines as they finish
 //	cabt-farm -interp             # interpreter engine (equivalence oracle)
+//	cabt-farm -trace-out trace.json   # Chrome trace of the pipeline stages
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"sort"
 	"strconv"
@@ -49,7 +51,11 @@ func main() {
 	cacheDir := flag.String("cache-dir", "", "persistent translation-cache store directory (empty = in-memory only)")
 	cacheBudget := flag.Int64("cache-budget", 0, "store size budget in bytes, LRU-evicted (0 = unbounded)")
 	interp := flag.Bool("interp", false, "run translated programs on the packet interpreter instead of the compiled engine")
+	traceOut := cliutil.RegisterTraceFlag()
+	logFlags := cliutil.RegisterLogFlags()
 	flag.Parse()
+	check(logFlags.Setup("cabt-farm"))
+	cliutil.StartTrace(*traceOut)
 
 	levels, err := parseLevels(*levelsFlag)
 	check(err)
@@ -70,8 +76,8 @@ func main() {
 	}
 	farm := simfarm.New(simfarm.Config{Workers: *workers, Cache: cache, Engine: cliutil.Engine(*interp)})
 	jobs := simfarm.SweepJobs(ws, levels, configs)
-	fmt.Fprintf(os.Stderr, "cabt-farm: %d jobs (%d workloads × %d levels × %d configs) on %d workers\n",
-		len(jobs), len(ws), len(levels), len(configs), farm.Workers())
+	slog.Info("sweep start", "jobs", len(jobs), "workloads", len(ws),
+		"levels", len(levels), "configs", len(configs), "workers", farm.Workers())
 
 	results, stats := run(farm, jobs, *progress)
 
@@ -105,6 +111,7 @@ func main() {
 		fmt.Println(repro.FormatTable2(rows))
 	}
 
+	check(cliutil.WriteTrace(*traceOut))
 	if stats.Failed > 0 {
 		os.Exit(1)
 	}
@@ -130,8 +137,8 @@ func run(farm *simfarm.Farm, jobs []simfarm.Job, progress bool) ([]simfarm.Resul
 		} else if r.CacheHit {
 			status = "ok (cache hit)"
 		}
-		fmt.Fprintf(os.Stderr, "[%3d/%3d] %-10s %-18s L%d  %s\n",
-			done, len(jobs), r.Name, r.Config, int(r.Level), status)
+		slog.Info("job done", "n", done, "of", len(jobs),
+			"name", r.Name, "config", r.Config, "level", int(r.Level), "status", status)
 		results[r.Index] = r
 	}
 	return results, farm.Summarize(results, time.Since(start))
@@ -205,7 +212,7 @@ func parseWorkloads(s string) ([]workload.Workload, error) {
 
 func check(err error) {
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "cabt-farm:", err)
+		slog.Error(err.Error())
 		os.Exit(1)
 	}
 }

@@ -42,7 +42,7 @@ import (
 	"context"
 	"errors"
 	"flag"
-	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -50,6 +50,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/cliutil"
 	"repro/internal/simfarm/server"
 	"repro/internal/simfarm/store"
 )
@@ -70,7 +71,11 @@ func main() {
 	rateLimit := flag.Float64("rate-limit", 0, "per-tenant job submissions per second, 429 beyond (0 = unlimited)")
 	rateBurst := flag.Int("rate-burst", 10, "rate limiter burst size")
 	drainTimeout := flag.Duration("drain-timeout", 60*time.Second, "graceful-shutdown budget for in-flight batches on SIGTERM")
+	logFlags := cliutil.RegisterLogFlags()
 	flag.Parse()
+	if err := logFlags.Setup("cabt-serve"); err != nil {
+		fail(err)
+	}
 
 	cfg := server.Config{
 		Workers: *workers, AdminToken: *adminToken,
@@ -85,11 +90,11 @@ func main() {
 		}
 		defer st.Close()
 		cfg.Store = st
-		fmt.Fprintf(os.Stderr, "cabt-serve: translation store %s (%d objects)\n", st.Dir(), st.Stats().Objects)
+		slog.Info("translation store open", "dir", st.Dir(), "objects", st.Stats().Objects)
 		if *gcInterval > 0 {
 			stop := st.StartSweeper(*gcInterval, *gcMaxAge)
 			defer stop()
-			fmt.Fprintf(os.Stderr, "cabt-serve: store GC every %v (max-age %v)\n", *gcInterval, *gcMaxAge)
+			slog.Info("store GC sweeper started", "interval", *gcInterval, "max_age", *gcMaxAge)
 		}
 	}
 	switch {
@@ -106,13 +111,13 @@ func main() {
 	}
 	defer farm.Close()
 	if cfg.Journal != "" {
-		fmt.Fprintf(os.Stderr, "cabt-serve: journal %s\n", cfg.Journal)
+		slog.Info("journal open", "path", cfg.Journal)
 	}
 
 	srv := &http.Server{Addr: *addr, Handler: farm}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "cabt-serve: listening on %s\n", *addr)
+	slog.Info("listening", "addr", *addr)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -120,22 +125,22 @@ func main() {
 	case err := <-errc:
 		fail(err)
 	case s := <-sig:
-		fmt.Fprintf(os.Stderr, "cabt-serve: %v, draining\n", s)
+		slog.Info("signal received, draining", "signal", s.String())
 		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 		defer cancel()
 		// Drain first — stop admitting, finish in-flight batches, flush
 		// the journal — then close the listener.
 		if err := farm.Drain(ctx); err != nil {
-			fmt.Fprintf(os.Stderr, "cabt-serve: %v\n", err)
+			slog.Warn("drain incomplete", "err", err)
 		}
 		if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 			fail(err)
 		}
-		fmt.Fprintln(os.Stderr, "cabt-serve: drained, exiting")
+		slog.Info("drained, exiting")
 	}
 }
 
 func fail(err error) {
-	fmt.Fprintln(os.Stderr, "cabt-serve:", err)
+	slog.Error(err.Error())
 	os.Exit(1)
 }

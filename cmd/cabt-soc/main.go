@@ -17,12 +17,15 @@
 //	cabt-soc -cache-dir ~/.cache/cabt         # persistent translation store
 //	cabt-soc -det                             # suppress host-timing output
 //	                                            (bit-identical across runs)
+//	cabt-soc -trace-out trace.json            # Chrome trace_event dump of the
+//	                                            run (quanta, IRQs, bus, spec)
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"strconv"
 	"strings"
@@ -49,7 +52,11 @@ func main() {
 	interp := flag.Bool("interp", false, "run translated cores on the packet interpreter instead of the compiled engine")
 	cacheDir := flag.String("cache-dir", "", "persistent translation-cache store directory (empty = in-memory only)")
 	cacheBudget := flag.Int64("cache-budget", 0, "store size budget in bytes, LRU-evicted (0 = unbounded)")
+	traceOut := cliutil.RegisterTraceFlag()
+	logFlags := cliutil.RegisterLogFlags()
 	flag.Parse()
+	check(logFlags.Setup("cabt-soc"))
+	cliutil.StartTrace(*traceOut)
 
 	names, err := parseNames(*workloadsFlag)
 	check(err)
@@ -92,8 +99,9 @@ func main() {
 	check(err)
 	defer closeStore()
 	farm := simfarm.New(simfarm.Config{Workers: *workers, Cache: cache, Engine: cliutil.Engine(*interp)})
-	fmt.Fprintf(os.Stderr, "cabt-soc: %d jobs (%d workloads × cores %v × quanta %v × %d policies) on %d workers\n",
-		len(jobs), len(names), coreCounts, quanta, len(arbs), farm.Workers())
+	slog.Info("sweep start", "jobs", len(jobs), "workloads", len(names),
+		"cores", fmt.Sprint(coreCounts), "quanta", fmt.Sprint(quanta),
+		"policies", len(arbs), "workers", farm.Workers())
 
 	results, stats := farm.RunSoC(jobs)
 	printSummary(os.Stdout, results, stats, *det)
@@ -118,6 +126,7 @@ func main() {
 		check(err)
 	}
 
+	check(cliutil.WriteTrace(*traceOut))
 	if stats.Failed > 0 {
 		os.Exit(1)
 	}
@@ -241,7 +250,7 @@ func parseArbs(s string) ([]soc.Arbitration, error) {
 
 func check(err error) {
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "cabt-soc:", err)
+		slog.Error(err.Error())
 		os.Exit(1)
 	}
 }

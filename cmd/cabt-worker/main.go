@@ -23,6 +23,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"os/signal"
 	"syscall"
@@ -42,7 +43,11 @@ func main() {
 	interp := flag.Bool("interp", false, "run translated programs on the packet interpreter instead of the compiled engine")
 	ephemeral := flag.Bool("ephemeral", false, "discard the in-memory cache after every task, forcing each task through the store levels")
 	quiet := flag.Bool("quiet", false, "suppress per-task progress lines")
+	logFlags := cliutil.RegisterLogFlags()
 	flag.Parse()
+	if err := logFlags.Setup("cabt-worker"); err != nil {
+		fail(err)
+	}
 
 	if *name == "" {
 		host, _ := os.Hostname()
@@ -58,7 +63,7 @@ func main() {
 	}
 	if !*quiet {
 		cfg.Logf = func(format string, args ...any) {
-			fmt.Fprintf(os.Stderr, "cabt-worker: "+format+"\n", args...)
+			slog.Info(fmt.Sprintf(format, args...))
 		}
 	}
 	if *cacheDir != "" {
@@ -68,7 +73,7 @@ func main() {
 		}
 		defer st.Close()
 		cfg.Disk = st
-		fmt.Fprintf(os.Stderr, "cabt-worker: local store %s (%d objects)\n", st.Dir(), st.Stats().Objects)
+		slog.Info("local store open", "dir", st.Dir(), "objects", st.Stats().Objects)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -79,11 +84,12 @@ func main() {
 		fail(err)
 	}
 	st := w.StoreStats()
-	fmt.Fprintf(os.Stderr, "cabt-worker: done — %d tasks, store loads %d (local hits %d, remote hits %d, misses %d), puts %d (+%d skipped)\n",
-		w.TasksDone(), st.Loads, st.LocalHits, st.RemoteHits, st.Misses, st.Puts, st.PutsSkipped)
+	slog.Info("worker done", "tasks", w.TasksDone(), "store_loads", st.Loads,
+		"local_hits", st.LocalHits, "remote_hits", st.RemoteHits, "misses", st.Misses,
+		"puts", st.Puts, "puts_skipped", st.PutsSkipped)
 }
 
 func fail(err error) {
-	fmt.Fprintln(os.Stderr, "cabt-worker:", err)
+	slog.Error(err.Error())
 	os.Exit(1)
 }

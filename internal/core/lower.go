@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/c6x"
 	"repro/internal/ir"
+	"repro/internal/obs"
 	"repro/internal/tc32"
 )
 
@@ -423,13 +424,27 @@ func (l *lowerer) emitProbe(lineAddr uint32) {
 	}
 	setOff := int32(set) * stride * 4
 	if l.t.opts.InlineCacheProbe && len(l.blk.insts) >= l.t.opts.InlineCacheThreshold && g.Ways == 2 {
+		obsProbeInline.Inc()
 		l.emitProbeInline(tagWord, setOff)
 		return
 	}
+	obsProbeCall.Inc()
 	l.matConst(tagWord, regArg0)
 	l.matConst(setOff, regArg1)
 	l.call(l.t.routineLabel("probe"))
 }
+
+// Probe-site telemetry: the translator's static fast/slow split — how
+// many cache-analysis-block probes were inlined into the block (the
+// fast path, no call/return branches) versus emitted as subroutine
+// calls. Counted at translation time, so the generated code and the
+// simulation hot loop stay telemetry-free.
+var (
+	obsProbeInline = obs.Default.Counter("cabt_translate_probe_sites_total",
+		"cache-probe sites emitted, by kind", "kind", "inline")
+	obsProbeCall = obs.Default.Counter("cabt_translate_probe_sites_total",
+		"cache-probe sites emitted, by kind", "kind", "call")
+)
 
 // emitProbeInline expands the two-way cache probe into the block itself:
 // the same tag/valid/LRU algorithm as the subroutine, but without the

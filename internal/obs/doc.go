@@ -1,0 +1,51 @@
+// Package obs is the telemetry subsystem of the simulation stack: a
+// process-global registry of counters, gauges and histograms, span-style
+// stage timing, and a bounded ring-buffer event trace — all designed so
+// the simulation hot paths pay nothing when telemetry is not being
+// observed, and nothing they could observe even when it is.
+//
+// # Registry
+//
+// Metrics live in a Registry (usually the package-level Default). A
+// metric is created once — Counter/Gauge/Histogram are idempotent
+// get-or-create calls keyed on (name, labels) — and then updated with
+// plain atomic operations: no allocation, no locks, no map lookups on
+// the update path. Code that updates a metric holds the returned
+// pointer in a package-level var. Contended counters (several worker
+// goroutines bumping the same name) can use StripedCounter, which
+// spreads the atomic adds over cache-line-padded cells.
+//
+// Values that another subsystem already maintains (the work queue's
+// depth, the store's object count) are exposed without double counting
+// through Func metrics: a closure sampled only at exposition time.
+//
+// Registry.WritePrometheus renders everything in the Prometheus text
+// exposition format (version 0.0.4): HELP/TYPE headers, sorted families,
+// sorted label sets, histograms as cumulative _bucket/_sum/_count
+// series. GET /v1/metrics on cabt-serve is exactly this.
+//
+// # Tracing
+//
+// The Tracer is a bounded ring buffer of trace events — quantum
+// boundaries, speculative commit/rollback decisions and their causes,
+// IRQ deliveries, pipeline stages — kept in memory and dumped on demand
+// as Chrome trace_event JSON (chrome://tracing, Perfetto). Emission is
+// gated on a single atomic load: with tracing disabled (the default),
+// instrumented code performs one predictable branch and touches nothing
+// else. The buffer is bounded; when full, the oldest events are
+// overwritten, so a trace of an arbitrarily long run costs O(capacity).
+//
+// Simulation events are timestamped on the *emulated* clock (1 trace
+// microsecond = 1 source cycle), which makes simulation traces
+// deterministic: two runs of the same deterministic workload produce the
+// same trace. Host-side pipeline events (assemble/translate/execute
+// spans in the farm) use wall time since the tracer was enabled.
+//
+// # Determinism
+//
+// Telemetry strictly observes: it reads clocks and counters but never
+// feeds a value back into simulation state, so enabling any of it —
+// including full tracing — cannot change a simulation result. The CI
+// obs-smoke job byte-diffs a traced against an untraced `cabt-soc -det
+// -parallel` run to keep this true.
+package obs

@@ -1,0 +1,346 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("t_jobs_total", "jobs")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	// Idempotent get-or-create: same pointer back.
+	if r.Counter("t_jobs_total", "jobs") != c {
+		t.Fatal("re-registration returned a different counter")
+	}
+	g := r.Gauge("t_depth", "queue depth")
+	g.Set(7)
+	g.Add(-2)
+	if g.Value() != 5 {
+		t.Fatalf("gauge = %d, want 5", g.Value())
+	}
+	// Same name with different labels is a distinct series.
+	c2 := r.Counter("t_hits_total", "hits", "tier", "memory")
+	c3 := r.Counter("t_hits_total", "hits", "tier", "disk")
+	if c2 == c3 {
+		t.Fatal("label sets collapsed into one series")
+	}
+}
+
+func TestKindConflictPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("t_x", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as a gauge did not panic")
+		}
+	}()
+	r.Gauge("t_x", "")
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("t_lat_seconds", "latency", []float64{0.001, 0.01, 0.1})
+	for _, v := range []float64{0.0005, 0.005, 0.005, 0.05, 5} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	if got, want := h.Sum(), 0.0005+0.005+0.005+0.05+5; got != want {
+		t.Fatalf("sum = %g, want %g", got, want)
+	}
+	var b bytes.Buffer
+	r.WritePrometheus(&b)
+	out := b.String()
+	for _, want := range []string{
+		`t_lat_seconds_bucket{le="0.001"} 1`,
+		`t_lat_seconds_bucket{le="0.01"} 3`,
+		`t_lat_seconds_bucket{le="0.1"} 4`,
+		`t_lat_seconds_bucket{le="+Inf"} 5`,
+		`t_lat_seconds_count 5`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestStripedCounter(t *testing.T) {
+	r := NewRegistry()
+	s := r.Striped("t_striped_total", "striped")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				s.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if s.Value() != 8000 {
+		t.Fatalf("striped = %d, want 8000", s.Value())
+	}
+}
+
+func TestUpdatesAllocationFree(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("t_c_total", "")
+	g := r.Gauge("t_g", "")
+	h := r.Histogram("t_h_seconds", "", nil)
+	s := r.Striped("t_s_total", "")
+	if n := testing.AllocsPerRun(100, func() {
+		c.Inc()
+		g.Set(3)
+		h.Observe(0.01)
+		s.Add(2)
+	}); n != 0 {
+		t.Fatalf("metric updates allocate (%v allocs/op)", n)
+	}
+	// Disabled trace emission: the Enabled check is the entire cost.
+	tr := NewTracer(16)
+	if n := testing.AllocsPerRun(100, func() {
+		if tr.Enabled() {
+			tr.Emit(Event{Name: "x"})
+		}
+	}); n != 0 {
+		t.Fatalf("disabled tracing allocates (%v allocs/op)", n)
+	}
+}
+
+// parseProm is a strict-enough parser of the Prometheus text exposition
+// format for round-trip validation: it checks name syntax, TYPE header
+// presence and coherence, label syntax, and numeric values, returning
+// sample name{labels} → value.
+func parseProm(t *testing.T, text string) (map[string]float64, map[string]string) {
+	t.Helper()
+	samples := map[string]float64{}
+	types := map[string]string{}
+	nameRE := `[a-zA-Z_:][a-zA-Z0-9_:]*`
+	for ln, line := range strings.Split(text, "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line)
+			if len(parts) != 4 {
+				t.Fatalf("line %d: bad TYPE header %q", ln+1, line)
+			}
+			switch parts[3] {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				t.Fatalf("line %d: bad metric type %q", ln+1, parts[3])
+			}
+			types[parts[2]] = parts[3]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("line %d: no value separator in %q", ln+1, line)
+		}
+		key, valStr := line[:sp], line[sp+1:]
+		val, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			t.Fatalf("line %d: bad value %q: %v", ln+1, valStr, err)
+		}
+		name := key
+		if i := strings.IndexByte(key, '{'); i >= 0 {
+			if !strings.HasSuffix(key, "}") {
+				t.Fatalf("line %d: unterminated label set %q", ln+1, key)
+			}
+			name = key[:i]
+			for _, pair := range splitLabels(key[i+1 : len(key)-1]) {
+				eq := strings.IndexByte(pair, '=')
+				if eq < 0 || !strings.HasPrefix(pair[eq+1:], `"`) || !strings.HasSuffix(pair, `"`) {
+					t.Fatalf("line %d: bad label %q", ln+1, pair)
+				}
+			}
+		}
+		if ok, _ := regexpMatch(nameRE, name); !ok {
+			t.Fatalf("line %d: bad metric name %q", ln+1, name)
+		}
+		// Histogram series (_bucket/_sum/_count) belong to the base family.
+		base := name
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			trimmed := strings.TrimSuffix(name, suf)
+			if trimmed != name && types[trimmed] == "histogram" {
+				base = trimmed
+			}
+		}
+		if _, ok := types[base]; !ok {
+			t.Fatalf("line %d: sample %q has no TYPE header", ln+1, name)
+		}
+		samples[key] = val
+	}
+	return samples, types
+}
+
+func splitLabels(s string) []string {
+	if s == "" {
+		return nil
+	}
+	return strings.Split(s, ",")
+}
+
+func regexpMatch(pattern, s string) (bool, error) {
+	for i, r := range s {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(i > 0 && r >= '0' && r <= '9')
+		if !ok {
+			return false, nil
+		}
+	}
+	return len(s) > 0, nil
+}
+
+func TestPrometheusRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("t_jobs_total", "jobs run").Add(42)
+	r.Counter("t_hits_total", "cache hits", "tier", "memory").Add(7)
+	r.Counter("t_hits_total", "cache hits", "tier", "disk").Add(3)
+	r.Gauge("t_depth", "queue depth").Set(5)
+	r.Histogram("t_lat_seconds", "latency", []float64{0.01, 0.1}).Observe(0.05)
+	r.Func("t_uptime_seconds", "uptime", KindGauge, func() float64 { return 12.5 })
+
+	var b bytes.Buffer
+	r.WritePrometheus(&b)
+	samples, types := parseProm(t, b.String())
+
+	want := map[string]float64{
+		`t_jobs_total`:                    42,
+		`t_hits_total{tier="memory"}`:     7,
+		`t_hits_total{tier="disk"}`:       3,
+		`t_depth`:                         5,
+		`t_lat_seconds_bucket{le="0.01"}`: 0,
+		`t_lat_seconds_bucket{le="0.1"}`:  1,
+		`t_lat_seconds_bucket{le="+Inf"}`: 1,
+		`t_lat_seconds_count`:             1,
+		`t_uptime_seconds`:                12.5,
+	}
+	for k, v := range want {
+		if samples[k] != v {
+			t.Errorf("%s = %v, want %v", k, samples[k], v)
+		}
+	}
+	wantTypes := map[string]string{
+		"t_jobs_total": "counter", "t_hits_total": "counter",
+		"t_depth": "gauge", "t_lat_seconds": "histogram",
+		"t_uptime_seconds": "gauge",
+	}
+	for k, v := range wantTypes {
+		if types[k] != v {
+			t.Errorf("TYPE %s = %q, want %q", k, types[k], v)
+		}
+	}
+}
+
+func TestFuncReplacement(t *testing.T) {
+	r := NewRegistry()
+	r.Func("t_v", "", KindGauge, func() float64 { return 1 })
+	r.Func("t_v", "", KindGauge, func() float64 { return 2 })
+	var b bytes.Buffer
+	r.WritePrometheus(&b)
+	if !strings.Contains(b.String(), "t_v 2") {
+		t.Fatalf("Func not replaced:\n%s", b.String())
+	}
+}
+
+func TestTracerRingAndChromeDump(t *testing.T) {
+	tr := NewTracer(4)
+	tr.SetEnabled(true)
+	for i := 0; i < 6; i++ {
+		tr.Emit(Event{
+			Name: "quantum", Cat: "soc", Ph: PhaseComplete,
+			TS: int64(i * 10), Dur: 10, TID: -1,
+			Args: [3]Arg{{"q", int64(i)}},
+		})
+	}
+	if tr.Len() != 4 {
+		t.Fatalf("ring len = %d, want 4", tr.Len())
+	}
+	if tr.Dropped() != 2 {
+		t.Fatalf("dropped = %d, want 2", tr.Dropped())
+	}
+	evs := tr.Events()
+	if evs[0].TS != 20 || evs[3].TS != 50 {
+		t.Fatalf("ring order wrong: first TS %d, last TS %d", evs[0].TS, evs[3].TS)
+	}
+
+	var b bytes.Buffer
+	if err := tr.WriteChrome(&b); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string           `json:"name"`
+			Ph   string           `json:"ph"`
+			TS   int64            `json:"ts"`
+			Dur  int64            `json:"dur"`
+			TID  int64            `json:"tid"`
+			Args map[string]int64 `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(b.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome dump is not valid JSON: %v\n%s", err, b.String())
+	}
+	if len(doc.TraceEvents) != 4 {
+		t.Fatalf("dump has %d events, want 4", len(doc.TraceEvents))
+	}
+	e := doc.TraceEvents[0]
+	if e.Name != "quantum" || e.Ph != "X" || e.TS != 20 || e.Dur != 10 || e.TID != -1 || e.Args["q"] != 2 {
+		t.Fatalf("bad first event: %+v", e)
+	}
+}
+
+func TestTracerDisabledDropsEvents(t *testing.T) {
+	tr := NewTracer(8)
+	tr.Emit(Event{Name: "x"})
+	if tr.Len() != 0 {
+		t.Fatal("disabled tracer retained an event")
+	}
+	tr.SetEnabled(true)
+	tr.Emit(Event{Name: "x"})
+	tr.SetEnabled(false)
+	tr.Emit(Event{Name: "y"})
+	if tr.Len() != 1 {
+		t.Fatalf("len = %d, want 1", tr.Len())
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("t_esc_total", "", "path", "a\"b\\c\nd").Inc()
+	var b bytes.Buffer
+	r.WritePrometheus(&b)
+	want := `t_esc_total{path="a\"b\\c\nd"} 1`
+	if !strings.Contains(b.String(), want) {
+		t.Fatalf("escaping wrong:\n%s", b.String())
+	}
+}
+
+func ExampleRegistry_WritePrometheus() {
+	r := NewRegistry()
+	r.Counter("example_total", "an example").Add(3)
+	var b bytes.Buffer
+	r.WritePrometheus(&b)
+	fmt.Print(b.String())
+	// Output:
+	// # HELP example_total an example
+	// # TYPE example_total counter
+	// example_total 3
+}

@@ -1,0 +1,338 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Kind is the exposition type of a metric family.
+type Kind int
+
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindHistogram
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// Labels is an ordered label set. Order is preserved in the exposition
+// (callers pass them already grouped, e.g. {"tier","memory"}).
+type Labels []Label
+
+// Label is one name="value" pair.
+type Label struct{ Key, Value string }
+
+// L builds a label set from alternating key, value strings.
+func L(kv ...string) Labels {
+	if len(kv)%2 != 0 {
+		panic("obs.L: odd key/value list")
+	}
+	ls := make(Labels, 0, len(kv)/2)
+	for i := 0; i < len(kv); i += 2 {
+		ls = append(ls, Label{kv[i], kv[i+1]})
+	}
+	return ls
+}
+
+// render writes {k="v",...} (empty string for no labels). extra, when
+// non-empty, is appended as a final pair (histogram "le").
+func (ls Labels) render(extra ...Label) string {
+	all := append(append(Labels(nil), ls...), extra...)
+	if len(all) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range all {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+func (ls Labels) key() string { return ls.render() }
+
+// Counter is a monotonically increasing value. Updates are single
+// atomic adds: allocation-free and safe for concurrent use.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be non-negative for the exposition to stay
+// meaningful; this is not checked on the hot path).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a value that can go up and down.
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adjusts the value by n (negative allowed).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram is a fixed-bucket distribution. Observe is allocation-free:
+// a binary search over the bucket bounds plus three atomic adds.
+type Histogram struct {
+	bounds []float64 // upper bounds, ascending; implicit +Inf last
+	counts []atomic.Int64
+	sum    atomicFloat
+	count  atomic.Int64
+}
+
+// DurationBuckets is the default latency bucket layout (seconds):
+// 10 µs .. ~100 s, multiplicative steps of 10^(1/2).
+var DurationBuckets = []float64{
+	1e-5, 3.16e-5, 1e-4, 3.16e-4, 1e-3, 3.16e-3,
+	1e-2, 3.16e-2, 1e-1, 3.16e-1, 1, 3.16, 10, 31.6, 100,
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	// Lowest bucket whose bound is >= v.
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if h.bounds[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	h.counts[lo].Add(1)
+	h.count.Add(1)
+	h.sum.add(v)
+}
+
+// Count returns the number of observations so far.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() float64 { return h.sum.load() }
+
+// atomicFloat is a CAS-looped float64 accumulator (histogram sums are
+// far off the per-cycle hot path, so contention is irrelevant).
+type atomicFloat struct{ bits atomic.Uint64 }
+
+func (f *atomicFloat) add(v float64) {
+	for {
+		old := f.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if f.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+func (f *atomicFloat) load() float64 { return math.Float64frombits(f.bits.Load()) }
+
+// series is one (labels, value source) of a family.
+type series struct {
+	labels Labels
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+	s      *StripedCounter
+	fn     func() float64
+}
+
+// family is all series sharing a metric name.
+type family struct {
+	name string
+	help string
+	kind Kind
+	// order preserves registration order; byLabel deduplicates.
+	order   []*series
+	byLabel map[string]*series
+}
+
+// Registry holds metric families. Creation takes the registry lock;
+// updates touch only the returned metric.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+	names    []string // sorted lazily at exposition
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry { return &Registry{families: map[string]*family{}} }
+
+// Default is the process-global registry every subsystem registers
+// into; GET /v1/metrics exposes it.
+var Default = NewRegistry()
+
+func (r *Registry) family(name, help string, kind Kind) *family {
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, kind: kind, byLabel: map[string]*series{}}
+		r.families[name] = f
+		r.names = append(r.names, name)
+		return f
+	}
+	if f.kind != kind {
+		panic(fmt.Sprintf("obs: metric %q re-registered as %s (was %s)", name, kind, f.kind))
+	}
+	return f
+}
+
+func (f *family) series(labels Labels) (*series, bool) {
+	k := labels.key()
+	if s, ok := f.byLabel[k]; ok {
+		return s, true
+	}
+	s := &series{labels: labels}
+	f.byLabel[k] = s
+	f.order = append(f.order, s)
+	return s, false
+}
+
+// Counter returns (creating on first use) the counter name{labels...}.
+func (r *Registry) Counter(name, help string, labels ...string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, ok := r.family(name, help, KindCounter).series(L(labels...))
+	if !ok {
+		s.c = &Counter{}
+	}
+	return s.c
+}
+
+// Gauge returns (creating on first use) the gauge name{labels...}.
+func (r *Registry) Gauge(name, help string, labels ...string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, ok := r.family(name, help, KindGauge).series(L(labels...))
+	if !ok {
+		s.g = &Gauge{}
+	}
+	return s.g
+}
+
+// Histogram returns (creating on first use) the histogram
+// name{labels...} with the given bucket upper bounds (nil =
+// DurationBuckets).
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...string) *Histogram {
+	if buckets == nil {
+		buckets = DurationBuckets
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, ok := r.family(name, help, KindHistogram).series(L(labels...))
+	if !ok {
+		s.h = &Histogram{bounds: buckets, counts: make([]atomic.Int64, len(buckets)+1)}
+	}
+	return s.h
+}
+
+// Striped returns (creating on first use) a striped counter — for
+// counters several goroutines bump concurrently on simulation paths.
+func (r *Registry) Striped(name, help string, labels ...string) *StripedCounter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, ok := r.family(name, help, KindCounter).series(L(labels...))
+	if !ok {
+		s.s = newStripedCounter()
+	}
+	return s.s
+}
+
+// Func registers a metric whose value is sampled from fn at exposition
+// time — the bridge for values another subsystem already maintains
+// (queue depth, store bytes). Re-registering the same (name, labels)
+// replaces the closure, so a restarting component stays current.
+func (r *Registry) Func(name, help string, kind Kind, fn func() float64, labels ...string) {
+	if kind == KindHistogram {
+		panic("obs: Func histograms are not supported")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, _ := r.family(name, help, kind).series(L(labels...))
+	s.fn = fn
+}
+
+// WritePrometheus renders the registry in the Prometheus text
+// exposition format (0.0.4): families sorted by name, HELP and TYPE
+// headers, histogram series as cumulative _bucket/_sum/_count.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	sort.Strings(r.names)
+	for _, name := range r.names {
+		f := r.families[name]
+		if f.help != "" {
+			fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help)
+		}
+		fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind)
+		for _, s := range f.order {
+			switch {
+			case s.h != nil:
+				cum := int64(0)
+				for i, bound := range s.h.bounds {
+					cum += s.h.counts[i].Load()
+					fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, s.labels.render(Label{"le", formatBound(bound)}), cum)
+				}
+				cum += s.h.counts[len(s.h.bounds)].Load()
+				fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, s.labels.render(Label{"le", "+Inf"}), cum)
+				fmt.Fprintf(w, "%s_sum%s %s\n", f.name, s.labels.render(), formatValue(s.h.Sum()))
+				fmt.Fprintf(w, "%s_count%s %d\n", f.name, s.labels.render(), s.h.Count())
+			case s.fn != nil:
+				fmt.Fprintf(w, "%s%s %s\n", f.name, s.labels.render(), formatValue(s.fn()))
+			case s.c != nil:
+				fmt.Fprintf(w, "%s%s %d\n", f.name, s.labels.render(), s.c.Value())
+			case s.g != nil:
+				fmt.Fprintf(w, "%s%s %d\n", f.name, s.labels.render(), s.g.Value())
+			case s.s != nil:
+				fmt.Fprintf(w, "%s%s %d\n", f.name, s.labels.render(), s.s.Value())
+			}
+		}
+	}
+}
+
+// formatValue renders a float without exponent noise for integral
+// values (Prometheus accepts both; integral reads better and keeps the
+// legacy "name value" lines byte-compatible for integer counters).
+func formatValue(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+func formatBound(v float64) string { return fmt.Sprintf("%g", v) }

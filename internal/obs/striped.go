@@ -1,0 +1,57 @@
+package obs
+
+import (
+	"runtime"
+	"sync/atomic"
+	"unsafe"
+)
+
+// stripe is one cache-line-padded counter cell: 64 bytes so neighboring
+// cells never share a line (the point of striping).
+type stripe struct {
+	v atomic.Int64
+	_ [56]byte
+}
+
+// StripedCounter spreads atomic adds over multiple cache lines, for
+// counters that many simulation goroutines bump concurrently (per-core
+// SoC lanes, farm workers). Pure Go has no per-CPU storage, so the cell
+// is picked from the address of a caller stack slot — stable per
+// goroutine, distinct across goroutines — which removes the shared-line
+// ping-pong that a single atomic would suffer.
+type StripedCounter struct {
+	cells []stripe
+	mask  uintptr
+}
+
+func newStripedCounter() *StripedCounter {
+	n := 1
+	for n < runtime.GOMAXPROCS(0) {
+		n <<= 1
+	}
+	if n > 64 {
+		n = 64
+	}
+	return &StripedCounter{cells: make([]stripe, n), mask: uintptr(n - 1)}
+}
+
+// Add adds n to one of the cells. Allocation-free.
+func (s *StripedCounter) Add(n int64) {
+	var probe byte
+	// Goroutine stacks are at least 1 KiB apart; fold the middle bits of
+	// the slot address into the cell index.
+	idx := (uintptr(unsafe.Pointer(&probe)) >> 10) & s.mask
+	s.cells[idx].v.Add(n)
+}
+
+// Inc adds one.
+func (s *StripedCounter) Inc() { s.Add(1) }
+
+// Value sums the cells.
+func (s *StripedCounter) Value() int64 {
+	var t int64
+	for i := range s.cells {
+		t += s.cells[i].v.Load()
+	}
+	return t
+}

@@ -1,0 +1,237 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Event phases (the Chrome trace_event subset the tracer emits).
+const (
+	PhaseComplete = 'X' // a span: TS..TS+Dur
+	PhaseInstant  = 'i' // a point event
+	PhaseCounter  = 'C' // a sampled counter value (Val)
+)
+
+// Event is one trace record. Args are a fixed-size inline array so
+// emitting an event allocates nothing beyond the ring slot it already
+// owns.
+type Event struct {
+	Name string // what happened ("quantum", "commit", "irq", ...)
+	Cat  string // event category ("soc", "farm", "dist")
+	Ph   byte   // PhaseComplete | PhaseInstant | PhaseCounter
+	TS   int64  // microseconds; simulation events use 1 µs = 1 source cycle
+	Dur  int64  // span length (PhaseComplete only)
+	TID  int64  // row: core index for per-core events, -1 for the scheduler
+	Args [3]Arg // up to 3 integer arguments; unused entries have Key ""
+}
+
+// Arg is one integer event argument.
+type Arg struct {
+	Key string
+	Val int64
+}
+
+// Tracer is a bounded ring buffer of events. Emission is mutex-guarded
+// (events are per-quantum / per-job, not per-cycle) and gated on an
+// atomic enabled flag so disabled tracing costs one load and a branch.
+type Tracer struct {
+	enabled atomic.Bool
+
+	mu    sync.Mutex
+	buf   []Event
+	next  uint64 // total events ever emitted
+	start time.Time
+}
+
+// NewTracer builds a tracer with the given ring capacity (<=0 selects
+// 65536 events). It starts disabled.
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = 1 << 16
+	}
+	return &Tracer{buf: make([]Event, capacity)}
+}
+
+// Trace is the process-global tracer (-trace-out enables it).
+var Trace = NewTracer(0)
+
+// Enabled reports whether the tracer is recording. Instrumented code
+// checks this before building an Event, so disabled tracing has no
+// other cost.
+func (t *Tracer) Enabled() bool { return t.enabled.Load() }
+
+// SetEnabled switches recording on or off. Enabling (re)stamps the
+// wall-clock origin used by Now.
+func (t *Tracer) SetEnabled(on bool) {
+	t.mu.Lock()
+	if on {
+		t.start = time.Now()
+	}
+	t.mu.Unlock()
+	t.enabled.Store(on)
+}
+
+// Now returns the wall-clock timestamp (µs since enable) for host-side
+// events. Simulation events pass their own emulated-clock timestamps
+// instead.
+func (t *Tracer) Now() int64 {
+	t.mu.Lock()
+	s := t.start
+	t.mu.Unlock()
+	return time.Since(s).Microseconds()
+}
+
+// Span opens a wall-clock span for a host-side pipeline stage and
+// returns the closure that ends it. Disabled tracing returns a shared
+// no-op, so the call costs one atomic load.
+func (t *Tracer) Span(name, cat string, tid int64) (end func()) {
+	if !t.enabled.Load() {
+		return nopEnd
+	}
+	start := t.Now()
+	return func() {
+		t.Emit(Event{
+			Name: name, Cat: cat, Ph: PhaseComplete,
+			TS: start, Dur: t.Now() - start, TID: tid,
+		})
+	}
+}
+
+var nopEnd = func() {}
+
+// Emit records one event (dropped when disabled; callers on hot paths
+// should check Enabled first to skip even building the Event).
+func (t *Tracer) Emit(e Event) {
+	if !t.enabled.Load() {
+		return
+	}
+	t.mu.Lock()
+	t.buf[t.next%uint64(len(t.buf))] = e
+	t.next++
+	t.mu.Unlock()
+}
+
+// Len returns the number of events currently held (bounded by
+// capacity).
+func (t *Tracer) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.next < uint64(len(t.buf)) {
+		return int(t.next)
+	}
+	return len(t.buf)
+}
+
+// Dropped returns how many events were overwritten by ring wraparound.
+func (t *Tracer) Dropped() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.next <= uint64(len(t.buf)) {
+		return 0
+	}
+	return int64(t.next - uint64(len(t.buf)))
+}
+
+// Events returns the retained events, oldest first (a copy).
+func (t *Tracer) Events() []Event {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := t.next
+	c := uint64(len(t.buf))
+	if n <= c {
+		return append([]Event(nil), t.buf[:n]...)
+	}
+	out := make([]Event, 0, c)
+	for i := n - c; i < n; i++ {
+		out = append(out, t.buf[i%c])
+	}
+	return out
+}
+
+// Reset discards all retained events (the enabled flag is unchanged).
+func (t *Tracer) Reset() {
+	t.mu.Lock()
+	t.next = 0
+	t.mu.Unlock()
+}
+
+// chromeEvent is the trace_event JSON wire form.
+type chromeEvent struct {
+	Name string           `json:"name"`
+	Cat  string           `json:"cat,omitempty"`
+	Ph   string           `json:"ph"`
+	TS   int64            `json:"ts"`
+	Dur  int64            `json:"dur,omitempty"`
+	PID  int64            `json:"pid"`
+	TID  int64            `json:"tid"`
+	S    string           `json:"s,omitempty"` // instant scope
+	Args map[string]int64 `json:"args,omitempty"`
+}
+
+// WriteChrome dumps the retained events as Chrome trace_event JSON
+// (object form, {"traceEvents": [...]}) — loadable in chrome://tracing
+// and Perfetto. Events come out oldest first.
+func (t *Tracer) WriteChrome(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("{\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	first := true
+	for _, e := range t.Events() {
+		if !first {
+			if _, err := bw.WriteString(",\n"); err != nil {
+				return err
+			}
+		}
+		first = false
+		ce := chromeEvent{
+			Name: e.Name, Cat: e.Cat, Ph: string(rune(e.Ph)),
+			TS: e.TS, Dur: e.Dur, PID: 0, TID: e.TID,
+		}
+		if e.Ph == PhaseInstant {
+			ce.S = "t" // thread scope: render on the emitting row
+		}
+		for _, a := range e.Args {
+			if a.Key == "" {
+				continue
+			}
+			if ce.Args == nil {
+				ce.Args = map[string]int64{}
+			}
+			ce.Args[a.Key] = a.Val
+		}
+		data, err := json.Marshal(ce)
+		if err != nil {
+			return err
+		}
+		if _, err := bw.Write(data); err != nil {
+			return err
+		}
+	}
+	if _, err := bw.WriteString("\n]}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// WriteChromeFile dumps the trace to path ("-" = stdout).
+func (t *Tracer) WriteChromeFile(path string) error {
+	if path == "-" {
+		return t.WriteChrome(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("obs: trace out: %w", err)
+	}
+	if err := t.WriteChrome(f); err != nil {
+		f.Close()
+		return fmt.Errorf("obs: trace out: %w", err)
+	}
+	return f.Close()
+}

@@ -7,6 +7,7 @@ import (
 	"hash"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/elf32"
@@ -205,6 +206,7 @@ func (c *TranslationCache) Translate(f *elf32.File, opts core.Options) (*core.Pr
 // content hash (the farm memoizes it per assembled workload).
 func (c *TranslationCache) TranslateHashed(h ELFHash, f *elf32.File, opts core.Options) (*core.Program, bool, error) {
 	key := ProgramKey(h, opts)
+	lookupStart := time.Now()
 	c.mu.Lock()
 	e, ok := c.entries[key]
 	if !ok {
@@ -216,10 +218,14 @@ func (c *TranslationCache) TranslateHashed(h ELFHash, f *elf32.File, opts core.O
 	e.once.Do(func() {
 		first = true
 		if c.disk != nil {
-			if prog, ok, err := c.disk.Load([sha256.Size]byte(key)); err == nil && ok {
+			diskStart := time.Now()
+			prog, ok, err := c.disk.Load([sha256.Size]byte(key))
+			if err == nil && ok {
+				obsCacheDiskHitLat.Observe(time.Since(diskStart).Seconds())
 				e.prog, e.fromDisk = prog, true
 				return
 			}
+			obsCacheDiskMissLat.Observe(time.Since(diskStart).Seconds())
 		}
 		e.prog, e.err = core.Translate(f, opts)
 		if c.disk != nil && e.err == nil {
@@ -231,9 +237,14 @@ func (c *TranslationCache) TranslateHashed(h ELFHash, f *elf32.File, opts core.O
 		c.hits.Add(1)
 		if first {
 			c.diskHits.Add(1)
+			obsCacheDiskHit.Inc()
+		} else {
+			obsCacheMemHit.Inc()
+			obsCacheMemLat.Observe(time.Since(lookupStart).Seconds())
 		}
 	} else {
 		c.misses.Add(1)
+		obsCacheMiss.Inc()
 	}
 	return e.prog, hit, e.err
 }

@@ -8,9 +8,29 @@ import (
 	"io"
 	"net/http"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/simfarm/store"
+)
+
+// Remote-tier cache telemetry: the network leg of a worker's
+// translation-cache lookup (the memory and disk tiers are counted by
+// internal/simfarm; see its obs.go for the tier taxonomy).
+var (
+	obsRemoteHit = obs.Default.Counter("cabt_cache_requests_total",
+		"translation-cache requests by tier and outcome", "tier", "remote", "outcome", "hit")
+	obsRemoteMiss = obs.Default.Counter("cabt_cache_requests_total",
+		"translation-cache requests by tier and outcome", "tier", "remote", "outcome", "miss")
+	obsRemoteHitLat = obs.Default.Histogram("cabt_cache_lookup_seconds",
+		"translation-cache lookup latency by tier and outcome", nil,
+		"tier", "remote", "outcome", "hit")
+	obsRemoteMissLat = obs.Default.Histogram("cabt_cache_lookup_seconds",
+		"translation-cache lookup latency by tier and outcome", nil,
+		"tier", "remote", "outcome", "miss")
+	obsRemotePutsSkipped = obs.Default.Counter("cabt_remote_store_puts_skipped_total",
+		"uploads avoided by If-None-Match revalidation (304s observed)")
 )
 
 // RemoteStore is the worker-side client of the store protocol: a
@@ -88,6 +108,7 @@ func (rs *RemoteStore) Load(key [sha256.Size]byte) (*core.Program, bool, error) 
 		}
 	}
 
+	netStart := time.Now()
 	resp, err := rs.client.Get(rs.url(dk))
 	if err != nil {
 		return nil, false, fmt.Errorf("remote store: %w", err)
@@ -97,6 +118,8 @@ func (rs *RemoteStore) Load(key [sha256.Size]byte) (*core.Program, bool, error) 
 	case http.StatusOK:
 	case http.StatusNotFound:
 		rs.misses.Add(1)
+		obsRemoteMiss.Inc()
+		obsRemoteMissLat.Observe(time.Since(netStart).Seconds())
 		return nil, false, nil
 	default:
 		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
@@ -111,9 +134,13 @@ func (rs *RemoteStore) Load(key [sha256.Size]byte) (*core.Program, bool, error) 
 		// A corrupt transfer (or server) is a miss, like a corrupt local
 		// object: the worker re-translates and repairs it with a PUT.
 		rs.misses.Add(1)
+		obsRemoteMiss.Inc()
+		obsRemoteMissLat.Observe(time.Since(netStart).Seconds())
 		return nil, false, nil
 	}
 	rs.remoteHits.Add(1)
+	obsRemoteHit.Inc()
+	obsRemoteHitLat.Observe(time.Since(netStart).Seconds())
 	if rs.disk != nil {
 		rs.disk.StoreRaw(dk, data) // best effort back-fill
 	}
@@ -146,6 +173,7 @@ func (rs *RemoteStore) Store(key [sha256.Size]byte, prog *core.Program) error {
 		resp.Body.Close()
 		if resp.StatusCode == http.StatusNotModified || resp.StatusCode == http.StatusOK {
 			rs.putsSkipped.Add(1)
+			obsRemotePutsSkipped.Inc()
 			return nil
 		}
 	}

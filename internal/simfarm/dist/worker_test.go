@@ -98,8 +98,15 @@ func TestWorkerEndToEnd(t *testing.T) {
 	// Both workers pulled work (4 tasks, 2 workers, each runs one at a
 	// time — with 4 gcd translations each taking real time, a single
 	// worker finishing all 4 before the other's first lease is the only
-	// way this fails, and the 10 ms poll makes that a non-flake).
-	if w1.TasksDone()+w2.TasksDone() != int64(len(tasks)) {
+	// way this fails, and the 10 ms poll makes that a non-flake). A
+	// worker bumps its counter only after its complete POST returns,
+	// which races the queue-side result delivery above — so poll briefly
+	// for the counters to settle instead of reading them once.
+	total := func() int64 { return w1.TasksDone() + w2.TasksDone() }
+	for deadline := time.Now().Add(2 * time.Second); total() != int64(len(tasks)) && time.Now().Before(deadline); {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if total() != int64(len(tasks)) {
 		t.Errorf("tasks done: %d + %d, want %d", w1.TasksDone(), w2.TasksDone(), len(tasks))
 	}
 

@@ -11,6 +11,7 @@ import (
 	"repro/internal/elf32"
 	"repro/internal/iss"
 	"repro/internal/march"
+	"repro/internal/obs"
 	"repro/internal/platform"
 	"repro/internal/tc32asm"
 	"repro/internal/workload"
@@ -281,15 +282,21 @@ func (f *Farm) Reference(w workload.Workload, desc *march.Desc) (iss.Stats, []ui
 // and measure.
 func (f *Farm) runJob(idx int, job Job) Result {
 	f.jobsRun.Add(1)
+	obsJobs.Inc()
 	r := Result{Index: idx, Name: job.Workload.Name, Level: job.Options.Level, Config: job.Config}
 	fail := func(err error) Result {
 		f.failed.Add(1)
+		obsJobsFailed.Inc()
 		r.Err = err
 		r.Error = err.Error()
 		return r
 	}
 
+	aStart := time.Now()
+	endA := obs.Trace.Span("assemble", "farm", int64(idx))
 	e := f.elf(job.Workload)
+	endA()
+	obsStageAssemble.Observe(time.Since(aStart).Seconds())
 	if e.err != nil {
 		return fail(e.err)
 	}
@@ -298,7 +305,10 @@ func (f *Farm) runJob(idx int, job Job) Result {
 		desc = march.Default()
 	}
 
+	endRef := obs.Trace.Span("reference", "farm", int64(idx))
 	ref := f.reference(e.hash, e.f, desc)
+	endRef()
+	obsStageReference.Observe(ref.wall.Seconds())
 	if ref.err != nil {
 		return fail(fmt.Errorf("%s: reference: %w", job.Workload.Name, ref.err))
 	}
@@ -313,11 +323,14 @@ func (f *Farm) runJob(idx int, job Job) Result {
 	r.RefWallSeconds = ref.wall.Seconds()
 
 	tStart := time.Now()
+	endT := obs.Trace.Span("translate", "farm", int64(idx))
 	prog, hit, err := f.cache.TranslateHashed(e.hash, e.f, job.Options)
+	endT()
 	if err != nil {
 		return fail(fmt.Errorf("%s L%d: %w", job.Workload.Name, int(job.Options.Level), err))
 	}
 	r.TranslateWallSeconds = time.Since(tStart).Seconds()
+	obsStageTranslate.Observe(r.TranslateWallSeconds)
 	r.CacheHit = hit
 	if hit {
 		r.cacheState = 1
@@ -326,16 +339,22 @@ func (f *Farm) runJob(idx int, job Job) Result {
 	}
 
 	runStart := time.Now()
+	endX := obs.Trace.Span("execute", "farm", int64(idx))
 	sys := platform.NewWithEngine(prog, f.engine)
 	if err := sys.Run(); err != nil {
+		endX()
 		return fail(fmt.Errorf("%s L%d: %w", job.Workload.Name, int(job.Options.Level), err))
 	}
+	endX()
 	r.RunWallSeconds = time.Since(runStart).Seconds()
+	obsStageExecute.Observe(r.RunWallSeconds)
 	if err := workload.SameOutput(sys.Output, job.Workload.Expected); err != nil {
 		return fail(fmt.Errorf("%s L%d: %w", job.Workload.Name, int(job.Options.Level), err))
 	}
 
 	st := sys.Stats()
+	obsPlatRegions.Add(st.Regions)
+	obsPlatC6xCycles.Add(st.C6xCycles)
 	r.C6xCycles = st.C6xCycles
 	r.GeneratedCycles = st.GeneratedCycles
 	r.CPI = float64(r.C6xCycles) / float64(r.Instructions)

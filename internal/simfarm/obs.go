@@ -1,0 +1,52 @@
+package simfarm
+
+// Farm telemetry: job counters, per-stage wall-time histograms, and
+// translation-cache tier counters/latencies, all in the process-global
+// obs registry. Everything is per-job granularity — the simulation hot
+// loops themselves are never instrumented.
+//
+// Cache tiers: "memory" is the in-process TranslationCache map;
+// "disk" is its persistent ProgramStore level, whatever backs it — on a
+// distributed worker that level is a dist.RemoteStore, whose own
+// local-disk/network split is broken out by the tier="remote" series
+// it maintains itself.
+
+import "repro/internal/obs"
+
+var (
+	obsJobs = obs.Default.Counter("cabt_farm_jobs_total",
+		"farm jobs executed")
+	obsJobsFailed = obs.Default.Counter("cabt_farm_jobs_failed_total",
+		"farm jobs failed")
+
+	obsStageAssemble = obs.Default.Histogram("cabt_farm_stage_seconds",
+		"wall time per farm pipeline stage", nil, "stage", "assemble")
+	obsStageReference = obs.Default.Histogram("cabt_farm_stage_seconds",
+		"wall time per farm pipeline stage", nil, "stage", "reference")
+	obsStageTranslate = obs.Default.Histogram("cabt_farm_stage_seconds",
+		"wall time per farm pipeline stage", nil, "stage", "translate")
+	obsStageExecute = obs.Default.Histogram("cabt_farm_stage_seconds",
+		"wall time per farm pipeline stage", nil, "stage", "execute")
+
+	obsCacheMemHit = obs.Default.Counter("cabt_cache_requests_total",
+		"translation-cache requests by tier and outcome", "tier", "memory", "outcome", "hit")
+	obsCacheDiskHit = obs.Default.Counter("cabt_cache_requests_total",
+		"translation-cache requests by tier and outcome", "tier", "disk", "outcome", "hit")
+	obsCacheMiss = obs.Default.Counter("cabt_cache_requests_total",
+		"translation-cache requests by tier and outcome", "tier", "none", "outcome", "miss")
+
+	obsCacheMemLat = obs.Default.Histogram("cabt_cache_lookup_seconds",
+		"translation-cache lookup latency by tier and outcome", nil,
+		"tier", "memory", "outcome", "hit")
+	obsCacheDiskHitLat = obs.Default.Histogram("cabt_cache_lookup_seconds",
+		"translation-cache lookup latency by tier and outcome", nil,
+		"tier", "disk", "outcome", "hit")
+	obsCacheDiskMissLat = obs.Default.Histogram("cabt_cache_lookup_seconds",
+		"translation-cache lookup latency by tier and outcome", nil,
+		"tier", "disk", "outcome", "miss")
+
+	obsPlatRegions = obs.Default.Counter("cabt_platform_regions_total",
+		"source cycle regions entered by translated runs")
+	obsPlatC6xCycles = obs.Default.Counter("cabt_platform_c6x_cycles_total",
+		"host C6x cycles simulated by translated runs")
+)

@@ -3,7 +3,7 @@ package server
 import (
 	"context"
 	"fmt"
-	"log"
+	"log/slog"
 	"math"
 	"net/http"
 	"sort"
@@ -11,8 +11,10 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/simfarm"
 	"repro/internal/simfarm/dist"
+	"repro/internal/simfarm/store"
 )
 
 // This file is the server's distribution layer: dispatching batches to
@@ -51,7 +53,7 @@ func (s *Server) journalAppend(rec dist.Record) {
 		return
 	}
 	if err := s.journal.Append(rec); err != nil {
-		log.Printf("simfarm server: journal: %v", err)
+		slog.Warn("journal append failed", "id", rec.ID, "err", err)
 	}
 }
 
@@ -165,7 +167,7 @@ func (s *Server) replayJournal() {
 	}
 	s.mu.Unlock()
 	if err := s.journal.Compact(recs); err != nil {
-		log.Printf("simfarm server: journal compact: %v", err)
+		slog.Warn("journal compact failed", "err", err)
 	}
 }
 
@@ -327,20 +329,76 @@ func stillRunning(recs []*jobRecord) int {
 
 // --- metrics ---
 
-// handleMetrics serves GET /v1/metrics in the text exposition format:
-// one "name value" line per counter, gauges and counters mixed, no
-// labels. It is an operator endpoint (scraped, not tenant-facing) and
-// deliberately discloses no tenant names.
-func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	var b strings.Builder
-	line := func(name string, value any) {
-		fmt.Fprintf(&b, "%s %v\n", name, value)
-	}
+// registerMetrics wires the server's state into its obs registry as
+// Func bridges sampled at scrape time — never double-counted against
+// the stats the queue, store and job table already maintain. Every
+// pre-existing /v1/metrics series keeps its exact name and integral
+// rendering, so line-oriented consumers (grep-based smoke checks) keep
+// working across the move to full Prometheus exposition.
+func (s *Server) registerMetrics() {
+	reg := s.reg
+	gauge := func(name, help string, fn func() float64) { reg.Func(name, help, obs.KindGauge, fn) }
+	counter := func(name, help string, fn func() float64) { reg.Func(name, help, obs.KindCounter, fn) }
 
+	gauge("cabt_up", "server is serving", func() float64 { return 1 })
+	gauge("cabt_uptime_seconds", "seconds since server start",
+		func() float64 { return float64(int64(time.Since(s.start).Seconds())) })
+	gauge("cabt_draining", "1 while the server refuses new submissions",
+		func() float64 { return float64(b2i(s.draining.Load())) })
+	gauge("cabt_tenants", "tenants with an instantiated farm",
+		func() float64 { s.mu.Lock(); defer s.mu.Unlock(); return float64(len(s.tenants)) })
+	counter("cabt_jobs_submitted_total", "batches submitted",
+		func() float64 { s.mu.Lock(); defer s.mu.Unlock(); return float64(s.submitted) })
+	gauge("cabt_jobs_running", "batches currently executing",
+		func() float64 { r, _, _ := s.jobCounts(); return float64(r) })
+	gauge("cabt_jobs_done", "retained batches that finished cleanly",
+		func() float64 { _, d, _ := s.jobCounts(); return float64(d) })
+	gauge("cabt_jobs_failed", "retained batches that failed",
+		func() float64 { _, _, f := s.jobCounts(); return float64(f) })
+	counter("cabt_rate_limited_total", "submissions refused by the rate limiter",
+		func() float64 { return float64(s.rateLimited.Load()) })
+
+	qstat := func(f func(dist.QueueStats) int64) func() float64 {
+		return func() float64 { return float64(f(s.queue.Stats())) }
+	}
+	gauge("cabt_queue_pending", "tasks waiting for a lease", qstat(func(q dist.QueueStats) int64 { return int64(q.Pending) }))
+	gauge("cabt_queue_leased", "tasks currently leased", qstat(func(q dist.QueueStats) int64 { return int64(q.Leased) }))
+	counter("cabt_queue_enqueued_total", "tasks enqueued", qstat(func(q dist.QueueStats) int64 { return q.Enqueued }))
+	counter("cabt_queue_completed_total", "tasks completed", qstat(func(q dist.QueueStats) int64 { return q.Completed }))
+	counter("cabt_queue_failed_total", "tasks failed permanently", qstat(func(q dist.QueueStats) int64 { return q.Failed }))
+	counter("cabt_queue_lease_expiries_total", "leases expired", qstat(func(q dist.QueueStats) int64 { return q.Expiries }))
+	counter("cabt_queue_retries_total", "task redeliveries after expiry", qstat(func(q dist.QueueStats) int64 { return q.Retries }))
+	gauge("cabt_workers_live", "workers with a fresh heartbeat", qstat(func(q dist.QueueStats) int64 { return int64(q.LiveWorkers) }))
+
+	if s.cfg.Store != nil {
+		sstat := func(f func(store.Stats) int64) func() float64 {
+			return func() float64 { return float64(f(s.cfg.Store.Stats())) }
+		}
+		gauge("cabt_store_objects", "objects in the persistent store", sstat(func(t store.Stats) int64 { return int64(t.Objects) }))
+		gauge("cabt_store_bytes", "bytes in the persistent store", sstat(func(t store.Stats) int64 { return t.Bytes }))
+		counter("cabt_store_loads_total", "store loads", sstat(func(t store.Stats) int64 { return t.Loads }))
+		counter("cabt_store_hits_total", "store load hits", sstat(func(t store.Stats) int64 { return t.Hits }))
+		counter("cabt_store_puts_total", "store puts", sstat(func(t store.Stats) int64 { return t.Puts }))
+		counter("cabt_store_corrupt_total", "corrupt objects detected", sstat(func(t store.Stats) int64 { return t.Corrupt }))
+		counter("cabt_store_evictions_total", "objects evicted", sstat(func(t store.Stats) int64 { return t.Evictions }))
+	}
+	if s.storeSrv != nil {
+		rstat := func(f func(dist.StoreServerStats) int64) func() float64 {
+			return func() float64 { return float64(f(s.storeSrv.Stats())) }
+		}
+		counter("cabt_store_remote_gets_total", "store-protocol GETs served", rstat(func(t dist.StoreServerStats) int64 { return t.Gets }))
+		counter("cabt_store_remote_hits_total", "store-protocol GET hits", rstat(func(t dist.StoreServerStats) int64 { return t.Hits }))
+		counter("cabt_store_remote_misses_total", "store-protocol GET misses", rstat(func(t dist.StoreServerStats) int64 { return t.Misses }))
+		counter("cabt_store_remote_not_modified_total", "store-protocol 304 responses", rstat(func(t dist.StoreServerStats) int64 { return t.NotModified }))
+		counter("cabt_store_remote_puts_total", "store-protocol PUTs accepted", rstat(func(t dist.StoreServerStats) int64 { return t.Puts }))
+		counter("cabt_store_remote_bad_puts_total", "store-protocol PUTs rejected", rstat(func(t dist.StoreServerStats) int64 { return t.BadPuts }))
+	}
+}
+
+// jobCounts scans the job table: running, done, failed.
+func (s *Server) jobCounts() (running, done, failed int) {
 	s.mu.Lock()
-	submitted := s.submitted
-	tenantCount := len(s.tenants)
-	var running, done, failed int
+	defer s.mu.Unlock()
 	for _, rec := range s.jobs {
 		select {
 		case <-rec.done:
@@ -353,48 +411,18 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			running++
 		}
 	}
-	s.mu.Unlock()
+	return running, done, failed
+}
 
-	line("cabt_up", 1)
-	line("cabt_uptime_seconds", int64(time.Since(s.start).Seconds()))
-	line("cabt_draining", b2i(s.draining.Load()))
-	line("cabt_tenants", tenantCount)
-	line("cabt_jobs_submitted_total", submitted)
-	line("cabt_jobs_running", running)
-	line("cabt_jobs_done", done)
-	line("cabt_jobs_failed", failed)
-	line("cabt_rate_limited_total", s.rateLimited.Load())
-
-	qs := s.queue.Stats()
-	line("cabt_queue_pending", qs.Pending)
-	line("cabt_queue_leased", qs.Leased)
-	line("cabt_queue_enqueued_total", qs.Enqueued)
-	line("cabt_queue_completed_total", qs.Completed)
-	line("cabt_queue_failed_total", qs.Failed)
-	line("cabt_queue_lease_expiries_total", qs.Expiries)
-	line("cabt_queue_retries_total", qs.Retries)
-	line("cabt_workers_live", qs.LiveWorkers)
-
-	if s.cfg.Store != nil {
-		st := s.cfg.Store.Stats()
-		line("cabt_store_objects", st.Objects)
-		line("cabt_store_bytes", st.Bytes)
-		line("cabt_store_loads_total", st.Loads)
-		line("cabt_store_hits_total", st.Hits)
-		line("cabt_store_puts_total", st.Puts)
-		line("cabt_store_corrupt_total", st.Corrupt)
-		line("cabt_store_evictions_total", st.Evictions)
-	}
-	if s.storeSrv != nil {
-		ss := s.storeSrv.Stats()
-		line("cabt_store_remote_gets_total", ss.Gets)
-		line("cabt_store_remote_hits_total", ss.Hits)
-		line("cabt_store_remote_misses_total", ss.Misses)
-		line("cabt_store_remote_not_modified_total", ss.NotModified)
-		line("cabt_store_remote_puts_total", ss.Puts)
-		line("cabt_store_remote_bad_puts_total", ss.BadPuts)
-	}
-
+// handleMetrics serves GET /v1/metrics in the Prometheus text
+// exposition format (0.0.4): the server's own bridges followed by the
+// process-global registry (farm stage timings, cache tiers, SoC
+// speculation counters). It is an operator endpoint (scraped, not
+// tenant-facing) and deliberately discloses no tenant names.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var b strings.Builder
+	s.reg.WritePrometheus(&b)
+	obs.Default.WritePrometheus(&b)
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	w.Write([]byte(b.String()))
 }

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"regexp"
 	"sort"
 	"sync"
@@ -12,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/simfarm"
 	"repro/internal/simfarm/dist"
 	"repro/internal/simfarm/store"
@@ -75,6 +77,11 @@ type Server struct {
 	cfg   Config
 	mux   *http.ServeMux
 	start time.Time
+	// reg holds this server's metric bridges (Func metrics sampling the
+	// queue, store and job table); /v1/metrics renders it followed by
+	// the process-global obs.Default. Per-server so concurrent servers
+	// in one process (tests) never read each other's closures.
+	reg *obs.Registry
 
 	// Distribution layer: queue and workerAPI always exist (a queue with
 	// no registered workers simply never wins the dispatch decision);
@@ -133,6 +140,7 @@ func New(cfg Config) (*Server, error) {
 		cfg:     cfg,
 		mux:     http.NewServeMux(),
 		start:   time.Now(),
+		reg:     obs.NewRegistry(),
 		queue:   dist.NewQueue(dist.QueueConfig{LeaseTTL: cfg.LeaseTTL, MaxAttempts: cfg.TaskRetries, Clock: cfg.Clock}),
 		tenants: map[string]*simfarm.Farm{},
 		jobs:    map[string]*jobRecord{},
@@ -167,7 +175,35 @@ func New(cfg Config) (*Server, error) {
 		// themselves.
 		s.stopSweep = s.startSweeper()
 	}
+	s.registerMetrics()
+	s.registerPprof()
 	return s, nil
+}
+
+// registerPprof mounts net/http/pprof on the server mux, gated on the
+// admin token alone (unlike adminOK it does not require a store —
+// profiling is about this process, not the cache). Without a configured
+// token the endpoints stay disabled.
+func (s *Server) registerPprof() {
+	gate := func(h http.HandlerFunc) http.HandlerFunc {
+		return func(w http.ResponseWriter, r *http.Request) {
+			if s.cfg.AdminToken == "" {
+				httpError(w, http.StatusForbidden, "profiling disabled (start the server with an admin token)")
+				return
+			}
+			got := r.Header.Get(AdminTokenHeader)
+			if subtle.ConstantTimeCompare([]byte(got), []byte(s.cfg.AdminToken)) != 1 {
+				httpError(w, http.StatusForbidden, "bad admin token")
+				return
+			}
+			h(w, r)
+		}
+	}
+	s.mux.HandleFunc("/debug/pprof/", gate(pprof.Index))
+	s.mux.HandleFunc("/debug/pprof/cmdline", gate(pprof.Cmdline))
+	s.mux.HandleFunc("/debug/pprof/profile", gate(pprof.Profile))
+	s.mux.HandleFunc("/debug/pprof/symbol", gate(pprof.Symbol))
+	s.mux.HandleFunc("/debug/pprof/trace", gate(pprof.Trace))
 }
 
 // Close releases the server's background resources (expiry sweeper,

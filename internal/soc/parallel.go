@@ -3,6 +3,7 @@ package soc
 import (
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/socbus"
 )
 
@@ -72,6 +73,12 @@ type parRuntime struct {
 	start []chan int64 // per-core: run your lane to the sent target
 	done  chan int     // lane finished (carries the core index)
 	stop  chan struct{}
+
+	// Speculation-outcome counters, per core. Written only by the
+	// scheduler goroutine (plain ints, no atomics needed); the flushed*
+	// shadows track what flushObs already published (see trace.go).
+	specCommits, specRollbacks, specReruns          []int64
+	flushedCommits, flushedRollbacks, flushedReruns []int64
 }
 
 // initParallel lazily builds the parallel runtime: one shadow world per
@@ -86,11 +93,17 @@ func (s *System) initParallel() error {
 	}
 	n := len(s.cores)
 	pr := &parRuntime{
-		lanes: make([]*specLane, n),
-		cs:    newCommitState(s.Bus, s.Arb),
-		run:   make([]int, 0, n),
-		start: make([]chan int64, n),
-		done:  make(chan int, n),
+		lanes:            make([]*specLane, n),
+		cs:               newCommitState(s.Bus, s.Arb),
+		run:              make([]int, 0, n),
+		start:            make([]chan int64, n),
+		done:             make(chan int, n),
+		specCommits:      make([]int64, n),
+		specRollbacks:    make([]int64, n),
+		specReruns:       make([]int64, n),
+		flushedCommits:   make([]int64, n),
+		flushedRollbacks: make([]int64, n),
+		flushedReruns:    make([]int64, n),
 	}
 	for i := 0; i < n; i++ {
 		sb, err := s.Bus.NewShadow()
@@ -159,9 +172,11 @@ func (s *System) runParallel() error {
 	if err := s.initParallel(); err != nil {
 		return err
 	}
+	s.traceInit()
 	pr := s.par
 	pr.startWorkers(s)
 	defer pr.stopWorkers()
+	defer pr.flushObs(s)
 	target := int64(0)
 	for q := int64(0); ; q++ {
 		running, allWaiting := false, true
@@ -188,6 +203,9 @@ func (s *System) runParallel() error {
 		s.quanta++
 		if err := s.parallelQuantum(q, target); err != nil {
 			return err
+		}
+		if s.trc != nil {
+			s.traceQuantum(q, target-s.cfg.Quantum, target)
 		}
 	}
 }
@@ -256,23 +274,40 @@ func (s *System) parallelQuantum(q, target int64) error {
 	// Commit in service order. After an error, the remaining lanes are
 	// only rolled back, leaving the SoC where the sequential scheduler's
 	// abort would have left it.
+	tracing := s.trc != nil && obs.Trace.Enabled()
+	qStart := target - s.cfg.Quantum
 	for _, ci := range spec {
 		c, lane := s.cores[ci], pr.lanes[ci]
 		c.port.arb, c.port.bus, c.port.rec = s.Arb, s.Bus, nil
 		c.irqSrc = s.IRQ
 		if runErr != nil {
+			pr.specRollbacks[ci]++
 			c.rollback()
 			continue
 		}
-		clean := lane.err == nil &&
-			s.IRQ.CoreState(ci) == lane.irqSnap &&
-			!pr.cs.conflicts(lane.txns) &&
-			pr.cs.grantsMatch(lane.txns)
-		if clean {
+		// The four commit checks, in the order the package comment gives
+		// them; cause names the first one that failed ("" = clean).
+		var cause string
+		switch {
+		case lane.err != nil:
+			cause = "error"
+		case s.IRQ.CoreState(ci) != lane.irqSnap:
+			cause = "irq"
+		case pr.cs.conflicts(lane.txns):
+			cause = "conflict"
+		case !pr.cs.grantsMatch(lane.txns):
+			cause = "grants"
+		}
+		if cause == "" {
 			if err := pr.cs.replay(ci, lane.txns); err != nil {
 				runErr = fmt.Errorf("soc: %s: %w", c.name, err)
+				pr.specRollbacks[ci]++
 				c.rollback()
 				continue
+			}
+			pr.specCommits[ci]++
+			if tracing {
+				traceSpec("commit", ci, qStart, target)
 			}
 			c.commitCheckpoint()
 			pr.cs.noteMutations(lane.txns)
@@ -280,7 +315,12 @@ func (s *System) parallelQuantum(q, target int64) error {
 		}
 		// Conflict (or speculative error): back to the quantum boundary
 		// and through the live world, i.e. the sequential schedule.
+		pr.specRollbacks[ci]++
+		if tracing {
+			traceSpec("rollback:"+cause, ci, qStart, target)
+		}
 		c.rollback()
+		pr.specReruns[ci]++
 		pr.rerunTxns = pr.rerunTxns[:0]
 		c.port.rec = &pr.rerunTxns
 		err := c.runUntil(target)

@@ -196,6 +196,10 @@ type System struct {
 	// par is the lazily-built parallel-scheduler runtime (nil until the
 	// first parallel Run).
 	par *parRuntime
+
+	// trc is the per-run trace state (nil unless the global tracer was
+	// recording when Run started; see trace.go).
+	trc *socTrace
 }
 
 // New assembles a SoC from the configuration: builds the shared bus and
@@ -391,6 +395,7 @@ func (s *System) Run() error {
 // another in arbitration order, advancing each to the quantum's target
 // cycle.
 func (s *System) runSequential() error {
+	s.traceInit()
 	target := int64(0)
 	for q := int64(0); ; q++ {
 		running, allWaiting := false, true
@@ -426,6 +431,9 @@ func (s *System) runSequential() error {
 			if err := c.runUntil(target); err != nil {
 				return fmt.Errorf("soc: %s: %w", c.name, err)
 			}
+		}
+		if s.trc != nil {
+			s.traceQuantum(q, target-s.cfg.Quantum, target)
 		}
 	}
 }
