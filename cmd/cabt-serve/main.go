@@ -42,15 +42,18 @@ import (
 	"context"
 	"errors"
 	"flag"
+	"fmt"
 	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/cliutil"
+	"repro/internal/faultinject"
 	"repro/internal/simfarm/server"
 	"repro/internal/simfarm/store"
 )
@@ -66,6 +69,7 @@ func main() {
 	gcMaxAge := flag.Duration("gc-max-age", 0, "evict store objects not used within this window on each sweep (0 = budget-only GC)")
 	adminToken := flag.String("admin-token", "", "enable /v1/admin endpoints for requests presenting this X-Cabt-Admin-Token (empty = disabled)")
 	journal := flag.String("journal", "", "durable batch journal path (default <cache-dir>/journal.cabt; \"none\" disables)")
+	journalRotate := flag.Int64("journal-rotate-bytes", 0, "journal segment size before rotation (0 = 4 MiB default)")
 	leaseTTL := flag.Duration("lease-ttl", 15*time.Second, "distributed task lease TTL: an unheartbeated task is re-run elsewhere after this")
 	taskRetries := flag.Int("task-retries", 3, "distributed per-task delivery budget before the task is failed")
 	rateLimit := flag.Float64("rate-limit", 0, "per-tenant job submissions per second, 429 beyond (0 = unlimited)")
@@ -77,11 +81,25 @@ func main() {
 		fail(err)
 	}
 
+	// Chaos testing: CABT_FAULTS arms a seeded deterministic fault plan
+	// (e.g. "default:seed=42" or "net.delay:p=0.05,ms=3;server.err:p=0.1").
+	// Disk, crash and server-side network faults fire in this process;
+	// client-side network faults need the same variable on the workers.
+	if spec := os.Getenv("CABT_FAULTS"); spec != "" {
+		plan, err := faultinject.Parse(spec)
+		if err != nil {
+			fail(fmt.Errorf("CABT_FAULTS: %w", err))
+		}
+		faultinject.Activate(plan)
+		slog.Warn("fault injection armed", "plan", plan.String())
+	}
+
 	cfg := server.Config{
 		Workers: *workers, AdminToken: *adminToken,
 		RetainTTL: *retainTTL, RetainMax: *retainMax,
 		LeaseTTL: *leaseTTL, TaskRetries: *taskRetries,
 		RateLimit: *rateLimit, RateBurst: *rateBurst,
+		JournalRotateBytes: *journalRotate,
 	}
 	if *cacheDir != "" {
 		st, err := store.Open(*cacheDir, store.Options{MaxBytes: *cacheBudget})
@@ -114,7 +132,16 @@ func main() {
 		slog.Info("journal open", "path", cfg.Journal)
 	}
 
-	srv := &http.Server{Addr: *addr, Handler: farm}
+	// Server-side network faults (delays, drops, 503s) apply only to the
+	// worker control plane and store protocol: the tenant job API stays
+	// clean so a chaos run's results remain byte-comparable to a
+	// fault-free one — the whole point of the soak.
+	var handler http.Handler = farm
+	handler = faultinject.Middleware(handler, func(r *http.Request) bool {
+		return strings.HasPrefix(r.URL.Path, "/v1/workers/") || strings.HasPrefix(r.URL.Path, "/v1/store/")
+	})
+
+	srv := &http.Server{Addr: *addr, Handler: handler}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
 	slog.Info("listening", "addr", *addr)

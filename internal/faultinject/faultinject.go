@@ -1,0 +1,373 @@
+package faultinject
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Point is one armed fault point of a Plan: the trigger rule for a
+// named injection site. Exactly how a firing manifests (error, torn
+// write, delay, process exit) is decided by the code hosting the site;
+// the Point only decides *whether* an evaluation fires.
+type Point struct {
+	// Name is the site, e.g. "journal.sync.err" (see points.go).
+	Name string
+	// P is the per-evaluation fire probability (0..1), drawn from the
+	// point's own seeded PRNG. Ignored when Nth is set.
+	P float64
+	// Nth, when > 0, fires exactly on the Nth evaluation (1-based) of
+	// this point in this process — the deterministic "crash at step N"
+	// trigger — and never again.
+	Nth int64
+	// Times, when > 0, caps the total number of firings.
+	Times int64
+	// MS parameterizes delay points: the maximum injected latency in
+	// milliseconds (the actual delay is uniform in [1, MS]).
+	MS int64
+}
+
+// pointState is a Point plus its runtime trigger state. Each point owns
+// an independent PRNG derived from (plan seed, point name), so its
+// decision sequence depends only on the seed and the point's own
+// evaluation order, never on other points or goroutine interleaving.
+type pointState struct {
+	Point
+	mu    sync.Mutex
+	rng   *rand.Rand
+	evals int64
+	fires int64
+	ctr   *obs.Counter
+}
+
+// Plan is an armed fault profile: a seed plus a set of points. Arm it
+// with Activate; a nil Plan (or none) means every hook is a no-op.
+type Plan struct {
+	Seed   int64
+	points map[string]*pointState
+}
+
+var active atomic.Pointer[Plan]
+
+// Activate installs p as the process-wide fault plan (nil disarms).
+// Counters for each point are registered on obs.Default as
+// cabt_faults_injected_total{point="..."}.
+func Activate(p *Plan) {
+	if p != nil {
+		for name, ps := range p.points {
+			ps.ctr = obs.Default.Counter("cabt_faults_injected_total",
+				"fault-point firings by injection site", "point", name)
+		}
+	}
+	active.Store(p)
+}
+
+// Deactivate disarms fault injection (equivalent to Activate(nil)).
+func Deactivate() { active.Store(nil) }
+
+// Enabled reports whether a fault plan is armed. It is the one-atomic-
+// load fast path every hook takes first.
+func Enabled() bool { return active.Load() != nil }
+
+// Active returns the armed plan (nil when disarmed).
+func Active() *Plan { return active.Load() }
+
+// Should evaluates the named fault point: true means the caller must
+// inject its failure now. With no armed plan, or a plan that does not
+// arm this point, it is false at the cost of an atomic load (and a map
+// read when armed) — no allocation either way.
+func Should(name string) bool {
+	p := active.Load()
+	if p == nil {
+		return false
+	}
+	ps, ok := p.points[name]
+	if !ok {
+		return false
+	}
+	return ps.eval()
+}
+
+// eval runs one trigger decision.
+func (ps *pointState) eval() bool {
+	ps.mu.Lock()
+	ps.evals++
+	fire := false
+	switch {
+	case ps.Times > 0 && ps.fires >= ps.Times:
+	case ps.Nth > 0:
+		fire = ps.evals == ps.Nth
+	default:
+		fire = ps.P > 0 && ps.rng.Float64() < ps.P
+	}
+	if fire {
+		ps.fires++
+	}
+	ctr := ps.ctr
+	ps.mu.Unlock()
+	if fire && ctr != nil {
+		ctr.Inc()
+	}
+	return fire
+}
+
+// Fires reports how many times the named point has fired (0 when the
+// point is unarmed). Tests and logs use it; injection sites never do.
+func Fires(name string) int64 {
+	p := active.Load()
+	if p == nil {
+		return 0
+	}
+	ps, ok := p.points[name]
+	if !ok {
+		return 0
+	}
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	return ps.fires
+}
+
+// Sleep injects the named delay point: when it fires, the caller sleeps
+// a seeded-uniform duration in [1ms, MS] (MS defaults to 2 when the
+// point does not set it). Returns the injected delay (0 = no firing).
+func Sleep(name string) time.Duration {
+	p := active.Load()
+	if p == nil {
+		return 0
+	}
+	ps, ok := p.points[name]
+	if !ok || !ps.eval() {
+		return 0
+	}
+	ms := ps.MS
+	if ms <= 0 {
+		ms = 2
+	}
+	ps.mu.Lock()
+	d := time.Duration(1+ps.rng.Int63n(ms)) * time.Millisecond
+	ps.mu.Unlock()
+	time.Sleep(d)
+	return d
+}
+
+// CrashExitCode is the exit status of an injected process crash, so
+// harnesses can tell an injected death from a genuine failure.
+const CrashExitCode = 7
+
+// CrashFn is what an injected crash does. The default is an immediate
+// os.Exit — no deferred functions, no flushes: a crash point models
+// power loss at that line. In-process harnesses (the chaos soak test)
+// replace it with a panic they recover at the victim's top frame.
+var CrashFn = func(point string) {
+	fmt.Fprintf(os.Stderr, "faultinject: crash at %s\n", point)
+	os.Exit(CrashExitCode)
+}
+
+// Crash evaluates the named crash point and, when it fires, kills the
+// process via CrashFn. The call does not return after a firing.
+func Crash(point string) {
+	if Should(point) {
+		CrashFn(point)
+	}
+}
+
+// InjectedError marks an injected failure; errors.Is/As see through it
+// to the underlying errno-shaped cause.
+type InjectedError struct {
+	Point string
+	Err   error
+}
+
+func (e *InjectedError) Error() string {
+	return fmt.Sprintf("faultinject: %s: %v", e.Point, e.Err)
+}
+
+func (e *InjectedError) Unwrap() error { return e.Err }
+
+// ErrAt returns an InjectedError wrapping err when the named point
+// fires, nil otherwise. The idiom at an injection site:
+//
+//	if err := faultinject.ErrAt("journal.sync.err", errSync); err != nil {
+//		return err
+//	}
+func ErrAt(point string, err error) error {
+	if Should(point) {
+		return &InjectedError{Point: point, Err: err}
+	}
+	return nil
+}
+
+// --- profile parsing ---
+
+// Parse builds a Plan from a compact spec:
+//
+//	seed=42;net.delay:p=0.05,ms=3;journal.append.crash:nth=3;store.write.enospc:p=0.02,times=2
+//
+// Segments are ';'-separated. "seed=N" sets the seed (default 1). The
+// segment "default" (or "default:seed=N") starts from the built-in
+// chaos profile (DefaultProfile); later segments override its points.
+// Each point segment is "name:param=value,..." with params p (float
+// probability), nth (1-based evaluation), times (max firings) and ms
+// (delay bound). An empty spec returns (nil, nil) — disarmed.
+func Parse(spec string) (*Plan, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, nil
+	}
+	var seed int64 = 1
+	seedSet := false
+	useDefault := false
+	var pts []Point
+	for _, seg := range strings.Split(spec, ";") {
+		seg = strings.TrimSpace(seg)
+		if seg == "" {
+			continue
+		}
+		if v, ok := strings.CutPrefix(seg, "seed="); ok {
+			n, err := strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("faultinject: bad seed %q", v)
+			}
+			seed, seedSet = n, true
+			continue
+		}
+		name, params, _ := strings.Cut(seg, ":")
+		if name == "default" {
+			useDefault = true
+			// "default:seed=N" carries the seed inline.
+			for _, kv := range strings.Split(params, ",") {
+				if v, ok := strings.CutPrefix(strings.TrimSpace(kv), "seed="); ok {
+					n, err := strconv.ParseInt(v, 10, 64)
+					if err != nil {
+						return nil, fmt.Errorf("faultinject: bad seed %q", v)
+					}
+					seed, seedSet = n, true
+				}
+			}
+			continue
+		}
+		if !validPoint(name) {
+			return nil, fmt.Errorf("faultinject: unknown fault point %q (see internal/faultinject/points.go)", name)
+		}
+		pt := Point{Name: name}
+		if params != "" {
+			for _, kv := range strings.Split(params, ",") {
+				k, v, ok := strings.Cut(strings.TrimSpace(kv), "=")
+				if !ok {
+					return nil, fmt.Errorf("faultinject: bad param %q in %q", kv, seg)
+				}
+				switch k {
+				case "p":
+					f, err := strconv.ParseFloat(v, 64)
+					if err != nil || f < 0 || f > 1 {
+						return nil, fmt.Errorf("faultinject: bad probability %q in %q", v, seg)
+					}
+					pt.P = f
+				case "nth":
+					n, err := strconv.ParseInt(v, 10, 64)
+					if err != nil || n < 1 {
+						return nil, fmt.Errorf("faultinject: bad nth %q in %q", v, seg)
+					}
+					pt.Nth = n
+				case "times":
+					n, err := strconv.ParseInt(v, 10, 64)
+					if err != nil || n < 1 {
+						return nil, fmt.Errorf("faultinject: bad times %q in %q", v, seg)
+					}
+					pt.Times = n
+				case "ms":
+					n, err := strconv.ParseInt(v, 10, 64)
+					if err != nil || n < 1 {
+						return nil, fmt.Errorf("faultinject: bad ms %q in %q", v, seg)
+					}
+					pt.MS = n
+				default:
+					return nil, fmt.Errorf("faultinject: unknown param %q in %q", k, seg)
+				}
+			}
+		}
+		if pt.P == 0 && pt.Nth == 0 {
+			return nil, fmt.Errorf("faultinject: point %q needs p= or nth=", name)
+		}
+		pts = append(pts, pt)
+	}
+	var base []Point
+	if useDefault {
+		base = defaultPoints()
+	}
+	if len(base) == 0 && len(pts) == 0 {
+		if !seedSet {
+			return nil, fmt.Errorf("faultinject: spec %q arms no points", spec)
+		}
+		return nil, fmt.Errorf("faultinject: spec %q sets a seed but arms no points", spec)
+	}
+	return NewPlan(seed, append(base, pts...)), nil
+}
+
+// NewPlan builds a plan from explicit points (later duplicates override
+// earlier ones, which is how a spec overrides the default profile).
+func NewPlan(seed int64, points []Point) *Plan {
+	p := &Plan{Seed: seed, points: make(map[string]*pointState, len(points))}
+	for _, pt := range points {
+		p.points[pt.Name] = &pointState{Point: pt, rng: rand.New(rand.NewSource(pointSeed(seed, pt.Name)))}
+	}
+	return p
+}
+
+// pointSeed derives a point's private PRNG seed from the plan seed and
+// the point name, so each point's sequence is independent.
+func pointSeed(seed int64, name string) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	return seed ^ int64(h.Sum64())
+}
+
+// String renders the plan as a canonical spec (points sorted by name)
+// that Parse round-trips; servers log it at startup so a failing chaos
+// run is replayable.
+func (p *Plan) String() string {
+	if p == nil {
+		return ""
+	}
+	names := make([]string, 0, len(p.points))
+	for n := range p.points {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	fmt.Fprintf(&b, "seed=%d", p.Seed)
+	for _, n := range names {
+		pt := p.points[n].Point
+		b.WriteByte(';')
+		b.WriteString(n)
+		sep := ':'
+		param := func(k string, v string) {
+			b.WriteRune(sep)
+			sep = ','
+			b.WriteString(k)
+			b.WriteByte('=')
+			b.WriteString(v)
+		}
+		if pt.Nth > 0 {
+			param("nth", strconv.FormatInt(pt.Nth, 10))
+		} else {
+			param("p", strconv.FormatFloat(pt.P, 'g', -1, 64))
+		}
+		if pt.Times > 0 {
+			param("times", strconv.FormatInt(pt.Times, 10))
+		}
+		if pt.MS > 0 {
+			param("ms", strconv.FormatInt(pt.MS, 10))
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,336 @@
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func arm(t *testing.T, spec string) *Plan {
+	t.Helper()
+	p, err := Parse(spec)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", spec, err)
+	}
+	Activate(p)
+	t.Cleanup(Deactivate)
+	return p
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, spec := range []string{
+		"no.such.point:p=0.5",     // outside the catalog
+		"net.delay",               // no trigger
+		"net.delay:p=2",           // probability out of range
+		"net.delay:nth=0",         // nth must be 1-based
+		"net.delay:p=0.1,bogus=1", // unknown param
+		"seed=notanumber;net.delay:p=0.1",
+		"seed=42", // arms nothing
+	} {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q): want error, got nil", spec)
+		}
+	}
+	if p, err := Parse(""); p != nil || err != nil {
+		t.Fatalf("Parse(\"\") = %v, %v; want nil, nil", p, err)
+	}
+}
+
+func TestParseStringRoundTrip(t *testing.T) {
+	spec := "seed=42;journal.append.crash.torn:nth=3;net.delay:p=0.05,ms=3;store.write.enospc:p=0.02,times=2"
+	p, err := Parse(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := Parse(p.String())
+	if err != nil {
+		t.Fatalf("re-Parse(%q): %v", p.String(), err)
+	}
+	if p.String() != p2.String() {
+		t.Fatalf("canonical spec not a fixed point:\n  %s\n  %s", p.String(), p2.String())
+	}
+	if p.Seed != 42 || len(p.points) != 3 {
+		t.Fatalf("seed=%d points=%d, want 42/3", p.Seed, len(p.points))
+	}
+}
+
+func TestDefaultProfile(t *testing.T) {
+	p, err := Parse("default:seed=7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Seed != 7 {
+		t.Fatalf("seed %d, want 7", p.Seed)
+	}
+	if _, ok := p.points[PointWorkerCompleteCrash]; !ok {
+		t.Fatal("default profile lacks the worker crash point")
+	}
+	// Overrides after "default" win.
+	p, err = Parse("default:seed=7;worker.complete.crash:nth=99")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.points[PointWorkerCompleteCrash].Nth; got != 99 {
+		t.Fatalf("override: nth=%d, want 99", got)
+	}
+}
+
+// Same seed, same point, same evaluation order → identical decisions;
+// a different seed diverges. This is the replayability contract.
+func TestDeterministicSequence(t *testing.T) {
+	seq := func(seed int64) []bool {
+		Activate(NewPlan(seed, []Point{{Name: PointNetRequestDrop, P: 0.3}}))
+		defer Deactivate()
+		out := make([]bool, 200)
+		for i := range out {
+			out[i] = Should(PointNetRequestDrop)
+		}
+		return out
+	}
+	a, b, c := seq(42), seq(42), seq(43)
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Fatal("same seed produced different sequences")
+	}
+	if fmt.Sprint(a) == fmt.Sprint(c) {
+		t.Fatal("different seeds produced identical 200-evaluation sequences")
+	}
+	fires := 0
+	for _, f := range a {
+		if f {
+			fires++
+		}
+	}
+	if fires < 30 || fires > 90 {
+		t.Fatalf("p=0.3 over 200 evals fired %d times — PRNG looks broken", fires)
+	}
+}
+
+// Evaluations of one point must not perturb another point's sequence.
+func TestPointIndependence(t *testing.T) {
+	run := func(interleave bool) []bool {
+		Activate(NewPlan(1, []Point{
+			{Name: PointNetRequestDrop, P: 0.5},
+			{Name: PointServerErr, P: 0.5},
+		}))
+		defer Deactivate()
+		out := make([]bool, 50)
+		for i := range out {
+			if interleave {
+				Should(PointServerErr)
+			}
+			out[i] = Should(PointNetRequestDrop)
+		}
+		return out
+	}
+	if fmt.Sprint(run(false)) != fmt.Sprint(run(true)) {
+		t.Fatal("evaluating another point changed this point's sequence")
+	}
+}
+
+func TestNthAndTimes(t *testing.T) {
+	arm(t, "net.request.drop:nth=3;server.err:p=1,times=2")
+	for i := 1; i <= 6; i++ {
+		want := i == 3
+		if got := Should(PointNetRequestDrop); got != want {
+			t.Fatalf("nth=3: eval %d = %v, want %v", i, got, want)
+		}
+	}
+	fired := 0
+	for i := 0; i < 10; i++ {
+		if Should(PointServerErr) {
+			fired++
+		}
+	}
+	if fired != 2 {
+		t.Fatalf("p=1,times=2 fired %d times, want 2", fired)
+	}
+	if Fires(PointServerErr) != 2 {
+		t.Fatalf("Fires = %d, want 2", Fires(PointServerErr))
+	}
+}
+
+func TestErrAt(t *testing.T) {
+	arm(t, "journal.sync.err:nth=1")
+	base := errors.New("fsync failed")
+	err := ErrAt(PointJournalSyncErr, base)
+	if err == nil || !errors.Is(err, base) {
+		t.Fatalf("ErrAt = %v, want wrap of %v", err, base)
+	}
+	var inj *InjectedError
+	if !errors.As(err, &inj) || inj.Point != PointJournalSyncErr {
+		t.Fatalf("not an InjectedError with the point name: %v", err)
+	}
+	if err := ErrAt(PointJournalSyncErr, base); err != nil {
+		t.Fatalf("second evaluation of nth=1 fired: %v", err)
+	}
+}
+
+func TestCrashFnOverride(t *testing.T) {
+	arm(t, "worker.complete.crash:nth=1")
+	old := CrashFn
+	defer func() { CrashFn = old }()
+	var crashed atomic.Bool
+	CrashFn = func(point string) { crashed.Store(true) }
+	Crash(PointWorkerCompleteCrash)
+	if !crashed.Load() {
+		t.Fatal("nth=1 crash point did not fire")
+	}
+	Crash(PointWorkerCompleteCrash)
+}
+
+// The disarmed fast path must be free: no allocation on any hook.
+func TestDisabledZeroAlloc(t *testing.T) {
+	Deactivate()
+	if n := testing.AllocsPerRun(1000, func() {
+		Should(PointJournalSyncErr)
+		Sleep(PointNetDelay)
+		Crash(PointWorkerCompleteCrash)
+		if ErrAt(PointStoreWriteENOSPC, errTruncated) != nil {
+			t.Fatal("fired while disarmed")
+		}
+	}); n != 0 {
+		t.Fatalf("disarmed hooks allocate %.1f per call, want 0", n)
+	}
+}
+
+func BenchmarkShouldDisabled(b *testing.B) {
+	Deactivate()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if Should(PointJournalSyncErr) {
+			b.Fatal("fired while disarmed")
+		}
+	}
+}
+
+func BenchmarkShouldArmedMiss(b *testing.B) {
+	Activate(NewPlan(1, []Point{{Name: PointNetDelay, P: 0.0, Nth: 1 << 60}}))
+	defer Deactivate()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Should(PointJournalSyncErr) // unarmed point under an armed plan
+	}
+}
+
+func TestTransportFaults(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		io.Copy(io.Discard, r.Body)
+		fmt.Fprint(w, strings.Repeat("x", 400))
+	}))
+	defer srv.Close()
+	client := WrapClient(srv.Client())
+
+	t.Run("request drop never reaches the server", func(t *testing.T) {
+		arm(t, "net.request.drop:nth=1")
+		before := hits.Load()
+		_, err := client.Get(srv.URL)
+		if err == nil {
+			t.Fatal("dropped request returned no error")
+		}
+		if hits.Load() != before {
+			t.Fatal("dropped request reached the server")
+		}
+		resp, err := client.Get(srv.URL)
+		if err != nil {
+			t.Fatalf("second request: %v", err)
+		}
+		resp.Body.Close()
+	})
+
+	t.Run("response drop happens after the server acted", func(t *testing.T) {
+		arm(t, "net.response.drop:nth=1")
+		before := hits.Load()
+		_, err := client.Get(srv.URL)
+		if err == nil {
+			t.Fatal("dropped response returned no error")
+		}
+		if hits.Load() != before+1 {
+			t.Fatal("response drop must still deliver the request")
+		}
+	})
+
+	t.Run("truncated body fails mid-read", func(t *testing.T) {
+		arm(t, "net.response.truncate:nth=1")
+		resp, err := client.Get(srv.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		data, err := io.ReadAll(resp.Body)
+		var inj *InjectedError
+		if !errors.As(err, &inj) {
+			t.Fatalf("read all %d bytes with err %v, want injected truncation", len(data), err)
+		}
+		if len(data) >= 400 {
+			t.Fatalf("truncation delivered the whole %d-byte body", len(data))
+		}
+	})
+
+	t.Run("duplicated request delivers twice", func(t *testing.T) {
+		arm(t, "net.request.dup:nth=1")
+		before := hits.Load()
+		resp, err := client.Post(srv.URL, "text/plain", strings.NewReader("payload"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if got := hits.Load() - before; got != 2 {
+			t.Fatalf("server saw %d deliveries, want 2", got)
+		}
+	})
+}
+
+func TestMiddleware(t *testing.T) {
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, "ok")
+	})
+	onlyWorkers := func(r *http.Request) bool {
+		return strings.HasPrefix(r.URL.Path, "/v1/workers/")
+	}
+	srv := httptest.NewServer(Middleware(inner, onlyWorkers))
+	defer srv.Close()
+
+	arm(t, "server.err:p=1")
+	resp, err := srv.Client().Get(srv.URL + "/v1/workers/w-1/lease")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("faulted route: HTTP %d, want 503", resp.StatusCode)
+	}
+	// The tenant API is outside the match predicate: always clean.
+	resp, err = srv.Client().Get(srv.URL + "/v1/jobs/job-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("unmatched route: HTTP %d, want 200", resp.StatusCode)
+	}
+
+	arm(t, "server.drop:p=1")
+	if _, err := srv.Client().Get(srv.URL + "/v1/workers/w-1/lease"); err == nil {
+		t.Fatal("server.drop: want a transport error, got a response")
+	}
+}
+
+func TestSleepInjectsBoundedDelay(t *testing.T) {
+	arm(t, "net.delay:p=1,ms=2")
+	start := time.Now()
+	d := Sleep(PointNetDelay)
+	if d <= 0 || d > 2*time.Millisecond {
+		t.Fatalf("injected delay %v outside (0, 2ms]", d)
+	}
+	if elapsed := time.Since(start); elapsed < d {
+		t.Fatalf("slept %v, promised %v", elapsed, d)
+	}
+}

@@ -1,0 +1,156 @@
+package faultinject
+
+import (
+	"errors"
+	"io"
+	"net/http"
+)
+
+var (
+	errRequestDropped  = errors.New("injected connection failure before send")
+	errResponseDropped = errors.New("injected connection loss after send")
+	errTruncated       = errors.New("injected truncated response body")
+)
+
+// Transport is an http.RoundTripper that injects the client-side
+// network faults (net.* points) around a base transport. It is wired
+// unconditionally into the worker's control-plane and remote-store
+// clients: with no armed plan the overhead is one atomic load per
+// request.
+//
+// The two drop points model different failures on purpose:
+// net.request.drop fails before the server sees anything (a pure
+// retry), while net.response.drop loses the reply after the server
+// acted — the case that forces idempotent protocol design (stale
+// completions answered 409, immutable store PUTs, re-registration).
+type Transport struct {
+	// Base is the underlying transport (nil = http.DefaultTransport).
+	Base http.RoundTripper
+}
+
+// WrapClient returns a copy of c (nil = a fresh client) whose transport
+// injects network faults. Idempotent: an already-wrapped transport is
+// returned unchanged.
+func WrapClient(c *http.Client) *http.Client {
+	if c == nil {
+		c = &http.Client{}
+	}
+	if _, ok := c.Transport.(*Transport); ok {
+		return c
+	}
+	cc := *c
+	cc.Transport = &Transport{Base: c.Transport}
+	return &cc
+}
+
+func (t *Transport) base() http.RoundTripper {
+	if t.Base != nil {
+		return t.Base
+	}
+	return http.DefaultTransport
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	if !Enabled() {
+		return t.base().RoundTrip(req)
+	}
+	Sleep(PointNetDelay)
+	if Should(PointNetRequestDrop) {
+		if req.Body != nil {
+			req.Body.Close()
+		}
+		return nil, &InjectedError{Point: PointNetRequestDrop, Err: errRequestDropped}
+	}
+	// Duplicate delivery: send a clone first and discard its response,
+	// then deliver the real exchange. Only possible when the body is
+	// replayable (GetBody) or absent.
+	if Should(PointNetRequestDup) && (req.Body == nil || req.GetBody != nil) {
+		dup := req.Clone(req.Context())
+		if req.GetBody != nil {
+			if body, err := req.GetBody(); err == nil {
+				dup.Body = body
+			} else {
+				dup = nil
+			}
+		}
+		if dup != nil {
+			if resp, err := t.base().RoundTrip(dup); err == nil {
+				io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+				resp.Body.Close()
+			}
+		}
+	}
+	resp, err := t.base().RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	if Should(PointNetResponseDrop) {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+		resp.Body.Close()
+		return nil, &InjectedError{Point: PointNetResponseDrop, Err: errResponseDropped}
+	}
+	if Should(PointNetResponseTruncate) {
+		// Deliver roughly half the advertised body, then fail the read —
+		// the decoder-side verification (JSON decode errors, store object
+		// checksums) must catch it and the client must retry.
+		n := resp.ContentLength / 2
+		if n <= 0 {
+			n = 16
+		}
+		resp.Body = &truncatedBody{rc: resp.Body, remain: n}
+	}
+	return resp, nil
+}
+
+// truncatedBody yields remain bytes then fails.
+type truncatedBody struct {
+	rc     io.ReadCloser
+	remain int64
+}
+
+func (b *truncatedBody) Read(p []byte) (int, error) {
+	if b.remain <= 0 {
+		return 0, &InjectedError{Point: PointNetResponseTruncate, Err: errTruncated}
+	}
+	if int64(len(p)) > b.remain {
+		p = p[:b.remain]
+	}
+	n, err := b.rc.Read(p)
+	b.remain -= int64(n)
+	if err == io.EOF {
+		return n, err // body was shorter than the cut anyway
+	}
+	if b.remain <= 0 && err == nil {
+		err = &InjectedError{Point: PointNetResponseTruncate, Err: errTruncated}
+	}
+	return n, err
+}
+
+func (b *truncatedBody) Close() error { return b.rc.Close() }
+
+// Middleware injects the server-side network faults (server.delay,
+// server.drop, server.err) in front of next, but only for requests
+// match accepts (nil matches everything). cabt-serve scopes it to the
+// worker-protocol and store-protocol routes so the tenant-facing API
+// stays clean and chaos runs remain byte-verifiable through it.
+func Middleware(next http.Handler, match func(*http.Request) bool) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !Enabled() || (match != nil && !match(r)) {
+			next.ServeHTTP(w, r)
+			return
+		}
+		Sleep(PointServerDelay)
+		if Should(PointServerDrop) {
+			// The canonical way to abort the connection mid-request:
+			// net/http recognizes this panic value and resets the
+			// connection without logging a stack.
+			panic(http.ErrAbortHandler)
+		}
+		if Should(PointServerErr) {
+			http.Error(w, "faultinject: injected server error", http.StatusServiceUnavailable)
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+}

@@ -1,0 +1,82 @@
+package dist
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Backoff is exponential backoff with full jitter for the worker's
+// control-plane and store clients: attempt n waits a uniform random
+// duration in (0, min(Base·2ⁿ, Max)]. Full jitter (rather than ±ε
+// around the exponential) is deliberate — when a whole fleet loses the
+// server at once, it is what spreads the reconnect stampede.
+//
+// The zero value is not usable; construct with NewBackoff. A Backoff is
+// safe for concurrent use, though each retry loop normally owns one.
+type Backoff struct {
+	base, max time.Duration
+
+	mu      sync.Mutex
+	rng     *rand.Rand
+	attempt int
+}
+
+// NewBackoff builds a backoff policy. base <= 0 defaults to 100 ms,
+// max <= 0 to 10 s.
+func NewBackoff(base, max time.Duration) *Backoff {
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	if max <= 0 {
+		max = 10 * time.Second
+	}
+	return &Backoff{
+		base: base,
+		max:  max,
+		rng:  rand.New(rand.NewSource(time.Now().UnixNano())),
+	}
+}
+
+// Next returns the next delay and advances the attempt counter.
+func (b *Backoff) Next() time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	d := b.base << b.attempt
+	if d <= 0 || d > b.max { // <= 0 catches shift overflow
+		d = b.max
+	}
+	if b.attempt < 62 {
+		b.attempt++
+	}
+	return time.Duration(1 + b.rng.Int63n(int64(d)))
+}
+
+// Attempt reports how many delays have been handed out since the last
+// Reset.
+func (b *Backoff) Attempt() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.attempt
+}
+
+// Reset rewinds to the first attempt; call it after a success.
+func (b *Backoff) Reset() {
+	b.mu.Lock()
+	b.attempt = 0
+	b.mu.Unlock()
+}
+
+// Sleep waits the next backoff delay or until ctx ends, reporting
+// whether the full delay elapsed (false = cancelled).
+func (b *Backoff) Sleep(ctx context.Context) bool {
+	t := time.NewTimer(b.Next())
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}

@@ -2,6 +2,7 @@ package dist
 
 import (
 	"encoding/binary"
+	"fmt"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -24,6 +25,12 @@ func openJournal(t *testing.T, path string) *Journal {
 	}
 	t.Cleanup(func() { j.Close() })
 	return j
+}
+
+// seg1 returns the path of the first segment of epoch 1 — where all
+// records land until the journal rotates or compacts.
+func seg1(path string) string {
+	return filepath.Join(path, segmentName(1, 1))
 }
 
 func rec(id string, typ RecordType) Record {
@@ -92,8 +99,49 @@ func TestJournalRoundTrip(t *testing.T) {
 	wantRecords(t, j2, recs)
 }
 
-// seedJournal writes two intact records and returns the file's bytes so
-// corruption tests can damage the tail precisely.
+// A journal written by the pre-segmentation format (one plain file at
+// the journal path) must migrate in place and replay identically.
+func TestJournalLegacyMigration(t *testing.T) {
+	path := journalPath(t)
+	intact := []Record{rec("job-1", RecordSubmitted), rec("job-1", RecordFinished)}
+
+	// Build a legacy image: a segment is byte-identical to the old
+	// single-file format, so seed via the segmented journal and then
+	// flatten the directory back into one file at the path.
+	j := openJournal(t, path)
+	for _, r := range intact {
+		appendRec(t, j, r)
+	}
+	j.Close()
+	data, err := os.ReadFile(seg1(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.RemoveAll(path); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	j2 := openJournal(t, path)
+	wantRecords(t, j2, intact)
+	if j2.Repaired() != 0 {
+		t.Fatalf("migration reported %d repaired bytes", j2.Repaired())
+	}
+	fi, err := os.Stat(path)
+	if err != nil || !fi.IsDir() {
+		t.Fatalf("journal path not migrated to a directory: %v %v", fi, err)
+	}
+	// And the migration is idempotent across another cycle.
+	extra := rec("job-2", RecordSubmitted)
+	appendRec(t, j2, extra)
+	j2.Close()
+	wantRecords(t, openJournal(t, path), append(append([]Record(nil), intact...), extra))
+}
+
+// seedJournal writes two intact records and returns the active
+// segment's bytes so corruption tests can damage the tail precisely.
 func seedJournal(t *testing.T, path string) (data []byte, intact []Record) {
 	t.Helper()
 	j := openJournal(t, path)
@@ -104,9 +152,9 @@ func seedJournal(t *testing.T, path string) (data []byte, intact []Record) {
 	if err := j.Close(); err != nil {
 		t.Fatalf("Close: %v", err)
 	}
-	data, err := os.ReadFile(path)
+	data, err := os.ReadFile(seg1(path))
 	if err != nil {
-		t.Fatalf("read journal: %v", err)
+		t.Fatalf("read segment: %v", err)
 	}
 	return data, intact
 }
@@ -114,7 +162,7 @@ func seedJournal(t *testing.T, path string) (data []byte, intact []Record) {
 // frameEnd returns the offset just past record n (0-based) in data.
 func frameEnd(t *testing.T, data []byte, n int) int {
 	t.Helper()
-	off := len(journalMagic) + 4
+	off := segmentHeaderSize
 	for i := 0; i <= n; i++ {
 		plen := binary.LittleEndian.Uint32(data[off : off+4])
 		off += frameHeaderSize + int(plen)
@@ -128,7 +176,7 @@ func frameEnd(t *testing.T, data []byte, n int) int {
 func TestJournalCrashRecovery(t *testing.T) {
 	cases := []struct {
 		name string
-		// damage rewrites the intact two-record file image.
+		// damage rewrites the intact two-record segment image.
 		damage func(t *testing.T, data []byte) []byte
 		// keep is how many of the two seeded records must survive.
 		keep int
@@ -147,7 +195,7 @@ func TestJournalCrashRecovery(t *testing.T) {
 			return nil
 		}, 0, false},
 		{"header-only", func(t *testing.T, data []byte) []byte {
-			return data[:len(journalMagic)+4]
+			return data[:segmentHeaderSize]
 		}, 0, false},
 		{"bad-magic", func(t *testing.T, data []byte) []byte {
 			data[0] ^= 0xff
@@ -177,8 +225,8 @@ func TestJournalCrashRecovery(t *testing.T) {
 		t.Run(tc.name, func(t *testing.T) {
 			path := journalPath(t)
 			data, intact := seedJournal(t, path)
-			if err := os.WriteFile(path, tc.damage(t, append([]byte(nil), data...)), 0o644); err != nil {
-				t.Fatalf("write damaged journal: %v", err)
+			if err := os.WriteFile(seg1(path), tc.damage(t, append([]byte(nil), data...)), 0o644); err != nil {
+				t.Fatalf("write damaged segment: %v", err)
 			}
 
 			j := openJournal(t, path)
@@ -218,6 +266,90 @@ func TestJournalDuplicateRecordsSurviveReplay(t *testing.T) {
 	wantRecords(t, openJournal(t, path), []Record{r, r, r})
 }
 
+// With a tiny rotation threshold every append seals a segment; replay
+// must stitch all segments back together in order, and the sealed ones
+// must appear in the recovery index.
+func TestJournalRotation(t *testing.T) {
+	path := journalPath(t)
+	j, err := OpenJournalWith(path, JournalOptions{RotateBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var recs []Record
+	for i := range 8 {
+		r := rec(fmt.Sprintf("job-%d", i), RecordSubmitted)
+		recs = append(recs, r)
+		appendRec(t, j, r)
+	}
+	if got := j.Segments(); got < 3 {
+		t.Fatalf("RotateBytes=64 after 8 appends: %d segments, want several", got)
+	}
+	segs := j.Segments()
+	j.Close()
+
+	idx, ok := readJournalIndex(path)
+	if !ok {
+		t.Fatal("no readable recovery index")
+	}
+	if len(idx.Sealed) != segs-1 {
+		t.Fatalf("index lists %d sealed segments, journal had %d", len(idx.Sealed), segs-1)
+	}
+
+	j2 := openJournal(t, path)
+	wantRecords(t, j2, recs)
+	if j2.Repaired() != 0 {
+		t.Fatalf("intact rotated journal reports %d repaired bytes", j2.Repaired())
+	}
+}
+
+// Damage in the middle of a segment chain: the damaged segment keeps
+// its intact prefix and everything after it — later segments included —
+// is discarded, because a lost tail breaks the order guarantee.
+func TestJournalRotationDamageDropsLaterSegments(t *testing.T) {
+	path := journalPath(t)
+	j, err := OpenJournalWith(path, JournalOptions{RotateBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var recs []Record
+	for i := range 6 {
+		r := rec(fmt.Sprintf("job-%d", i), RecordSubmitted)
+		recs = append(recs, r)
+		appendRec(t, j, r)
+	}
+	if j.Segments() < 3 {
+		t.Fatalf("want at least 3 segments, got %d", j.Segments())
+	}
+	j.Close()
+
+	// Corrupt the second segment's first record payload.
+	p2 := filepath.Join(path, segmentName(1, 2))
+	data, err := os.ReadFile(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[segmentHeaderSize+frameHeaderSize+2] ^= 0x01
+	if err := os.WriteFile(p2, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	j2 := openJournal(t, path)
+	if j2.Repaired() == 0 {
+		t.Fatal("mid-chain damage not reported")
+	}
+	got := j2.Records()
+	// RotateBytes=64 rotates after every record: segment 1 holds record 0.
+	if len(got) == 0 || len(got) >= len(recs) {
+		t.Fatalf("kept %d of %d records; want a proper non-empty prefix", len(got), len(recs))
+	}
+	wantRecords(t, j2, recs[:len(got)])
+	// Appends continue after the repair and survive a reopen.
+	extra := rec("job-X", RecordSubmitted)
+	appendRec(t, j2, extra)
+	j2.Close()
+	wantRecords(t, openJournal(t, path), append(append([]Record(nil), recs[:len(got)]...), extra))
+}
+
 func TestJournalCompact(t *testing.T) {
 	path := journalPath(t)
 	j := openJournal(t, path)
@@ -229,6 +361,9 @@ func TestJournalCompact(t *testing.T) {
 		t.Fatalf("Compact: %v", err)
 	}
 	wantRecords(t, j, keep)
+	if j.Epoch() != 2 {
+		t.Fatalf("epoch %d after first compaction, want 2", j.Epoch())
+	}
 
 	// The compacted journal must keep accepting appends on the same
 	// handle, and a reopen must see compacted + appended records.
@@ -237,15 +372,69 @@ func TestJournalCompact(t *testing.T) {
 	j.Close()
 	wantRecords(t, openJournal(t, path), append(append([]Record(nil), keep...), extra))
 
-	// No temp files left behind.
-	entries, err := os.ReadDir(filepath.Dir(path))
+	// Only the new epoch's segment and the index remain — no temp files,
+	// no old-epoch segments.
+	entries, err := os.ReadDir(path)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, e := range entries {
-		if e.Name() != filepath.Base(path) {
+		if e.Name() != segmentName(2, 1) && e.Name() != indexName {
 			t.Errorf("leftover file %q after compaction", e.Name())
 		}
+	}
+}
+
+// A compaction that wrote the new epoch's segment but crashed before
+// the index commit must roll back: the old epoch is still the journal.
+func TestJournalCompactCrashBeforeCommitRollsBack(t *testing.T) {
+	path := journalPath(t)
+	recs := []Record{rec("job-1", RecordSubmitted), rec("job-2", RecordSubmitted)}
+	j := openJournal(t, path)
+	for _, r := range recs {
+		appendRec(t, j, r)
+	}
+	j.Close()
+
+	// Simulate the crash by planting an uncommitted epoch-2 segment.
+	if err := rewriteEmptySegment(filepath.Join(path, segmentName(2, 1))); err != nil {
+		t.Fatal(err)
+	}
+	j2 := openJournal(t, path)
+	wantRecords(t, j2, recs)
+	if j2.Epoch() != 1 {
+		t.Fatalf("epoch %d, want rollback to 1", j2.Epoch())
+	}
+	if _, err := os.Stat(filepath.Join(path, segmentName(2, 1))); !os.IsNotExist(err) {
+		t.Error("uncommitted epoch-2 segment survived recovery")
+	}
+}
+
+// The mirror image: index committed to epoch 2, but the crash happened
+// before the old epoch's files were deleted. Recovery must finish the
+// deletion and serve epoch 2.
+func TestJournalCompactCrashAfterCommitFinishesDeletion(t *testing.T) {
+	path := journalPath(t)
+	j := openJournal(t, path)
+	appendRec(t, j, rec("job-old", RecordSubmitted))
+	keep := []Record{rec("job-new", RecordFinished)}
+	if err := j.Compact(keep); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	// Resurrect a stale epoch-1 segment, as if deletion never ran.
+	stale := filepath.Join(path, segmentName(1, 1))
+	if err := rewriteEmptySegment(stale); err != nil {
+		t.Fatal(err)
+	}
+	j2 := openJournal(t, path)
+	wantRecords(t, j2, keep)
+	if j2.Epoch() != 2 {
+		t.Fatalf("epoch %d, want 2", j2.Epoch())
+	}
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Error("stale epoch-1 segment survived recovery")
 	}
 }
 

@@ -1,6 +1,8 @@
 package dist
 
 import (
+	"crypto/rand"
+	"encoding/hex"
 	"fmt"
 	"sync"
 	"time"
@@ -52,6 +54,10 @@ type queueTask struct {
 	worker   string // "" while pending
 	deadline time.Time
 	done     bool
+	// lastErr is the most recent worker-reported execution error, kept
+	// so a task that exhausts its budget can surface what actually went
+	// wrong instead of a bare "lease expired".
+	lastErr string
 }
 
 // Queue is the in-memory leased work queue. Enqueue hands back a
@@ -64,7 +70,12 @@ type queueTask struct {
 // batch is failed on restart, so the queue can stay simple and
 // in-memory.
 type Queue struct {
-	mu       sync.Mutex
+	mu sync.Mutex
+	// instance is a per-queue random nonce embedded in worker IDs.
+	// Without it a restarted server's fresh queue would re-issue the same
+	// sequential IDs, and a pre-restart worker could silently impersonate
+	// a post-restart one instead of being told 410 to re-register.
+	instance string
 	cfg      QueueConfig
 	nextW    int
 	nextT    int
@@ -94,10 +105,13 @@ func NewQueue(cfg QueueConfig) *Queue {
 	if cfg.Clock == nil {
 		cfg.Clock = time.Now
 	}
+	var nonce [4]byte
+	rand.Read(nonce[:])
 	return &Queue{
-		cfg:     cfg,
-		workers: make(map[string]*workerState),
-		tasks:   make(map[string]*queueTask),
+		cfg:      cfg,
+		instance: hex.EncodeToString(nonce[:]),
+		workers:  make(map[string]*workerState),
+		tasks:    make(map[string]*queueTask),
 	}
 }
 
@@ -110,9 +124,20 @@ func (q *Queue) Register(name string) string {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	q.nextW++
-	id := fmt.Sprintf("w-%d", q.nextW)
+	id := fmt.Sprintf("w-%s-%d", q.instance, q.nextW)
 	q.workers[id] = &workerState{name: name, lastSeen: q.cfg.Clock()}
 	return id
+}
+
+// Known reports whether workerID was issued by this queue instance. A
+// server restart builds a fresh queue, so IDs from before the restart
+// are unknown — the worker API answers them 410 Gone, which tells the
+// worker to re-register rather than retry.
+func (q *Queue) Known(workerID string) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	_, ok := q.workers[workerID]
+	return ok
 }
 
 // LiveWorkers reports how many workers have been heard from within
@@ -225,6 +250,9 @@ func (q *Queue) Complete(workerID string, res TaskResult) bool {
 		// from the pending list.
 		q.unpend(res.TaskID)
 	}
+	if res.Err != "" {
+		qt.lastErr = res.Err
+	}
 	if res.Err != "" && qt.task.Attempt < q.cfg.MaxAttempts && !q.draining {
 		// Worker-reported execution failure with budget left: requeue.
 		q.retries++
@@ -326,7 +354,11 @@ func (q *Queue) expireLocked(now time.Time) {
 			continue
 		}
 		if qt.task.Attempt >= q.cfg.MaxAttempts {
-			q.failTask(qt, fmt.Sprintf("lease expired after %d attempts", qt.task.Attempt))
+			msg := fmt.Sprintf("lease expired after %d attempts", qt.task.Attempt)
+			if qt.lastErr != "" {
+				msg = fmt.Sprintf("%s; last worker error: %s", msg, qt.lastErr)
+			}
+			q.failTask(qt, msg)
 			continue
 		}
 		q.retries++

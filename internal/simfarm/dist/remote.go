@@ -2,6 +2,7 @@ package dist
 
 import (
 	"bytes"
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
@@ -11,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/faultinject"
 	"repro/internal/obs"
 	"repro/internal/simfarm/store"
 )
@@ -31,7 +33,14 @@ var (
 		"tier", "remote", "outcome", "miss")
 	obsRemotePutsSkipped = obs.Default.Counter("cabt_remote_store_puts_skipped_total",
 		"uploads avoided by If-None-Match revalidation (304s observed)")
+	obsRemoteDegraded = obs.Default.Counter("cabt_remote_store_degraded_total",
+		"store operations short-circuited by the remote-store breaker")
 )
+
+// remoteOpTimeout bounds each store-protocol request; a hung server
+// costs one deadline per operation, and the breaker below stops paying
+// even that once failures persist.
+const remoteOpTimeout = 10 * time.Second
 
 // RemoteStore is the worker-side client of the store protocol: a
 // simfarm.ProgramStore whose backing levels are an optional local disk
@@ -42,13 +51,14 @@ var (
 // sees a logical key), and objects move as their exact on-disk framed
 // bytes, verified end to end on every hop.
 type RemoteStore struct {
-	base   string // server base URL, no trailing slash
-	ns     string // tenant namespace for key derivation
-	disk   *store.Store
-	client *http.Client
+	base    string // server base URL, no trailing slash
+	ns      string // tenant namespace for key derivation
+	disk    *store.Store
+	client  *http.Client
+	breaker *Breaker
 
 	loads, localHits, remoteHits, misses atomic.Int64
-	puts, putsSkipped                    atomic.Int64
+	puts, putsSkipped, degraded          atomic.Int64
 }
 
 // NewRemoteStore builds a client for the store protocol at baseURL
@@ -57,13 +67,27 @@ type RemoteStore struct {
 // is an optional local store used as a second cache level; client nil
 // means http.DefaultClient.
 func NewRemoteStore(baseURL, ns string, disk *store.Store, client *http.Client) *RemoteStore {
-	if client == nil {
-		client = http.DefaultClient
-	}
+	client = faultinject.WrapClient(client)
 	for len(baseURL) > 0 && baseURL[len(baseURL)-1] == '/' {
 		baseURL = baseURL[:len(baseURL)-1]
 	}
-	return &RemoteStore{base: baseURL, ns: ns, disk: disk, client: client}
+	return &RemoteStore{
+		base: baseURL, ns: ns, disk: disk, client: client,
+		// The store is a cache tier, so degrading is always safe: while
+		// the breaker is open every Load is a remote miss (the worker
+		// re-translates locally) and every Store skips the upload.
+		breaker: NewBreaker("remote-store", BreakerConfig{}),
+	}
+}
+
+// Breaker exposes the remote-store circuit breaker (for telemetry and
+// tests).
+func (rs *RemoteStore) Breaker() *Breaker { return rs.breaker }
+
+// degrade counts a breaker short-circuit.
+func (rs *RemoteStore) degrade() {
+	rs.degraded.Add(1)
+	obsRemoteDegraded.Inc()
 }
 
 // RemoteStoreStats is the client-side traffic snapshot.
@@ -74,6 +98,7 @@ type RemoteStoreStats struct {
 	Misses      int64 `json:"misses"`
 	Puts        int64 `json:"puts"`
 	PutsSkipped int64 `json:"puts_skipped"` // avoided by If-None-Match revalidation
+	Degraded    int64 `json:"degraded"`     // short-circuited by the breaker
 }
 
 // Stats snapshots the traffic counters.
@@ -85,6 +110,7 @@ func (rs *RemoteStore) Stats() RemoteStoreStats {
 		Misses:      rs.misses.Load(),
 		Puts:        rs.puts.Load(),
 		PutsSkipped: rs.putsSkipped.Load(),
+		Degraded:    rs.degraded.Load(),
 	}
 }
 
@@ -108,12 +134,33 @@ func (rs *RemoteStore) Load(key [sha256.Size]byte) (*core.Program, bool, error) 
 		}
 	}
 
+	// Network tier, behind the breaker: while it is open a load is just
+	// a miss — the farm re-translates locally, correctness unaffected.
+	if !rs.breaker.Allow() {
+		rs.degrade()
+		rs.misses.Add(1)
+		obsRemoteMiss.Inc()
+		return nil, false, nil
+	}
 	netStart := time.Now()
-	resp, err := rs.client.Get(rs.url(dk))
+	ctx, cancel := context.WithTimeout(context.Background(), remoteOpTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, rs.url(dk), nil)
 	if err != nil {
+		rs.breaker.Success() // our bug, not the network's
+		return nil, false, fmt.Errorf("remote store: %w", err)
+	}
+	resp, err := rs.client.Do(req)
+	if err != nil {
+		rs.breaker.Failure()
 		return nil, false, fmt.Errorf("remote store: %w", err)
 	}
 	defer resp.Body.Close()
+	if resp.StatusCode/100 == 5 {
+		rs.breaker.Failure()
+	} else {
+		rs.breaker.Success()
+	}
 	switch resp.StatusCode {
 	case http.StatusOK:
 	case http.StatusNotFound:
@@ -161,10 +208,20 @@ func (rs *RemoteStore) Store(key [sha256.Size]byte, prog *core.Program) error {
 		rs.disk.StoreRaw(dk, data) // best effort
 	}
 
+	// Uploads degrade cleanly too: an open breaker means the object
+	// stays in the local tiers until the store heals.
+	if !rs.breaker.Allow() {
+		rs.degrade()
+		return nil
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), remoteOpTimeout)
+	defer cancel()
+
 	// Revalidate before uploading: a conditional GET with our ETag
 	// costs a 304 with no body when the server already has the object.
-	req, err := http.NewRequest(http.MethodGet, rs.url(dk), nil)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, rs.url(dk), nil)
 	if err != nil {
+		rs.breaker.Success()
 		return fmt.Errorf("remote store: %w", err)
 	}
 	req.Header.Set("If-None-Match", etag(dk))
@@ -172,26 +229,35 @@ func (rs *RemoteStore) Store(key [sha256.Size]byte, prog *core.Program) error {
 		io.Copy(io.Discard, io.LimitReader(resp.Body, maxObjectBytes))
 		resp.Body.Close()
 		if resp.StatusCode == http.StatusNotModified || resp.StatusCode == http.StatusOK {
+			rs.breaker.Success()
 			rs.putsSkipped.Add(1)
 			obsRemotePutsSkipped.Inc()
 			return nil
 		}
 	}
 
-	put, err := http.NewRequest(http.MethodPut, rs.url(dk), bytes.NewReader(data))
+	put, err := http.NewRequestWithContext(ctx, http.MethodPut, rs.url(dk), bytes.NewReader(data))
 	if err != nil {
+		rs.breaker.Success()
 		return fmt.Errorf("remote store: %w", err)
 	}
 	put.Header.Set("Content-Type", "application/octet-stream")
 	resp, err := rs.client.Do(put)
 	if err != nil {
+		rs.breaker.Failure()
 		return fmt.Errorf("remote store: PUT %x: %w", dk[:8], err)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusNoContent {
+		if resp.StatusCode/100 == 5 {
+			rs.breaker.Failure()
+		} else {
+			rs.breaker.Success()
+		}
 		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
 		return fmt.Errorf("remote store: PUT %x: %s: %s", dk[:8], resp.Status, bytes.TrimSpace(body))
 	}
+	rs.breaker.Success()
 	rs.puts.Add(1)
 	return nil
 }

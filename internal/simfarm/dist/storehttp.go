@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"sync/atomic"
 
+	"repro/internal/faultinject"
 	"repro/internal/simfarm/store"
 )
 
@@ -137,6 +138,9 @@ func (s *StoreServer) handlePut(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "object too large", http.StatusRequestEntityTooLarge)
 		return
 	}
+	// Models the server dying mid-PUT: the temp-plus-rename write below
+	// guarantees the store never holds a half-written object either way.
+	faultinject.Crash(faultinject.PointStorePutCrash)
 	// StoreRaw verifies framing, embedded key, checksum and payload
 	// before writing, so a broken or malicious worker cannot plant an
 	// object another worker would later quarantine.

@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/faultinject"
 	"repro/internal/platform"
 	"repro/internal/simfarm"
 	"repro/internal/simfarm/store"
@@ -29,6 +30,9 @@ type WorkerConfig struct {
 	Client *http.Client
 	// Poll is the idle sleep between empty leases (default 200 ms).
 	Poll time.Duration
+	// OpTimeout bounds every control-plane HTTP request (default 10 s),
+	// so a hung server costs one deadline, not a wedged worker.
+	OpTimeout time.Duration
 	// Engine selects the C6x host-execution engine for translated runs.
 	Engine platform.Engine
 	// Ephemeral discards the per-tenant farm (and with it the in-memory
@@ -58,13 +62,16 @@ type Worker struct {
 	done    int64
 }
 
-// NewWorker builds a worker (it does not contact the server yet).
+// NewWorker builds a worker (it does not contact the server yet). The
+// HTTP client is wrapped for fault injection unconditionally — with no
+// armed plan the wrapper costs one atomic load per request.
 func NewWorker(cfg WorkerConfig) *Worker {
-	if cfg.Client == nil {
-		cfg.Client = http.DefaultClient
-	}
+	cfg.Client = faultinject.WrapClient(cfg.Client)
 	if cfg.Poll <= 0 {
 		cfg.Poll = 200 * time.Millisecond
+	}
+	if cfg.OpTimeout <= 0 {
+		cfg.OpTimeout = 10 * time.Second
 	}
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
@@ -116,7 +123,7 @@ func (w *Worker) Run(ctx context.Context) error {
 	if err := w.register(ctx); err != nil {
 		return err
 	}
-	w.cfg.Logf("registered as %s (lease TTL %v)", w.id, w.ttl)
+	w.cfg.Logf("registered as %s (lease TTL %v)", w.ID(), w.ttl)
 	for {
 		if ctx.Err() != nil {
 			w.cfg.Logf("shutting down after %d tasks", w.TasksDone())
@@ -124,6 +131,15 @@ func (w *Worker) Run(ctx context.Context) error {
 		}
 		task, err := w.lease()
 		if err != nil {
+			if isGone(err) {
+				// The server restarted and its fresh queue does not know
+				// our ID: re-register and carry on under the new one.
+				w.cfg.Logf("worker ID gone (server restarted?); re-registering")
+				if err := w.register(ctx); err != nil {
+					return nil // ctx ended while re-registering
+				}
+				continue
+			}
 			w.cfg.Logf("lease: %v", err)
 			w.sleep(ctx)
 			continue
@@ -133,8 +149,18 @@ func (w *Worker) Run(ctx context.Context) error {
 			continue
 		}
 		res := w.execute(ctx, task)
-		if err := w.complete(res); err != nil {
-			w.cfg.Logf("complete %s: %v", task.ID, err)
+		if err := w.complete(ctx, res); err != nil {
+			if isGone(err) {
+				// The work is lost to the old registration; lease expiry
+				// re-runs the task, deterministically, under whoever
+				// leases it next.
+				w.cfg.Logf("complete %s: worker ID gone; re-registering", task.ID)
+				if err := w.register(ctx); err != nil {
+					return nil
+				}
+			} else {
+				w.cfg.Logf("complete %s: %v", task.ID, err)
+			}
 		}
 		w.mu.Lock()
 		w.done++
@@ -142,9 +168,12 @@ func (w *Worker) Run(ctx context.Context) error {
 	}
 }
 
-// register retries registration until it succeeds or ctx ends, so a
-// worker started moments before its server comes up just waits.
+// register retries registration with exponential backoff until it
+// succeeds or ctx ends, so a worker started moments before its server
+// comes up (or orphaned by a server restart) just waits — without the
+// whole fleet stampeding the server the instant it returns.
 func (w *Worker) register(ctx context.Context) error {
+	bo := NewBackoff(w.cfg.Poll, 5*time.Second)
 	for {
 		var resp RegisterResponse
 		err := w.post("/v1/workers/register", RegisterRequest{Name: w.cfg.Name}, &resp)
@@ -158,18 +187,16 @@ func (w *Worker) register(ctx context.Context) error {
 			}
 			return nil
 		}
-		w.cfg.Logf("register: %v (retrying)", err)
-		select {
-		case <-ctx.Done():
+		w.cfg.Logf("register: %v (retry %d)", err, bo.Attempt()+1)
+		if !bo.Sleep(ctx) {
 			return fmt.Errorf("worker: register: %w", err)
-		case <-time.After(w.cfg.Poll):
 		}
 	}
 }
 
 func (w *Worker) lease() (*Task, error) {
 	var resp LeaseResponse
-	if err := w.post("/v1/workers/"+w.id+"/lease", struct{}{}, &resp); err != nil {
+	if err := w.post("/v1/workers/"+w.ID()+"/lease", struct{}{}, &resp); err != nil {
 		return nil, err
 	}
 	return resp.Task, nil
@@ -226,7 +253,7 @@ func (w *Worker) heartbeat(ctx context.Context, taskID string) (stop func()) {
 				return
 			case <-t.C:
 				var resp HeartbeatResponse
-				if err := w.post("/v1/workers/"+w.id+"/heartbeat", HeartbeatRequest{TaskIDs: []string{taskID}}, &resp); err != nil {
+				if err := w.post("/v1/workers/"+w.ID()+"/heartbeat", HeartbeatRequest{TaskIDs: []string{taskID}}, &resp); err != nil {
 					w.cfg.Logf("heartbeat %s: %v", taskID, err)
 				} else if len(resp.Lost) > 0 {
 					// The lease moved on; finish anyway — Complete will
@@ -239,17 +266,25 @@ func (w *Worker) heartbeat(ctx context.Context, taskID string) (stop func()) {
 	return func() { once.Do(func() { close(done) }) }
 }
 
-// complete reports a result, retrying transient transport errors; a
-// 409 (stale completion) is a clean non-error outcome.
-func (w *Worker) complete(res TaskResult) error {
+// complete reports a result, retrying transient transport errors with
+// backoff; a 409 (stale completion) is a clean non-error outcome, and
+// a 410 (unknown worker) aborts the retries — the caller re-registers.
+func (w *Worker) complete(ctx context.Context, res TaskResult) error {
+	// The canonical crash window: the task is executed but unreported.
+	// Recovery is the lease expiring and the task re-running elsewhere.
+	faultinject.Crash(faultinject.PointWorkerCompleteCrash)
+	bo := NewBackoff(w.cfg.Poll/2, 2*time.Second)
 	var err error
-	for attempt := 0; attempt < 3; attempt++ {
-		if attempt > 0 {
-			time.Sleep(w.cfg.Poll)
+	for attempt := 0; attempt < 5; attempt++ {
+		if attempt > 0 && !bo.Sleep(ctx) {
+			return err
 		}
-		err = w.post("/v1/workers/"+w.id+"/complete", res, nil)
+		err = w.post("/v1/workers/"+w.ID()+"/complete", res, nil)
 		if err == nil || isStale(err) {
 			return nil
+		}
+		if isGone(err) {
+			return err
 		}
 	}
 	return err
@@ -261,6 +296,17 @@ func (e *staleError) Error() string { return e.msg }
 
 func isStale(err error) bool {
 	_, ok := err.(*staleError)
+	return ok
+}
+
+// goneError is a 410 from a worker route: this queue never issued our
+// ID (the server restarted), so retrying is pointless — re-register.
+type goneError struct{ msg string }
+
+func (e *goneError) Error() string { return e.msg }
+
+func isGone(err error) bool {
+	_, ok := err.(*goneError)
 	return ok
 }
 
@@ -296,13 +342,21 @@ func (w *Worker) sleep(ctx context.Context) {
 }
 
 // post sends a JSON request and decodes a JSON response (out nil skips
-// decoding). Non-2xx statuses become errors; 409 becomes a staleError.
+// decoding), bounded by OpTimeout. Non-2xx statuses become errors; 409
+// becomes a staleError, 410 a goneError.
 func (w *Worker) post(path string, in, out any) error {
 	body, err := json.Marshal(in)
 	if err != nil {
 		return err
 	}
-	resp, err := w.cfg.Client.Post(w.cfg.Server+path, "application/json", bytes.NewReader(body))
+	ctx, cancel := context.WithTimeout(context.Background(), w.cfg.OpTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.cfg.Server+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := w.cfg.Client.Do(req)
 	if err != nil {
 		return err
 	}
@@ -310,6 +364,10 @@ func (w *Worker) post(path string, in, out any) error {
 	if resp.StatusCode == http.StatusConflict {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
 		return &staleError{msg: string(bytes.TrimSpace(msg))}
+	}
+	if resp.StatusCode == http.StatusGone {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return &goneError{msg: string(bytes.TrimSpace(msg))}
 	}
 	if resp.StatusCode/100 != 2 {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))

@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+
+	"repro/internal/faultinject"
 )
 
 // WorkerAPI serves the worker protocol over a Queue:
@@ -12,6 +14,11 @@ import (
 //	POST /v1/workers/{id}/lease     -> LeaseResponse (task null when idle)
 //	POST /v1/workers/{id}/heartbeat -> HeartbeatResponse
 //	POST /v1/workers/{id}/complete  -> 204, or 409 for a stale completion
+//
+// Every {id} route answers 410 Gone for a worker ID the queue did not
+// issue — after a server restart the fresh queue knows no pre-restart
+// IDs, and 410 is the signal that re-registering (not retrying) is the
+// way back in.
 //
 // It is mounted by internal/simfarm/server next to the job API; tests
 // mount it directly on a mux to exercise Worker against a bare Queue.
@@ -51,24 +58,50 @@ func (a *WorkerAPI) handleRegister(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// knownWorker answers 410 Gone (and reports false) when the path's
+// worker ID was not issued by this queue instance.
+func (a *WorkerAPI) knownWorker(w http.ResponseWriter, r *http.Request) (string, bool) {
+	id := r.PathValue("id")
+	if !a.Queue.Known(id) {
+		http.Error(w, "unknown worker (re-register)", http.StatusGone)
+		return id, false
+	}
+	return id, true
+}
+
 func (a *WorkerAPI) handleLease(w http.ResponseWriter, r *http.Request) {
-	jsonOut(w, LeaseResponse{Task: a.Queue.Lease(r.PathValue("id"))})
+	id, ok := a.knownWorker(w, r)
+	if !ok {
+		return
+	}
+	jsonOut(w, LeaseResponse{Task: a.Queue.Lease(id)})
 }
 
 func (a *WorkerAPI) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	id, ok := a.knownWorker(w, r)
+	if !ok {
+		return
+	}
 	var req HeartbeatRequest
 	if !jsonIn(w, r, &req) {
 		return
 	}
-	jsonOut(w, HeartbeatResponse{Lost: a.Queue.Heartbeat(r.PathValue("id"), req.TaskIDs)})
+	jsonOut(w, HeartbeatResponse{Lost: a.Queue.Heartbeat(id, req.TaskIDs)})
 }
 
 func (a *WorkerAPI) handleComplete(w http.ResponseWriter, r *http.Request) {
+	id, ok := a.knownWorker(w, r)
+	if !ok {
+		return
+	}
 	var res TaskResult
 	if !jsonIn(w, r, &res) {
 		return
 	}
-	if !a.Queue.Complete(r.PathValue("id"), res) {
+	// Models the server dying while handling a completion — after the
+	// worker did the work, before the queue records it.
+	faultinject.Crash(faultinject.PointServerCompleteCrash)
+	if !a.Queue.Complete(id, res) {
 		// The lease moved on (expired and re-leased, or already
 		// completed); the worker just drops the result.
 		http.Error(w, "stale completion", http.StatusConflict)

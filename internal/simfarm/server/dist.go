@@ -203,11 +203,30 @@ func (s *Server) startSweeper() (stop func()) {
 // --- dispatch ---
 
 // distributed reports whether a batch should go to the worker queue:
-// only when at least one worker is live. The decision is taken once per
-// batch at submission; with no workers the server executes in-process
-// on the tenant's farm, bit-identical to the pre-distribution behavior.
+// only when at least one worker is live and the dispatch breaker
+// admits it. The decision is taken once per batch at submission; with
+// no workers (or a tripped breaker) the server executes in-process on
+// the tenant's farm, bit-identical to the pre-distribution behavior —
+// distribution is an optimization, so degrading it is always safe.
 func (s *Server) distributed() bool {
-	return s.queue.LiveWorkers() > 0 && !s.draining.Load()
+	if s.queue.LiveWorkers() == 0 || s.draining.Load() {
+		return false
+	}
+	return s.dispatch.Allow()
+}
+
+// dispatchOutcome feeds a finished distributed batch back to the
+// breaker: a batch with any permanently-failed task is a failure (the
+// worker fleet is unhealthy — retries and lease expiries were already
+// exhausted before a task fails), a clean batch is a success. Three
+// consecutive failed batches trip the breaker and the server falls
+// back to local execution until a cooldown probe succeeds.
+func (s *Server) dispatchOutcome(failed int) {
+	if failed > 0 {
+		s.dispatch.Failure()
+	} else {
+		s.dispatch.Success()
+	}
 }
 
 // runSim executes a single-core batch, distributed when workers are
@@ -225,9 +244,11 @@ func (s *Server) runSim(rec *jobRecord, tenant string, jobs []simfarm.Job) ([]si
 	}
 	results := make([]simfarm.Result, len(jobs))
 	ch := s.queue.Enqueue(tasks)
+	failed := 0
 	for range jobs {
 		tr := <-ch
 		if tr.Err != "" || tr.Sim == nil {
+			failed++
 			j := jobs[tr.Index]
 			msg := tr.Err
 			if msg == "" {
@@ -244,6 +265,7 @@ func (s *Server) runSim(rec *jobRecord, tenant string, jobs []simfarm.Job) ([]si
 		r.SetCacheOutcome(tr.CacheState)
 		results[tr.Index] = r
 	}
+	s.dispatchOutcome(failed)
 	return results, simfarm.SummarizeResults(results, time.Since(start), workers)
 }
 
@@ -261,9 +283,11 @@ func (s *Server) runSoC(rec *jobRecord, tenant string, jobs []simfarm.SoCJob) ([
 	}
 	results := make([]simfarm.SoCResult, len(jobs))
 	ch := s.queue.Enqueue(tasks)
+	failed := 0
 	for range jobs {
 		tr := <-ch
 		if tr.Err != "" || tr.SoC == nil {
+			failed++
 			j := jobs[tr.Index]
 			msg := tr.Err
 			if msg == "" {
@@ -281,6 +305,7 @@ func (s *Server) runSoC(rec *jobRecord, tenant string, jobs []simfarm.SoCJob) ([
 		r.SetCacheCounts(tr.CacheHits, tr.CacheMisses)
 		results[tr.Index] = r
 	}
+	s.dispatchOutcome(failed)
 	return results, simfarm.SummarizeSoCResults(results, time.Since(start), workers)
 }
 
@@ -369,6 +394,20 @@ func (s *Server) registerMetrics() {
 	counter("cabt_queue_lease_expiries_total", "leases expired", qstat(func(q dist.QueueStats) int64 { return q.Expiries }))
 	counter("cabt_queue_retries_total", "task redeliveries after expiry", qstat(func(q dist.QueueStats) int64 { return q.Retries }))
 	gauge("cabt_workers_live", "workers with a fresh heartbeat", qstat(func(q dist.QueueStats) int64 { return int64(q.LiveWorkers) }))
+
+	gauge("cabt_dispatch_breaker_state", "dispatch breaker: 0 closed, 1 open, 2 half-open",
+		func() float64 { return float64(s.dispatch.State()) })
+	counter("cabt_dispatch_breaker_refusals_total", "batches sent local by an open dispatch breaker",
+		func() float64 { return float64(s.dispatch.Refusals()) })
+
+	if s.journal != nil {
+		gauge("cabt_journal_segments", "journal segments on disk (including active)",
+			func() float64 { return float64(s.journal.Segments()) })
+		gauge("cabt_journal_epoch", "journal compaction epoch",
+			func() float64 { return float64(s.journal.Epoch()) })
+		gauge("cabt_journal_repaired_records", "records dropped by tail repair at last open",
+			func() float64 { return float64(s.journal.Repaired()) })
+	}
 
 	if s.cfg.Store != nil {
 		sstat := func(f func(store.Stats) int64) func() float64 {

@@ -1,0 +1,199 @@
+package server_test
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/simfarm/dist"
+	"repro/internal/simfarm/server"
+)
+
+// TestHealthEndpoints: /healthz is always 200 (process liveness);
+// /readyz flips to 503 once the server drains.
+func TestHealthEndpoints(t *testing.T) {
+	s, ts, _ := distServer(t, server.Config{})
+
+	get := func(path string) (int, server.HealthResponse) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var h server.HealthResponse
+		if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		return resp.StatusCode, h
+	}
+
+	if code, h := get("/healthz"); code != http.StatusOK || h.Status != "ok" {
+		t.Fatalf("healthz = %d %+v, want 200 ok", code, h)
+	}
+	if code, h := get("/readyz"); code != http.StatusOK || h.Status != "ok" || h.Draining {
+		t.Fatalf("readyz = %d %+v, want 200 ok", code, h)
+	}
+	if _, h := get("/readyz"); h.Dispatch != "closed" {
+		t.Fatalf("fresh dispatch breaker = %q, want closed", h.Dispatch)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if code, h := get("/readyz"); code != http.StatusServiceUnavailable || h.Status != "draining" {
+		t.Fatalf("draining readyz = %d %+v, want 503 draining", code, h)
+	}
+	// Liveness is unaffected: a draining server must not be restarted.
+	if code, _ := get("/healthz"); code != http.StatusOK {
+		t.Fatalf("draining healthz = %d, want 200", code)
+	}
+}
+
+// completeErr reports a task as failed from the evil worker.
+func (e *evilWorker) completeErr(task *dist.Task, msg string) {
+	e.t.Helper()
+	e.post("/v1/workers/"+e.id+"/complete", dist.TaskResult{
+		TaskID: task.ID, Index: task.Index, Worker: e.id, Err: msg,
+	}, nil)
+}
+
+// TestLastWorkerErrorSurfaced: a task that burns its whole delivery
+// budget must report the worker's actual error through GET
+// /v1/jobs/{id}, not a bare "lease expired".
+func TestLastWorkerErrorSurfaced(t *testing.T) {
+	_, ts, mk := distServer(t, server.Config{LeaseTTL: 300 * time.Millisecond, TaskRetries: 2})
+	c := mk("")
+
+	evil := newEvilWorker(t, ts.URL)
+	var sub server.SubmitResponse
+	c.do("POST", "/v1/jobs", server.SubmitRequest{Workloads: []string{"gcd"}, Levels: []int{0}}, http.StatusAccepted, &sub)
+
+	// Attempt 1: the worker reports an execution failure (requeued,
+	// budget left). Attempt 2: the worker leases the retry and vanishes;
+	// the lease expires with the budget spent.
+	evil.completeErr(evil.lease(), "simulated device failure")
+	if task := evil.lease(); task == nil {
+		t.Fatal("retry not leased")
+	}
+
+	var job server.JobResponse
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		c.do("GET", sub.URL+"?wait=1", nil, http.StatusOK, &job)
+		if job.Status != "running" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("batch never failed over")
+		}
+	}
+	if job.Status != "done" || len(job.Results) != 1 {
+		t.Fatalf("job = %+v, want done with 1 result", job)
+	}
+	got := job.Results[0].Error
+	if !strings.Contains(got, "lease expired after 2 attempts") ||
+		!strings.Contains(got, "last worker error: simulated device failure") {
+		t.Fatalf("surfaced error = %q, want lease expiry with the worker's error", got)
+	}
+}
+
+// TestWorkerReregistersAfterServerRestart: a server restart invalidates
+// every worker ID (fresh queue). The worker must notice the 410, come
+// back with a new registration, and keep executing work — without being
+// restarted itself.
+func TestWorkerReregistersAfterServerRestart(t *testing.T) {
+	// The "restart" swaps a fresh Server behind a stable URL, exactly
+	// what a worker sees when the process on the other end bounces.
+	// Workers: 4 makes a local fallback visible: a locally-executed batch
+	// reports the farm pool size (4), a distributed one the live worker
+	// count (1).
+	var cur atomic.Pointer[server.Server]
+	cur.Store(mustNew(t, server.Config{Workers: 4}))
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		cur.Load().ServeHTTP(w, r)
+	}))
+	t.Cleanup(ts.Close)
+
+	w := startWorker(t, ts.URL, dist.WorkerConfig{Name: "survivor", Poll: 10 * time.Millisecond})
+	oldID := w.ID()
+
+	cur.Store(mustNew(t, server.Config{Workers: 4}))
+
+	// The worker's next lease poll gets 410 Gone (the fresh queue's
+	// instance nonce makes the old ID unknown) and re-registers; wait
+	// until the new server sees it live.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if m := metrics(t, ts.URL); m["cabt_workers_live"] == "1" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("worker never re-registered with the restarted server")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if w.ID() == oldID {
+		t.Fatalf("worker kept its pre-restart ID %q", oldID)
+	}
+
+	// And it actually executes work for the new server, distributed.
+	c := &client{t: t, base: ts.URL, tenant: "", http: http.DefaultClient}
+	job := c.submitAndWait(server.SubmitRequest{Workloads: []string{"gcd"}, Levels: []int{0, 1}})
+	if job.Stats == nil || job.Stats.Failed != 0 {
+		t.Fatalf("post-restart batch: %+v", job)
+	}
+	// 1 live worker at dispatch means the batch went distributed (a
+	// local fallback would report the farm pool, 4).
+	if job.Stats.Workers != 1 {
+		t.Fatalf("post-restart batch ran with %d workers, want 1 (local fallback?)", job.Stats.Workers)
+	}
+}
+
+// TestDispatchBreakerFallsBackToLocal: persistent distributed failures
+// trip the dispatch breaker, after which batches run locally — and
+// succeed — even though a (broken) worker is still registered.
+func TestDispatchBreakerFallsBackToLocal(t *testing.T) {
+	// Workers: 2 distinguishes the paths in BatchStats: local execution
+	// reports the farm pool (2), distributed the live worker count (1).
+	_, ts, mk := distServer(t, server.Config{Workers: 2, LeaseTTL: time.Minute, TaskRetries: 1})
+	c := mk("")
+
+	evil := newEvilWorker(t, ts.URL)
+	// Three consecutive batches whose only task the worker fails
+	// permanently (TaskRetries 1: the first error exhausts the budget).
+	for i := 0; i < 3; i++ {
+		var sub server.SubmitResponse
+		c.do("POST", "/v1/jobs", server.SubmitRequest{Workloads: []string{"gcd"}, Levels: []int{0}}, http.StatusAccepted, &sub)
+		evil.completeErr(evil.lease(), "rotten worker")
+		var job server.JobResponse
+		c.do("GET", sub.URL+"?wait=1", nil, http.StatusOK, &job)
+		if job.Status != "done" || job.Stats.Failed != 1 {
+			t.Fatalf("sacrificial batch %d: %+v", i, job)
+		}
+	}
+
+	if m := metrics(t, ts.URL); m[`cabt_dispatch_breaker_state`] != "1" {
+		t.Fatalf("breaker state = %s after 3 failed batches, want 1 (open)", m[`cabt_dispatch_breaker_state`])
+	}
+
+	// The next batch bypasses the unhealthy fleet entirely: it runs
+	// locally on the farm pool and succeeds.
+	job := c.submitAndWait(server.SubmitRequest{Workloads: []string{"gcd"}, Levels: []int{0}})
+	if job.Stats == nil || job.Stats.Failed != 0 {
+		t.Fatalf("degraded batch: %+v", job)
+	}
+	if job.Stats.Workers != 2 {
+		t.Fatalf("degraded batch reports %d workers, want 2 (local farm pool)", job.Stats.Workers)
+	}
+	if m := metrics(t, ts.URL); m["cabt_dispatch_breaker_refusals_total"] == "0" {
+		t.Fatal("no breaker refusal recorded")
+	}
+}

@@ -52,6 +52,9 @@ type Config struct {
 	// startup, so finished results survive a server restart. "" disables
 	// durability (records are in-memory only, as before).
 	Journal string
+	// JournalRotateBytes caps the active journal segment before rotation
+	// (0 = the dist default, 4 MiB).
+	JournalRotateBytes int64
 
 	// LeaseTTL is the distributed task lease duration: a worker that
 	// stops heartbeating loses its task after this long and the task is
@@ -90,6 +93,11 @@ type Server struct {
 	journal  *dist.Journal
 	limiter  *dist.RateLimiter
 	storeSrv *dist.StoreServer
+	// dispatch gates distributed execution: batches whose distributed
+	// runs keep coming back with permanently-failed tasks trip it, and
+	// while it is open every batch executes locally — the farm is always
+	// a correct (if slower) fallback, so degrading costs only speed.
+	dispatch *dist.Breaker
 
 	draining    atomic.Bool
 	rateLimited atomic.Int64
@@ -144,6 +152,8 @@ func New(cfg Config) (*Server, error) {
 		queue:   dist.NewQueue(dist.QueueConfig{LeaseTTL: cfg.LeaseTTL, MaxAttempts: cfg.TaskRetries, Clock: cfg.Clock}),
 		tenants: map[string]*simfarm.Farm{},
 		jobs:    map[string]*jobRecord{},
+
+		dispatch: dist.NewBreaker("dispatch", dist.BreakerConfig{Clock: cfg.Clock}),
 	}
 	if cfg.RateLimit > 0 {
 		s.limiter = dist.NewRateLimiter(cfg.RateLimit, cfg.RateBurst, cfg.Clock)
@@ -155,13 +165,15 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /v1/admin/store", s.handleStoreStats)
 	s.mux.HandleFunc("POST /v1/admin/gc", s.handleGC)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	(&dist.WorkerAPI{Queue: s.queue}).Register(s.mux)
 	if cfg.Store != nil {
 		s.storeSrv = dist.NewStoreServer(cfg.Store)
 		s.storeSrv.Register(s.mux)
 	}
 	if cfg.Journal != "" {
-		j, err := dist.OpenJournal(cfg.Journal)
+		j, err := dist.OpenJournalWith(cfg.Journal, dist.JournalOptions{RotateBytes: cfg.JournalRotateBytes})
 		if err != nil {
 			return nil, err
 		}
@@ -720,6 +732,49 @@ func (s *Server) handleGC(w http.ResponseWriter, r *http.Request) {
 		maxAge = d
 	}
 	writeJSON(w, http.StatusOK, GCResponse{GC: s.cfg.Store.GC(maxAge), Store: s.cfg.Store.Stats()})
+}
+
+// HealthResponse is the /healthz and /readyz body.
+type HealthResponse struct {
+	Status string `json:"status"`
+	// Draining is true while the server refuses new submissions.
+	Draining bool `json:"draining,omitempty"`
+	// Workers is the live worker count (informational; a server with no
+	// workers is still ready — it executes locally).
+	Workers int `json:"workers"`
+	// Dispatch is the dispatch breaker's state ("closed", "half-open",
+	// "open").
+	Dispatch string `json:"dispatch"`
+}
+
+// handleHealthz is process liveness: if the handler runs at all, the
+// process is alive. Always 200 — restarts are for dead processes, and a
+// degraded-but-serving server must not be killed by its supervisor.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, HealthResponse{
+		Status:   "ok",
+		Workers:  s.queue.LiveWorkers(),
+		Dispatch: s.dispatch.State().String(),
+	})
+}
+
+// handleReadyz is traffic readiness: 503 while draining so a load
+// balancer routes new submissions elsewhere, 200 otherwise. Degraded
+// dispatch (breaker open, no workers) is still ready — batches run
+// locally with identical results.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	resp := HealthResponse{
+		Status:   "ok",
+		Draining: s.draining.Load(),
+		Workers:  s.queue.LiveWorkers(),
+		Dispatch: s.dispatch.State().String(),
+	}
+	code := http.StatusOK
+	if resp.Draining {
+		resp.Status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, resp)
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

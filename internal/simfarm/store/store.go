@@ -17,9 +17,11 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/faultinject"
 )
 
 // FormatVersion is the on-disk object format version. Objects written
@@ -249,6 +251,11 @@ func (st *state) writeObject(dk [sha256.Size]byte, data []byte) error {
 	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
 	if err != nil {
 		return fmt.Errorf("store: %w", err)
+	}
+	if ferr := faultinject.ErrAt(faultinject.PointStoreWriteENOSPC, syscall.ENOSPC); ferr != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: store %x: %w", dk[:8], ferr)
 	}
 	_, werr := tmp.Write(data)
 	if werr == nil {
