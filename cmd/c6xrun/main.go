@@ -28,6 +28,7 @@ import (
 func main() {
 	uart := flag.Bool("uart", false, "attach the SoC-bus UART and timer")
 	interp := flag.Bool("interp", false, "run on the packet interpreter instead of the compiled engine")
+	nofuse := flag.Bool("nofuse", false, "disable superblock fusion in the compiled engine (differential reference)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: c6xrun prog.c6x")
@@ -43,7 +44,7 @@ func main() {
 	}
 	r.Close()
 
-	sys := platform.NewWithEngine(&prog, cliutil.Engine(*interp))
+	sys := platform.NewWithEngine(&prog, cliutil.Engine(*interp, *nofuse))
 	var u *socbus.UART
 	if *uart {
 		u = socbus.NewUART(16)

@@ -51,6 +51,10 @@ type perfReport struct {
 	// the speedup.
 	SoCSpeedupParallelVsSequential float64     `json:"soc_speedup_parallel_vs_sequential"`
 	Benchmarks                     []perfEntry `json:"benchmarks"`
+	// Accuracy is the interrupt-delivery accuracy column: Level1/Level2
+	// delivery-position error against the Level3 reference, with the
+	// plain and the dynamically corrected clock (see accuracy.go).
+	Accuracy []accuracyEntry `json:"accuracy,omitempty"`
 }
 
 // measure runs op repeatedly for at least target, returning timing and
@@ -248,6 +252,16 @@ func writePerfJSON(path string, target time.Duration) (*perfReport, error) {
 		report.SoCSpeedupParallelVsSequential = seqNs / parNs
 	}
 
+	// Delivery-accuracy column (deterministic: no timing involved).
+	report.Accuracy, err = measureAccuracy()
+	if err != nil {
+		return nil, err
+	}
+	for _, a := range report.Accuracy {
+		fmt.Fprintf(os.Stderr, "  %-28s %12d irqs   %14.2f insts mean abs delivery error\n",
+			a.Name, a.Interrupts, a.MeanAbsErrInsts)
+	}
+
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		return nil, err
@@ -283,28 +297,76 @@ func comparePerfBaseline(report *perfReport, path string) error {
 	if err := json.Unmarshal(data, &base); err != nil {
 		return fmt.Errorf("%s: %w", path, err)
 	}
-	baseline := make(map[string]perfEntry, len(base.Benchmarks))
-	for _, e := range base.Benchmarks {
-		baseline[e.Name] = e
+	d := diffPerfBaseline(report, &base)
+	for _, name := range d.missing {
+		slog.Warn("benchmark series absent from baseline — new or renamed, regenerate the baseline to track it",
+			"benchmark", name, "baseline_file", path)
 	}
-	regressions := 0
-	for _, e := range report.Benchmarks {
-		b, ok := baseline[e.Name]
-		if !ok || b.SimCyclesPerSecond <= 0 || e.SimCyclesPerSecond <= 0 {
-			continue
-		}
-		drop := 1 - e.SimCyclesPerSecond/b.SimCyclesPerSecond
-		if drop > perfRegressionThreshold {
-			regressions++
-			slog.Warn("perf regression vs baseline", "benchmark", e.Name,
-				"baseline_msimcycles_per_s", fmt.Sprintf("%.1f", b.SimCyclesPerSecond/1e6),
-				"now_msimcycles_per_s", fmt.Sprintf("%.1f", e.SimCyclesPerSecond/1e6),
-				"drop_pct", fmt.Sprintf("%.0f", 100*drop), "baseline_file", path)
-		}
+	for _, name := range d.dropped {
+		slog.Warn("baseline series no longer measured — removed or renamed, its history goes dark",
+			"benchmark", name, "baseline_file", path)
 	}
-	if regressions == 0 {
+	for _, r := range d.regressions {
+		slog.Warn("perf regression vs baseline", "benchmark", r.name,
+			"baseline_msimcycles_per_s", fmt.Sprintf("%.1f", r.baseline/1e6),
+			"now_msimcycles_per_s", fmt.Sprintf("%.1f", r.now/1e6),
+			"drop_pct", fmt.Sprintf("%.0f", 100*r.drop), "baseline_file", path)
+	}
+	if len(d.regressions) == 0 && len(d.missing) == 0 && len(d.dropped) == 0 {
 		slog.Info("perf vs baseline ok", "baseline_file", path,
 			"threshold_pct", int(100*perfRegressionThreshold))
 	}
 	return nil
+}
+
+// perfRegression is one flagged throughput drop.
+type perfRegression struct {
+	name          string
+	baseline, now float64
+	drop          float64
+}
+
+// perfDiff is the outcome of a baseline comparison: series present in
+// the fresh report but not the baseline (missing — new or renamed),
+// series recorded in the baseline but no longer measured (dropped), and
+// throughput regressions beyond the threshold. Name mismatches are
+// surfaced explicitly — a renamed series must never silently lose its
+// regression tracking.
+type perfDiff struct {
+	missing     []string
+	dropped     []string
+	regressions []perfRegression
+}
+
+func diffPerfBaseline(report, base *perfReport) perfDiff {
+	baseline := make(map[string]perfEntry, len(base.Benchmarks))
+	for _, e := range base.Benchmarks {
+		baseline[e.Name] = e
+	}
+	var d perfDiff
+	seen := make(map[string]bool, len(report.Benchmarks))
+	for _, e := range report.Benchmarks {
+		seen[e.Name] = true
+		b, ok := baseline[e.Name]
+		if !ok {
+			d.missing = append(d.missing, e.Name)
+			continue
+		}
+		if b.SimCyclesPerSecond <= 0 || e.SimCyclesPerSecond <= 0 {
+			continue // timing-only series carry no throughput to compare
+		}
+		drop := 1 - e.SimCyclesPerSecond/b.SimCyclesPerSecond
+		if drop > perfRegressionThreshold {
+			d.regressions = append(d.regressions, perfRegression{
+				name: e.Name, baseline: b.SimCyclesPerSecond, now: e.SimCyclesPerSecond, drop: drop,
+			})
+		}
+	}
+	// Baseline order keeps the dropped-series warnings deterministic.
+	for _, e := range base.Benchmarks {
+		if !seen[e.Name] {
+			d.dropped = append(d.dropped, e.Name)
+		}
+	}
+	return d
 }

@@ -1,0 +1,94 @@
+package main
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestDiffPerfBaselineFlagsNameMismatches pins the baseline
+// comparator's rename handling: a series present on only one side must
+// be reported, never silently skipped (the silent-skip path used to
+// swallow renamed series and with them their regression history).
+func TestDiffPerfBaselineFlagsNameMismatches(t *testing.T) {
+	fresh := &perfReport{Benchmarks: []perfEntry{
+		{Name: "table1/L2/compiled", SimCyclesPerSecond: 100e6},
+		{Name: "table1/L2/fused", SimCyclesPerSecond: 200e6}, // renamed series
+		{Name: "translate/sieve-L3"},                         // timing-only, no throughput
+	}}
+	base := &perfReport{Benchmarks: []perfEntry{
+		{Name: "table1/L2/compiled", SimCyclesPerSecond: 90e6},
+		{Name: "table1/L2/interp", SimCyclesPerSecond: 10e6}, // old name, gone now
+		{Name: "translate/sieve-L3"},
+	}}
+	d := diffPerfBaseline(fresh, base)
+	if want := []string{"table1/L2/fused"}; !reflect.DeepEqual(d.missing, want) {
+		t.Errorf("missing = %v, want %v", d.missing, want)
+	}
+	if want := []string{"table1/L2/interp"}; !reflect.DeepEqual(d.dropped, want) {
+		t.Errorf("dropped = %v, want %v", d.dropped, want)
+	}
+	if len(d.regressions) != 0 {
+		t.Errorf("unexpected regressions: %+v", d.regressions)
+	}
+}
+
+// TestDiffPerfBaselineRegressions pins the threshold arithmetic: only
+// drops beyond perfRegressionThreshold are flagged, and improvements
+// never are.
+func TestDiffPerfBaselineRegressions(t *testing.T) {
+	fresh := &perfReport{Benchmarks: []perfEntry{
+		{Name: "a", SimCyclesPerSecond: 50e6},  // 50% drop: flagged
+		{Name: "b", SimCyclesPerSecond: 90e6},  // 10% drop: within threshold
+		{Name: "c", SimCyclesPerSecond: 300e6}, // improvement
+	}}
+	base := &perfReport{Benchmarks: []perfEntry{
+		{Name: "a", SimCyclesPerSecond: 100e6},
+		{Name: "b", SimCyclesPerSecond: 100e6},
+		{Name: "c", SimCyclesPerSecond: 100e6},
+	}}
+	d := diffPerfBaseline(fresh, base)
+	if len(d.missing) != 0 || len(d.dropped) != 0 {
+		t.Errorf("unexpected name mismatches: missing %v dropped %v", d.missing, d.dropped)
+	}
+	if len(d.regressions) != 1 || d.regressions[0].name != "a" {
+		t.Fatalf("regressions = %+v, want exactly [a]", d.regressions)
+	}
+	if got := d.regressions[0].drop; got < 0.49 || got > 0.51 {
+		t.Errorf("drop = %v, want ~0.5", got)
+	}
+}
+
+// TestMeasureAccuracyImproves runs the real accuracy measurement and
+// requires the dynamic correction to beat the plain clock at both
+// approximate levels — the property the accuracy column exists to
+// witness.
+func TestMeasureAccuracyImproves(t *testing.T) {
+	entries, err := measureAccuracy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]accuracyEntry{}
+	for _, e := range entries {
+		byName[e.Name] = e
+	}
+	for _, lv := range []int{1, 2} {
+		plain, ok1 := byName[nameFor(lv, "plain")]
+		corr, ok2 := byName[nameFor(lv, "dyncorr")]
+		if !ok1 || !ok2 {
+			t.Fatalf("missing accuracy series for L%d: %+v", lv, entries)
+		}
+		if plain.Interrupts == 0 || plain.Interrupts != corr.Interrupts {
+			t.Fatalf("L%d interrupt counts: plain %d, dyncorr %d", lv, plain.Interrupts, corr.Interrupts)
+		}
+		if plain.MeanAbsErrInsts == 0 {
+			t.Fatalf("L%d plain clock shows no drift — the accuracy program no longer exercises the correction", lv)
+		}
+		if corr.MeanAbsErrInsts >= plain.MeanAbsErrInsts {
+			t.Errorf("L%d: dyncorr error %.2f >= plain %.2f", lv, corr.MeanAbsErrInsts, plain.MeanAbsErrInsts)
+		}
+	}
+}
+
+func nameFor(level int, mode string) string {
+	return "irq-accuracy/L" + string(rune('0'+level)) + "/" + mode
+}

@@ -19,6 +19,7 @@
 //	cabt-farm -table1 -table2     # the paper's tables, via the farm
 //	cabt-farm -progress           # stream per-job lines as they finish
 //	cabt-farm -interp             # interpreter engine (equivalence oracle)
+//	cabt-farm -det -nofuse        # deterministic output, fusion off (CI byte-diff)
 //	cabt-farm -trace-out trace.json   # Chrome trace of the pipeline stages
 package main
 
@@ -51,6 +52,8 @@ func main() {
 	cacheDir := flag.String("cache-dir", "", "persistent translation-cache store directory (empty = in-memory only)")
 	cacheBudget := flag.Int64("cache-budget", 0, "store size budget in bytes, LRU-evicted (0 = unbounded)")
 	interp := flag.Bool("interp", false, "run translated programs on the packet interpreter instead of the compiled engine")
+	nofuse := flag.Bool("nofuse", false, "disable superblock fusion in the compiled engine (differential reference)")
+	det := flag.Bool("det", false, "deterministic output: omit host wall-time figures (CI smoke)")
 	traceOut := cliutil.RegisterTraceFlag()
 	logFlags := cliutil.RegisterLogFlags()
 	flag.Parse()
@@ -74,21 +77,28 @@ func main() {
 	if diskCache != nil {
 		cache = diskCache
 	}
-	farm := simfarm.New(simfarm.Config{Workers: *workers, Cache: cache, Engine: cliutil.Engine(*interp)})
+	farm := simfarm.New(simfarm.Config{Workers: *workers, Cache: cache, Engine: cliutil.Engine(*interp, *nofuse)})
 	jobs := simfarm.SweepJobs(ws, levels, configs)
 	slog.Info("sweep start", "jobs", len(jobs), "workloads", len(ws),
 		"levels", len(levels), "configs", len(configs), "workers", farm.Workers())
 
 	results, stats := run(farm, jobs, *progress)
 
-	printSummary(os.Stdout, results, stats)
-	if cache.Persistent() {
+	if *det {
+		scrubWallTimes(results, &stats)
+	}
+	printSummary(os.Stdout, results, stats, *det)
+	if cache.Persistent() && !*det {
 		fmt.Fprintf(os.Stdout, "persistent store: %d of %d hits served from disk (%s)\n",
 			cache.DiskHits(), stats.CacheHits, *cacheDir)
 	}
 
 	if *jsonOut != "" {
-		report := simfarm.Report{Workers: farm.Workers(), Results: results, Stats: stats}
+		workers := farm.Workers()
+		if *det {
+			workers = 0
+		}
+		report := simfarm.Report{Workers: workers, Results: results, Stats: stats}
 		data, err := json.MarshalIndent(report, "", "  ")
 		check(err)
 		data = append(data, '\n')
@@ -144,7 +154,26 @@ func run(farm *simfarm.Farm, jobs []simfarm.Job, progress bool) ([]simfarm.Resul
 	return results, farm.Summarize(results, time.Since(start))
 }
 
-func printSummary(w *os.File, results []simfarm.Result, stats simfarm.BatchStats) {
+// scrubWallTimes zeroes every host-dependent field so a -det report is
+// byte-identical across runs and pool sizes: wall times, host speedups,
+// the worker count, and the per-job cache_hit flags (which job wins the
+// singleflight translation race — and so counts as the miss — depends
+// on scheduling; the batch hit/miss totals stay deterministic and are
+// kept).
+func scrubWallTimes(results []simfarm.Result, stats *simfarm.BatchStats) {
+	for i := range results {
+		results[i].TranslateWallSeconds = 0
+		results[i].RunWallSeconds = 0
+		results[i].RefWallSeconds = 0
+		results[i].SpeedupVsISS = 0
+		results[i].CacheHit = false
+	}
+	stats.Workers = 0
+	stats.WallSeconds = 0
+	stats.C6xCyclesPerSecond = 0
+}
+
+func printSummary(w *os.File, results []simfarm.Result, stats simfarm.BatchStats, det bool) {
 	fmt.Fprintf(w, "%-10s %-18s %-22s %10s %12s %12s %8s %9s %5s\n",
 		"program", "config", "level", "insts", "c6x cycles", "gen cycles", "CPI", "dev%", "cache")
 	for _, r := range results {
@@ -156,12 +185,20 @@ func printSummary(w *os.File, results []simfarm.Result, stats simfarm.BatchStats
 		if r.CacheHit {
 			cache = "hit"
 		}
+		if det {
+			cache = "-"
+		}
 		dev := "-"
 		if r.Level >= core.Level1 {
 			dev = fmt.Sprintf("%+.2f", r.DeviationPct)
 		}
 		fmt.Fprintf(w, "%-10s %-18s %-22s %10d %12d %12d %8.2f %9s %5s\n",
 			r.Name, r.Config, r.Level, r.Instructions, r.C6xCycles, r.GeneratedCycles, r.CPI, dev, cache)
+	}
+	if det {
+		fmt.Fprintf(w, "\njobs %d (failed %d) · translation cache %d hits / %d misses (%.0f%% hit rate)\n",
+			stats.Jobs, stats.Failed, stats.CacheHits, stats.CacheMisses, 100*stats.CacheHitRate)
+		return
 	}
 	fmt.Fprintf(w, "\njobs %d (failed %d) · translation cache %d hits / %d misses (%.0f%% hit rate) · %.2fs wall · %.1f Mcycles/s simulated\n",
 		stats.Jobs, stats.Failed, stats.CacheHits, stats.CacheMisses, 100*stats.CacheHitRate,

@@ -50,6 +50,7 @@ func main() {
 	det := flag.Bool("det", false, "deterministic output: omit host wall-time figures (CI smoke)")
 	parallel := flag.Bool("parallel", false, "run each SoC on the speculative parallel scheduler (bit-identical results)")
 	interp := flag.Bool("interp", false, "run translated cores on the packet interpreter instead of the compiled engine")
+	nofuse := flag.Bool("nofuse", false, "disable superblock fusion in the compiled engine (differential reference)")
 	cacheDir := flag.String("cache-dir", "", "persistent translation-cache store directory (empty = in-memory only)")
 	cacheBudget := flag.Int64("cache-budget", 0, "store size budget in bytes, LRU-evicted (0 = unbounded)")
 	traceOut := cliutil.RegisterTraceFlag()
@@ -98,7 +99,7 @@ func main() {
 	cache, closeStore, err := cliutil.OpenTranslationCache(*cacheDir, *cacheBudget)
 	check(err)
 	defer closeStore()
-	farm := simfarm.New(simfarm.Config{Workers: *workers, Cache: cache, Engine: cliutil.Engine(*interp)})
+	farm := simfarm.New(simfarm.Config{Workers: *workers, Cache: cache, Engine: cliutil.Engine(*interp, *nofuse)})
 	slog.Info("sweep start", "jobs", len(jobs), "workloads", len(names),
 		"cores", fmt.Sprint(coreCounts), "quanta", fmt.Sprint(quanta),
 		"policies", len(arbs), "workers", farm.Workers())

@@ -42,6 +42,7 @@ func main() {
 	cacheBudget := flag.Int64("cache-budget", 0, "local store size budget in bytes, LRU-evicted (0 = unbounded)")
 	poll := flag.Duration("poll", 200*time.Millisecond, "idle sleep between empty lease polls")
 	interp := flag.Bool("interp", false, "run translated programs on the packet interpreter instead of the compiled engine")
+	nofuse := flag.Bool("nofuse", false, "disable superblock fusion in the compiled engine (differential reference)")
 	ephemeral := flag.Bool("ephemeral", false, "discard the in-memory cache after every task, forcing each task through the store levels")
 	quiet := flag.Bool("quiet", false, "suppress per-task progress lines")
 	logFlags := cliutil.RegisterLogFlags()
@@ -73,7 +74,7 @@ func main() {
 		Server:    *serverURL,
 		Name:      *name,
 		Poll:      *poll,
-		Engine:    cliutil.Engine(*interp),
+		Engine:    cliutil.Engine(*interp, *nofuse),
 		Ephemeral: *ephemeral,
 	}
 	if !*quiet {

@@ -1,0 +1,722 @@
+package c6x
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// regions builds a RegionOf map for n packets with region starts at the
+// given packet indices.
+func regions(n int, starts ...int) []int32 {
+	ro := make([]int32, n)
+	for i := range ro {
+		ro[i] = -1
+	}
+	for ri, p := range starts {
+		ro[p] = int32(ri)
+	}
+	return ro
+}
+
+func mustFuse(t *testing.T, prog *Program, cfg FuseConfig) *FusedProgram {
+	t.Helper()
+	fp, err := Fuse(prog, cfg)
+	if err != nil {
+		t.Fatalf("fuse: %v", err)
+	}
+	return fp
+}
+
+// runTriple executes the same program on the interpreter, the compiled
+// engine (via runBoth) and the fused engine, requiring bit-identical
+// outcomes across all three: error presence and text, registers, cycle
+// count, statistics, store sequences and memory.
+func runTriple(t *testing.T, cfg FuseConfig, packets ...Packet) (*Sim, *Sim) {
+	t.Helper()
+	runBoth(t, packets...)
+	return runTripleMem(t, cfg, nil, packets...)
+}
+
+// runTripleMem is runTriple's interpreter-vs-fused core with an optional
+// memory configurator (stall regions etc.) applied to both sides.
+func runTripleMem(t *testing.T, cfg FuseConfig, memCfg func(*testMem), packets ...Packet) (*Sim, *Sim) {
+	t.Helper()
+
+	im := newTestMem()
+	if memCfg != nil {
+		memCfg(im)
+	}
+	is := NewSim(&Program{Packets: packets}, im)
+	ierr := is.Run()
+
+	fprog := &Program{Packets: packets}
+	fm := newTestMem()
+	if memCfg != nil {
+		memCfg(fm)
+	}
+	fs := NewSim(fprog, fm)
+	fp := mustFuse(t, fprog, cfg)
+	if err := fs.UseFused(fp); err != nil {
+		t.Fatal(err)
+	}
+	if !fs.Fused() {
+		t.Fatal("fused engine not attached")
+	}
+	ferr := fs.RunFused()
+
+	if (ierr == nil) != (ferr == nil) {
+		t.Fatalf("error divergence: interp=%v fused=%v", ierr, ferr)
+	}
+	if ierr != nil && ierr.Error() != ferr.Error() {
+		t.Fatalf("error text divergence:\n  interp: %v\n  fused:  %v", ierr, ferr)
+	}
+	if is.Regs != fs.Regs {
+		t.Fatalf("register divergence:\n  interp: %v\n  fused:  %v", is.Regs, fs.Regs)
+	}
+	if is.Cycle() != fs.Cycle() {
+		t.Fatalf("cycle divergence: interp=%d fused=%d", is.Cycle(), fs.Cycle())
+	}
+	if is.Stats() != fs.Stats() {
+		t.Fatalf("stats divergence:\n  interp: %+v\n  fused:  %+v", is.Stats(), fs.Stats())
+	}
+	if is.Halted() != fs.Halted() {
+		t.Fatalf("halt divergence: interp=%v fused=%v", is.Halted(), fs.Halted())
+	}
+	if ierr == nil && is.PC() != fs.PC() {
+		t.Fatalf("pc divergence: interp=%d fused=%d", is.PC(), fs.PC())
+	}
+	if !reflect.DeepEqual(im.stores, fm.stores) {
+		t.Fatalf("store-sequence divergence: interp=%v fused=%v", im.stores, fm.stores)
+	}
+	if !reflect.DeepEqual(im.ram, fm.ram) {
+		t.Fatal("memory divergence")
+	}
+	return is, fs
+}
+
+func TestFusedMatchesInterpreterBasics(t *testing.T) {
+	cases := map[string]struct {
+		packets []Packet
+		starts  []int
+	}{
+		"straight-line": {
+			packets: []Packet{
+				pk(Inst{Op: MVK, Unit: S1, Dst: A(1), Src2: Imm(0x5678)}),
+				pk(Inst{Op: MVKH, Unit: S1, Dst: A(1), Src2: Imm(0x1234)}),
+				pk(Inst{Op: ADD, Unit: L1, Dst: A(2), Src1: R(A(1)), Src2: Imm(1)}),
+				pk(Inst{Op: HALT}),
+			},
+			starts: []int{0, 2},
+		},
+		"counted-loop": {
+			packets: []Packet{
+				pk(Inst{Op: MVK, Unit: S1, Dst: A(8), Src2: Imm(5)}),
+				pk(Inst{Op: MVK, Unit: S1, Dst: A(9), Src2: Imm(0)}),
+				pk(Inst{Op: ADD, Unit: L1, Dst: A(9), Src1: R(A(9)), Src2: R(A(8))}), // loop head
+				pk(Inst{Op: SUB, Unit: L1, Dst: A(8), Src1: R(A(8)), Src2: Imm(1)}),
+				pk(Inst{Op: BPKT, Unit: S1, Target: 2, Pred: Pred{Valid: true, Reg: A(8)}}),
+				pk(Inst{Op: NOP, NopCycles: 5}),
+				pk(Inst{Op: HALT}),
+			},
+			starts: []int{0, 2},
+		},
+		"loop-with-memory": {
+			packets: []Packet{
+				pk(Inst{Op: MVK, Unit: S1, Dst: A(10), Src2: Imm(0x200)}),
+				pk(Inst{Op: MVK, Unit: S1, Dst: A(8), Src2: Imm(4)}),
+				pk(Inst{Op: STW, Unit: D1, Data: A(8), Src1: R(A(10)), Src2: Imm(0)}), // loop head
+				pk(Inst{Op: LDW, Unit: D1, Dst: A(2), Src1: R(A(10)), Src2: Imm(0)}),
+				pk(Inst{Op: SUB, Unit: L1, Dst: A(8), Src1: R(A(8)), Src2: Imm(1)}),
+				pk(Inst{Op: BPKT, Unit: S1, Target: 2, Pred: Pred{Valid: true, Reg: A(8)}}),
+				pk(Inst{Op: NOP, NopCycles: 5}),
+				pk(Inst{Op: ADD, Unit: L1, Dst: A(3), Src1: R(A(2)), Src2: R(A(2))}),
+				pk(Inst{Op: HALT}),
+			},
+			starts: []int{0, 2},
+		},
+		"branch-shortens-nop": {
+			packets: []Packet{
+				pk(Inst{Op: BPKT, Unit: S1, Target: 3}),
+				pk(Inst{Op: NOP, NopCycles: 5}),
+				pk(Inst{Op: MVK, Unit: S1, Dst: A(9), Src2: Imm(9)}), // skipped
+				pk(Inst{Op: MVK, Unit: S1, Dst: A(1), Src2: Imm(1)}),
+				pk(Inst{Op: HALT}),
+			},
+			starts: []int{0},
+		},
+		"predication-mix": {
+			packets: []Packet{
+				pk(Inst{Op: MVK, Unit: S1, Dst: A(1), Src2: Imm(1)}),
+				pk(Inst{Op: MVK, Unit: S1, Dst: A(2), Src2: Imm(0)}),
+				pk(Inst{Op: MVK, Unit: S1, Dst: A(3), Src2: Imm(10), Pred: Pred{Valid: true, Reg: A(1)}}),
+				pk(Inst{Op: MVK, Unit: S1, Dst: A(4), Src2: Imm(11), Pred: Pred{Valid: true, Reg: A(2)}}),
+				pk(Inst{Op: MVK, Unit: S1, Dst: A(5), Src2: Imm(12), Pred: Pred{Valid: true, Neg: true, Reg: A(2)}}),
+				pk(Inst{Op: HALT}),
+			},
+			starts: []int{0, 3},
+		},
+		"predicated-memory": {
+			packets: []Packet{
+				pk(Inst{Op: MVK, Unit: S1, Dst: A(10), Src2: Imm(0x100)}),
+				pk(Inst{Op: MVK, Unit: S1, Dst: A(1), Src2: Imm(1)}),
+				pk(Inst{Op: MVK, Unit: S1, Dst: A(2), Src2: Imm(0)}),
+				pk(Inst{Op: MVK, Unit: S1, Dst: A(3), Src2: Imm(0x2A)}),
+				pk(Inst{Op: STW, Unit: D1, Data: A(3), Src1: R(A(10)), Src2: Imm(0), Pred: Pred{Valid: true, Reg: A(1)}}),
+				pk(Inst{Op: STW, Unit: D1, Data: A(3), Src1: R(A(10)), Src2: Imm(4), Pred: Pred{Valid: true, Reg: A(2)}}), // off
+				pk(Inst{Op: LDW, Unit: D1, Dst: A(4), Src1: R(A(10)), Src2: Imm(0), Pred: Pred{Valid: true, Reg: A(1)}}),
+				pk(Inst{Op: LDW, Unit: D1, Dst: A(5), Src1: R(A(10)), Src2: Imm(4), Pred: Pred{Valid: true, Reg: A(2)}}), // off: no writeback
+				pk(Inst{Op: NOP, NopCycles: 4}),
+				pk(Inst{Op: ADD, Unit: L1, Dst: A(6), Src1: R(A(4)), Src2: R(A(5))}),
+				pk(Inst{Op: HALT}),
+			},
+			starts: []int{0},
+		},
+		"subword-sext": {
+			packets: []Packet{
+				pk(Inst{Op: MVK, Unit: S1, Dst: A(5), Src2: Imm(0x100)}),
+				pk(Inst{Op: MVK, Unit: S1, Dst: A(1), Src2: Imm(-2)}),
+				pk(Inst{Op: STB, Unit: D1, Data: A(1), Src1: R(A(5)), Src2: Imm(0)}),
+				pk(Inst{Op: STH, Unit: D1, Data: A(1), Src1: R(A(5)), Src2: Imm(4)}),
+				pk(Inst{Op: LDB, Unit: D1, Dst: A(2), Src1: R(A(5)), Src2: Imm(0)}),
+				pk(Inst{Op: NOP, NopCycles: 4}),
+				pk(Inst{Op: LDBU, Unit: D1, Dst: A(3), Src1: R(A(5)), Src2: Imm(0)}),
+				pk(Inst{Op: NOP, NopCycles: 4}),
+				pk(Inst{Op: LDH, Unit: D1, Dst: A(4), Src1: R(A(5)), Src2: Imm(4)}),
+				pk(Inst{Op: NOP, NopCycles: 4}),
+				pk(Inst{Op: LDHU, Unit: D1, Dst: A(6), Src1: R(A(5)), Src2: Imm(4)}),
+				pk(Inst{Op: NOP, NopCycles: 4}),
+				pk(Inst{Op: HALT}),
+			},
+			starts: []int{0, 4},
+		},
+		"mpy-delay-slot": {
+			packets: []Packet{
+				pk(Inst{Op: MVK, Unit: S1, Dst: A(1), Src2: Imm(6)}),
+				pk(Inst{Op: MVK, Unit: S1, Dst: A(2), Src2: Imm(7)}),
+				pk(Inst{Op: MPY, Unit: M1, Dst: A(3), Src1: R(A(1)), Src2: R(A(2))}),
+				pk(Inst{Op: NOP, NopCycles: 1}),
+				pk(Inst{Op: ADD, Unit: L1, Dst: A(4), Src1: R(A(3)), Src2: R(A(3))}),
+				pk(Inst{Op: HALT}),
+			},
+			starts: []int{0},
+		},
+		"predicated-halt-taken": {
+			packets: []Packet{
+				pk(Inst{Op: MVK, Unit: S1, Dst: A(1), Src2: Imm(1)}),
+				pk(Inst{Op: HALT, Pred: Pred{Valid: true, Reg: A(1)}}),
+				pk(Inst{Op: MVK, Unit: S1, Dst: A(2), Src2: Imm(2)}), // not reached
+				pk(Inst{Op: HALT}),
+			},
+			starts: []int{0},
+		},
+		"predicated-halt-skipped": {
+			packets: []Packet{
+				pk(Inst{Op: MVK, Unit: S1, Dst: A(1), Src2: Imm(0)}),
+				pk(Inst{Op: HALT, Pred: Pred{Valid: true, Reg: A(1)}}),
+				pk(Inst{Op: MVK, Unit: S1, Dst: A(2), Src2: Imm(2)}),
+				pk(Inst{Op: HALT}),
+			},
+			starts: []int{0},
+		},
+		"region-start-in-delay-slot": {
+			// The branch is in flight when the trace crosses the region
+			// start at packet 2: the boundary segment carries entry branch
+			// state.
+			packets: []Packet{
+				pk(Inst{Op: BPKT, Unit: S1, Target: 5}),
+				pk(Inst{Op: MVK, Unit: S1, Dst: A(1), Src2: Imm(1)}),
+				pk(Inst{Op: MVK, Unit: S1, Dst: A(2), Src2: Imm(2)}), // region start, branch pending
+				pk(Inst{Op: MVK, Unit: S1, Dst: A(3), Src2: Imm(3)}),
+				pk(Inst{Op: MVK, Unit: S1, Dst: A(4), Src2: Imm(4)}),
+				pk(Inst{Op: MVK, Unit: S1, Dst: A(9), Src2: Imm(9)}), // skipped
+				pk(Inst{Op: HALT}),
+			},
+			starts: []int{0, 2},
+		},
+	}
+	for name, tc := range cases {
+		t.Run(name, func(t *testing.T) {
+			runTriple(t, FuseConfig{RegionOf: regions(len(tc.packets), tc.starts...)}, tc.packets...)
+		})
+	}
+}
+
+func TestFusedMatchesInterpreterErrors(t *testing.T) {
+	cases := map[string][]Packet{
+		"load-use-too-early": {
+			pk(Inst{Op: MVK, Unit: S1, Dst: A(5), Src2: Imm(0x100)}),
+			pk(Inst{Op: LDW, Unit: D1, Dst: A(2), Src1: R(A(5)), Src2: Imm(0)}),
+			pk(Inst{Op: ADD, Unit: L1, Dst: A(3), Src1: R(A(2)), Src2: R(A(2))}),
+			pk(Inst{Op: HALT}),
+		},
+		"overlapping-branches": {
+			pk(Inst{Op: BPKT, Unit: S1, Target: 0}),
+			pk(Inst{Op: BPKT, Unit: S1, Target: 0}),
+			pk(Inst{Op: HALT}),
+		},
+		"writeback-collision": {
+			pk(Inst{Op: MPY, Unit: M1, Dst: A(3), Src1: R(A(1)), Src2: R(A(2))}),
+			pk(Inst{Op: ADD, Unit: L1, Dst: A(3), Src1: R(A(1)), Src2: R(A(2))}),
+			pk(Inst{Op: HALT}),
+		},
+		"fell-off-program": {
+			pk(Inst{Op: MVK, Unit: S1, Dst: A(1), Src2: Imm(1)}),
+		},
+		"unmapped-target": {
+			pk(Inst{Op: BPKT, Unit: S1, Target: 99}),
+			pk(Inst{Op: NOP, NopCycles: 5}),
+			pk(Inst{Op: HALT}),
+		},
+	}
+	for name, packets := range cases {
+		t.Run(name, func(t *testing.T) {
+			runTriple(t, FuseConfig{RegionOf: regions(len(packets), 0)}, packets...)
+		})
+	}
+}
+
+// TestFusedBREGFactResolution: MVK/MVKH-built indirect branch targets in
+// tracked registers are resolved statically and stay fused; untracked
+// ones deoptimize to the generic engine with identical results.
+func TestFusedBREGFactResolution(t *testing.T) {
+	packets := []Packet{
+		pk(Inst{Op: MVK, Unit: S1, Dst: B(3), Src2: Imm(8)}),
+		pk(Inst{Op: MVKH, Unit: S1, Dst: B(3), Src2: Imm(0)}),
+		pk(Inst{Op: BREG, Unit: S1, Src1: R(B(3))}),
+		pk(Inst{Op: NOP, NopCycles: 5}),
+		pk(Inst{Op: MVK, Unit: S1, Dst: A(9), Src2: Imm(9)}), // skipped
+		pk(Inst{Op: HALT}), // skipped
+		pk(Inst{Op: NOP}),  // skipped
+		pk(Inst{Op: NOP}),  // skipped
+		pk(Inst{Op: MVK, Unit: S1, Dst: A(1), Src2: Imm(1)}), // BREG target
+		pk(Inst{Op: HALT}),
+	}
+	t.Run("tracked", func(t *testing.T) {
+		_, fs := runTriple(t, FuseConfig{
+			RegionOf:  regions(len(packets), 0, 8),
+			ConstRegs: []Reg{B(3)},
+		}, packets...)
+		if fs.Reg(A(1)) != 1 {
+			t.Fatalf("A1 = %d, want 1", fs.Reg(A(1)))
+		}
+	})
+	t.Run("untracked-deopts", func(t *testing.T) {
+		runTriple(t, FuseConfig{RegionOf: regions(len(packets), 0, 8)}, packets...)
+	})
+}
+
+// TestFusedBREGStaysFused proves fact-resolved indirect loops execute
+// without deoptimizing: the boundary hook keeps firing, which a deopt
+// (StepFused returning) would cut short.
+func TestFusedBREGStaysFused(t *testing.T) {
+	packets := []Packet{
+		pk(Inst{Op: MVK, Unit: S1, Dst: B(3), Src2: Imm(0)}), // loop head and BREG target
+		pk(Inst{Op: ADD, Unit: L1, Dst: A(1), Src1: R(A(1)), Src2: Imm(1)}),
+		pk(Inst{Op: BREG, Unit: S1, Src1: R(B(3))}),
+		pk(Inst{Op: NOP, NopCycles: 5}),
+		pk(Inst{Op: HALT}), // never reached
+	}
+	prog := &Program{Packets: packets}
+	fp := mustFuse(t, prog, FuseConfig{RegionOf: regions(len(packets), 0), ConstRegs: []Reg{B(3)}})
+	s := NewSim(prog, newTestMem())
+	if err := s.UseFused(fp); err != nil {
+		t.Fatal(err)
+	}
+	boundaries := 0
+	stopped, err := s.StepFused(func() (bool, error) {
+		boundaries++
+		return boundaries >= 10, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stopped {
+		t.Fatal("StepFused returned without the hook stopping: the loop deoptimized")
+	}
+	if boundaries != 10 {
+		t.Fatalf("hook fired %d times, want 10", boundaries)
+	}
+	if s.Reg(A(1)) != 10 {
+		t.Fatalf("A1 = %d, want 10 iterations", s.Reg(A(1)))
+	}
+}
+
+// TestFusedMemoryStall: memory stalls accrued in fused code freeze the
+// cycle clock exactly like the interpreter's per-packet accounting.
+func TestFusedMemoryStall(t *testing.T) {
+	packets := []Packet{
+		pk(Inst{Op: MVK, Unit: S1, Dst: A(5), Src2: Imm(0x300)}),
+		pk(Inst{Op: MVK, Unit: S1, Dst: A(1), Src2: Imm(0x2A)}),
+		pk(Inst{Op: STW, Unit: D1, Data: A(1), Src1: R(A(5)), Src2: Imm(0)}),
+		pk(Inst{Op: LDW, Unit: D1, Dst: A(2), Src1: R(A(5)), Src2: Imm(0)}),
+		pk(Inst{Op: NOP, NopCycles: 4}),
+		pk(Inst{Op: ADD, Unit: L1, Dst: A(3), Src1: R(A(2)), Src2: R(A(2))}),
+		pk(Inst{Op: HALT}),
+	}
+	is, _ := runTripleMem(t, FuseConfig{RegionOf: regions(len(packets), 0, 3)}, func(m *testMem) {
+		m.stallAddr = 0x300
+		m.stallLen = 7
+	}, packets...)
+	if is.Stats().StallCycles == 0 {
+		t.Fatal("test did not exercise memory stalls")
+	}
+}
+
+// TestFusedInflightAcrossBoundary: a load writeback in flight across a
+// region boundary rides the symbolic window through the boundary
+// segment and commits on time.
+func TestFusedInflightAcrossBoundary(t *testing.T) {
+	packets := []Packet{
+		pk(Inst{Op: MVK, Unit: S1, Dst: A(5), Src2: Imm(0x100)}),
+		pk(Inst{Op: MVK, Unit: S1, Dst: A(1), Src2: Imm(0x2A)}),
+		pk(Inst{Op: STW, Unit: D1, Data: A(1), Src1: R(A(5)), Src2: Imm(0)}),
+		pk(Inst{Op: LDW, Unit: D1, Dst: A(2), Src1: R(A(5)), Src2: Imm(0)}),
+		pk(Inst{Op: MVK, Unit: S1, Dst: A(6), Src2: Imm(6)}), // region start, load in flight
+		pk(Inst{Op: NOP, NopCycles: 3}),
+		pk(Inst{Op: ADD, Unit: L1, Dst: A(3), Src1: R(A(2)), Src2: R(A(2))}),
+		pk(Inst{Op: HALT}),
+	}
+	runTriple(t, FuseConfig{RegionOf: regions(len(packets), 0, 4)}, packets...)
+}
+
+// TestStepFusedHookStopResume: stopping at every boundary and resuming
+// (fused when possible, generic otherwise) is bit-identical to a pure
+// interpreter run.
+func TestStepFusedHookStopResume(t *testing.T) {
+	packets := []Packet{
+		pk(Inst{Op: MVK, Unit: S1, Dst: A(8), Src2: Imm(5)}),
+		pk(Inst{Op: MVK, Unit: S1, Dst: A(9), Src2: Imm(0)}),
+		pk(Inst{Op: ADD, Unit: L1, Dst: A(9), Src1: R(A(9)), Src2: R(A(8))}), // loop head
+		pk(Inst{Op: SUB, Unit: L1, Dst: A(8), Src1: R(A(8)), Src2: Imm(1)}),
+		pk(Inst{Op: BPKT, Unit: S1, Target: 2, Pred: Pred{Valid: true, Reg: A(8)}}),
+		pk(Inst{Op: NOP, NopCycles: 5}),
+		pk(Inst{Op: HALT}),
+	}
+
+	is := NewSim(&Program{Packets: packets}, newTestMem())
+	if err := is.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	fprog := &Program{Packets: packets}
+	fs := NewSim(fprog, newTestMem())
+	fp := mustFuse(t, fprog, FuseConfig{RegionOf: regions(len(packets), 0, 2)})
+	if err := fs.UseFused(fp); err != nil {
+		t.Fatal(err)
+	}
+	stops := 0
+	hook := func() (bool, error) { stops++; return true, nil }
+	for !fs.Halted() {
+		if fs.FusedEntryOK() {
+			if _, err := fs.StepFused(hook); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		if err := fs.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if stops == 0 {
+		t.Fatal("hook never fired")
+	}
+	if is.Regs != fs.Regs || is.Cycle() != fs.Cycle() || is.Stats() != fs.Stats() || is.PC() != fs.PC() {
+		t.Fatalf("state divergence after hook stops:\n  interp: regs=%v cycle=%d pc=%d %+v\n  fused:  regs=%v cycle=%d pc=%d %+v",
+			is.Regs, is.Cycle(), is.PC(), is.Stats(), fs.Regs, fs.Cycle(), fs.PC(), fs.Stats())
+	}
+}
+
+// TestStepFusedHookRedirect: a hook that redirects the pc (interrupt
+// delivery, debugger) gets a materialized state the generic engine
+// continues from, identical to redirecting the interpreter at the same
+// boundary.
+func TestStepFusedHookRedirect(t *testing.T) {
+	packets := []Packet{
+		pk(Inst{Op: MVK, Unit: S1, Dst: A(1), Src2: Imm(1)}),
+		pk(Inst{Op: MVK, Unit: S1, Dst: A(2), Src2: Imm(2)}), // region start: redirect here
+		pk(Inst{Op: MVK, Unit: S1, Dst: A(3), Src2: Imm(3)}), // skipped by the redirect
+		pk(Inst{Op: HALT}),
+		pk(Inst{Op: MVK, Unit: S1, Dst: A(4), Src2: Imm(4)}), // redirect target
+		pk(Inst{Op: HALT}),
+	}
+
+	// Reference: interpret to the boundary, redirect, run out.
+	is := NewSim(&Program{Packets: packets}, newTestMem())
+	for is.PC() != 1 {
+		if err := is.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	is.SetPC(4)
+	if err := is.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	fprog := &Program{Packets: packets}
+	fs := NewSim(fprog, newTestMem())
+	fp := mustFuse(t, fprog, FuseConfig{RegionOf: regions(len(packets), 1)})
+	if err := fs.UseFused(fp); err != nil {
+		t.Fatal(err)
+	}
+	hook := func() (bool, error) {
+		if fs.PC() == 1 {
+			fs.SetPC(4)
+		}
+		return false, nil
+	}
+	for !fs.Halted() {
+		if fs.FusedEntryOK() {
+			if _, err := fs.StepFused(hook); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		if err := fs.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if is.Regs != fs.Regs || is.Cycle() != fs.Cycle() || is.Stats() != fs.Stats() {
+		t.Fatalf("redirect divergence:\n  interp: regs=%v cycle=%d %+v\n  fused:  regs=%v cycle=%d %+v",
+			is.Regs, is.Cycle(), is.Stats(), fs.Regs, fs.Cycle(), fs.Stats())
+	}
+	if fs.Reg(A(3)) != 0 || fs.Reg(A(4)) != 4 {
+		t.Fatalf("redirect not honored: A3=%d A4=%d", fs.Reg(A(3)), fs.Reg(A(4)))
+	}
+}
+
+// TestStepFusedHookError: hook errors surface with the boundary state
+// materialized.
+func TestStepFusedHookError(t *testing.T) {
+	packets := []Packet{
+		pk(Inst{Op: MVK, Unit: S1, Dst: A(1), Src2: Imm(1)}),
+		pk(Inst{Op: MVK, Unit: S1, Dst: A(2), Src2: Imm(2)}), // region start
+		pk(Inst{Op: HALT}),
+	}
+	prog := &Program{Packets: packets}
+	s := NewSim(prog, newTestMem())
+	fp := mustFuse(t, prog, FuseConfig{RegionOf: regions(len(packets), 1)})
+	if err := s.UseFused(fp); err != nil {
+		t.Fatal(err)
+	}
+	wantErr := &SimError{Packet: 1, Msg: "hook failure"}
+	_, err := s.StepFused(func() (bool, error) { return false, wantErr })
+	if err != wantErr {
+		t.Fatalf("hook error not propagated: %v", err)
+	}
+	if s.PC() != 1 {
+		t.Fatalf("pc = %d at hook error, want the boundary packet 1", s.PC())
+	}
+	if s.Reg(A(1)) != 1 {
+		t.Fatal("state before the boundary not applied")
+	}
+}
+
+// TestStepFusedStopWithInflight: stopping at a boundary with a load in
+// flight materializes the pending writeback; the generic engine commits
+// it on time.
+func TestStepFusedStopWithInflight(t *testing.T) {
+	packets := []Packet{
+		pk(Inst{Op: MVK, Unit: S1, Dst: A(5), Src2: Imm(0x100)}),
+		pk(Inst{Op: MVK, Unit: S1, Dst: A(1), Src2: Imm(0x2A)}),
+		pk(Inst{Op: STW, Unit: D1, Data: A(1), Src1: R(A(5)), Src2: Imm(0)}),
+		pk(Inst{Op: LDW, Unit: D1, Dst: A(2), Src1: R(A(5)), Src2: Imm(0)}),
+		pk(Inst{Op: MVK, Unit: S1, Dst: A(6), Src2: Imm(6)}), // region start, load in flight
+		pk(Inst{Op: NOP, NopCycles: 3}),
+		pk(Inst{Op: ADD, Unit: L1, Dst: A(3), Src1: R(A(2)), Src2: R(A(2))}),
+		pk(Inst{Op: HALT}),
+	}
+
+	is := NewSim(&Program{Packets: packets}, newTestMem())
+	if err := is.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	fprog := &Program{Packets: packets}
+	fs := NewSim(fprog, newTestMem())
+	fp := mustFuse(t, fprog, FuseConfig{RegionOf: regions(len(packets), 4)})
+	if err := fs.UseFused(fp); err != nil {
+		t.Fatal(err)
+	}
+	stopped, err := fs.StepFused(func() (bool, error) { return true, nil })
+	if err != nil || !stopped {
+		t.Fatalf("StepFused: stopped=%v err=%v", stopped, err)
+	}
+	if fs.PC() != 4 {
+		t.Fatalf("pc = %d at stop, want boundary packet 4", fs.PC())
+	}
+	// The interpreter finishes the program from the materialized state.
+	if err := fs.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if is.Regs != fs.Regs || is.Cycle() != fs.Cycle() || is.Stats() != fs.Stats() {
+		t.Fatalf("inflight materialization divergence:\n  interp: regs=%v cycle=%d %+v\n  fused:  regs=%v cycle=%d %+v",
+			is.Regs, is.Cycle(), is.Stats(), fs.Regs, fs.Cycle(), fs.Stats())
+	}
+	if fs.Reg(A(2)) != 0x2A || fs.Reg(A(3)) != 0x54 {
+		t.Fatalf("load writeback lost: A2=%#x A3=%#x", fs.Reg(A(2)), fs.Reg(A(3)))
+	}
+}
+
+// TestRunFusedCycleLimit: the fused engine honors MaxCycles at region
+// boundaries. The overshoot is bounded by one region, so only the error
+// kind is asserted, not its exact packet/cycle.
+func TestRunFusedCycleLimit(t *testing.T) {
+	packets := []Packet{
+		pk(Inst{Op: BPKT, Unit: S1, Target: 0}), // endless loop
+		pk(Inst{Op: NOP, NopCycles: 5}),
+		pk(Inst{Op: HALT}),
+	}
+	prog := &Program{Packets: packets}
+	s := NewSim(prog, newTestMem())
+	s.MaxCycles = 1000
+	fp := mustFuse(t, prog, FuseConfig{RegionOf: regions(len(packets), 0)})
+	if err := s.UseFused(fp); err != nil {
+		t.Fatal(err)
+	}
+	err := s.RunFused()
+	if err == nil || !strings.Contains(err.Error(), "cycle limit exceeded") {
+		t.Fatalf("want cycle limit error, got %v", err)
+	}
+}
+
+// TestFusedNoEnterSegment: a region start that deoptimizes immediately
+// (unresolvable BREG) is excluded from the entry map so RunFused cannot
+// livelock re-entering a zero-progress segment.
+func TestFusedNoEnterSegment(t *testing.T) {
+	packets := []Packet{
+		pk(Inst{Op: MVK, Unit: S1, Dst: A(7), Src2: Imm(4)}),
+		pk(Inst{Op: BREG, Unit: S1, Src1: R(A(7))}), // region start; A7 untracked
+		pk(Inst{Op: NOP, NopCycles: 5}),
+		pk(Inst{Op: MVK, Unit: S1, Dst: A(9), Src2: Imm(9)}), // skipped
+		pk(Inst{Op: MVK, Unit: S1, Dst: A(1), Src2: Imm(1)}), // BREG target
+		pk(Inst{Op: HALT}),
+	}
+	prog := &Program{Packets: packets}
+	fp := mustFuse(t, prog, FuseConfig{RegionOf: regions(len(packets), 0, 1)})
+	s := NewSim(prog, newTestMem())
+	if err := s.UseFused(fp); err != nil {
+		t.Fatal(err)
+	}
+	s.SetPC(1)
+	if s.FusedEntryOK() {
+		t.Fatal("zero-progress segment advertised as a fused entry")
+	}
+	s.SetPC(0)
+	if !s.FusedEntryOK() {
+		t.Fatal("program entry not a fused entry")
+	}
+	if err := s.RunFused(); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Halted() || s.Reg(A(1)) != 1 {
+		t.Fatalf("halted=%v A1=%d", s.Halted(), s.Reg(A(1)))
+	}
+	runTriple(t, FuseConfig{RegionOf: regions(len(packets), 0, 1)}, packets...)
+}
+
+func TestFuseRejectsIssueViolations(t *testing.T) {
+	prog := &Program{Packets: []Packet{
+		pk(Inst{Op: HALT}),
+		pk( // unit conflict
+			Inst{Op: ADD, Unit: L1, Dst: A(1), Src1: R(A(2)), Src2: R(A(3))},
+			Inst{Op: SUB, Unit: L1, Dst: A(4), Src1: R(A(5)), Src2: R(A(6))},
+		),
+	}}
+	if _, err := Fuse(prog, FuseConfig{}); err == nil {
+		t.Fatal("fuse accepted a unit conflict")
+	} else if se, ok := err.(*SimError); !ok || se.Packet != 1 {
+		t.Fatalf("want SimError at packet 1, got %v", err)
+	}
+}
+
+func TestUseFusedRejectsForeignProgram(t *testing.T) {
+	a := &Program{Packets: []Packet{pk(Inst{Op: HALT})}}
+	b := &Program{Packets: []Packet{pk(Inst{Op: HALT})}}
+	fp, err := Fuse(a, FuseConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := NewSim(b, newTestMem()).UseFused(fp); err == nil {
+		t.Fatal("attached a fused program to a different program's sim")
+	}
+}
+
+func TestFuseCachedSharesFusion(t *testing.T) {
+	prog := &Program{Packets: []Packet{pk(Inst{Op: HALT})}}
+	f1, err := FuseCached(prog, FuseConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := FuseCached(prog, FuseConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f1 != f2 {
+		t.Fatal("FuseCached refused the same program")
+	}
+}
+
+// TestFusedMatchesInterpreterRandom: the engine-differential property
+// test, with region starts sprinkled at random strides — segmentation
+// must never change semantics.
+func TestFusedMatchesInterpreterRandom(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		packets := genLegalProgram(r)
+		stride := 2 + r.Intn(6)
+		var starts []int
+		for i := 0; i < len(packets); i += stride {
+			starts = append(starts, i)
+		}
+		is, _ := runTriple(t, FuseConfig{RegionOf: regions(len(packets), starts...)}, packets...)
+		return is.Halted()
+	}
+	cfg := &quick.Config{MaxCount: 120}
+	if testing.Short() {
+		cfg.MaxCount = 20
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFusedSteadyStateAllocs: steady-state fused execution performs zero
+// heap allocations, including the boundary-hook path.
+func TestFusedSteadyStateAllocs(t *testing.T) {
+	packets := []Packet{
+		pk(Inst{Op: MVK, Unit: S1, Dst: A(10), Src2: Imm(0x200)}),
+		pk(Inst{Op: MVK, Unit: S1, Dst: A(1), Src2: Imm(3)}),
+		// loop (packet 2 = region start):
+		pk(Inst{Op: MPY, Unit: M1, Dst: A(2), Src1: R(A(1)), Src2: R(A(1))}),
+		pk(Inst{Op: STW, Unit: D1, Data: A(1), Src1: R(A(10)), Src2: Imm(0)}),
+		pk(Inst{Op: LDW, Unit: D1, Dst: A(3), Src1: R(A(10)), Src2: Imm(0)}),
+		pk(Inst{Op: BPKT, Unit: S1, Target: 2}),
+		pk(Inst{Op: NOP, NopCycles: 5}),
+		pk(Inst{Op: HALT}), // never reached
+	}
+	prog := &Program{Packets: packets}
+	fp, err := Fuse(prog, FuseConfig{RegionOf: regions(len(packets), 2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSim(prog, newAllocFreeMem())
+	s.MaxCycles = 1 << 50
+	if err := s.UseFused(fp); err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	hook := func() (bool, error) { n++; return n%16 == 0, nil }
+	run := func() {
+		if _, err := s.StepFused(hook); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run() // warm
+	allocs := testing.AllocsPerRun(100, run)
+	if allocs != 0 {
+		t.Fatalf("steady-state fused execution allocates: %.1f allocs per 16 iterations", allocs)
+	}
+}

@@ -85,6 +85,21 @@ type Sim struct {
 	cstall  int64       // memory stall cycles of the current packet
 	cbrSeen bool        // a branch issued in the current packet
 
+	// Fused-engine state (see fuse.go, fuserun.go). fused selects the
+	// superblock engine for RunFused/StepFused; fstall, fslotVal,
+	// fslotOn, fcond0, fnext and fusedPkt are segment-local scratch that
+	// is always drained (fstall) or dead by the time fused execution
+	// returns, so — like the compiled engine's scratch — it needs no
+	// checkpointing.
+	fused       *FusedProgram
+	fstall      int64                // memory stalls since the last sync point
+	fslotVal    [fuseMaxSlots]uint32 // in-flight writeback values
+	fslotOn     [fuseMaxSlots]bool   // predicated producer executed
+	fcond0      bool                 // predicated-branch outcome for the segment terminal
+	fnext       int32                // next segment (-1 = exit fused execution)
+	fusedActive bool                 // inside StepFused (MemPkt source selector)
+	fusedPkt    int32                // packet of the store being performed (fused engine)
+
 	// Speculative-execution checkpoint (see checkpoint.go).
 	ck checkpoint
 }
@@ -105,6 +120,18 @@ func (s *Sim) Cycle() int64 { return s.cycle }
 
 // PC returns the current packet index.
 func (s *Sim) PC() int { return s.pc }
+
+// MemPkt returns the packet index of the memory access currently being
+// performed by a MemPort callback. Under the stepping engines the pc
+// has already advanced past the packet (pc-1); under the fused engine
+// the pc is not maintained per packet, so store ops record their packet
+// explicitly. Valid only during a MemPort Load/Store callback.
+func (s *Sim) MemPkt() int {
+	if s.fusedActive {
+		return int(s.fusedPkt)
+	}
+	return s.pc - 1
+}
 
 // SetPC redirects execution to a packet (used by the debug harness to
 // switch between translation images at region boundaries). Any pending

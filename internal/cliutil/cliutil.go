@@ -26,10 +26,14 @@ func OpenTranslationCache(dir string, budget int64) (*simfarm.TranslationCache, 
 	return simfarm.NewPersistentTranslationCache(st), st.Close, nil
 }
 
-// Engine maps the front-ends' -interp flag to the platform engine.
-func Engine(interp bool) platform.Engine {
-	if interp {
+// Engine maps the front-ends' -interp and -nofuse flags to the platform
+// engine. -interp wins: the interpreter never fuses.
+func Engine(interp, nofuse bool) platform.Engine {
+	switch {
+	case interp:
 		return platform.EngineInterp
+	case nofuse:
+		return platform.EngineCompiledNoFuse
 	}
 	return platform.EngineCompiled
 }

@@ -119,6 +119,18 @@ var (
 	regWaitDummy = c6x.A(31) // sync wait load destination (never read)
 )
 
+// FusedConstRegs returns the registers whose MVK/MVKH-built constants the
+// superblock fuser (c6x.Fuse) tracks symbolically to resolve the
+// translator's indirect branches: the runtime-routine link register and
+// the source return-address register — calls park the translated return
+// packet index in both as plain MVK immediates. RegIRQShadow is
+// deliberately absent: its value is written by the platform at interrupt
+// entry, so the translated reti always deoptimizes to the generic
+// engine.
+func FusedConstRegs() []c6x.Reg {
+	return []c6x.Reg{regLink, aR(tc32.RA)}
+}
+
 // Options configure a translation.
 type Options struct {
 	Level Level

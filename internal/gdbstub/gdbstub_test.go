@@ -332,3 +332,52 @@ func TestRegNames(t *testing.T) {
 		t.Error("register naming wrong")
 	}
 }
+
+// TestDualTargetFusedSystemSingleSteps pins the debugger's relationship
+// with the superblock engine: the dual target's platform attaches the
+// fused program (platform.New defaults to the fused compiled engine),
+// but the stub drives the CPU packet-wise, which never enters fused
+// dispatch — single-stepping is a forced deoptimization by
+// construction. The observable contract: stepping and mid-block
+// breakpoints behave identically to an interpreter-backed platform, and
+// the program completes with the right output afterwards.
+func TestDualTargetFusedSystemSingleSteps(t *testing.T) {
+	f := buildELF(t)
+	d, err := NewDualTarget(f, core.Level2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.System().CPU.Fused() {
+		t.Skip("debug image declined fusion — nothing to pin")
+	}
+	// Interleave: single-step twice, then continue to the mid-block
+	// breakpoint, repeatedly. Compare d0 against the closed form.
+	bp := midBlockAddr(t, f)
+	bps := map[uint32]bool{bp: true}
+	for hit := 1; hit <= 3; hit++ {
+		running, err := d.Continue(bps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !running || d.PC() != bp {
+			t.Fatalf("hit %d: stopped at %#x (running=%v), want breakpoint %#x", hit, d.PC(), running, bp)
+		}
+		regs, _ := d.Regs()
+		if want := uint32(10 + (hit-1)*13); regs[0] != want {
+			t.Errorf("hit %d: d0 = %d, want %d", hit, regs[0], want)
+		}
+		for i := 0; i < 2; i++ { // resume by stepping off the breakpoint
+			if err := d.Step(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	delete(bps, bp)
+	if running, err := d.Continue(bps); err != nil || running {
+		t.Fatalf("final continue: running=%v err=%v", running, err)
+	}
+	out := d.System().Output
+	if len(out) != 1 || out[0] != 65 { // 5 iterations × 13
+		t.Errorf("output = %v, want [65]", out)
+	}
+}

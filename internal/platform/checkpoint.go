@@ -21,6 +21,7 @@ type checkpoint struct {
 	irqTaken     int64
 	irqIdled     int64
 	l0Idle       int64
+	delivLen     int
 	valid        bool
 }
 
@@ -51,6 +52,7 @@ func (sys *System) Checkpoint() {
 	ck.irqTaken = sys.irqTaken
 	ck.irqIdled = sys.irqIdled
 	ck.l0Idle = sys.l0Idle
+	ck.delivLen = len(sys.deliveries)
 	ck.valid = true
 	sys.journaling = true
 	sys.undo = sys.undo[:0]
@@ -99,6 +101,7 @@ func (sys *System) Rollback() {
 	sys.irqTaken = ck.irqTaken
 	sys.irqIdled = ck.irqIdled
 	sys.l0Idle = ck.l0Idle
+	sys.deliveries = sys.deliveries[:ck.delivLen]
 	ck.valid = false
 }
 

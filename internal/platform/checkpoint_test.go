@@ -80,7 +80,7 @@ func comparePlat(t *testing.T, label string, a, b *System) {
 // and speculate one quantum ahead, roll back, then advance for real —
 // the speculating system must shadow its twin exactly, on both engines.
 func TestPlatformCheckpointRollback(t *testing.T) {
-	for _, engine := range []Engine{EngineCompiled, EngineInterp} {
+	for _, engine := range []Engine{EngineCompiled, EngineCompiledNoFuse, EngineInterp} {
 		t.Run(fmt.Sprint(engine), func(t *testing.T) {
 			a, b := buildCk(t, engine), buildCk(t, engine)
 			const quantum = 16

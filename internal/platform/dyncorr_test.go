@@ -1,0 +1,157 @@
+package platform
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/elf32"
+	"repro/internal/tc32asm"
+)
+
+// dyncorrProg is built to drift at Level2: the loop body mixes loads,
+// stores and dependent arithmetic whose pipeline interactions the
+// cycle-accurate reference models but the Level1/Level2 per-block
+// predictions approximate. Interrupts arrive asynchronously; the
+// handler counts in a register the main program never touches.
+const dyncorrProg = `	.text
+	.global _start
+_start:	la	a15, 0xF0000F00
+	la	a9, cell
+	la	a8, buf
+	ei
+	li	d1, 600
+	movi	d0, 0
+	movi	d5, 0
+loop:	st.w	d0, 0(a8)
+	ld.w	d2, 0(a8)
+	add	d5, d5, d2
+	mul	d3, d2, d2
+	st.w	d3, 4(a8)
+	ld.w	d4, 4(a8)
+	add	d5, d5, d4
+	addi	d0, d0, 1
+	jlt	d0, d1, loop
+	st.w	d5, 0(a15)
+	di
+	halt
+__irq:	addi	d13, d13, 1
+	st.w	d13, 0(a9)
+	reti
+	.bss
+cell:	.space	8
+buf:	.space	16
+`
+
+// runDynCorr runs dyncorrProg at the given level with interrupts
+// injected when the chosen clock passes each schedule entry; it returns
+// the delivery positions and (when recording) the trajectory.
+func runDynCorr(t *testing.T, f *elf32.File, level core.Level, at []int64, ref CycleCurve, record bool) ([]CyclePoint, CycleCurve) {
+	t.Helper()
+	prog, err := core.Translate(f, core.Options{Level: level})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := New(prog)
+	sys.LogDeliveries()
+	if record {
+		sys.RecordCurve()
+	}
+	sys.UseCurve(ref)
+	inj := &injector{at: at, now: sys.DynNow, taken: func() int64 { return sys.Stats().IRQsTaken }}
+	sys.IRQLine = inj.line
+	if err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return sys.Deliveries(), sys.Curve()
+}
+
+// meanAbsErr is the accuracy metric: mean absolute difference of the
+// delivery positions (in retired source instructions) against the
+// reference run's positions.
+func meanAbsErr(t *testing.T, label string, got, ref []CyclePoint) float64 {
+	t.Helper()
+	if len(got) != len(ref) {
+		t.Fatalf("%s: %d deliveries, reference took %d", label, len(got), len(ref))
+	}
+	var sum float64
+	for i := range got {
+		d := got[i].SrcInsts - ref[i].SrcInsts
+		if d < 0 {
+			d = -d
+		}
+		sum += float64(d)
+	}
+	return sum / float64(len(got))
+}
+
+// TestDynCorrImprovesDeliveryAccuracy pins the dynamic-correction
+// contract: keying interrupt injection on the corrected clock moves
+// Level2 (and Level1) delivery positions measurably closer to the
+// cycle-accurate reference than the uncorrected clock does.
+func TestDynCorrImprovesDeliveryAccuracy(t *testing.T) {
+	f, err := tc32asm.Assemble(dyncorrProg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Size the injection schedule to the shortest clock among the levels
+	// so every run delivers the full schedule.
+	shortest := int64(1<<62 - 1)
+	for _, lv := range []core.Level{core.Level1, core.Level2, core.Level3} {
+		prog, err := core.Translate(f, core.Options{Level: lv})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys := New(prog)
+		if err := sys.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if total := sys.Stats().GeneratedCycles; total < shortest {
+			shortest = total
+		}
+	}
+	var at []int64
+	for i := int64(1); i <= 10; i++ {
+		at = append(at, i*shortest*8/100) // 8%..80% of the shortest run
+	}
+	refDeliv, refCurve := runDynCorr(t, f, core.Level3, at, nil, true)
+	if len(refDeliv) != len(at) {
+		t.Fatalf("reference delivered %d of %d interrupts — schedule outlives the run", len(refDeliv), len(at))
+	}
+	for _, lv := range []core.Level{core.Level1, core.Level2} {
+		t.Run(fmt.Sprintf("L%d", int(lv)), func(t *testing.T) {
+			plainDeliv, _ := runDynCorr(t, f, lv, at, nil, false)
+			corrDeliv, _ := runDynCorr(t, f, lv, at, refCurve, false)
+			plain := meanAbsErr(t, "plain", plainDeliv, refDeliv)
+			corr := meanAbsErr(t, "dyncorr", corrDeliv, refDeliv)
+			t.Logf("L%d delivery-position error: plain %.2f insts, dyncorr %.2f insts", int(lv), plain, corr)
+			if plain == 0 {
+				t.Fatal("uncorrected clock shows no drift — the test program no longer exercises the correction")
+			}
+			if corr >= plain {
+				t.Errorf("dynamic correction did not improve accuracy: %.2f >= %.2f", corr, plain)
+			}
+		})
+	}
+}
+
+// TestDynCorrRefCycles pins the interpolation: exact at samples, linear
+// between, anchored at the origin, extrapolated past the end.
+func TestDynCorrRefCycles(t *testing.T) {
+	c := CycleCurve{{10, 100}, {20, 300}, {40, 400}}
+	cases := []struct{ insts, want int64 }{
+		{0, 0}, {5, 50}, {10, 100}, {15, 200}, {20, 300},
+		{30, 350}, {40, 400}, {60, 500},
+	}
+	for _, tc := range cases {
+		if got := c.refCycles(tc.insts); got != tc.want {
+			t.Errorf("refCycles(%d) = %d, want %d", tc.insts, got, tc.want)
+		}
+	}
+	if got := (CycleCurve{}).refCycles(5); got != 0 {
+		t.Errorf("empty curve: %d, want 0", got)
+	}
+	if got := (CycleCurve{{10, 50}}).refCycles(20); got != 100 {
+		t.Errorf("single-point extrapolation: %d, want 100", got)
+	}
+}

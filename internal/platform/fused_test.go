@@ -1,0 +1,217 @@
+package platform
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/tc32asm"
+	"repro/internal/workload"
+)
+
+// Dispatcher-exit coverage for the superblock engine: the fused hot
+// path must leave its loops only at the documented exits — interrupt
+// delivery points, quantum boundaries, checkpoint/rollback — and every
+// exit must land in a state the unfused engines continue from
+// bit-identically.
+
+// TestFusedEngineSelection pins the engine plumbing: EngineCompiled
+// attaches the fused program, EngineCompiledNoFuse compiles but does
+// not fuse, and the interpreter does neither.
+func TestFusedEngineSelection(t *testing.T) {
+	w, _ := workload.ByName("sieve")
+	f, err := tc32asm.Assemble(w.Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := core.Translate(f, core.Options{Level: core.Level2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fused := NewWithEngine(prog, EngineCompiled)
+	if fused.Engine() != EngineCompiled || !fused.CPU.Compiled() || !fused.CPU.Fused() {
+		t.Fatalf("EngineCompiled: engine=%v compiled=%v fused=%v, want compiled+fused",
+			fused.Engine(), fused.CPU.Compiled(), fused.CPU.Fused())
+	}
+	nofuse := NewWithEngine(prog, EngineCompiledNoFuse)
+	if nofuse.Engine() != EngineCompiledNoFuse || !nofuse.CPU.Compiled() || nofuse.CPU.Fused() {
+		t.Fatalf("EngineCompiledNoFuse: engine=%v compiled=%v fused=%v, want compiled only",
+			nofuse.Engine(), nofuse.CPU.Compiled(), nofuse.CPU.Fused())
+	}
+	interp := NewWithEngine(prog, EngineInterp)
+	if interp.CPU.Compiled() || interp.CPU.Fused() {
+		t.Fatal("EngineInterp must not attach compiled or fused programs")
+	}
+}
+
+// TestFusedVsNoFuseWorkloads: the fused engine against its like-for-like
+// reference (compiled, fusion off) across every workload and level —
+// stats, output, registers and final cycle all bit-identical.
+func TestFusedVsNoFuseWorkloads(t *testing.T) {
+	for _, w := range workload.All() {
+		for _, level := range []core.Level{core.Level0, core.Level1, core.Level2, core.Level3} {
+			t.Run(fmt.Sprintf("%s/L%d", w.Name, int(level)), func(t *testing.T) {
+				f, err := tc32asm.Assemble(w.Source)
+				if err != nil {
+					t.Fatal(err)
+				}
+				prog, err := core.Translate(f, core.Options{Level: level})
+				if err != nil {
+					t.Fatal(err)
+				}
+				a := NewWithEngine(prog, EngineCompiled)
+				if !a.CPU.Fused() {
+					t.Skip("program declined fusion")
+				}
+				if err := a.Run(); err != nil {
+					t.Fatalf("fused: %v", err)
+				}
+				b := NewWithEngine(prog, EngineCompiledNoFuse)
+				if err := b.Run(); err != nil {
+					t.Fatalf("nofuse: %v", err)
+				}
+				comparePlat(t, "fused-vs-nofuse", a, b)
+				if a.CPU.Regs != b.CPU.Regs {
+					t.Fatal("register-file divergence")
+				}
+				if a.CPU.Cycle() != b.CPU.Cycle() {
+					t.Fatalf("c6x cycle divergence: %d vs %d", a.CPU.Cycle(), b.CPU.Cycle())
+				}
+			})
+		}
+	}
+}
+
+// TestFusedIRQDeferredToBoundary: an interrupt asserted mid-superblock
+// is delivered at the next delivery-point boundary — the identical
+// cycle the unfused engines pick, pinned through the whole post-handler
+// state. The injection schedule sweeps cycles that land inside the
+// fused busy loop.
+func TestFusedIRQDeferredToBoundary(t *testing.T) {
+	f, err := tc32asm.Assemble(irqCountProg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []int64{0, 7, 23, 101, 500, 999} {
+		for _, lv := range []core.Level{core.Level1, core.Level2, core.Level3} {
+			opts := core.Options{Level: lv}
+			label := fmt.Sprintf("k=%d L%d", k, int(lv))
+			fused, err := runPlatformIRQ(t, f, opts, EngineCompiled, []int64{k})
+			if err != nil {
+				t.Fatalf("%s fused: %v", label, err)
+			}
+			nofuse, err := runPlatformIRQ(t, f, opts, EngineCompiledNoFuse, []int64{k})
+			if err != nil {
+				t.Fatalf("%s nofuse: %v", label, err)
+			}
+			if err := diffIRQState(nofuse, fused, label+" fused-vs-nofuse"); err != nil {
+				t.Error(err)
+			}
+		}
+	}
+}
+
+// TestFusedRunUntilQuantum: quantum-driven execution (the SoC
+// scheduler's path) stops the fused engine at the same clock positions
+// as the unfused engine, for pathological quantum sizes included.
+func TestFusedRunUntilQuantum(t *testing.T) {
+	w, _ := workload.ByName("sieve")
+	f, err := tc32asm.Assemble(w.Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, quantum := range []int64{1, 3, 64, 1024} {
+		t.Run(fmt.Sprintf("q%d", quantum), func(t *testing.T) {
+			prog, err := core.Translate(f, core.Options{Level: core.Level2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			a := NewWithEngine(prog, EngineCompiled)
+			b := NewWithEngine(prog, EngineCompiledNoFuse)
+			for limit := quantum; !a.CPU.Halted() || !b.CPU.Halted(); limit += quantum {
+				if err := a.RunUntil(limit); err != nil {
+					t.Fatalf("fused: %v", err)
+				}
+				if err := b.RunUntil(limit); err != nil {
+					t.Fatalf("nofuse: %v", err)
+				}
+				if a.Now() != b.Now() {
+					t.Fatalf("limit %d: clock %d vs %d", limit, a.Now(), b.Now())
+				}
+				if limit > 10_000_000 {
+					t.Fatal("runaway")
+				}
+			}
+			comparePlat(t, "final", a, b)
+		})
+	}
+}
+
+// TestFusedCheckpointRollbackExact: checkpoint mid-run, speculate
+// through fused superblocks (RAM stores included), roll back, and
+// re-execute — the re-execution must reproduce the speculated world
+// exactly, and the rollback must leave no fused-engine residue. This is
+// the parallel SoC scheduler's exact usage pattern.
+func TestFusedCheckpointRollbackExact(t *testing.T) {
+	build := func() *System { return buildCk(t, EngineCompiled) }
+	a, b := build(), build()
+	if !a.CPU.Fused() {
+		t.Fatal("checkpoint program declined fusion — test would be vacuous")
+	}
+	const quantum = 24
+	for limit := int64(quantum); !b.CPU.Halted() && limit < 100_000; limit += quantum {
+		a.Checkpoint()
+		if err := a.RunUntil(limit + 3*quantum); err != nil { // deep speculation
+			t.Fatal(err)
+		}
+		specRegs, specNow := a.CPU.Regs, a.Now()
+		a.Rollback()
+		a.Checkpoint()
+		if err := a.RunUntil(limit + 3*quantum); err != nil { // re-execute
+			t.Fatal(err)
+		}
+		if a.CPU.Regs != specRegs || a.Now() != specNow {
+			t.Fatalf("limit %d: re-execution after rollback diverged from speculation", limit)
+		}
+		a.Rollback()
+		if err := a.RunUntil(limit); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.RunUntil(limit); err != nil {
+			t.Fatal(err)
+		}
+		comparePlat(t, fmt.Sprintf("limit %d", limit), a, b)
+	}
+	if !b.CPU.Halted() {
+		t.Fatal("program did not halt")
+	}
+}
+
+// TestFusedRAMGrowthRollback pins the demand-grown RAM against the
+// write journal: speculative stores that grow the backing array revert
+// to zeros on rollback, indistinguishable from the virtual zero fill.
+func TestFusedRAMGrowthRollback(t *testing.T) {
+	a := buildCk(t, EngineCompiled)
+	if err := a.RunUntil(64); err != nil {
+		t.Fatal(err)
+	}
+	snap := append([]byte(nil), a.ram...)
+	a.Checkpoint()
+	if err := a.RunUntil(512); err != nil {
+		t.Fatal(err)
+	}
+	a.Rollback()
+	got := a.ram
+	if len(got) < len(snap) {
+		t.Fatalf("backing array shrank: %d < %d", len(got), len(snap))
+	}
+	if !reflect.DeepEqual(snap, got[:len(snap)]) {
+		t.Error("platform RAM not restored byte-exactly after rollback")
+	}
+	for i := len(snap); i < len(got); i++ {
+		if got[i] != 0 {
+			t.Fatalf("grown RAM byte %d = %#x after rollback, want 0", i, got[i])
+		}
+	}
+}

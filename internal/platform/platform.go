@@ -87,12 +87,21 @@ const (
 	// and the equivalence oracle, selected by the front-ends' -interp
 	// escape hatch.
 	EngineInterp
+	// EngineCompiledNoFuse is the compiled engine with superblock fusion
+	// disabled — the per-packet closure engine exactly as it was before
+	// fusion existed, selected by the front-ends' -nofuse flag. It is
+	// the like-for-like differential reference for the fused hot path
+	// (CI byte-diffs fused vs nofuse deterministic output).
+	EngineCompiledNoFuse
 )
 
-// String names the engine ("compiled" / "interp").
+// String names the engine ("compiled" / "interp" / "compiled-nofuse").
 func (e Engine) String() string {
-	if e == EngineInterp {
+	switch e {
+	case EngineInterp:
 		return "interp"
+	case EngineCompiledNoFuse:
+		return "compiled-nofuse"
 	}
 	return "compiled"
 }
@@ -168,6 +177,14 @@ type System struct {
 
 	engine Engine
 
+	// Dynamic-correction state (see dyncorr.go): trajectory recording,
+	// the reference curve, and the interrupt-delivery log.
+	dynRec     bool
+	dynCurve   CycleCurve
+	dynRef     CycleCurve
+	delivLog   bool
+	deliveries []CyclePoint
+
 	// Speculative-execution checkpoint (see checkpoint.go).
 	ck         checkpoint
 	journaling bool
@@ -189,7 +206,6 @@ func NewWithEngine(prog *core.Program, engine Engine) *System {
 		Prog:       prog,
 		Sync:       &SyncDev{Ratio: DefaultRatio},
 		rBase:      0x1000_0000,
-		ram:        make([]byte, iss.RAMSize),
 		cBase:      core.CacheTableBase,
 		lastRegion: -1,
 	}
@@ -212,7 +228,9 @@ func NewWithEngine(prog *core.Program, engine Engine) *System {
 		sys.rBase = prog.DataAddr
 	}
 	if len(prog.DataImage) > 0 {
-		copy(sys.ram[prog.DataAddr-sys.rBase:], prog.DataImage)
+		off := int(prog.DataAddr - sys.rBase)
+		sys.growRAM(off + len(prog.DataImage))
+		copy(sys.ram[off:], prog.DataImage)
 	}
 	if prog.CacheTableWords > 0 {
 		sys.ctab = make([]byte, prog.CacheTableWords*4)
@@ -225,11 +243,21 @@ func NewWithEngine(prog *core.Program, engine Engine) *System {
 	}
 	sys.CPU = c6x.NewSim(prog.C6x, sys)
 	sys.engine = EngineInterp
-	if engine == EngineCompiled {
+	if engine == EngineCompiled || engine == EngineCompiledNoFuse {
 		if cp, err := c6x.CompileCached(prog.C6x); err == nil {
 			if sys.CPU.UseCompiled(cp) == nil {
-				sys.engine = EngineCompiled
+				sys.engine = engine
 			}
+		}
+	}
+	// Superblock fusion rides on top of the compiled engine: region
+	// starts are the boundary/deopt points, and the translator's link
+	// registers resolve its indirect branches. A program the fuser
+	// declines (segment budget) simply runs unfused.
+	if sys.engine == EngineCompiled {
+		cfg := c6x.FuseConfig{RegionOf: sys.regionOfPkt, ConstRegs: core.FusedConstRegs()}
+		if fp, err := c6x.FuseCached(prog.C6x, cfg); err == nil {
+			_ = sys.CPU.UseFused(fp)
 		}
 	}
 	return sys
@@ -257,6 +285,46 @@ func wr(b []byte, off uint32, val uint32, size int) {
 	for i := 0; i < size; i++ {
 		b[off+uint32(i)] = byte(val >> (8 * i))
 	}
+}
+
+// Platform RAM is demand-grown: the full iss.RAMSize window is always
+// mapped (and reads as zero), but the backing array only extends to the
+// highest byte ever stored. Typical workloads touch a few KB of data,
+// so per-system construction stops allocating and zeroing 1 MB — which
+// dominated short benchmark runs as allocator/GC time.
+
+// growRAM extends the backing array to at least need bytes (amortized
+// doubling), capped at the mapped window size.
+func (sys *System) growRAM(need int) {
+	n := 2 * len(sys.ram)
+	if n < 4096 {
+		n = 4096
+	}
+	if n < need {
+		n = need
+	}
+	if n > iss.RAMSize {
+		n = iss.RAMSize
+	}
+	nb := make([]byte, n)
+	copy(nb, sys.ram)
+	sys.ram = nb
+}
+
+// ramRead reads size bytes at off from the RAM window; bytes beyond the
+// backing array are zero.
+func (sys *System) ramRead(off uint32, size int) uint32 {
+	b := sys.ram
+	if int(off)+size <= len(b) {
+		return rd(b, off, size)
+	}
+	var v uint32
+	for i := 0; i < size; i++ {
+		if j := int(off) + i; j < len(b) {
+			v |= uint32(b[j]) << (8 * i)
+		}
+	}
+	return v
 }
 
 // emulatedNow returns the core's position on the emulated clock.
@@ -288,8 +356,8 @@ func (sys *System) busNow(cycle int64) int64 {
 // Load implements c6x.MemPort.
 func (sys *System) Load(addr uint32, size int, cycle int64) (uint32, int64, error) {
 	switch {
-	case addr >= sys.rBase && addr-sys.rBase+uint32(size) <= uint32(len(sys.ram)):
-		return rd(sys.ram, addr-sys.rBase, size), cycle, nil
+	case addr >= sys.rBase && addr-sys.rBase+uint32(size) <= uint32(iss.RAMSize):
+		return sys.ramRead(addr-sys.rBase, size), cycle, nil
 	case sys.ctab != nil && addr >= sys.cBase && addr-sys.cBase+uint32(size) <= uint32(len(sys.ctab)):
 		return rd(sys.ctab, addr-sys.cBase, size), cycle, nil
 	case addr == core.SyncStart:
@@ -321,11 +389,15 @@ func (sys *System) Load(addr uint32, size int, cycle int64) (uint32, int64, erro
 // Store implements c6x.MemPort.
 func (sys *System) Store(addr uint32, val uint32, size int, cycle int64) (int64, error) {
 	switch {
-	case addr >= sys.rBase && addr-sys.rBase+uint32(size) <= uint32(len(sys.ram)):
-		if sys.journaling {
-			sys.journal(false, sys.ram, addr-sys.rBase, size)
+	case addr >= sys.rBase && addr-sys.rBase+uint32(size) <= uint32(iss.RAMSize):
+		off := addr - sys.rBase
+		if int(off)+size > len(sys.ram) {
+			sys.growRAM(int(off) + size)
 		}
-		wr(sys.ram, addr-sys.rBase, val, size)
+		if sys.journaling {
+			sys.journal(false, sys.ram, off, size)
+		}
+		wr(sys.ram, off, val, size)
 		return cycle, nil
 	case sys.ctab != nil && addr >= sys.cBase && addr-sys.cBase+uint32(size) <= uint32(len(sys.ctab)):
 		if sys.journaling {
@@ -411,7 +483,18 @@ func (sys *System) ioWait(t, extra int64) int64 {
 // execution every further SyncStart write comes from a strictly later
 // packet.
 func (sys *System) attributeRegion() {
-	pkt := sys.CPU.PC() - 1
+	pkt := sys.CPU.MemPkt()
+	// Fast path: a loop re-entering the region it just left writes
+	// SyncStart from the same base packet — skip the binary search. The
+	// search result is a pure function of pkt, so the cached region is
+	// exactly what it would return.
+	if pkt == sys.lastStartPkt && sys.lastRegion >= 0 {
+		sys.srcInsts += int64(sys.regionInsts[sys.lastRegion])
+		if sys.dynRec {
+			sys.recordPoint()
+		}
+		return
+	}
 	// Find the last region whose first packet is at or before pkt.
 	lo, hi := 0, len(sys.regionPkt)
 	for lo < hi {
@@ -431,6 +514,9 @@ func (sys *System) attributeRegion() {
 	}
 	sys.srcInsts += int64(sys.regionInsts[ri])
 	sys.lastRegion, sys.lastStartPkt = ri, pkt
+	if sys.dynRec {
+		sys.recordPoint()
+	}
 }
 
 // Now returns the core's position on the emulated source-cycle clock: the
@@ -485,6 +571,9 @@ func (sys *System) enterIRQ(ri int) error {
 	sys.irqInHandler = true
 	sys.irqIE = false
 	sys.irqTaken++
+	if sys.delivLog {
+		sys.deliveries = append(sys.deliveries, CyclePoint{SrcInsts: sys.srcInsts, Cycles: sys.Sync.Total})
+	}
 	if sys.Prog.Level >= core.Level1 {
 		sys.Sync.Add(uint32(sys.Prog.Desc.IRQEntryCycles), sys.CPU.Cycle())
 	} else {
@@ -544,12 +633,37 @@ func (sys *System) stepIRQ() (idle bool, err error) {
 	return false, sys.enterIRQ(ri)
 }
 
+// runBoundaryHook is the fused-execution boundary callback of Run: the
+// same per-boundary actions the generic loop performs between steps —
+// the cycle limit and the interrupt delivery check. wfi idling is left
+// to the outer loop (the hook stops fused execution instead), and Run
+// never fires BoundaryTrace, exactly like its generic loop.
+func (sys *System) runBoundaryHook() (bool, error) {
+	if sys.irqWaiting {
+		return true, nil
+	}
+	if sys.CPU.Cycle() > sys.CPU.MaxCycles {
+		return false, fmt.Errorf("platform: cycle limit (%d) exceeded", sys.CPU.MaxCycles)
+	}
+	// Not waiting, so stepIRQ cannot report idle: it either delivers
+	// (redirecting the pc, which ends StepFused) or no-ops.
+	if _, err := sys.stepIRQ(); err != nil {
+		return false, err
+	}
+	return false, nil
+}
+
 // Run executes the translated program to completion. With an interrupt
 // line attached, a core waiting in wfi idles one cycle at a time until
 // the line delivers — the same wake cycle the ISS's standalone run
-// arrives at.
+// arrives at. Steady-state loops run inside fused superblocks when the
+// engine has them, deferring interrupt delivery to the same region
+// boundaries the generic loop delivers at.
 func (sys *System) Run() error {
 	if sys.IRQLine == nil {
+		if sys.CPU.Fused() {
+			return sys.CPU.RunFused()
+		}
 		return sys.CPU.Run()
 	}
 	for !sys.CPU.Halted() {
@@ -565,6 +679,12 @@ func (sys *System) Run() error {
 				return fmt.Errorf("platform: wfi idle limit (%d) exceeded", sys.CPU.MaxCycles)
 			}
 			sys.idleTo(sys.Now() + 1)
+			continue
+		}
+		if !sys.irqWaiting && sys.CPU.FusedEntryOK() {
+			if _, err := sys.CPU.StepFused(sys.runBoundaryHook); err != nil {
+				return err
+			}
 			continue
 		}
 		if err := sys.CPU.Step(); err != nil {
@@ -591,6 +711,35 @@ func (sys *System) Run() error {
 // mid-region on the clock gate would push an access one slice later and
 // reorder same-cycle bus contention between the engines.
 func (sys *System) RunUntil(limit int64) error {
+	// Fused execution is gated off while a wfi wait is pending — the
+	// generic path owns the packet-granular clock bookkeeping between a
+	// wfi trap and its leader-boundary idle — and entirely at Level0
+	// with an interrupt line, where the emulated clock advances with
+	// every packet instead of at region boundaries.
+	useFused := sys.CPU.Fused() && (sys.IRQLine == nil || sys.Prog.Level != core.Level0)
+	hook := func() (bool, error) {
+		if sys.irqWaiting {
+			// The generic inner loop breaks on a pending wfi before its
+			// boundary check, so no trace fires here either.
+			return true, nil
+		}
+		if sys.BoundaryTrace != nil {
+			sys.BoundaryTrace(sys.Prog.Blocks[sys.regionOfPkt[sys.CPU.PC()]].SrcStart, sys.Now())
+		}
+		if sys.Now() >= limit {
+			return true, nil
+		}
+		if sys.CPU.Cycle() > sys.CPU.MaxCycles {
+			return false, fmt.Errorf("platform: cycle limit (%d) exceeded", sys.CPU.MaxCycles)
+		}
+		// Delivery redirects the pc, ending StepFused; the handler region
+		// then re-dispatches below without re-gating on the clock limit,
+		// exactly like the generic loop running it in the same iteration.
+		if _, err := sys.stepIRQ(); err != nil {
+			return false, err
+		}
+		return false, nil
+	}
 	for !sys.CPU.Halted() && sys.Now() < limit {
 		if sys.CPU.Cycle() > sys.CPU.MaxCycles {
 			return fmt.Errorf("platform: cycle limit (%d) exceeded", sys.CPU.MaxCycles)
@@ -604,6 +753,18 @@ func (sys *System) RunUntil(limit int64) error {
 			return nil
 		}
 		for {
+			if useFused && !sys.irqWaiting && sys.CPU.FusedEntryOK() {
+				stopped, err := sys.CPU.StepFused(hook)
+				if err != nil {
+					return err
+				}
+				if stopped || sys.CPU.Halted() {
+					break
+				}
+				// Deopt or interrupt redirect: re-dispatch from the
+				// materialized state.
+				continue
+			}
 			if err := sys.CPU.Step(); err != nil {
 				return err
 			}

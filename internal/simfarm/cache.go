@@ -27,6 +27,18 @@ func HashELF(f *elf32.File) (ELFHash, error) {
 	return sha256.Sum256(data), nil
 }
 
+// translatorGen is the translation pipeline's generation: it enters
+// every ProgramKey unconditionally, so bumping it invalidates all
+// cached translations at once. Bump it whenever the translator or a
+// downstream engine changes in a way cached core.Programs must not
+// survive.
+//
+// Generation 3: superblock fusion. The fused engine compiles region
+// topology and the translator's link-register conventions into direct
+// segment chains; programs translated before the fusion contract
+// existed must be rebuilt, not replayed.
+const translatorGen = 3
+
 // Key is the content address of a translated program: ELF contents plus
 // a canonical fingerprint of the translation-relevant options.
 type Key [sha256.Size]byte
@@ -57,6 +69,12 @@ func ProgramKey(h ELFHash, opts core.Options) Key {
 	}
 	hs := sha256.New()
 	hs.Write(h[:])
+	// The generation stamp is keyed before anything else: a program
+	// translated by an older pipeline must never be replayed by a newer
+	// engine even when every option matches.
+	var gen [8]byte
+	binary.LittleEndian.PutUint64(gen[:], translatorGen)
+	hs.Write(gen[:])
 	put := func(vs ...uint64) {
 		var b [8]byte
 		for _, v := range vs {

@@ -32,7 +32,13 @@ import (
 // Version 2: core.Program gained interrupt metadata (BlockInfo.Leader,
 // Program.IRQEntry) that older objects decode as zero values — which
 // would silently disable interrupt delivery — so they must be rebuilt.
-const FormatVersion = 2
+//
+// Version 3: superblock fusion (and the generation stamp in
+// simfarm.ProgramKey). Pre-fusion objects decode cleanly but were keyed
+// without the translator generation; refusing their format version
+// guarantees none of them replays into the fused engine even through a
+// store populated before the key change.
+const FormatVersion = 3
 
 // indexVersion versions index.json independently of the object format;
 // an unreadable or wrong-version index is rebuilt by scanning objects/.

@@ -2,8 +2,10 @@ package store_test
 
 import (
 	"crypto/sha256"
+	"encoding/binary"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"testing"
 
@@ -170,6 +172,57 @@ func TestCorruptionTolerated(t *testing.T) {
 				t.Fatalf("rebuilt Load = (ok=%v, err=%v)", ok, err)
 			}
 		})
+	}
+}
+
+// TestStaleFormatVersionRejected is the translator-generation
+// invalidation contract: an object written by a previous format version
+// is internally consistent — good magic, matching key, valid length and
+// checksum — yet must never decode, because its key was derived without
+// the current translator generation and the cached program predates the
+// fused engine's contract. Unlike random corruption, this is the exact
+// shape of every object in a store populated before the version bump.
+func TestStaleFormatVersionRejected(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, store.Options{})
+	p := prog(t)
+	k := key("stale-generation")
+	mustStore(t, s, k, p)
+
+	// Rewrite only the format version field to the previous generation.
+	// The payload checksum does not cover the header, so the file stays
+	// exactly as self-consistent as a genuine old-format object.
+	path := objectPath(t, dir)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	binary.LittleEndian.PutUint32(data[8:12], store.FormatVersion-1)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// The verifier must name the version mismatch, not a generic failure.
+	if _, err := store.DecodeObject(k, data); err == nil ||
+		!strings.Contains(err.Error(), "format version") {
+		t.Fatalf("DecodeObject(stale) err = %v, want format-version mismatch", err)
+	}
+
+	// A fresh open must treat the stale object as a miss, quarantine it,
+	// and let the next Store rebuild it under the current version.
+	s2 := open(t, dir, store.Options{})
+	if got, ok, err := s2.Load(k); err != nil || ok || got != nil {
+		t.Fatalf("stale Load = (%v, %v, %v), want (nil, false, nil)", got, ok, err)
+	}
+	if st := s2.Stats(); st.Corrupt != 1 {
+		t.Fatalf("Corrupt = %d, want 1 (stats %+v)", st.Corrupt, st)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("stale object not quarantined: %v", err)
+	}
+	mustStore(t, s2, k, p)
+	if _, ok, err := s2.Load(k); err != nil || !ok {
+		t.Fatalf("rebuilt Load = (ok=%v, err=%v)", ok, err)
 	}
 }
 

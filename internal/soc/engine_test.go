@@ -26,8 +26,9 @@ func TestEngineEquivalence(t *testing.T) {
 					label = "mixed"
 				}
 				t.Run(fmt.Sprintf("%s/q%d/%s", mw.Name, quantum, label), func(t *testing.T) {
-					var results [2]Stats
-					for i, engine := range []platform.Engine{platform.EngineCompiled, platform.EngineInterp} {
+					engines := []platform.Engine{platform.EngineCompiled, platform.EngineCompiledNoFuse, platform.EngineInterp}
+					results := make([]Stats, len(engines))
+					for i, engine := range engines {
 						cfg := buildConfig(t, mw, quantum, useISS, core.Options{Level: core.Level2})
 						cfg.Engine = engine
 						s, err := New(cfg)
@@ -40,8 +41,11 @@ func TestEngineEquivalence(t *testing.T) {
 						verifyOutputs(t, mw, s, engine.String())
 						results[i] = s.Results()
 					}
-					if !reflect.DeepEqual(results[0], results[1]) {
-						t.Fatalf("engine divergence:\n  compiled: %+v\n  interp:   %+v", results[0], results[1])
+					for i := 1; i < len(engines); i++ {
+						if !reflect.DeepEqual(results[0], results[i]) {
+							t.Fatalf("engine divergence:\n  %v: %+v\n  %v: %+v",
+								engines[0], results[0], engines[i], results[i])
+						}
 					}
 				})
 			}

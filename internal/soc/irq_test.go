@@ -153,7 +153,7 @@ func TestIRQDifferentialMatrix(t *testing.T) {
 				t.Fatalf("%s q=%d: oracle delivered no interrupts — the matrix would be vacuous", mw.Name, quantum)
 			}
 			for _, drain := range []bool{false, true} {
-				for _, eng := range []platform.Engine{platform.EngineInterp, platform.EngineCompiled} {
+				for _, eng := range []platform.Engine{platform.EngineInterp, platform.EngineCompiled, platform.EngineCompiledNoFuse} {
 					opts := core.Options{Level: core.Level3, SingleDrainCorrection: drain}
 					label := fmt.Sprintf("%s q=%d drain%d %s", mw.Name, quantum, map[bool]int{false: 2, true: 1}[drain], eng)
 					s := runIRQSoC(t, mw, quantum, false, opts, eng, RoundRobin)

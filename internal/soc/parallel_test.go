@@ -32,6 +32,7 @@ func engineModes() []engineMode {
 		{"iss", []bool{true}, core.Options{}, platform.EngineCompiled},
 		{"interp", []bool{false}, core.Options{Level: core.Level3}, platform.EngineInterp},
 		{"compiled", []bool{false}, core.Options{Level: core.Level3}, platform.EngineCompiled},
+		{"compiled-nofuse", []bool{false}, core.Options{Level: core.Level3}, platform.EngineCompiledNoFuse},
 		{"mixed", []bool{false, true}, core.Options{Level: core.Level3}, platform.EngineCompiled},
 	}
 }

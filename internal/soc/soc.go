@@ -88,7 +88,7 @@ func (cfg *Config) Validate() error {
 		return fmt.Errorf("soc: unknown arbitration policy %d", int(cfg.Arbitration))
 	}
 	switch cfg.Engine {
-	case platform.EngineCompiled, platform.EngineInterp:
+	case platform.EngineCompiled, platform.EngineCompiledNoFuse, platform.EngineInterp:
 	default:
 		return fmt.Errorf("soc: unknown execution engine %d", int(cfg.Engine))
 	}
